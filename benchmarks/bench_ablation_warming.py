@@ -1,0 +1,81 @@
+"""Ablation — container warm-pool TTL (§4.7's 5-10 minute warming).
+
+Sweeps the warm TTL over a bursty container-demand trace (bursts of
+requests separated by idle gaps, like the event-driven science loads in
+§6) and reports the cold-start count and total cold-start seconds paid.
+Expected: TTL 0 (warming off) pays a cold start per request; TTLs longer
+than the inter-burst gap eliminate nearly all repeat cold starts —
+exactly why the paper keeps containers warm on HPC, where a cold start
+costs ~10 s (Table 2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.harness import ExperimentReport
+from repro.containers import ContainerRuntime, ContainerSpec, ContainerTechnology, WarmPool
+
+TTLS = [0.0, 30.0, 120.0, 300.0, 600.0]
+BURSTS = 40
+REQUESTS_PER_BURST = 4
+GAP_MEAN = 90.0       # seconds between bursts (inside a 120 s TTL most times)
+
+
+def demand_trace(seed: int = 5) -> list[float]:
+    """Arrival times of container requests: bursts with idle gaps."""
+    rng = random.Random(seed)
+    times, t = [], 0.0
+    for _ in range(BURSTS):
+        for i in range(REQUESTS_PER_BURST):
+            times.append(t + i * 0.5)
+        t += rng.expovariate(1.0 / GAP_MEAN)
+    return times
+
+
+def run_ttl(ttl: float) -> tuple[int, float]:
+    """(cold starts, total cold seconds) over the trace."""
+    pool = WarmPool(ttl=ttl, capacity=8)
+    runtime = ContainerRuntime(system="theta", seed=9)
+    spec = ContainerSpec(image="sci", technology=ContainerTechnology.SINGULARITY)
+    cold_starts, cold_seconds = 0, 0.0
+    for now in demand_trace():
+        instance = pool.acquire(spec.key, now)
+        if instance is None:
+            instance = runtime.instantiate(spec, now=now)
+            cold_starts += 1
+            cold_seconds += instance.cold_start_time
+        # each request holds the container briefly, then releases it warm
+        pool.release(instance, now + 1.0)
+    return cold_starts, cold_seconds
+
+
+def test_ablation_warm_pool_ttl(benchmark):
+    def sweep():
+        return {ttl: run_ttl(ttl) for ttl in TTLS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    total_requests = BURSTS * REQUESTS_PER_BURST
+    report = ExperimentReport(
+        "ablation_warming",
+        f"Warm-pool TTL sweep over {total_requests} bursty container requests "
+        "(Theta/Singularity cold starts)",
+    )
+    rows = [
+        [f"{ttl:.0f}s" if ttl else "off", cold, seconds,
+         f"{100 * (1 - cold / total_requests):.0f}%"]
+        for ttl, (cold, seconds) in results.items()
+    ]
+    report.rows(["warm TTL", "cold starts", "cold seconds", "hit rate"], rows)
+    report.note("paper keeps containers warm 5-10 min; each avoided cold "
+                "start saves ~10.4 s on Theta (Table 2)")
+    report.finish()
+
+    colds = {ttl: results[ttl][0] for ttl in TTLS}
+    # warming off pays a cold start per request
+    assert colds[0.0] == total_requests
+    # longer TTLs monotonically reduce cold starts
+    assert colds[0.0] >= colds[30.0] >= colds[120.0] >= colds[300.0] >= colds[600.0]
+    # the paper's 5-10 min window eliminates the overwhelming majority
+    assert colds[300.0] < 0.35 * total_requests

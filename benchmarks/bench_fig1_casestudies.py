@@ -1,0 +1,54 @@
+"""Figure 1 — latency distributions of the six science case studies.
+
+Paper protocol: "Distribution of latencies for 100 function calls, for
+each of the six case studies."  We draw 100 durations per calibrated
+case-study model and report the distribution statistics the figure's
+box plots encode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.harness import ExperimentReport
+from repro.workloads import CASE_STUDIES
+
+
+def sample_all(n: int = 100, seed: int = 1) -> dict[str, np.ndarray]:
+    return {
+        name: study.sample_many(n, seed=seed + i)
+        for i, (name, study) in enumerate(sorted(CASE_STUDIES.items()))
+    }
+
+
+def test_fig1_case_study_distributions(benchmark):
+    samples = benchmark.pedantic(sample_all, rounds=3, iterations=1)
+
+    report = ExperimentReport(
+        "fig1_casestudies", "Latency distribution of 100 calls per case study (s)"
+    )
+    rows = []
+    for name, values in samples.items():
+        study = CASE_STUDIES[name]
+        rows.append([
+            name,
+            float(np.min(values)),
+            float(np.percentile(values, 25)),
+            float(np.median(values)),
+            float(np.percentile(values, 75)),
+            float(np.max(values)),
+            f"[{study.low:g}, {study.high:g}]",
+        ])
+    report.rows(
+        ["case study", "min", "p25", "median", "p75", "max", "paper range"], rows
+    )
+    report.note(
+        "paper-quoted durations: metadata 3ms-15s; MNIST inference ~0.1s; "
+        "SSX 1-2s; neuro/HEP seconds; XPCS ~50s"
+    )
+    report.finish()
+
+    # Shape assertions: orderings the paper's figure shows.
+    medians = {k: float(np.median(v)) for k, v in samples.items()}
+    assert medians["xpcs"] > medians["ssx"] > medians["ml_inference"]
+    assert medians["metadata"] < 2.0

@@ -1,0 +1,141 @@
+"""Figure 5 — strong and weak scaling of the funcX agent on Theta & Cori,
+plus the §5.2.3 maximum-throughput numbers.
+
+Paper protocol: functions of three durations (0 s "no-op", 1 s "sleep",
+60 s "stress") are submitted as one concurrent batch while the container
+count grows.  Strong scaling fixes 100,000 total invocations; weak
+scaling fixes 10 invocations per container (1.3M tasks at 131,072
+containers on Cori).
+
+Reproduction: the discrete-event fabric drives the same dispatch /
+advertisement / batching protocol with platform models calibrated to the
+paper's measured agent ceilings (1694 tasks/s on Theta, 1466 on Cori).
+The paper's qualitative findings asserted below:
+
+* strong scaling of the no-op stops improving at ~256 containers;
+* strong scaling of the 1 s sleep stops improving at ~2048 containers;
+* weak-scaling no-op completion time grows with container count;
+* weak-scaling sleep stays near-constant to ~2048 containers, and the
+  60 s stress stays near-constant to 16,384 containers;
+* Cori reaches 131,072 containers executing 1.3M tasks.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import ExperimentReport, quick_mode
+from repro.sim import SimFabric
+from repro.sim.platform import CORI, THETA, SimPlatform
+
+
+def run_batch(platform: SimPlatform, containers: int, total_tasks: int,
+              duration: float) -> tuple[float, float]:
+    """Completion time and throughput for one (containers, duration) point."""
+    managers = platform.nodes_for(containers)
+    workers = min(containers, platform.containers_per_node)
+    fab = SimFabric(platform, managers=managers, workers_per_manager=workers,
+                    prefetch=0, seed=1)
+    fab.submit_batch(total_tasks, duration=duration)
+    report = fab.run()
+    assert report.tasks_completed == total_tasks
+    return report.completion_time, report.throughput
+
+
+def test_fig5a_strong_scaling(benchmark):
+    total = 20_000 if quick_mode() else 100_000
+    container_counts = [16, 64, 256, 1024, 2048, 8192]
+
+    def sweep():
+        rows = []
+        for platform in (THETA, CORI):
+            for duration, label in ((0.0, "no-op"), (1.0, "sleep")):
+                if platform is CORI and duration > 0:
+                    continue  # the paper did not run sleep on Cori (allocation)
+                for containers in container_counts:
+                    completion, throughput = run_batch(
+                        platform, containers, total, duration
+                    )
+                    rows.append([platform.name, label, containers,
+                                 completion, throughput])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = ExperimentReport(
+        "fig5a_strong_scaling",
+        f"Strong scaling: completion time of {total:,} concurrent requests (s)",
+    )
+    report.rows(["system", "function", "containers", "completion (s)",
+                 "throughput (/s)"], rows)
+    report.note("paper: no-op flattens at 256 containers; sleep at 2048 (Theta)")
+    report.finish()
+
+    theta_noop = {r[2]: r[3] for r in rows if r[0] == "theta" and r[1] == "no-op"}
+    theta_sleep = {r[2]: r[3] for r in rows if r[0] == "theta" and r[1] == "sleep"}
+    # no-op improves until ~256 then flattens
+    assert theta_noop[16] > theta_noop[64] > theta_noop[256]
+    assert abs(theta_noop[2048] - theta_noop[256]) / theta_noop[256] < 0.10
+    # sleep keeps improving to ~2048 then flattens
+    assert theta_sleep[256] > theta_sleep[1024] > theta_sleep[2048] * 0.99
+    assert abs(theta_sleep[8192] - theta_sleep[2048]) / theta_sleep[2048] < 0.15
+
+
+def test_fig5b_weak_scaling_and_throughput(benchmark):
+    if quick_mode():
+        noop_counts = [256, 4096, 32768]
+        sleep_counts = [256, 2048, 8192]
+        stress_counts = [1024, 16384]
+    else:
+        noop_counts = [256, 1024, 4096, 16384, 65536, 131072]
+        sleep_counts = [256, 1024, 2048, 8192]
+        stress_counts = [1024, 4096, 16384]
+    tasks_per_container = 10
+
+    def sweep():
+        rows = []
+        peak = {"theta": 0.0, "cori": 0.0}
+        for platform, counts, duration, label in (
+            (THETA, noop_counts[:4], 0.0, "no-op"),
+            (CORI, noop_counts, 0.0, "no-op"),
+            (THETA, sleep_counts, 1.0, "sleep"),
+            (THETA, stress_counts, 60.0, "stress"),
+        ):
+            for containers in counts:
+                total = containers * tasks_per_container
+                completion, throughput = run_batch(platform, containers, total, duration)
+                rows.append([platform.name, label, containers, total,
+                             completion, throughput])
+                peak[platform.name] = max(peak[platform.name], throughput)
+        return rows, peak
+
+    rows, peak = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = ExperimentReport(
+        "fig5b_weak_scaling",
+        "Weak scaling: 10 requests per container; §5.2.3 peak agent throughput",
+    )
+    report.rows(["system", "function", "containers", "tasks",
+                 "completion (s)", "throughput (/s)"], rows)
+    report.line("")
+    report.line(f"peak agent throughput: theta={peak['theta']:.0f}/s "
+                f"(paper 1694/s), cori={peak['cori']:.0f}/s (paper 1466/s)")
+    report.note("paper: no-op completion grows with containers; Cori reaches "
+                "131,072 containers / 1.3M tasks; sleep ~constant to 2048; "
+                "stress ~constant to 16,384")
+    report.finish()
+
+    cori_noop = {r[2]: r[4] for r in rows if r[0] == "cori" and r[1] == "no-op"}
+    counts_run = sorted(cori_noop)
+    # no-op completion time increases with scale (dispatch-bound)
+    assert all(
+        cori_noop[a] < cori_noop[b]
+        for a, b in zip(counts_run, counts_run[1:])
+    )
+    # peak throughput within 15% of the paper's measured ceilings
+    assert abs(peak["theta"] - 1694) / 1694 < 0.15
+    assert abs(peak["cori"] - 1466) / 1466 < 0.15
+    # sleep weak scaling ~flat to 2048
+    theta_sleep = {r[2]: r[4] for r in rows if r[0] == "theta" and r[1] == "sleep"}
+    sleep_counts_run = sorted(theta_sleep)
+    assert theta_sleep[sleep_counts_run[-2]] < 2.5 * theta_sleep[sleep_counts_run[0]]
+    # stress ~flat to 16,384
+    stress = {r[2]: r[4] for r in rows if r[1] == "stress"}
+    stress_counts_run = sorted(stress)
+    assert stress[stress_counts_run[-1]] < 1.5 * stress[stress_counts_run[0]]

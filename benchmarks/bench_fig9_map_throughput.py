@@ -1,0 +1,78 @@
+"""Figure 9 — user-driven batching (``map``) strong-scaling throughput.
+
+Paper protocol (§5.5.3): 10 million ~10 µs functions launched through the
+``map`` command on a single c5n.9xlarge (36 vCPUs), sweeping batch size
+and worker count; peak throughput 1.2 M functions/s — far beyond what is
+possible without batching.
+
+Reproduction: the live fabric's real ``map`` machinery (islice
+partitioning, one task per batch, per-item worker-side application) with
+a real ~10 µs function.  Scale note: this runs on whatever machine hosts
+the benchmark and Python workers here are threads sharing the GIL, so
+absolute throughput is ~1-2 orders below the paper's 36-core testbed;
+the *shape* — batching lifts throughput by >10x and saturates at large
+batch sizes — is the reproduced result.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.harness import ExperimentReport, quick_mode
+from repro import EndpointConfig, LocalDeployment
+from repro.workloads.functions import busy_10us
+
+#: (batch_size, total functions) — totals scale with batch size to keep
+#: wall time bounded while giving each point enough work to measure.
+SWEEP = [(1, 2_000), (16, 10_000), (64, 40_000), (256, 100_000), (1024, 200_000)]
+SWEEP_QUICK = [(1, 500), (64, 10_000), (1024, 50_000)]
+
+
+def measure(batch_size: int, total: int, workers: int = 4) -> float:
+    with LocalDeployment() as dep:
+        client = dep.client()
+        ep = dep.create_endpoint(
+            "fig9-ep", nodes=1,
+            config=EndpointConfig(workers_per_node=workers, heartbeat_period=0.2),
+        )
+        fid = client.register_function(busy_10us, public=True)
+        start = time.perf_counter()
+        result = client.map(fid, range(total), ep, batch_size=batch_size)
+        assert result.wait(timeout=300)
+        elapsed = time.perf_counter() - start
+        # spot-check correctness of the mapped results
+        assert result.result()[0] == busy_10us()
+        return total / elapsed
+
+
+def test_fig9_map_throughput(benchmark):
+    sweep = SWEEP_QUICK if quick_mode() else SWEEP
+
+    def run_sweep():
+        return [(b, n, measure(b, n)) for b, n in sweep]
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "fig9_map_throughput",
+        "map() throughput vs batch size, ~10 µs functions (functions/s)",
+    )
+    report.rows(
+        ["batch size", "functions", "throughput (/s)"],
+        [[b, n, thr] for b, n, thr in rows],
+    )
+    peak = max(thr for _, _, thr in rows)
+    base = rows[0][2]
+    report.line("")
+    report.line(f"peak throughput: {peak:,.0f}/s, unbatched: {base:,.0f}/s, "
+                f"gain {peak / base:.1f}x")
+    report.note("paper peak: 1.2M functions/s on 36 vCPUs; this run uses "
+                "GIL-sharing worker threads on the benchmark host, so compare "
+                "shape (batching gain, saturation), not absolute rate")
+    report.finish()
+
+    assert peak / base > 5.0          # batching transforms throughput
+    assert peak > 10_000              # well beyond per-task dispatch rates
+    # saturation: the two largest batch sizes are within 2x of each other
+    big = [thr for b, _, thr in rows if b >= 256] or [peak]
+    assert max(big) / min(big) < 2.0

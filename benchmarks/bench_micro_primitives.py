@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the hot-path primitives (pytest-benchmark rounds).
+
+These are not paper figures; they are regression guards on the data
+structures whose per-operation cost sets the platform's ceilings:
+the reliable queue (every task passes twice), the event kernel (every
+simulated event), the memoizer (every memoized request), and the routed
+buffer codec (every message).
+"""
+
+from __future__ import annotations
+
+from repro.core.memoization import Memoizer
+from repro.serialize import FuncXSerializer
+from repro.serialize.buffers import pack_buffer, unpack_buffer
+from repro.sim.kernel import EventLoop
+from repro.store.queues import ReliableQueue
+
+
+def test_queue_put_lease_ack_cycle(benchmark):
+    queue = ReliableQueue()
+
+    def cycle():
+        queue.put("task-id")
+        lease = queue.lease()
+        queue.ack(lease.lease_id)
+
+    benchmark(cycle)
+    assert len(queue) == 0
+
+
+def test_queue_bulk_lease(benchmark):
+    queue = ReliableQueue()
+
+    def cycle():
+        queue.put_many(range(64))
+        for lease in queue.lease_many(64):
+            queue.ack(lease.lease_id)
+
+    benchmark(cycle)
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events():
+        loop = EventLoop()
+        for i in range(1000):
+            loop.schedule(float(i % 13), lambda: None)
+        loop.run()
+        return loop.events_processed
+
+    assert benchmark(run_events) == 1000
+
+
+def test_memoizer_lookup_hit(benchmark):
+    memo = Memoizer()
+    memo.store(b"function-body", b"payload", b"result")
+    result = benchmark(memo.lookup, b"function-body", b"payload")
+    assert result == b"result"
+
+
+def test_buffer_pack_unpack(benchmark):
+    payload = b"x" * 512
+
+    def cycle():
+        return unpack_buffer(pack_buffer("01", "task-0000", payload))
+
+    header, out = benchmark(cycle)
+    assert out == payload
+
+
+def test_serializer_task_payload(benchmark):
+    serializer = FuncXSerializer()
+    payload = ([21, "frame-007.h5"], {"start": 0, "end": 10, "step": 1})
+
+    def cycle():
+        return serializer.deserialize(serializer.serialize(payload))
+
+    assert benchmark(cycle) == payload

@@ -1,0 +1,153 @@
+"""Table 1 — FaaS latency breakdown: warm/cold for Azure, Google, Amazon
+and funcX.
+
+Paper protocol (§5.1): the same echo function ("hello-world") is deployed
+on each platform; requests originate from a client 18.2 ms from the
+service; warm rows use back-to-back invocations, cold rows force a cold
+container per invocation.
+
+Reproduction: the three commercial rows come from latency models
+calibrated to the paper's own measurements (the platforms are closed
+source and unreachable offline); the **funcX row is measured** through
+this repository's real stack — service auth/store overheads, forwarder
+and agent channels, a real worker executing the real echo function, and
+a modelled EC2/Singularity container cold start applied physically on
+endpoint start.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.harness import ExperimentReport, quick_mode
+from repro import DeploymentTimings, EndpointConfig, LocalDeployment
+from repro.containers.spec import ContainerTechnology
+from repro.core.service import ServiceConfig
+from repro.faas.commercial import _models
+from repro.metrics import summarize
+from repro.workloads import echo
+
+#: client → funcX service WAN latency (ANL Cooley → AWS us-east, §5.1)
+WAN_MS = 18.2
+
+#: modelled web-service processing (auth + Redis round trips); calibrated
+#: to the ts component of figure 4.
+SERVICE_OVERHEAD_S = 0.030
+
+
+def _timings() -> DeploymentTimings:
+    return DeploymentTimings(
+        service_endpoint_latency=0.002,   # service and endpoint share us-east
+        manager_latency=0.0005,
+        service_overhead=SERVICE_OVERHEAD_S,
+    )
+
+
+def _endpoint_config(cold: bool) -> EndpointConfig:
+    return EndpointConfig(
+        workers_per_node=2,
+        system="ec2",
+        container_technology=ContainerTechnology.SINGULARITY,
+        heartbeat_period=0.1,
+        # warm rows reuse the deployed container; cold rows physically
+        # pay the Table 2 EC2/Singularity instantiation time
+        scale_cold_start=1.0 if cold else 0.0,
+        warm_ttl=600.0,
+        seed=42,
+    )
+
+
+def measure_funcx_warm(samples: int) -> np.ndarray:
+    with LocalDeployment(timings=_timings(), seed=1) as dep:
+        client = dep.client()
+        ep = dep.create_endpoint("table1-ep", nodes=1, config=_endpoint_config(cold=False))
+        fid = client.register_function(echo, public=True)
+        # first call warms everything
+        client.wait_for(client.run(fid, ep, "hello-world"), timeout=30)
+        latencies = []
+        for _ in range(samples):
+            start = time.perf_counter()
+            task_id = client.run(fid, ep, "hello-world")
+            client.get_result(task_id, timeout=30)
+            latencies.append(time.perf_counter() - start)
+        return np.array(latencies) + 2 * WAN_MS / 1000.0
+
+
+def measure_funcx_cold(samples: int) -> np.ndarray:
+    """Cold = restart the endpoint before each invocation (§5.1) so the
+    first function pays worker-container instantiation."""
+    latencies = []
+    container = "table1/echo:latest"
+    for i in range(samples):
+        with LocalDeployment(timings=_timings(), seed=100 + i) as dep:
+            client = dep.client()
+            ep = dep.create_endpoint(
+                "cold-ep", nodes=1, config=_endpoint_config(cold=True)
+            )
+            fid = client.register_function(
+                echo, public=True, container_image=f"singularity:{container}"
+            )
+            start = time.perf_counter()
+            task_id = client.run(fid, ep, "hello-world")
+            client.get_result(task_id, timeout=60)
+            latencies.append(time.perf_counter() - start)
+    return np.array(latencies) + 2 * WAN_MS / 1000.0
+
+
+PAPER = {
+    ("azure", "warm"): (118.0, 12.0, 130.0),
+    ("azure", "cold"): (1327.7, 32.0, 1359.7),
+    ("google", "warm"): (80.6, 5.0, 85.6),
+    ("google", "cold"): (203.8, 19.0, 222.8),
+    ("amazon", "warm"): (100.0, 0.3, 100.3),
+    ("amazon", "cold"): (468.2, 0.6, 468.8),
+    ("funcx", "warm"): (109.1, 2.2, 111.3),
+    ("funcx", "cold"): (1491.1, 6.1, 1497.2),
+}
+
+
+def test_table1_latency_breakdown(benchmark):
+    warm_n = 60 if quick_mode() else 300
+    cold_n = 3 if quick_mode() else 8
+    commercial_warm_n, commercial_cold_n = 10_000, 50  # paper's counts
+
+    rows = []
+    models = _models(seed=20200507)
+    for provider in ("azure", "google", "amazon"):
+        model = models[provider]
+        for temp, n in (("warm", commercial_warm_n), ("cold", commercial_cold_n)):
+            samples = model.sample_many(n, cold=(temp == "cold"))
+            totals = summarize([s.total for s in samples])
+            overheads = summarize([s.overhead for s in samples])
+            functions = summarize([s.function_time for s in samples])
+            rows.append([provider, temp, overheads.mean, functions.mean,
+                         totals.mean, totals.std, PAPER[(provider, temp)][2]])
+
+    warm = benchmark.pedantic(measure_funcx_warm, args=(warm_n,), rounds=1, iterations=1)
+    warm_stats = summarize(warm).scaled(1000.0)
+    cold_stats = summarize(measure_funcx_cold(cold_n)).scaled(1000.0)
+    for temp, stats in (("warm", warm_stats), ("cold", cold_stats)):
+        # function time for echo is microseconds; overhead ≈ total
+        rows.append(["funcx*", temp, stats.mean - 0.1, 0.1, stats.mean,
+                     stats.std, PAPER[("funcx", temp)][2]])
+
+    report = ExperimentReport("table1_latency", "FaaS latency breakdown (ms)")
+    report.rows(
+        ["platform", "state", "overhead", "function", "total", "std",
+         "paper total"],
+        rows,
+    )
+    report.note("funcx* rows measured through the live stack; commercial rows "
+                "are models calibrated to the paper (closed platforms).")
+    report.note(f"{WAN_MS} ms one-way client WAN latency added per §5.1 topology.")
+    report.finish()
+
+    # Shape: funcX warm latency is comparable to commercial warm latency,
+    # and funcX cold is dominated by container instantiation (the paper's
+    # conclusion), i.e. slower than Amazon/Google cold starts.
+    funcx_warm_total = warm_stats.mean
+    assert 50 <= funcx_warm_total <= 400
+    assert cold_stats.mean > 1000
+    assert cold_stats.mean > funcx_warm_total * 4

@@ -1,0 +1,67 @@
+"""Table 2 — cold container instantiation time per (system, technology).
+
+Paper protocol (§5.5.1): start a container and import the funcX worker
+modules on an EC2 m5.large, a Theta KNL node and a Cori KNL node.
+
+Reproduction: the calibrated cold-start models are sampled (the real
+machines and container binaries are unavailable); the benchmark verifies
+that the sampled min/mean/max reproduce the measured rows and that the
+paper's qualitative finding — HPC instantiation is ~5-8x slower than
+EC2, motivating container warming — holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.harness import ExperimentReport
+from repro.containers import ContainerRuntime, ContainerTechnology
+
+PAPER_ROWS = [
+    ("theta", ContainerTechnology.SINGULARITY, 9.83, 14.06, 10.40),
+    ("cori", ContainerTechnology.SHIFTER, 7.25, 31.26, 8.49),
+    ("ec2", ContainerTechnology.DOCKER, 1.74, 1.88, 1.79),
+    ("ec2", ContainerTechnology.SINGULARITY, 1.19, 1.26, 1.22),
+]
+
+SAMPLES = 2000
+
+
+def sample_all() -> dict[tuple[str, str], np.ndarray]:
+    out = {}
+    for i, (system, tech, *_rest) in enumerate(PAPER_ROWS):
+        runtime = ContainerRuntime(system=system, seed=100 + i)
+        out[(system, tech.value)] = np.array(runtime.measure(tech, SAMPLES))
+    return out
+
+
+def test_table2_container_instantiation(benchmark):
+    samples = benchmark.pedantic(sample_all, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "table2_containers", "Cold container instantiation time (s)"
+    )
+    rows = []
+    for system, tech, p_min, p_max, p_mean in PAPER_ROWS:
+        values = samples[(system, tech.value)]
+        rows.append([
+            system, tech.value,
+            float(values.min()), float(values.max()), float(values.mean()),
+            f"{p_min}/{p_max}/{p_mean}",
+        ])
+    report.rows(
+        ["system", "container", "min", "max", "mean", "paper min/max/mean"], rows
+    )
+    report.note("sampled from models calibrated to the paper's measurements "
+                "(no KNL nodes / container binaries in this environment)")
+    report.finish()
+
+    for system, tech, p_min, p_max, p_mean in PAPER_ROWS:
+        values = samples[(system, tech.value)]
+        assert values.min() >= p_min and values.max() <= p_max
+        assert abs(values.mean() - p_mean) / p_mean < 0.12
+
+    # The finding that motivates warming (§4.7/§5.5.1):
+    hpc_mean = samples[("theta", "singularity")].mean()
+    ec2_mean = samples[("ec2", "singularity")].mean()
+    assert hpc_mean > 5 * ec2_mean

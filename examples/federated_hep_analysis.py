@@ -1,0 +1,91 @@
+"""Coffea-style federated HEP analysis (paper §2, §6).
+
+Scenario: a physicist histograms collision-event energies by fanning
+partial-histogram subtasks out across *two* funcX endpoints
+simultaneously — the paper's HEP case study "completed a typical HEP
+analysis of 300 million events in nine minutes, simultaneously using two
+funcX endpoints provisioning heterogeneous resources."  Partial
+histograms are aggregated client-side in real time as futures resolve.
+
+Run with::
+
+    python examples/federated_hep_analysis.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import EndpointConfig, LocalDeployment
+from repro.workloads.functions import histogram_events
+
+N_EVENTS = 120_000
+CHUNK = 5_000
+N_BINS = 20
+E_MAX = 100.0
+
+
+def synth_events(n: int, seed: int = 42) -> list[float]:
+    """Two-population energy spectrum: background + a 'resonance' bump."""
+    rng = random.Random(seed)
+    events = []
+    for _ in range(n):
+        if rng.random() < 0.15:
+            events.append(min(E_MAX, max(0.0, rng.gauss(62.0, 3.0))))  # signal
+        else:
+            events.append(min(E_MAX, rng.expovariate(1 / 18.0)))       # background
+    return events
+
+
+def main() -> None:
+    events = synth_events(N_EVENTS)
+    chunks = [events[i : i + CHUNK] for i in range(0, len(events), CHUNK)]
+
+    with LocalDeployment() as deployment:
+        fc = deployment.client("physicist")
+
+        # Two heterogeneous endpoints used simultaneously.
+        campus_cluster = deployment.create_endpoint(
+            "campus-cluster", nodes=2,
+            config=EndpointConfig(workers_per_node=2),
+        )
+        hpc_backfill = deployment.create_endpoint(
+            "hpc-backfill", nodes=1,
+            config=EndpointConfig(workers_per_node=4),
+        )
+        endpoints = [campus_cluster, hpc_backfill]
+
+        hist_id = fc.register_function(histogram_events)
+
+        # Fan partial-histogram subtasks across both endpoints round-robin.
+        futures = []
+        for i, chunk in enumerate(chunks):
+            target = endpoints[i % len(endpoints)]
+            futures.append(
+                fc.submit(hist_id, target, chunk, n_bins=N_BINS, lo=0.0, hi=E_MAX)
+            )
+
+        # Aggregate in real time as results land.
+        total = [0] * N_BINS
+        for i, future in enumerate(futures):
+            partial = future.result(timeout=120)
+            total = [a + b for a, b in zip(total, partial)]
+
+        assert sum(total) == N_EVENTS
+        print(f"histogrammed {N_EVENTS:,} events in {len(chunks)} subtasks "
+              f"across {len(endpoints)} endpoints\n")
+
+        width = E_MAX / N_BINS
+        peak = max(total)
+        for b, count in enumerate(total):
+            bar = "#" * int(40 * count / peak)
+            print(f"{b * width:5.0f}-{(b + 1) * width:<5.0f} {count:7d} {bar}")
+
+        signal_bin = int(62.0 / width)
+        neighbours = (total[signal_bin - 2] + total[signal_bin + 2]) / 2
+        print(f"\nresonance bump at ~62 GeV: bin count {total[signal_bin]} vs "
+              f"sideband ~{neighbours:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""DLHub-style ML inference-as-a-service (paper §2, §6).
+
+Scenario: a model owner publishes an inference function packaged in a
+container image, shares it with a collaboration group, and collaborators
+invoke it — including batched inference and memoized repeat queries —
+without any access to the model internals or the compute environment.
+
+Run with::
+
+    python examples/ml_inference_service.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import EndpointConfig, LocalDeployment
+from repro.containers.spec import ContainerTechnology
+from repro.workloads.functions import infer_digit
+
+
+def synth_images(n: int, seed: int = 3) -> list[list[float]]:
+    rng = random.Random(seed)
+    images = []
+    for _ in range(n):
+        digit = rng.randrange(10)
+        # noisy version of the synthetic centroid pattern for that digit
+        image = [
+            min(1.0, max(0.0, ((i * (digit + 3)) % 17) / 16.0 + rng.gauss(0, 0.05)))
+            for i in range(64)
+        ]
+        images.append(image)
+    return images
+
+
+def main() -> None:
+    with LocalDeployment() as deployment:
+        owner = deployment.client("model-owner")
+        physicist = deployment.client("physicist")
+
+        # A GPU-ish endpoint with container support (the "DLHub backend").
+        gpu_farm = deployment.create_endpoint(
+            "gpu-farm", nodes=2,
+            config=EndpointConfig(
+                workers_per_node=2,
+                system="ec2",
+                container_technology=ContainerTechnology.DOCKER,
+                scale_cold_start=0.001,   # compress the Docker cold start
+                warm_ttl=600.0,
+            ),
+        )
+
+        # --- publish the model --------------------------------------------
+        group = deployment.auth.create_group(
+            "digit-collab", members=[physicist.identity]
+        )
+        model_id = owner.register_function(
+            infer_digit,
+            name="mnist-nearest-centroid",
+            container_image="docker:dlhub/mnist:1",
+            allowed_groups=(group.group_id,),
+            description="toy digit classifier published to the collaboration",
+        )
+        print(f"model published: {model_id} (shared with group 'digit-collab')")
+
+        # --- a collaborator runs single and batched inference -----------------
+        images = synth_images(16)
+        single = physicist.submit(model_id, gpu_farm, images[0])
+        print(f"single inference -> digit {single.result(timeout=60)['digit']}")
+
+        batch = physicist.map(model_id, images, gpu_farm, batch_size=8)
+        digits = [r["digit"] for r in batch.result(timeout=120)]
+        print(f"batched inference over {len(images)} images -> {digits}")
+
+        # --- memoized repeat queries (same input, cached result, §4.7) --------
+        t1 = physicist.run(model_id, gpu_farm, images[0], memoize=True)
+        physicist.wait_for(t1, timeout=60)
+        t2 = physicist.run(model_id, gpu_farm, images[0], memoize=True)
+        physicist.wait_for(t2, timeout=60)
+        memo_hit = deployment.service.task_by_id(t2).memo_hit
+        print(f"repeat query served from memoization cache: {memo_hit}")
+
+        # --- an outsider is refused -------------------------------------------
+        outsider = deployment.client("stranger")
+        try:
+            outsider.run(model_id, gpu_farm, images[0])
+        except Exception as exc:
+            print(f"unauthorized invocation rejected: {type(exc).__name__}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: register a function and run it on a local endpoint.
+
+Mirrors the paper's Listing 1 flow: construct a client, register a
+function, invoke it on an endpoint, and fetch the asynchronous result.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import EndpointConfig, LocalDeployment
+
+
+def automo_preview(fname: str, start: int, end: int, step: int) -> str:
+    """A stand-in for the paper's tomographic-preview function: the body
+    declares its own imports (a funcX requirement) and returns the name
+    of the 'preview' it produced."""
+    import hashlib
+
+    projection = [f"{fname}:{i}" for i in range(start, end, step)]
+    digest = hashlib.sha256("".join(projection).encode()).hexdigest()[:8]
+    return f"prev-{digest}.png"
+
+
+def double(x):
+    return 2 * x
+
+
+def main() -> None:
+    with LocalDeployment() as deployment:
+        # --- the funcX service, a user, and an endpoint --------------------
+        fc = deployment.client("researcher")
+        endpoint_id = deployment.create_endpoint(
+            "my-laptop",
+            nodes=1,
+            config=EndpointConfig(workers_per_node=4),
+        )
+        print(f"endpoint registered: {endpoint_id}")
+
+        # --- Listing-1 style: register, run, get_result --------------------
+        func_id = fc.register_function(automo_preview)
+        task_id = fc.run(func_id, endpoint_id,
+                         fname="test.h5", start=0, end=10, step=1)
+        result = fc.wait_for(task_id, timeout=30)
+        print(f"automo_preview -> {result}")
+
+        # --- futures --------------------------------------------------------
+        double_id = fc.register_function(double)
+        future = fc.submit(double_id, endpoint_id, 21)
+        print(f"double(21) -> {future.result(timeout=30)}")
+
+        # --- user-driven batching (the map command, §4.7) --------------------
+        mapped = fc.map(double_id, range(10), endpoint_id, batch_size=4)
+        print(f"map(double, 0..9) -> {mapped.result(timeout=30)}")
+
+        # --- remote errors come back as real exceptions ----------------------
+        def fragile(x):
+            return 1 // x
+
+        fragile_id = fc.register_function(fragile)
+        failing = fc.submit(fragile_id, endpoint_id, 0)
+        try:
+            failing.result(timeout=30)
+        except ZeroDivisionError as exc:
+            print(f"remote failure surfaced locally: {type(exc).__name__}: {exc}")
+
+
+if __name__ == "__main__":
+    main()

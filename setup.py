@@ -1,0 +1,7 @@
+"""Setuptools shim enabling legacy editable installs in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+require building a wheel; ``setup.py develop`` does not)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Identity and access management (Globus Auth substitute).
+
+The paper secures all funcX APIs with Globus Auth (section 4.8): the
+service is a *resource server* with named scopes; users authenticate with
+an identity provider and obtain scoped access tokens; endpoints are
+themselves native clients that authenticate to register.  This package
+reproduces that model: identity providers, OAuth-style token grants,
+scope checking, token expiry/revocation, and group-based sharing of
+functions.
+"""
+
+from repro.auth.scopes import Scope, ALL_SCOPES
+from repro.auth.service import AccessToken, AuthClient, AuthService, Identity, Group
+
+__all__ = [
+    "Scope",
+    "ALL_SCOPES",
+    "AuthService",
+    "AuthClient",
+    "AccessToken",
+    "Identity",
+    "Group",
+]

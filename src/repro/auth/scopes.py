@@ -1,0 +1,48 @@
+"""funcX authorization scopes.
+
+Mirrors the paper's example scope URNs, e.g.
+``urn:globus:auth:scope:funcx:register_function`` (section 4.8).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+_PREFIX = "urn:globus:auth:scope:funcx"
+
+
+class Scope(str, Enum):
+    """Named authorization scopes understood by the funcX service."""
+
+    REGISTER_FUNCTION = f"{_PREFIX}:register_function"
+    REGISTER_ENDPOINT = f"{_PREFIX}:register_endpoint"
+    EXECUTE = f"{_PREFIX}:execute"
+    MONITOR = f"{_PREFIX}:monitor"
+    RESULTS = f"{_PREFIX}:results"
+    ADMIN = f"{_PREFIX}:admin"
+
+    @classmethod
+    def parse(cls, urn: str) -> "Scope":
+        for scope in cls:
+            if scope.value == urn:
+                return scope
+        raise ValueError(f"unknown scope URN: {urn!r}")
+
+
+#: Every scope, in a stable order (used for "all" grants).
+ALL_SCOPES: tuple[Scope, ...] = tuple(Scope)
+
+#: The scopes a normal research user receives in a native-client flow.
+USER_DEFAULT_SCOPES: tuple[Scope, ...] = (
+    Scope.REGISTER_FUNCTION,
+    Scope.EXECUTE,
+    Scope.MONITOR,
+    Scope.RESULTS,
+)
+
+#: The scopes an endpoint (itself a native client) depends on.
+ENDPOINT_SCOPES: tuple[Scope, ...] = (
+    Scope.REGISTER_ENDPOINT,
+    Scope.MONITOR,
+)

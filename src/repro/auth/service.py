@@ -1,0 +1,218 @@
+"""The identity/token service and its client-side helper.
+
+Implements the pieces of the Globus Auth model that funcX relies on
+(paper section 4.8):
+
+* identities from multiple providers (institution, Google, ORCID);
+* OAuth-style *native client* flows producing scoped, expiring tokens;
+* endpoints registered as native clients dependent on funcX scopes;
+* groups, used to share function-invocation rights;
+* token introspection, refresh and revocation.
+
+There is no cryptography here — tokens are opaque random strings whose
+validity lives server-side, exactly how an introspection-based resource
+server treats them.
+"""
+
+from __future__ import annotations
+
+import secrets
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.auth.scopes import ENDPOINT_SCOPES, Scope, USER_DEFAULT_SCOPES
+from repro.errors import AuthenticationFailed, AuthorizationFailed
+
+
+@dataclass(frozen=True)
+class Identity:
+    """An authenticated principal (user or endpoint client)."""
+
+    identity_id: str
+    username: str
+    provider: str  # "institution" | "google" | "orcid" | "funcx-endpoint"
+
+    @property
+    def display(self) -> str:
+        return f"{self.username}@{self.provider}"
+
+
+@dataclass
+class AccessToken:
+    """A bearer token: opaque string + server-side grant record."""
+
+    token: str
+    identity: Identity
+    scopes: frozenset[Scope]
+    issued_at: float
+    expires_at: float
+    refresh_token: str | None = None
+    revoked: bool = False
+
+    def is_valid(self, now: float) -> bool:
+        return not self.revoked and now < self.expires_at
+
+
+@dataclass
+class Group:
+    """A set of identities that can be granted shared access."""
+
+    group_id: str
+    name: str
+    members: set[str] = field(default_factory=set)  # identity ids
+
+
+class AuthService:
+    """Server side: issues, introspects, refreshes and revokes tokens.
+
+    Parameters
+    ----------
+    token_lifetime:
+        Access-token validity window, seconds.
+    clock:
+        Injectable time source.
+    """
+
+    KNOWN_PROVIDERS = ("institution", "google", "orcid", "funcx-endpoint")
+
+    def __init__(self, token_lifetime: float = 3600.0, clock: Callable[[], float] | None = None):
+        self.token_lifetime = token_lifetime
+        self._clock = clock or time.monotonic
+        self._identities: dict[str, Identity] = {}
+        self._tokens: dict[str, AccessToken] = {}
+        self._refresh: dict[str, str] = {}  # refresh token -> access token
+        self._groups: dict[str, Group] = {}
+
+    # -- identities -----------------------------------------------------
+    def register_identity(self, username: str, provider: str = "institution") -> Identity:
+        if provider not in self.KNOWN_PROVIDERS:
+            raise ValueError(f"unknown identity provider {provider!r}")
+        identity = Identity(identity_id=str(uuid.uuid4()), username=username, provider=provider)
+        self._identities[identity.identity_id] = identity
+        return identity
+
+    def get_identity(self, identity_id: str) -> Identity:
+        identity = self._identities.get(identity_id)
+        if identity is None:
+            raise AuthenticationFailed(f"unknown identity {identity_id!r}")
+        return identity
+
+    # -- token flows ------------------------------------------------------
+    def native_client_flow(
+        self, identity: Identity, scopes: Iterable[Scope] | None = None
+    ) -> AccessToken:
+        """The native-client OAuth flow used by the SDK and endpoints."""
+        if identity.identity_id not in self._identities:
+            raise AuthenticationFailed("identity not registered with the auth service")
+        requested = frozenset(scopes) if scopes is not None else frozenset(USER_DEFAULT_SCOPES)
+        now = self._clock()
+        token = AccessToken(
+            token=secrets.token_urlsafe(32),
+            identity=identity,
+            scopes=requested,
+            issued_at=now,
+            expires_at=now + self.token_lifetime,
+            refresh_token=secrets.token_urlsafe(32),
+        )
+        self._tokens[token.token] = token
+        assert token.refresh_token is not None
+        self._refresh[token.refresh_token] = token.token
+        return token
+
+    def endpoint_client_flow(self, endpoint_name: str) -> tuple[Identity, AccessToken]:
+        """Register an endpoint as a native client with endpoint scopes.
+
+        Endpoints "require the administrator to authenticate prior to
+        registration in order to acquire access tokens" (section 4.8).
+        """
+        identity = self.register_identity(endpoint_name, provider="funcx-endpoint")
+        token = self.native_client_flow(identity, scopes=ENDPOINT_SCOPES)
+        return identity, token
+
+    def refresh(self, refresh_token: str) -> AccessToken:
+        """Exchange a refresh token for a fresh access token."""
+        old_access = self._refresh.get(refresh_token)
+        if old_access is None:
+            raise AuthenticationFailed("unknown refresh token")
+        old = self._tokens[old_access]
+        if old.revoked:
+            raise AuthenticationFailed("token chain has been revoked")
+        del self._refresh[refresh_token]
+        old.revoked = True
+        return self.native_client_flow(old.identity, scopes=old.scopes)
+
+    def revoke(self, token: str) -> bool:
+        record = self._tokens.get(token)
+        if record is None:
+            return False
+        record.revoked = True
+        if record.refresh_token is not None:
+            self._refresh.pop(record.refresh_token, None)
+        return True
+
+    # -- introspection / enforcement -----------------------------------------
+    def introspect(self, token: str) -> AccessToken:
+        """Validate a bearer token; raise on missing/expired/revoked."""
+        record = self._tokens.get(token)
+        if record is None:
+            raise AuthenticationFailed("unknown token")
+        if not record.is_valid(self._clock()):
+            raise AuthenticationFailed("token expired or revoked")
+        return record
+
+    def authorize(self, token: str, required: Scope) -> Identity:
+        """Introspect and check the token carries ``required``."""
+        record = self.introspect(token)
+        if required not in record.scopes and Scope.ADMIN not in record.scopes:
+            raise AuthorizationFailed(record.identity.display, required.value)
+        return record.identity
+
+    # -- groups ------------------------------------------------------------------
+    def create_group(self, name: str, members: Iterable[Identity] = ()) -> Group:
+        group = Group(group_id=str(uuid.uuid4()), name=name)
+        for member in members:
+            group.members.add(member.identity_id)
+        self._groups[group.group_id] = group
+        return group
+
+    def add_to_group(self, group_id: str, identity: Identity) -> None:
+        group = self._groups.get(group_id)
+        if group is None:
+            raise AuthenticationFailed(f"unknown group {group_id!r}")
+        group.members.add(identity.identity_id)
+
+    def is_member(self, group_id: str, identity_id: str) -> bool:
+        group = self._groups.get(group_id)
+        return group is not None and identity_id in group.members
+
+
+class AuthClient:
+    """Client-side helper: holds a token, auto-refreshes near expiry."""
+
+    #: Refresh when less than this fraction of the lifetime remains.
+    REFRESH_THRESHOLD = 0.1
+
+    def __init__(self, service: AuthService, identity: Identity, scopes: Iterable[Scope] | None = None):
+        self._service = service
+        self._identity = identity
+        self._token = service.native_client_flow(identity, scopes=scopes)
+
+    @property
+    def identity(self) -> Identity:
+        return self._identity
+
+    def bearer_token(self) -> str:
+        """The current access token, refreshing it if close to expiry."""
+        now = self._service._clock()
+        remaining = self._token.expires_at - now
+        lifetime = self._token.expires_at - self._token.issued_at
+        if self._token.revoked or remaining <= 0:
+            raise AuthenticationFailed("token no longer refreshable; re-authenticate")
+        if remaining < lifetime * self.REFRESH_THRESHOLD and self._token.refresh_token:
+            self._token = self._service.refresh(self._token.refresh_token)
+        return self._token.token
+
+    def logout(self) -> None:
+        self._service.revoke(self._token.token)

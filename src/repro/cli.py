@@ -1,0 +1,149 @@
+"""Command-line interface for the reproduction.
+
+Offline-friendly subcommands::
+
+    python -m repro.cli demo                 # end-to-end live demo
+    python -m repro.cli scale --platform cori --containers 1024
+    python -m repro.cli elasticity           # figure-6 scenario
+    python -m repro.cli casestudies          # figure-1 distributions
+    python -m repro.cli platforms            # list platform models
+
+Each prints the same rows the corresponding benchmark regenerates, at a
+smaller default scale suited to interactive use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import EndpointConfig, LocalDeployment
+
+    def double(x):
+        return 2 * x
+
+    with LocalDeployment() as deployment:
+        client = deployment.client("demo-user")
+        ep = deployment.create_endpoint(
+            "demo-ep", nodes=args.nodes,
+            config=EndpointConfig(workers_per_node=args.workers),
+        )
+        fid = client.register_function(double)
+        print(f"registered function {fid}")
+        task = client.run(fid, ep, 21)
+        print(f"double(21) -> {client.wait_for(task, timeout=30)}")
+        mapped = client.map(fid, range(args.tasks), ep, batch_size=16)
+        values = mapped.result(timeout=60)
+        print(f"map over {args.tasks} inputs -> first 5: {values[:5]}")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.sim import SimFabric
+    from repro.sim.platform import PLATFORMS
+
+    platform = PLATFORMS[args.platform]
+    managers = platform.nodes_for(args.containers)
+    workers = min(args.containers, platform.containers_per_node)
+    fab = SimFabric(platform, managers=managers, workers_per_manager=workers,
+                    prefetch=args.prefetch, seed=1)
+    total = args.tasks if args.tasks else args.containers * 10
+    fab.submit_batch(total, duration=args.duration)
+    report = fab.run()
+    print(f"platform={platform.name} containers={args.containers} "
+          f"managers={managers}")
+    print(f"tasks={report.tasks_completed:,} duration={args.duration}s each")
+    print(f"completion: {report.completion_time:.2f}s "
+          f"throughput: {report.throughput:,.0f} tasks/s "
+          f"(agent ceiling {platform.agent_throughput_ceiling:,.0f}/s)")
+    return 0
+
+
+def _cmd_elasticity(args: argparse.Namespace) -> int:
+    from repro.sim import ElasticitySimulation
+    from repro.workloads.generators import burst_arrivals
+
+    sim = ElasticitySimulation()
+    sim.submit(list(burst_arrivals(
+        120.0, args.bursts, [("1s", 1, 1.0), ("10s", 5, 10.0), ("20s", 20, 20.0)]
+    )))
+    timelines = sim.run(until=args.bursts * 120.0 + 60.0)
+    print("image  peak-pods  (cap 10)")
+    for image in ("1s", "10s", "20s"):
+        print(f"{image:>5s}  {timelines.peak_pods(image):9.0f}")
+    print(f"functions completed: {timelines.completed}")
+    return 0
+
+
+def _cmd_casestudies(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.workloads import CASE_STUDIES
+
+    print(f"{'case study':<14s} {'median':>8s} {'p95':>8s}  description")
+    for name, study in sorted(CASE_STUDIES.items()):
+        samples = study.sample_many(args.samples, seed=1)
+        print(f"{name:<14s} {np.median(samples):8.3f} "
+              f"{np.percentile(samples, 95):8.3f}  {study.description}")
+    return 0
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    from repro.sim.platform import PLATFORMS
+
+    print(f"{'platform':<8s} {'ctr/node':>8s} {'ceiling/s':>10s} {'cold(s)':>8s}")
+    for name, platform in PLATFORMS.items():
+        print(f"{name:<8s} {platform.containers_per_node:8d} "
+              f"{platform.agent_throughput_ceiling:10.0f} "
+              f"{platform.container_cold_start:8.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="funcX reproduction (HPDC 2020) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a live end-to-end demo")
+    demo.add_argument("--nodes", type=int, default=1)
+    demo.add_argument("--workers", type=int, default=4)
+    demo.add_argument("--tasks", type=int, default=50)
+    demo.set_defaults(func=_cmd_demo)
+
+    scale = sub.add_parser("scale", help="simulate an agent scaling run")
+    scale.add_argument("--platform", choices=["theta", "cori", "ec2", "k8s"],
+                       default="theta")
+    scale.add_argument("--containers", type=int, default=256)
+    scale.add_argument("--tasks", type=int, default=0,
+                       help="total tasks (default: 10 per container)")
+    scale.add_argument("--duration", type=float, default=0.0)
+    scale.add_argument("--prefetch", type=int, default=0)
+    scale.set_defaults(func=_cmd_scale)
+
+    elas = sub.add_parser("elasticity", help="simulate the figure-6 scenario")
+    elas.add_argument("--bursts", type=int, default=3)
+    elas.set_defaults(func=_cmd_elasticity)
+
+    cases = sub.add_parser("casestudies", help="sample the figure-1 distributions")
+    cases.add_argument("--samples", type=int, default=100)
+    cases.set_defaults(func=_cmd_casestudies)
+
+    plats = sub.add_parser("platforms", help="list platform models")
+    plats.set_defaults(func=_cmd_platforms)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Container technologies and warm pools.
+
+funcX packages functions in Docker, Singularity or Shifter containers
+(paper section 4.2) and keeps containers *warm* for a short period after
+execution to avoid cold-start costs (section 4.7).  Real container
+binaries are absent here; instead :class:`ContainerRuntime` models the
+cold-instantiation time of each (system, technology) pair, calibrated to
+the paper's Table 2 measurements, and :class:`WarmPool` implements the
+warming policy both fabrics share.
+"""
+
+from repro.containers.builder import BuildRequest, ContainerBuilder
+from repro.containers.spec import ContainerSpec, ContainerTechnology
+from repro.containers.runtime import (
+    ColdStartModel,
+    ContainerInstance,
+    ContainerRuntime,
+    TABLE2_MODELS,
+    cold_start_model_for,
+)
+from repro.containers.warming import WarmPool
+
+__all__ = [
+    "ContainerBuilder",
+    "BuildRequest",
+    "ContainerSpec",
+    "ContainerTechnology",
+    "ContainerRuntime",
+    "ContainerInstance",
+    "ColdStartModel",
+    "TABLE2_MODELS",
+    "cold_start_model_for",
+    "WarmPool",
+]

@@ -1,0 +1,193 @@
+"""Dynamic container building (paper §4.2 / §8 future work).
+
+"In future work, we intend to make this process dynamic, using
+repo2docker to build Docker images and convert them to site-specific
+container formats as needed" and "sharing containers among functions
+with similar dependencies" (§8).
+
+:class:`ContainerBuilder` implements both: it turns an *environment
+specification* (python + system packages) into a Docker-format
+:class:`ContainerSpec`, converts specs to a target site's technology,
+caches builds so identical environments share one image, and can find an
+existing image that *satisfies* a requirement set (container sharing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.containers.spec import ContainerSpec, ContainerTechnology
+
+
+@dataclass(frozen=True)
+class BuildRequest:
+    """An environment specification to build an image for."""
+
+    python_packages: frozenset[str] = frozenset()
+    system_packages: frozenset[str] = frozenset()
+    gpu: bool = False
+    base_image: str = "python:3.11-slim"
+
+    @classmethod
+    def from_requirements(cls, requirements: Iterable[str], gpu: bool = False) -> "BuildRequest":
+        """Parse a requirements-style list (version pins are stripped)."""
+        packages = set()
+        for line in requirements:
+            name = line.split("==")[0].split(">=")[0].split("<=")[0].strip()
+            if name and not name.startswith("#"):
+                packages.add(name.lower())
+        return cls(python_packages=frozenset(packages), gpu=gpu)
+
+    @property
+    def environment_hash(self) -> str:
+        """Stable digest of the environment — the image cache key."""
+        digest = hashlib.sha256()
+        digest.update(self.base_image.encode())
+        digest.update(b"\x00gpu" if self.gpu else b"\x00cpu")
+        for pkg in sorted(self.python_packages):
+            digest.update(b"\x01" + pkg.encode())
+        for pkg in sorted(self.system_packages):
+            digest.update(b"\x02" + pkg.encode())
+        return digest.hexdigest()[:16]
+
+    def render_dockerfile(self) -> str:
+        """The Dockerfile repo2docker would emit for this environment."""
+        lines = [f"FROM {self.base_image}"]
+        if self.system_packages:
+            lines.append(
+                "RUN apt-get update && apt-get install -y "
+                + " ".join(sorted(self.system_packages))
+            )
+        lines.append("RUN pip install funcx-worker")
+        if self.python_packages:
+            lines.append("RUN pip install " + " ".join(sorted(self.python_packages)))
+        lines.append('ENTRYPOINT ["funcx-worker"]')
+        return "\n".join(lines)
+
+
+@dataclass
+class BuildRecord:
+    """Provenance of one completed build."""
+
+    request: BuildRequest
+    spec: ContainerSpec
+    dockerfile: str
+    conversions: dict[ContainerTechnology, ContainerSpec] = field(default_factory=dict)
+
+
+class ContainerBuilder:
+    """Builds, caches, converts and *shares* container images.
+
+    Parameters
+    ----------
+    registry_prefix:
+        Image-name prefix, e.g. ``"funcx"`` → ``funcx/env-<hash>``.
+    """
+
+    def __init__(self, registry_prefix: str = "funcx"):
+        self.registry_prefix = registry_prefix
+        self._lock = threading.RLock()
+        self._builds: dict[str, BuildRecord] = {}
+        self.builds_performed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def build(self, request: BuildRequest) -> ContainerSpec:
+        """Build (or reuse) the Docker image for an environment."""
+        key = request.environment_hash
+        with self._lock:
+            record = self._builds.get(key)
+            if record is not None:
+                self.cache_hits += 1
+                return record.spec
+            spec = ContainerSpec(
+                image=f"{self.registry_prefix}/env-{key}",
+                technology=ContainerTechnology.DOCKER,
+                python_packages=request.python_packages,
+                system_packages=request.system_packages,
+                gpu=request.gpu,
+            )
+            self._builds[key] = BuildRecord(
+                request=request, spec=spec, dockerfile=request.render_dockerfile()
+            )
+            self.builds_performed += 1
+            return spec
+
+    def build_for_function(
+        self, requirements: Iterable[str], gpu: bool = False
+    ) -> ContainerSpec:
+        """Convenience: requirements list → built Docker spec."""
+        return self.build(BuildRequest.from_requirements(requirements, gpu=gpu))
+
+    # ------------------------------------------------------------------
+    def convert_for_site(
+        self, spec: ContainerSpec, technology: ContainerTechnology
+    ) -> ContainerSpec:
+        """Convert a built image to a site's technology (cached per build).
+
+        Mirrors converting "from a common representation (e.g., a
+        Dockerfile) to both formats" (§4.2).
+        """
+        if technology is spec.technology:
+            return spec
+        with self._lock:
+            for record in self._builds.values():
+                if record.spec.spec_id == spec.spec_id:
+                    cached = record.conversions.get(technology)
+                    if cached is None:
+                        cached = spec.convert(technology)
+                        record.conversions[technology] = cached
+                    return cached
+        # Unknown to this builder (externally supplied spec): plain convert.
+        return spec.convert(technology)
+
+    # ------------------------------------------------------------------
+    def find_satisfying(
+        self, required_packages: Iterable[str], gpu: bool = False
+    ) -> ContainerSpec | None:
+        """An existing image whose environment covers the requirements.
+
+        Implements §8's "sharing containers among functions with similar
+        dependencies": among satisfying images, the one with the fewest
+        extra packages is preferred (tightest fit).
+        """
+        required = frozenset(p.lower() for p in required_packages)
+        with self._lock:
+            candidates = [
+                record.spec
+                for record in self._builds.values()
+                if record.spec.satisfies(required) and (record.spec.gpu or not gpu)
+            ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: len(s.software))
+
+    def build_or_share(
+        self, requirements: Iterable[str], gpu: bool = False
+    ) -> tuple[ContainerSpec, bool]:
+        """Prefer a shared satisfying image; build only when none fits.
+
+        Returns ``(spec, shared)``.
+        """
+        request = BuildRequest.from_requirements(requirements, gpu=gpu)
+        existing = self.find_satisfying(request.python_packages, gpu=gpu)
+        if existing is not None:
+            with self._lock:
+                self.cache_hits += 1
+            return existing, True
+        return self.build(request), False
+
+    # ------------------------------------------------------------------
+    def dockerfile_for(self, spec: ContainerSpec) -> str | None:
+        with self._lock:
+            for record in self._builds.values():
+                if record.spec.spec_id == spec.spec_id:
+                    return record.dockerfile
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._builds)

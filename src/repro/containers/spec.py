@@ -1,0 +1,89 @@
+"""Container specifications.
+
+A registered function may name a container image providing its
+dependencies (paper section 3).  A :class:`ContainerSpec` captures the
+image, its technology and declared software, and supports conversion
+between technologies — the paper notes Singularity and Shifter "implement
+similar models and thus it is easy to convert from a common representation
+(e.g., a Dockerfile) to both formats".
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+
+class ContainerTechnology(str, Enum):
+    """Supported container technologies (paper section 4.2)."""
+
+    DOCKER = "docker"
+    SINGULARITY = "singularity"
+    SHIFTER = "shifter"
+    NONE = "none"  # bare worker Python environment
+
+
+#: Software every funcX container must include (paper section 4.2).
+BASE_SOFTWARE: frozenset[str] = frozenset({"python3", "funcx-worker"})
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """An immutable description of a container image.
+
+    Attributes
+    ----------
+    image:
+        Image name, e.g. ``"dlhub/mnist:latest"``.
+    technology:
+        Which container technology the image is built for.
+    python_packages:
+        Python modules baked into the image.
+    system_packages:
+        OS-level packages baked into the image.
+    gpu:
+        Whether the container mounts accelerator devices.
+    """
+
+    image: str
+    technology: ContainerTechnology = ContainerTechnology.DOCKER
+    python_packages: frozenset[str] = frozenset()
+    system_packages: frozenset[str] = frozenset()
+    gpu: bool = False
+    spec_id: str = field(default_factory=lambda: str(uuid.uuid4()))
+
+    def __post_init__(self) -> None:
+        if not self.image and self.technology is not ContainerTechnology.NONE:
+            raise ValueError("container spec requires an image name")
+
+    @property
+    def software(self) -> frozenset[str]:
+        """All software available inside the container."""
+        return BASE_SOFTWARE | self.python_packages | self.system_packages
+
+    def satisfies(self, required_packages: frozenset[str] | set[str]) -> bool:
+        """Whether this image provides every required package."""
+        return set(required_packages) <= self.software
+
+    def convert(self, technology: ContainerTechnology) -> "ContainerSpec":
+        """Convert to another technology (new spec id, same contents).
+
+        Mirrors repo2docker-style conversion from a common representation
+        to site-specific formats (paper sections 4.2, 8).
+        """
+        if technology is ContainerTechnology.NONE:
+            raise ValueError("cannot convert a real image to the bare environment")
+        return replace(self, technology=technology, spec_id=str(uuid.uuid4()))
+
+    @classmethod
+    def bare(cls) -> "ContainerSpec":
+        """The no-container execution environment."""
+        return cls(image="", technology=ContainerTechnology.NONE)
+
+    @property
+    def key(self) -> str:
+        """Routing key used by schedulers to match tasks to containers."""
+        if self.technology is ContainerTechnology.NONE:
+            return "RAW"
+        return f"{self.technology.value}:{self.image}"

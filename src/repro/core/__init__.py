@@ -1,0 +1,45 @@
+"""The funcX core: cloud-hosted service, SDK client, and task machinery.
+
+This package implements the paper's primary contribution — the federated
+function-serving fabric:
+
+* :mod:`repro.core.tasks` — the task lifecycle (figure 3).
+* :mod:`repro.core.registry` — function/endpoint/user registries (§4.1).
+* :mod:`repro.core.service` — the REST-facade web service (§4.1).
+* :mod:`repro.core.forwarder` — per-endpoint forwarders (§4.1).
+* :mod:`repro.core.memoization` — result memoization (§4.7).
+* :mod:`repro.core.batch` — user-driven batching / ``map`` (§4.7).
+* :mod:`repro.core.client` — the ``FuncXClient`` SDK (§3).
+* :mod:`repro.core.futures` — asynchronous result handles.
+"""
+
+from repro.core.tasks import Task, TaskState
+from repro.core.registry import (
+    EndpointRecord,
+    EndpointRegistry,
+    FunctionRecord,
+    FunctionRegistry,
+)
+from repro.core.memoization import Memoizer
+from repro.core.service import FuncXService, ServiceConfig
+from repro.core.forwarder import Forwarder
+from repro.core.futures import FuncXFuture
+from repro.core.batch import partition_iterator, MapResult
+from repro.core.client import FuncXClient
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "FunctionRecord",
+    "FunctionRegistry",
+    "EndpointRecord",
+    "EndpointRegistry",
+    "Memoizer",
+    "FuncXService",
+    "ServiceConfig",
+    "Forwarder",
+    "FuncXFuture",
+    "FuncXClient",
+    "MapResult",
+    "partition_iterator",
+]

@@ -1,0 +1,298 @@
+"""Per-endpoint forwarders (paper section 4.1, figure 3).
+
+"When an endpoint registers with the funcX service a unique forwarder
+process is created for each endpoint.  Endpoints establish ZeroMQ
+connections with their forwarder to receive tasks, return results, and
+perform heartbeats. ... The forwarder dispatches tasks to the agent only
+when an agent is connected.  The forwarder uses heartbeats to detect if
+an agent is disconnected and then returns outstanding tasks back into the
+task queue."
+
+The forwarder here is a state machine advanced by :meth:`step`, runnable
+either on its own thread (:meth:`start`/:meth:`stop`, the live fabric) or
+stepped manually under test control.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.core.service import FuncXService
+from repro.store.queues import Lease
+from repro.transport.channel import ChannelEnd
+from repro.transport.heartbeat import HeartbeatTracker
+from repro.transport.messages import Heartbeat, Registration, ResultMessage, TaskMessage
+
+
+class Forwarder:
+    """Routes tasks service→agent and results agent→service for one endpoint.
+
+    Parameters
+    ----------
+    service:
+        The funcX web service (owns the queues and task records).
+    endpoint_id:
+        The endpoint this forwarder serves.
+    channel_end:
+        The service side of the ZeroMQ-substitute channel to the agent.
+    heartbeat_period / heartbeat_grace:
+        Agent-liveness parameters; an agent silent for
+        ``period × grace`` seconds is declared disconnected and its
+        outstanding tasks are requeued (at-least-once semantics).
+    max_dispatch_per_step:
+        Dispatch batch bound per step (keeps step latency bounded).
+    lease_timeout:
+        Optional visibility timeout (seconds) on dispatched tasks.  On a
+        *lossy but live* channel (messages dropped without a disconnect),
+        heartbeats alone never trigger redelivery; with a lease timeout
+        the forwarder re-dispatches any task whose result hasn't arrived
+        in time.  Duplicated execution is safe: the service keeps the
+        first completion (at-least-once semantics).  ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        service: FuncXService,
+        endpoint_id: str,
+        channel_end: ChannelEnd,
+        heartbeat_period: float = 1.0,
+        heartbeat_grace: int = 3,
+        max_dispatch_per_step: int = 1024,
+        lease_timeout: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.service = service
+        self.endpoint_id = endpoint_id
+        self.channel = channel_end
+        self._clock = clock or service.now
+        self.heartbeats = HeartbeatTracker(
+            period=heartbeat_period, grace_periods=heartbeat_grace, clock=self._clock
+        )
+        self.max_dispatch_per_step = max_dispatch_per_step
+        self.lease_timeout = lease_timeout
+        self._agent_connected = False
+        self._agent_name: str | None = None
+        self._open_leases: dict[str, Lease] = {}  # task_id -> queue lease
+        self._lock = threading.RLock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        # counters
+        self.tasks_forwarded = 0
+        self.results_returned = 0
+        self.requeue_events = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def agent_connected(self) -> bool:
+        return self._agent_connected
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return len(self._open_leases)
+
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """One forwarder iteration: drain agent messages, check liveness,
+        dispatch queued tasks.  Returns the number of events processed."""
+        events = self._drain_agent_messages()
+        self._check_agent_liveness()
+        if self.lease_timeout is not None:
+            events += self._reclaim_expired_leases()
+        if self._agent_connected:
+            events += self._dispatch_tasks()
+        return events
+
+    def _reclaim_expired_leases(self) -> int:
+        """Roll back tasks whose dispatch lease timed out (lossy links)."""
+        queue = self.service.task_queue(self.endpoint_id)
+        now = self._clock()
+        with self._lock:
+            expired = [
+                (task_id, lease)
+                for task_id, lease in self._open_leases.items()
+                if lease.deadline is not None and lease.deadline <= now
+            ]
+            for task_id, _lease in expired:
+                del self._open_leases[task_id]
+        for task_id, lease in expired:
+            if self.service.requeue_task(task_id, reason="lease timeout",
+                                         enqueue=False):
+                queue.nack(lease.lease_id)
+                self.requeue_events += 1
+            else:
+                queue.ack(lease.lease_id)
+        return len(expired)
+
+    # -- inbound ------------------------------------------------------------
+    def _drain_agent_messages(self) -> int:
+        count = 0
+        for message in self.channel.recv_all_ready():
+            count += 1
+            if isinstance(message, Registration):
+                self._on_agent_registered(message)
+            elif isinstance(message, Heartbeat):
+                self._on_heartbeat(message)
+            elif isinstance(message, ResultMessage):
+                self._on_result(message)
+        return count
+
+    def _on_agent_registered(self, message: Registration) -> None:
+        self._agent_name = message.sender
+        self._agent_connected = True
+        self.heartbeats.beat(message.sender)
+        self.service.endpoints.set_connected(self.endpoint_id, True, self._clock())
+
+    def _on_heartbeat(self, message: Heartbeat) -> None:
+        self.heartbeats.beat(message.sender)
+        if message.sender == self._agent_name:
+            self._agent_connected = True
+            self.service.endpoint_heartbeat(self.endpoint_id)
+            self.service.endpoints.set_connected(self.endpoint_id, True, self._clock())
+
+    def _on_result(self, message: ResultMessage) -> None:
+        with self._lock:
+            lease = self._open_leases.pop(message.task_id, None)
+        queue = self.service.task_queue(self.endpoint_id)
+        if lease is not None:
+            queue.ack(lease.lease_id)
+        return_time = max(0.0, self._clock() - message.completed_at)
+        self.service.complete_task(
+            message.task_id,
+            success=message.success,
+            result_buffer=message.result_buffer,
+            exception_text=None if message.success else self._failure_text(message),
+            execution_time=message.execution_time,
+            result_return_time=return_time,
+        )
+        self.results_returned += 1
+
+    @staticmethod
+    def _failure_text(message: ResultMessage) -> str:
+        try:
+            from repro.serialize import FuncXSerializer
+            from repro.serialize.traceback import RemoteExceptionWrapper
+
+            obj = FuncXSerializer().deserialize(message.result_buffer)
+            if isinstance(obj, RemoteExceptionWrapper):
+                return obj.format()
+        except Exception:
+            pass
+        return "remote execution failed"
+
+    # -- liveness ---------------------------------------------------------------
+    def _check_agent_liveness(self) -> None:
+        if not self._agent_connected or self._agent_name is None:
+            return
+        if self.heartbeats.is_alive(self._agent_name):
+            return
+        # Agent lost: return outstanding tasks to the task queue ("the
+        # forwarder ... returns outstanding tasks back into the task
+        # queue", §4.1) and mark the endpoint disconnected.
+        self._agent_connected = False
+        self.service.endpoints.set_connected(self.endpoint_id, False)
+        self._requeue_outstanding("agent heartbeat lost")
+
+    def _requeue_outstanding(self, reason: str) -> None:
+        queue = self.service.task_queue(self.endpoint_id)
+        with self._lock:
+            leases = dict(self._open_leases)
+            self._open_leases.clear()
+        for task_id, lease in leases.items():
+            # Roll the task state back; the nack puts the id back in queue.
+            kept = self.service.requeue_task(task_id, reason=reason, enqueue=False)
+            if kept:
+                queue.nack(lease.lease_id)
+                self.requeue_events += 1
+            else:
+                queue.ack(lease.lease_id)  # retries exhausted; drop for good
+
+    # -- outbound -------------------------------------------------------------------
+    def _dispatch_tasks(self) -> int:
+        queue = self.service.task_queue(self.endpoint_id)
+        leases = queue.lease_many(self.max_dispatch_per_step,
+                                  lease_timeout=self.lease_timeout)
+        dispatched = 0
+        for lease in leases:
+            task_id: str = lease.item
+            task = self.service.task_by_id(task_id)
+            if task.state.terminal:
+                queue.ack(lease.lease_id)  # cancelled/failed while queued
+                continue
+            message = TaskMessage(
+                sender=f"forwarder:{self.endpoint_id}",
+                task_id=task.task_id,
+                function_id=task.function_id,
+                function_buffer=self.service.function_buffer(task.function_id),
+                payload_buffer=task.payload_buffer,
+                container_image=self._site_container(task.container_image),
+                submitted_at=task.state_times.get("received", self._clock()),
+            )
+            if not self.channel.send(message):
+                # Message dropped (peer down mid-step).  The task was never
+                # marked dispatched, so only the queue lease needs returning.
+                queue.nack(lease.lease_id)
+                continue
+            with self._lock:
+                self._open_leases[task_id] = lease
+            self.service.mark_dispatched(task_id)
+            self.tasks_forwarded += 1
+            dispatched += 1
+        return dispatched
+
+    def _site_container(self, container_image: str | None) -> str | None:
+        """Convert a container key to the endpoint's site technology.
+
+        Functions are registered with a common representation (a Docker
+        image key like ``docker:repo/img``); "it is easy to convert from a
+        common representation ... to both formats" (§4.2).  An endpoint
+        that declares ``container_technology`` in its registration
+        metadata receives keys rewritten to its format; the image name is
+        unchanged.
+        """
+        if not container_image or ":" not in container_image:
+            return container_image
+        record = self.service.endpoints.get(self.endpoint_id)
+        site_tech = record.metadata.get("container_technology")
+        if not site_tech:
+            return container_image
+        current_tech, _, image = container_image.partition(":")
+        if current_tech == site_tech:
+            return container_image
+        return f"{site_tech}:{image}"
+
+    # ------------------------------------------------------------------
+    # threaded operation (live fabric)
+    # ------------------------------------------------------------------
+    def start(self, poll_interval: float = 0.002) -> None:
+        if self._thread is not None:
+            raise RuntimeError("forwarder already started")
+        self._stop.clear()
+
+        def loop() -> None:
+            import logging
+            import time as _time
+
+            while not self._stop.is_set():
+                try:
+                    events = self.step()
+                except Exception:
+                    logging.getLogger(__name__).exception(
+                        "forwarder step failed; continuing"
+                    )
+                    events = 0
+                if events == 0:
+                    _time.sleep(poll_interval)
+
+        self._thread = threading.Thread(
+            target=loop, name=f"forwarder-{self.endpoint_id[:8]}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout)
+        self._thread = None

@@ -1,0 +1,136 @@
+"""Asynchronous result handles.
+
+"Functions are executed asynchronously: each invocation returns an
+identifier via which progress may be monitored and results retrieved"
+(paper section 3).  :class:`FuncXFuture` is the SDK-side handle: it
+resolves when the service publishes the task's terminal state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.errors import TaskCancelled, TaskExecutionFailed, TaskPending
+
+
+class FuncXFuture:
+    """A waitable handle for one task's result.
+
+    The future resolves with either a deserialized result value or a
+    failure; :meth:`result` re-raises remote exceptions on the caller's
+    stack (via the deserializer's :class:`RemoteExceptionWrapper`).
+    """
+
+    def __init__(self, task_id: str):
+        self.task_id = task_id
+        self._event = threading.Event()
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._cancelled = False
+        self._callbacks: list[Callable[["FuncXFuture"], None]] = []
+        self._lock = threading.Lock()
+
+    # -- producer side (service/client plumbing) ----------------------------
+    def set_result(self, value: Any) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise RuntimeError(f"future for task {self.task_id} already resolved")
+            self._value = value
+            self._event.set()
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            callback(self)
+
+    def set_exception(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise RuntimeError(f"future for task {self.task_id} already resolved")
+            self._exception = exc
+            self._event.set()
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            callback(self)
+
+    def cancel(self) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._cancelled = True
+            self._exception = TaskCancelled(f"task {self.task_id} cancelled")
+            self._event.set()
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            callback(self)
+
+    # -- consumer side --------------------------------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block for the result; re-raise remote failures.
+
+        Raises
+        ------
+        TaskPending
+            If ``timeout`` elapses first.
+        TaskExecutionFailed
+            If the user function raised remotely (original exception type
+            is restored when it round-trips pickling).
+        """
+        if not self._event.wait(timeout):
+            raise TaskPending(self.task_id, "pending")
+        if self._exception is not None:
+            raise self._exception
+        value = self._value
+        # A RemoteExceptionWrapper as the value means remote failure.
+        from repro.serialize.traceback import RemoteExceptionWrapper
+
+        if isinstance(value, RemoteExceptionWrapper):
+            value.reraise()
+        return value
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise TaskPending(self.task_id, "pending")
+        if self._exception is not None:
+            return self._exception
+        from repro.serialize.traceback import RemoteExceptionWrapper
+
+        if isinstance(self._value, RemoteExceptionWrapper):
+            return TaskExecutionFailed(self._value.format())
+        return None
+
+    def add_done_callback(self, callback: Callable[["FuncXFuture"], None]) -> None:
+        """Invoke ``callback(self)`` on resolution (immediately if done)."""
+        fire = False
+        with self._lock:
+            if self._event.is_set():
+                fire = True
+            else:
+                self._callbacks.append(callback)
+        if fire:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return f"FuncXFuture({self.task_id}, {state})"
+
+
+def wait_all(futures: list[FuncXFuture], timeout: float | None = None) -> bool:
+    """Block until every future resolves; returns False on timeout."""
+    import time
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    for future in futures:
+        remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+        if not future.wait(remaining):
+            return False
+    return True

@@ -1,0 +1,206 @@
+"""Function, endpoint and sharing registries (paper sections 3, 4.1).
+
+The funcX service "maintains a registry of funcX endpoints, functions,
+and users in a persistent AWS RDS database"; we keep the same records in
+thread-safe in-memory registries backed by the KV store abstraction.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.auth.service import AuthService, Identity
+from repro.errors import AuthorizationFailed, EndpointNotFound, FunctionNotFound
+
+
+@dataclass
+class FunctionRecord:
+    """A registered function.
+
+    Users "may also specify users, or groups of users, who may invoke the
+    function" and "may update functions they own" (section 3).  Updates
+    bump ``version`` and retain prior bodies in ``history``.
+    """
+
+    function_id: str
+    name: str
+    owner_id: str
+    function_buffer: bytes
+    container_image: str | None = None
+    public: bool = False
+    allowed_users: set[str] = field(default_factory=set)
+    allowed_groups: set[str] = field(default_factory=set)
+    description: str = ""
+    version: int = 1
+    history: list[bytes] = field(default_factory=list)
+    registered_at: float = 0.0
+
+    def may_invoke(self, identity_id: str, auth: AuthService | None = None) -> bool:
+        if self.public or identity_id == self.owner_id or identity_id in self.allowed_users:
+            return True
+        if auth is not None:
+            return any(auth.is_member(g, identity_id) for g in self.allowed_groups)
+        return False
+
+
+@dataclass
+class EndpointRecord:
+    """A registered endpoint (a logical compute resource, section 3)."""
+
+    endpoint_id: str
+    name: str
+    owner_id: str
+    description: str = ""
+    public: bool = True
+    allowed_users: set[str] = field(default_factory=set)
+    metadata: dict[str, Any] = field(default_factory=dict)
+    registered_at: float = 0.0
+    connected: bool = False
+    last_heartbeat: float | None = None
+
+    def may_use(self, identity_id: str) -> bool:
+        return self.public or identity_id == self.owner_id or identity_id in self.allowed_users
+
+
+class FunctionRegistry:
+    """Thread-safe registry of :class:`FunctionRecord`."""
+
+    def __init__(self, auth: AuthService | None = None):
+        self._lock = threading.RLock()
+        self._functions: dict[str, FunctionRecord] = {}
+        self._auth = auth
+
+    def register(
+        self,
+        name: str,
+        owner: Identity,
+        function_buffer: bytes,
+        container_image: str | None = None,
+        public: bool = False,
+        allowed_users: Iterable[str] = (),
+        allowed_groups: Iterable[str] = (),
+        description: str = "",
+        now: float = 0.0,
+    ) -> FunctionRecord:
+        with self._lock:
+            record = FunctionRecord(
+                function_id=str(uuid.uuid4()),
+                name=name,
+                owner_id=owner.identity_id,
+                function_buffer=function_buffer,
+                container_image=container_image,
+                public=public,
+                allowed_users=set(allowed_users),
+                allowed_groups=set(allowed_groups),
+                description=description,
+                registered_at=now,
+            )
+            self._functions[record.function_id] = record
+            return record
+
+    def get(self, function_id: str) -> FunctionRecord:
+        with self._lock:
+            record = self._functions.get(function_id)
+            if record is None:
+                raise FunctionNotFound(function_id)
+            return record
+
+    def update_body(self, function_id: str, identity: Identity, new_buffer: bytes) -> FunctionRecord:
+        """Replace the function body; only the owner may update."""
+        with self._lock:
+            record = self.get(function_id)
+            if record.owner_id != identity.identity_id:
+                raise AuthorizationFailed(identity.display, "function-owner")
+            record.history.append(record.function_buffer)
+            record.function_buffer = new_buffer
+            record.version += 1
+            return record
+
+    def share_with(self, function_id: str, identity: Identity,
+                   users: Iterable[str] = (), groups: Iterable[str] = ()) -> None:
+        with self._lock:
+            record = self.get(function_id)
+            if record.owner_id != identity.identity_id:
+                raise AuthorizationFailed(identity.display, "function-owner")
+            record.allowed_users.update(users)
+            record.allowed_groups.update(groups)
+
+    def check_invocable(self, function_id: str, identity_id: str) -> FunctionRecord:
+        record = self.get(function_id)
+        if not record.may_invoke(identity_id, self._auth):
+            raise AuthorizationFailed(identity_id, f"invoke:{function_id}")
+        return record
+
+    def owned_by(self, identity_id: str) -> list[FunctionRecord]:
+        with self._lock:
+            return [r for r in self._functions.values() if r.owner_id == identity_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._functions)
+
+
+class EndpointRegistry:
+    """Thread-safe registry of :class:`EndpointRecord`."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._endpoints: dict[str, EndpointRecord] = {}
+
+    def register(
+        self,
+        name: str,
+        owner: Identity,
+        description: str = "",
+        public: bool = True,
+        metadata: dict[str, Any] | None = None,
+        now: float = 0.0,
+    ) -> EndpointRecord:
+        with self._lock:
+            record = EndpointRecord(
+                endpoint_id=str(uuid.uuid4()),
+                name=name,
+                owner_id=owner.identity_id,
+                description=description,
+                public=public,
+                metadata=dict(metadata or {}),
+                registered_at=now,
+            )
+            self._endpoints[record.endpoint_id] = record
+            return record
+
+    def get(self, endpoint_id: str) -> EndpointRecord:
+        with self._lock:
+            record = self._endpoints.get(endpoint_id)
+            if record is None:
+                raise EndpointNotFound(endpoint_id)
+            return record
+
+    def set_connected(self, endpoint_id: str, connected: bool, now: float | None = None) -> None:
+        with self._lock:
+            record = self.get(endpoint_id)
+            record.connected = connected
+            if connected and now is not None:
+                record.last_heartbeat = now
+
+    def heartbeat(self, endpoint_id: str, now: float) -> None:
+        with self._lock:
+            record = self.get(endpoint_id)
+            record.last_heartbeat = now
+
+    def check_usable(self, endpoint_id: str, identity_id: str) -> EndpointRecord:
+        record = self.get(endpoint_id)
+        if not record.may_use(identity_id):
+            raise AuthorizationFailed(identity_id, f"use:{endpoint_id}")
+        return record
+
+    def all(self) -> list[EndpointRecord]:
+        with self._lock:
+            return list(self._endpoints.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._endpoints)

@@ -1,0 +1,462 @@
+"""The cloud-hosted funcX web service (paper section 4.1).
+
+The service exposes the REST API (here: method calls taking a bearer
+token), maintains the registries, stores serialized functions and tasks
+in the store, manages one task queue and one result queue per endpoint,
+and performs service-side memoization.  Forwarders (one per connected
+endpoint) drain the task queues.
+
+Every public method authenticates and authorizes the caller exactly as
+the Globus-Auth-protected REST API would.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.auth.scopes import Scope
+from repro.auth.service import AuthService, Identity
+from repro.core.memoization import Memoizer
+from repro.core.registry import EndpointRecord, EndpointRegistry, FunctionRegistry
+from repro.core.tasks import Task, TaskState
+from repro.errors import PayloadTooLarge, TaskNotFound, TaskPending
+from repro.store.kvstore import KVStore
+from repro.store.pubsub import PubSub
+from repro.store.queues import ReliableQueue
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable service behaviour.
+
+    Attributes
+    ----------
+    payload_limit:
+        Maximum serialized payload size accepted through the service; the
+        paper restricts in-band data "for performance and cost reasons"
+        (section 4.6) and directs larger data out of band.
+    result_ttl:
+        Seconds a retrieved result survives before the periodic purge
+        (section 4.1) removes it.
+    request_overhead:
+        Synchronous per-request processing time (authentication, Redis
+        round trips).  Zero by default; the Table 1 benchmark sets it to
+        model the measured cloud-service overhead (ts in figure 4).
+    default_max_retries:
+        Retry budget for tasks lost to worker/manager failure.
+    """
+
+    payload_limit: int = 512 * 1024
+    result_ttl: float = 3600.0
+    request_overhead: float = 0.0
+    default_max_retries: int = 1
+
+
+class FuncXService:
+    """The funcX web service + data plane entry point.
+
+    Parameters
+    ----------
+    auth:
+        The identity service used to validate bearer tokens.
+    config:
+        Service tunables.
+    clock:
+        Injectable time source (wall clock by default).
+    sleeper:
+        Injectable delay function used to apply ``request_overhead`` in
+        live deployments (ignored when overhead is zero).
+    """
+
+    def __init__(
+        self,
+        auth: AuthService | None = None,
+        config: ServiceConfig | None = None,
+        clock: Callable[[], float] | None = None,
+        sleeper: Callable[[float], None] | None = None,
+    ):
+        self.auth = auth or AuthService()
+        self.config = config or ServiceConfig()
+        self._clock = clock or time.monotonic
+        self._sleep = sleeper or time.sleep
+        self.functions = FunctionRegistry(auth=self.auth)
+        self.endpoints = EndpointRegistry()
+        self.store = KVStore(clock=self._clock)
+        self.pubsub = PubSub()
+        self.memoizer = Memoizer()
+        self._lock = threading.RLock()
+        self._tasks: dict[str, Task] = {}
+        self._task_queues: dict[str, ReliableQueue] = {}
+        self._result_queues: dict[str, ReliableQueue] = {}
+        # counters
+        self.tasks_received = 0
+        self.tasks_completed = 0
+        self.memo_completions = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _spend_overhead(self) -> None:
+        if self.config.request_overhead > 0:
+            self._sleep(self.config.request_overhead)
+
+    def now(self) -> float:
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # registration API
+    # ------------------------------------------------------------------
+    def register_function(
+        self,
+        token: str,
+        name: str,
+        function_buffer: bytes,
+        container_image: str | None = None,
+        public: bool = False,
+        allowed_users: tuple[str, ...] = (),
+        allowed_groups: tuple[str, ...] = (),
+        description: str = "",
+    ) -> str:
+        """Register a serialized function; returns its UUID."""
+        identity = self.auth.authorize(token, Scope.REGISTER_FUNCTION)
+        self._spend_overhead()
+        if len(function_buffer) > self.config.payload_limit:
+            raise PayloadTooLarge(len(function_buffer), self.config.payload_limit)
+        record = self.functions.register(
+            name=name,
+            owner=identity,
+            function_buffer=function_buffer,
+            container_image=container_image,
+            public=public,
+            allowed_users=allowed_users,
+            allowed_groups=allowed_groups,
+            description=description,
+            now=self._clock(),
+        )
+        self.store.hset("functions", record.function_id, function_buffer)
+        return record.function_id
+
+    def update_function(self, token: str, function_id: str, function_buffer: bytes) -> int:
+        """Owner-only update of a function body; returns new version."""
+        identity = self.auth.authorize(token, Scope.REGISTER_FUNCTION)
+        self._spend_overhead()
+        record = self.functions.update_body(function_id, identity, function_buffer)
+        self.store.hset("functions", record.function_id, function_buffer)
+        # A changed body must not serve stale memoized results.
+        self.memoizer.invalidate_function(function_buffer)
+        return record.version
+
+    def register_endpoint(
+        self,
+        token: str,
+        name: str,
+        description: str = "",
+        public: bool = True,
+        metadata: dict[str, Any] | None = None,
+    ) -> str:
+        """Register an endpoint; allocates its task and result queues."""
+        identity = self.auth.authorize(token, Scope.REGISTER_ENDPOINT)
+        self._spend_overhead()
+        record = self.endpoints.register(
+            name=name,
+            owner=identity,
+            description=description,
+            public=public,
+            metadata=metadata,
+            now=self._clock(),
+        )
+        with self._lock:
+            self._task_queues[record.endpoint_id] = ReliableQueue(
+                name=f"tasks:{record.endpoint_id}", clock=self._clock
+            )
+            self._result_queues[record.endpoint_id] = ReliableQueue(
+                name=f"results:{record.endpoint_id}", clock=self._clock
+            )
+        return record.endpoint_id
+
+    # ------------------------------------------------------------------
+    # execution API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        token: str,
+        function_id: str,
+        endpoint_id: str,
+        payload_buffer: bytes,
+        memoize: bool = False,
+        max_retries: int | None = None,
+    ) -> str:
+        """Submit one task; returns its task id (figure 3, steps 1-3)."""
+        received_at = self._clock()
+        identity = self.auth.authorize(token, Scope.EXECUTE)
+        self._spend_overhead()
+        return self._submit_authorized(
+            identity, function_id, endpoint_id, payload_buffer, memoize, max_retries,
+            received_at=received_at,
+        )
+
+    def submit_batch(
+        self,
+        token: str,
+        requests: list[tuple[str, str, bytes]],
+        memoize: bool = False,
+    ) -> list[str]:
+        """Submit many tasks in one authenticated request.
+
+        Batch submission amortizes the per-request overhead — the paper's
+        answer to web-service throughput limits (section 5.2.4).
+        """
+        received_at = self._clock()
+        identity = self.auth.authorize(token, Scope.EXECUTE)
+        self._spend_overhead()  # one overhead for the whole batch
+        return [
+            self._submit_authorized(identity, fid, eid, payload, memoize, None,
+                                    received_at=received_at)
+            for fid, eid, payload in requests
+        ]
+
+    def _submit_authorized(
+        self,
+        identity: Identity,
+        function_id: str,
+        endpoint_id: str,
+        payload_buffer: bytes,
+        memoize: bool,
+        max_retries: int | None,
+        received_at: float | None = None,
+    ) -> str:
+        if len(payload_buffer) > self.config.payload_limit:
+            raise PayloadTooLarge(len(payload_buffer), self.config.payload_limit)
+        function = self.functions.check_invocable(function_id, identity.identity_id)
+        self.endpoints.check_usable(endpoint_id, identity.identity_id)
+
+        now = received_at if received_at is not None else self._clock()
+        task = Task(
+            function_id=function_id,
+            endpoint_id=endpoint_id,
+            payload_buffer=payload_buffer,
+            container_image=function.container_image,
+            owner_id=identity.identity_id,
+            max_retries=(
+                max_retries if max_retries is not None else self.config.default_max_retries
+            ),
+        )
+        task.state_times[TaskState.RECEIVED.value] = now  # born RECEIVED
+        with self._lock:
+            self._tasks[task.task_id] = task
+            self.tasks_received += 1
+        self.store.hset("tasks", task.task_id, task.to_record())
+
+        if memoize:
+            cached = self.memoizer.lookup(function.function_buffer, payload_buffer)
+            if cached is not None:
+                task.memo_hit = True
+                self._complete(task, success=True, result_buffer=cached,
+                               execution_time=0.0, now=self._clock())
+                self.memo_completions += 1
+                return task.task_id
+            task.metadata["memoize"] = True
+
+        queue = self._queue_for(endpoint_id)
+        task.advance(TaskState.QUEUED, self._clock())
+        queue.put(task.task_id)
+        self.pubsub.publish(f"endpoint.{endpoint_id}.queued", task.task_id)
+        return task.task_id
+
+    # ------------------------------------------------------------------
+    # monitoring / results API
+    # ------------------------------------------------------------------
+    def status(self, token: str, task_id: str) -> TaskState:
+        self.auth.authorize(token, Scope.MONITOR)
+        return self._get_task(task_id).state
+
+    def get_result(self, token: str, task_id: str, timeout: float = 0.0) -> bytes:
+        """Retrieve a completed task's serialized result (figure 3, step 6).
+
+        Blocks up to ``timeout`` seconds for completion; raises
+        :class:`TaskPending` if still incomplete.  Successfully retrieved
+        results are scheduled for purge (section 4.1).
+        """
+        self.auth.authorize(token, Scope.RESULTS)
+        task = self._get_task(task_id)
+        if not task.state.terminal and timeout > 0:
+            deadline = self._clock() + timeout
+            done = threading.Event()
+            sub = self.pubsub.subscribe(f"task.{task_id}", lambda _t, _m: done.set())
+            try:
+                if not task.state.terminal:
+                    done.wait(max(0.0, deadline - self._clock()))
+            finally:
+                self.pubsub.unsubscribe(sub)
+        if not task.state.terminal:
+            raise TaskPending(task_id, task.state.value)
+        if task.state is TaskState.SUCCESS:
+            assert task.result_buffer is not None
+            self.store.expire(f"result:{task_id}", self.config.result_ttl)
+            return task.result_buffer
+        # FAILED: hand back the serialized exception wrapper when the
+        # worker produced one — the SDK re-raises the original exception
+        # type on the caller's stack; otherwise raise the recorded text.
+        if task.state is TaskState.FAILED and task.result_buffer:
+            self.store.expire(f"result:{task_id}", self.config.result_ttl)
+            return task.result_buffer
+        from repro.errors import TaskExecutionFailed
+
+        raise TaskExecutionFailed(task.exception_text or task.state.value)
+
+    def task_info(self, token: str, task_id: str) -> dict[str, Any]:
+        self.auth.authorize(token, Scope.MONITOR)
+        return self._get_task(task_id).to_record()
+
+    def list_endpoints(self, token: str) -> list[EndpointRecord]:
+        self.auth.authorize(token, Scope.MONITOR)
+        return self.endpoints.all()
+
+    # ------------------------------------------------------------------
+    # data-plane interface (used by forwarders — not user-facing)
+    # ------------------------------------------------------------------
+    def task_queue(self, endpoint_id: str) -> ReliableQueue:
+        self.endpoints.get(endpoint_id)  # existence check
+        return self._queue_for(endpoint_id)
+
+    def result_queue(self, endpoint_id: str) -> ReliableQueue:
+        self.endpoints.get(endpoint_id)
+        with self._lock:
+            return self._result_queues[endpoint_id]
+
+    def task_by_id(self, task_id: str) -> Task:
+        return self._get_task(task_id)
+
+    def function_buffer(self, function_id: str) -> bytes:
+        return self.functions.get(function_id).function_buffer
+
+    def complete_task(
+        self,
+        task_id: str,
+        success: bool,
+        result_buffer: bytes = b"",
+        exception_text: str | None = None,
+        execution_time: float = 0.0,
+        result_return_time: float = 0.0,
+    ) -> None:
+        """Record a task outcome arriving from a forwarder (fig 3, step 5)."""
+        task = self._get_task(task_id)
+        now = self._clock()
+        task.metadata["result_return_time"] = result_return_time
+        if success and task.metadata.get("memoize"):
+            function = self.functions.get(task.function_id)
+            self.memoizer.store(function.function_buffer, task.payload_buffer, result_buffer)
+        self._complete(
+            task,
+            success=success,
+            result_buffer=result_buffer,
+            exception_text=exception_text,
+            execution_time=execution_time,
+            now=now,
+        )
+
+    def requeue_task(self, task_id: str, reason: str = "", enqueue: bool = True) -> bool:
+        """Return a dispatched-but-unfinished task to its endpoint queue.
+
+        Used by forwarders when an endpoint disconnects and by agents when
+        a manager is lost; enforces the retry budget.  With
+        ``enqueue=False`` only the task state is rolled back to QUEUED —
+        for callers (the forwarder) that separately nack a queue lease,
+        which re-inserts the task id itself.
+        """
+        task = self._get_task(task_id)
+        if task.state.terminal:
+            return False
+        if task.attempts > task.max_retries:
+            self._complete(
+                task,
+                success=False,
+                exception_text=f"retries exhausted after {task.attempts} attempts ({reason})",
+                now=self._clock(),
+            )
+            return False
+        if task.state is not TaskState.QUEUED:
+            task.advance(TaskState.QUEUED, self._clock())
+        task.metadata.setdefault("requeue_reasons", []).append(reason)
+        if enqueue:
+            self._queue_for(task.endpoint_id).put(task.task_id)
+        return True
+
+    def mark_dispatched(self, task_id: str) -> None:
+        task = self._get_task(task_id)
+        task.attempts += 1
+        task.advance(TaskState.DISPATCHED, self._clock())
+
+    def mark_running(self, task_id: str, started_at: float | None = None) -> None:
+        task = self._get_task(task_id)
+        if task.state is TaskState.DISPATCHED:
+            task.advance(TaskState.RUNNING, started_at if started_at is not None else self._clock())
+
+    def endpoint_heartbeat(self, endpoint_id: str) -> None:
+        self.endpoints.heartbeat(endpoint_id, self._clock())
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def purge(self) -> int:
+        """Run the periodic store purge; returns evicted entries."""
+        return self.store.purge_expired()
+
+    def outstanding_tasks(self, endpoint_id: str) -> int:
+        """Queued + dispatched + running tasks for an endpoint."""
+        with self._lock:
+            return sum(
+                1
+                for t in self._tasks.values()
+                if t.endpoint_id == endpoint_id and not t.state.terminal
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _queue_for(self, endpoint_id: str) -> ReliableQueue:
+        with self._lock:
+            queue = self._task_queues.get(endpoint_id)
+            if queue is None:
+                raise TaskNotFound(f"task queue for endpoint {endpoint_id}")
+            return queue
+
+    def _get_task(self, task_id: str) -> Task:
+        with self._lock:
+            task = self._tasks.get(task_id)
+        if task is None:
+            raise TaskNotFound(task_id)
+        return task
+
+    def _complete(
+        self,
+        task: Task,
+        success: bool,
+        result_buffer: bytes = b"",
+        exception_text: str | None = None,
+        execution_time: float = 0.0,
+        now: float = 0.0,
+    ) -> None:
+        # Tolerate completion from any live state (worker may finish after
+        # a requeue decision raced it; first completion wins).
+        if task.state.terminal:
+            return
+        if task.state in (TaskState.RECEIVED, TaskState.QUEUED, TaskState.DISPATCHED):
+            # fast paths (memo hits complete straight from RECEIVED)
+            target = TaskState.SUCCESS if success else TaskState.FAILED
+            task.state_times.setdefault("running", now)
+            task.state = target
+            task.state_times.setdefault(target.value, now)
+        else:
+            task.advance(TaskState.SUCCESS if success else TaskState.FAILED, now)
+        task.result_buffer = result_buffer or None
+        task.exception_text = exception_text
+        task.metadata["execution_time"] = execution_time
+        with self._lock:
+            self.tasks_completed += 1
+        self.store.hset("tasks", task.task_id, task.to_record())
+        self.store.set(f"result:{task.task_id}", result_buffer, ttl=None)
+        self.pubsub.publish(f"task.{task.task_id}", task.state.value)

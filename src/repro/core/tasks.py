@@ -1,0 +1,173 @@
+"""Task model and lifecycle (paper figure 3).
+
+A *task* is one invocation of a registered function.  Its path is:
+
+1. received by the web service and stored (Redis hashset substitute);
+2. queued on the target endpoint's task queue;
+3. dispatched by the forwarder to the connected agent;
+4. executed in a container by a worker;
+5. result returned through the forwarder;
+6. result stored for retrieval (then purged).
+
+State timestamps are recorded at each hop so the latency-breakdown
+experiment (figure 4) can attribute time to ts/tf/te/tw stages.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class TaskState(str, Enum):
+    """Task lifecycle states, ordered by progress."""
+
+    RECEIVED = "received"      # accepted by the web service
+    QUEUED = "queued"          # sitting in the endpoint's Redis task queue
+    DISPATCHED = "dispatched"  # sent by the forwarder to the agent
+    RUNNING = "running"        # executing on a worker
+    SUCCESS = "success"        # result available
+    FAILED = "failed"          # function raised or task lost permanently
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (TaskState.SUCCESS, TaskState.FAILED, TaskState.CANCELLED)
+
+
+#: Legal state transitions.  Redelivery after failure re-enters QUEUED.
+_TRANSITIONS: dict[TaskState, frozenset[TaskState]] = {
+    TaskState.RECEIVED: frozenset({TaskState.QUEUED, TaskState.SUCCESS,
+                                   TaskState.FAILED, TaskState.CANCELLED}),
+    TaskState.QUEUED: frozenset({TaskState.DISPATCHED, TaskState.CANCELLED,
+                                 TaskState.FAILED}),
+    TaskState.DISPATCHED: frozenset({TaskState.RUNNING, TaskState.QUEUED,
+                                     TaskState.SUCCESS, TaskState.FAILED,
+                                     TaskState.CANCELLED}),
+    TaskState.RUNNING: frozenset({TaskState.SUCCESS, TaskState.FAILED,
+                                  TaskState.QUEUED, TaskState.CANCELLED}),
+    TaskState.SUCCESS: frozenset(),
+    TaskState.FAILED: frozenset(),
+    TaskState.CANCELLED: frozenset(),
+}
+
+
+@dataclass
+class Task:
+    """One function invocation and its full audit trail.
+
+    Attributes
+    ----------
+    function_id, endpoint_id:
+        What to run and where.
+    payload_buffer:
+        Serialized ``(args, kwargs)`` routed buffer.
+    container_image:
+        Container key required by the function, or ``None`` for bare.
+    owner_id:
+        Identity that submitted the task (execution-history tracking,
+        paper §4.8).
+    max_retries:
+        Re-execution budget when workers/managers are lost ("lost tasks
+        can be re-executed (if permitted)", §4.3).
+    """
+
+    function_id: str
+    endpoint_id: str
+    payload_buffer: bytes = b""
+    container_image: str | None = None
+    owner_id: str = ""
+    task_id: str = field(default_factory=lambda: str(uuid.uuid4()))
+    state: TaskState = TaskState.RECEIVED
+    max_retries: int = 1
+    attempts: int = 0
+    result_buffer: bytes | None = None
+    exception_text: str | None = None
+    memo_hit: bool = False
+    state_times: dict[str, float] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def advance(self, new_state: TaskState, now: float) -> None:
+        """Transition to ``new_state``, enforcing lifecycle legality."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ValueError(
+                f"illegal task transition {self.state.value} -> {new_state.value} "
+                f"for task {self.task_id}"
+            )
+        self.state = new_state
+        # Record *first* entry per state except QUEUED (redelivery re-queues;
+        # keep every queue entry time in the audit list).
+        key = new_state.value
+        if new_state is TaskState.QUEUED:
+            self.metadata.setdefault("queued_times", []).append(now)
+        self.state_times.setdefault(key, now)
+        self.state_times[f"last_{key}"] = now
+
+    def stage_time(self, state: TaskState) -> float | None:
+        return self.state_times.get(state.value)
+
+    # -- derived latencies (figure 4 decomposition) -------------------------
+    def total_latency(self) -> float | None:
+        """End-to-end time from reception to terminal state."""
+        start = self.state_times.get(TaskState.RECEIVED.value)
+        end = None
+        for terminal in (TaskState.SUCCESS, TaskState.FAILED, TaskState.CANCELLED):
+            end = self.state_times.get(terminal.value)
+            if end is not None:
+                break
+        if start is None or end is None:
+            return None
+        return end - start
+
+    def breakdown(self) -> dict[str, float]:
+        """Stage durations keyed ts/tf/te/tw where measurable.
+
+        ts — service time (received → queued);
+        tf — forwarder time (queued → dispatched);
+        te — endpoint time excluding execution (dispatched → running,
+             plus result return recorded by the forwarder);
+        tw — worker execution time (running → terminal).
+        """
+        times = self.state_times
+        out: dict[str, float] = {}
+
+        def span(a: str, b: str) -> float | None:
+            if a in times and b in times:
+                return times[b] - times[a]
+            return None
+
+        ts = span(TaskState.RECEIVED.value, TaskState.QUEUED.value)
+        tf = span(TaskState.QUEUED.value, TaskState.DISPATCHED.value)
+        te = span(TaskState.DISPATCHED.value, TaskState.RUNNING.value)
+        tw = span(TaskState.RUNNING.value, TaskState.SUCCESS.value)
+        if ts is not None:
+            out["ts"] = ts
+        if tf is not None:
+            out["tf"] = tf
+        if te is not None:
+            out["te"] = te + self.metadata.get("result_return_time", 0.0)
+        if tw is not None:
+            out["tw"] = tw
+        return out
+
+    @property
+    def retries_remaining(self) -> int:
+        return max(0, self.max_retries - max(0, self.attempts - 1))
+
+    def to_record(self) -> dict[str, Any]:
+        """Flat dict stored in the service's task hashset."""
+        return {
+            "task_id": self.task_id,
+            "function_id": self.function_id,
+            "endpoint_id": self.endpoint_id,
+            "owner_id": self.owner_id,
+            "state": self.state.value,
+            "container_image": self.container_image,
+            "attempts": self.attempts,
+            "memo_hit": self.memo_hit,
+            "exception": self.exception_text,
+            "state_times": dict(self.state_times),
+        }

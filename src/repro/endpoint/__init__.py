@@ -1,0 +1,45 @@
+"""The funcX endpoint (paper section 4.3): agent, managers, workers.
+
+* :class:`~repro.endpoint.agent.FuncXAgent` — the persistent process on a
+  login node: queues and forwards tasks/results, provisions resources,
+  load-balances across managers, watches for failures.
+* :class:`~repro.endpoint.manager.Manager` — one per compute node:
+  deploys and feeds a set of workers, advertises capacity, batches
+  requests.
+* :class:`~repro.endpoint.worker.Worker` — executes one task at a time
+  inside a container.
+* :mod:`~repro.endpoint.scheduling` — the agent's manager-selection
+  policies (randomized greedy with container affinity, plus ablations).
+"""
+
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.scheduling import (
+    FirstFitScheduler,
+    ManagerView,
+    RandomizedScheduler,
+    ResourceAwareScheduler,
+    RoundRobinScheduler,
+    scheduler_by_name,
+)
+from repro.endpoint.worker import Worker, execute_task_message
+from repro.endpoint.manager import Manager
+from repro.endpoint.agent import FuncXAgent
+from repro.endpoint.endpoint import Endpoint
+
+__all__ = [
+    "EndpointConfig",
+    "Worker",
+    "execute_task_message",
+    "Manager",
+    "FuncXAgent",
+    "Endpoint",
+    "ManagerView",
+    "RandomizedScheduler",
+    "RoundRobinScheduler",
+    "FirstFitScheduler",
+    "ResourceAwareScheduler",
+    "scheduler_by_name",
+    "ElasticityController",
+]
+
+from repro.endpoint.elasticity import ElasticityController  # noqa: E402

@@ -1,0 +1,372 @@
+"""The funcX agent (interchange): the endpoint's persistent brain (§4.3).
+
+"The funcX agent is a software agent that is deployed by a user on a
+compute resource ... It registers with the funcX service and acts as a
+conduit for routing tasks and results between the service and workers."
+
+Responsibilities implemented here:
+
+* register with the forwarder and heartbeat to it;
+* queue tasks arriving from the forwarder;
+* route tasks to managers via the pluggable scheduling policy
+  (randomized greedy with container affinity by default);
+* track distributed tasks and *re-execute* those lost to manager
+  failures (watchdog + heartbeat detection);
+* forward results back to the forwarder;
+* scale managers through a provider (suspend/shutdown hooks).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.scheduling import ManagerView, SchedulingPolicy, scheduler_by_name
+from repro.serialize import FuncXSerializer
+from repro.serialize.traceback import RemoteExceptionWrapper
+from repro.transport.channel import ChannelEnd
+from repro.transport.heartbeat import HeartbeatTracker
+from repro.transport.messages import (
+    Advertisement,
+    CommandMessage,
+    Heartbeat,
+    Registration,
+    ResultMessage,
+    TaskMessage,
+)
+
+
+class FuncXAgent:
+    """The endpoint-side interchange.
+
+    Parameters
+    ----------
+    endpoint_id:
+        The registered endpoint this agent serves.
+    forwarder_channel:
+        Agent side of the channel to the service's forwarder.
+    config:
+        Endpoint configuration.
+    scheduler:
+        Manager-selection policy; defaults to the configured policy name.
+    """
+
+    def __init__(
+        self,
+        endpoint_id: str,
+        forwarder_channel: ChannelEnd,
+        config: EndpointConfig | None = None,
+        scheduler: SchedulingPolicy | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.endpoint_id = endpoint_id
+        self.forwarder = forwarder_channel
+        self.config = config or EndpointConfig()
+        self._clock = clock or time.monotonic
+        self.scheduler = scheduler or scheduler_by_name(
+            self.config.scheduler_policy, seed=self.config.seed
+        )
+        self.heartbeats = HeartbeatTracker(
+            period=self.config.heartbeat_period,
+            grace_periods=self.config.heartbeat_grace,
+            clock=self._clock,
+        )
+        self._manager_channels: dict[str, ChannelEnd] = {}
+        self._views: dict[str, ManagerView] = {}
+        self._suspended: set[str] = set()
+        self._pending: deque[TaskMessage] = deque()
+        # task_id -> (manager_id, message, agent-side attempt count)
+        self._assigned: dict[str, tuple[str, TaskMessage, int]] = {}
+        self._lock = threading.RLock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._last_heartbeat = -float("inf")
+        self._serializer = FuncXSerializer()
+        # counters
+        self.tasks_received = 0
+        self.tasks_dispatched = 0
+        self.results_forwarded = 0
+        self.tasks_reexecuted = 0
+
+    @property
+    def name(self) -> str:
+        return f"agent:{self.endpoint_id}"
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def register_with_forwarder(self) -> None:
+        """(Re-)register with the forwarder — also the recovery path:
+        "when the funcX agent recovers, it repeats the registration
+        process ... and continue[s] receiving tasks" (§4.3)."""
+        self.forwarder.send(
+            Registration(
+                sender=self.name,
+                component_type="endpoint",
+                capacity=self.total_capacity(),
+                container_types=(),
+                metadata={"endpoint_id": self.endpoint_id},
+            )
+        )
+        self._last_heartbeat = self._clock()
+
+    def attach_manager(self, manager_id: str, channel: ChannelEnd) -> None:
+        """Attach the agent side of a manager's channel."""
+        with self._lock:
+            self._manager_channels[manager_id] = channel
+
+    def detach_manager(self, manager_id: str) -> None:
+        """Clean removal (scale-in): forget the manager entirely.
+
+        Tasks still tracked against the departing manager are returned to
+        the pending queue for re-execution — a graceful drain may still
+        complete them first, in which case the duplicate completion is
+        ignored by the service (at-least-once semantics).
+        """
+        with self._lock:
+            self._manager_channels.pop(manager_id, None)
+            self._views.pop(manager_id, None)
+            self._suspended.discard(manager_id)
+            orphaned = [
+                (task_id, message)
+                for task_id, (mid, message, _a) in self._assigned.items()
+                if mid == manager_id
+            ]
+            for task_id, message in orphaned:
+                del self._assigned[task_id]
+                self._pending.appendleft(message)
+                self.tasks_reexecuted += 1
+        self.heartbeats.forget(manager_id)
+
+    def suspend_manager(self, manager_id: str) -> None:
+        """Stop scheduling to a manager without killing it (§4.3)."""
+        with self._lock:
+            channel = self._manager_channels.get(manager_id)
+            self._suspended.add(manager_id)
+        if channel is not None:
+            channel.send(CommandMessage(sender=self.name, command="suspend", target=manager_id))
+
+    def shutdown_manager(self, manager_id: str) -> None:
+        """Release a manager's resources (§4.3)."""
+        with self._lock:
+            channel = self._manager_channels.get(manager_id)
+        if channel is not None:
+            channel.send(CommandMessage(sender=self.name, command="shutdown", target=manager_id))
+        self.detach_manager(manager_id)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def total_capacity(self) -> int:
+        with self._lock:
+            return sum(v.capacity for v in self._views.values())
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def outstanding_count(self) -> int:
+        with self._lock:
+            return len(self._assigned)
+
+    def manager_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._manager_channels)
+
+    # ------------------------------------------------------------------
+    # the agent loop
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        events = self._drain_forwarder()
+        events += self._drain_managers()
+        self._watchdog()
+        events += self._dispatch()
+        self._maybe_heartbeat()
+        return events
+
+    def _drain_forwarder(self) -> int:
+        count = 0
+        for message in self.forwarder.recv_all_ready():
+            count += 1
+            if isinstance(message, TaskMessage):
+                with self._lock:
+                    self._pending.append(message)
+                self.tasks_received += 1
+            elif isinstance(message, CommandMessage) and message.command == "shutdown":
+                self._stop.set()
+        return count
+
+    def _drain_managers(self) -> int:
+        count = 0
+        with self._lock:
+            channels = list(self._manager_channels.items())
+        for manager_id, channel in channels:
+            for message in channel.recv_all_ready():
+                count += 1
+                if isinstance(message, Registration):
+                    self._on_manager_registered(manager_id, message)
+                elif isinstance(message, Advertisement):
+                    self._on_advertisement(manager_id, message)
+                elif isinstance(message, Heartbeat):
+                    self.heartbeats.beat(manager_id)
+                elif isinstance(message, ResultMessage):
+                    self._on_result(manager_id, message)
+        return count
+
+    def _on_manager_registered(self, manager_id: str, message: Registration) -> None:
+        with self._lock:
+            self._views[manager_id] = ManagerView(
+                manager_id=manager_id,
+                capacity=message.capacity,
+                deployed_containers=frozenset(message.container_types),
+            )
+        self.heartbeats.beat(manager_id)
+
+    def _on_advertisement(self, manager_id: str, message: Advertisement) -> None:
+        with self._lock:
+            view = self._views.get(manager_id)
+            if view is None:
+                view = ManagerView(manager_id=manager_id, capacity=0)
+                self._views[manager_id] = view
+            # A fresh advertisement reflects everything the manager has
+            # received so far; reset the in-flight estimate.
+            view.capacity = 0 if manager_id in self._suspended else message.total_request
+            view.deployed_containers = frozenset(message.deployed_containers)
+            view.outstanding = 0
+        self.heartbeats.beat(manager_id)
+
+    def _on_result(self, manager_id: str, message: ResultMessage) -> None:
+        with self._lock:
+            self._assigned.pop(message.task_id, None)
+            view = self._views.get(manager_id)
+            if view is not None and view.outstanding > 0:
+                view.outstanding -= 1
+        self.forwarder.send(message)
+        self.results_forwarded += 1
+
+    # -- failure handling -------------------------------------------------------
+    def _watchdog(self) -> None:
+        """Detect lost managers and re-execute their tasks (§4.3)."""
+        for manager_id in self.heartbeats.lost_components():
+            with self._lock:
+                known = manager_id in self._manager_channels
+            if not known:
+                self.heartbeats.forget(manager_id)
+                continue
+            self._on_manager_lost(manager_id)
+
+    def _on_manager_lost(self, manager_id: str) -> None:
+        with self._lock:
+            self._views.pop(manager_id, None)
+            lost = [
+                (task_id, message, attempts)
+                for task_id, (mid, message, attempts) in self._assigned.items()
+                if mid == manager_id
+            ]
+            for task_id, _, _ in lost:
+                del self._assigned[task_id]
+        self.heartbeats.forget(manager_id)
+        for task_id, message, attempts in lost:
+            if attempts <= self.config.max_retries_on_loss:
+                with self._lock:
+                    self._pending.appendleft(message)
+                self.tasks_reexecuted += 1
+            else:
+                self._fail_task(message, f"manager {manager_id} lost; retries exhausted")
+
+    def _fail_task(self, message: TaskMessage, reason: str) -> None:
+        wrapper = RemoteExceptionWrapper(RuntimeError(reason))
+        buffer = self._serializer.serialize(wrapper, routing_tag=message.task_id)
+        self.forwarder.send(
+            ResultMessage(
+                sender=self.name,
+                task_id=message.task_id,
+                success=False,
+                result_buffer=buffer,
+                execution_time=0.0,
+                worker_id="",
+                completed_at=self._clock(),
+            )
+        )
+
+    # -- dispatch -------------------------------------------------------------
+    def _dispatch(self) -> int:
+        dispatched = 0
+        while True:
+            with self._lock:
+                if not self._pending:
+                    break
+                message = self._pending[0]
+                views = [
+                    v
+                    for mid, v in self._views.items()
+                    if mid not in self._suspended and self.heartbeats.is_alive(mid)
+                ]
+                chosen = self.scheduler.select(views, message.container_image)
+                if chosen is None:
+                    break
+                self._pending.popleft()
+                channel = self._manager_channels.get(chosen.manager_id)
+                if channel is None:
+                    # stale view; drop it and retry this task next iteration
+                    self._views.pop(chosen.manager_id, None)
+                    self._pending.appendleft(message)
+                    continue
+                attempts = self._assigned.get(message.task_id, ("", message, 0))[2]
+                self._assigned[message.task_id] = (chosen.manager_id, message, attempts + 1)
+                chosen.outstanding += 1
+            if not channel.send(message):
+                # manager channel just went down; watchdog will requeue
+                continue
+            self.tasks_dispatched += 1
+            dispatched += 1
+        return dispatched
+
+    # -- heartbeats to the forwarder ----------------------------------------------
+    def _maybe_heartbeat(self) -> None:
+        now = self._clock()
+        if now - self._last_heartbeat < self.config.heartbeat_period:
+            return
+        self._last_heartbeat = now
+        try:
+            self.forwarder.send(
+                Heartbeat(
+                    sender=self.name,
+                    timestamp=now,
+                    outstanding_tasks=self.outstanding_count(),
+                )
+            )
+        except Exception:
+            pass  # disconnected from forwarder; reconnection re-registers
+
+    # ------------------------------------------------------------------
+    # threaded operation
+    # ------------------------------------------------------------------
+    def start(self, poll_interval: float = 0.002) -> None:
+        if self._thread is not None:
+            raise RuntimeError("agent already started")
+        self._stop.clear()
+        self.register_with_forwarder()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    events = self.step()
+                except Exception:
+                    events = 0
+                if events == 0:
+                    time.sleep(poll_interval)
+
+        self._thread = threading.Thread(
+            target=loop, name=f"agent-{self.endpoint_id[:8]}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None

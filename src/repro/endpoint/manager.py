@@ -1,0 +1,342 @@
+"""Managers: per-node worker pools (paper section 4.3).
+
+"Managers represent, and communicate on behalf of, the collective
+capacity of the workers on a single node, thereby limiting the number of
+sockets used to just two per node.  Managers determine the available CPU
+and memory resources on a node, and partition the node among the
+workers. ... Managers advertise deployed container types and available
+capacity to the endpoint."
+
+The manager implements two paper optimizations:
+
+* **internal batching** — it requests/accepts many tasks on behalf of its
+  workers per round trip (§4.7, evaluated in §5.5.2);
+* **opportunistic prefetching** — it advertises anticipated capacity
+  beyond currently idle workers so network transfer overlaps computation
+  (§4.7, evaluated in §5.5.5);
+
+and the on-demand container deployment algorithm of §4.5: a task needing
+a container the node hasn't deployed triggers a (warm-pool-mediated)
+worker redeployment.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.containers.runtime import ContainerRuntime
+from repro.containers.spec import ContainerSpec, ContainerTechnology
+from repro.containers.warming import WarmPool
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.worker import Worker
+from repro.transport.channel import ChannelEnd
+from repro.transport.messages import (
+    Advertisement,
+    CommandMessage,
+    Heartbeat,
+    Registration,
+    ResultMessage,
+    TaskMessage,
+)
+
+
+class Manager:
+    """One node's worker pool, connected to the agent by a channel.
+
+    Parameters
+    ----------
+    manager_id:
+        Unique id within the endpoint.
+    channel:
+        Manager side of the channel to the agent.
+    config:
+        The endpoint configuration (worker count, batching, prefetch...).
+    runtime:
+        Container runtime used for cold starts on this node.
+    sleeper:
+        Injectable delay function used to apply (scaled) container
+        cold-start times on the live fabric.
+    """
+
+    def __init__(
+        self,
+        manager_id: str,
+        channel: ChannelEnd,
+        config: EndpointConfig,
+        runtime: ContainerRuntime | None = None,
+        clock: Callable[[], float] | None = None,
+        sleeper: Callable[[float], None] | None = None,
+    ):
+        self.manager_id = manager_id
+        self.channel = channel
+        self.config = config
+        self.runtime = runtime or ContainerRuntime(system=config.system, seed=config.seed)
+        self._clock = clock or time.monotonic
+        self._sleep = sleeper or time.sleep
+        self.warm_pool = WarmPool(ttl=config.warm_ttl)
+
+        self._results: "_queue.Queue[tuple[str, ResultMessage]]" = _queue.Queue()
+        self._workers: dict[str, Worker] = {}
+        self._idle: set[str] = set()
+        self._lock = threading.RLock()
+        self._pending: deque[TaskMessage] = deque()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._last_heartbeat = -float("inf")
+        self._last_advertised: tuple[int, tuple[str, ...]] | None = None
+        self.tasks_completed = 0
+        self.cold_starts = 0
+
+        self._deploy_initial_workers()
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _deploy_initial_workers(self) -> None:
+        """Partition the node into workers in the bare environment."""
+        for i in range(self.config.workers_per_node):
+            worker_id = f"{self.manager_id}/w{i}"
+            container = self.runtime.instantiate(ContainerSpec.bare(), now=self._clock())
+            worker = Worker(
+                worker_id=worker_id,
+                inbox=_queue.Queue(),
+                results=self._results,
+                container=container,
+                clock=self._clock,
+            )
+            self._workers[worker_id] = worker
+            self._idle.add(worker_id)
+
+    def register(self) -> None:
+        """Register with the agent once all workers are connected (§4.3)."""
+        self.channel.send(
+            Registration(
+                sender=self.manager_id,
+                component_type="manager",
+                capacity=len(self._workers),
+                container_types=self.deployed_containers(),
+                metadata={"workers": len(self._workers)},
+            )
+        )
+        self._advertise(force=True)
+
+    # ------------------------------------------------------------------
+    # state views
+    # ------------------------------------------------------------------
+    def deployed_containers(self) -> tuple[str, ...]:
+        with self._lock:
+            keys = {w.container.key for w in self._workers.values()}
+        keys.update(self.warm_pool.warm_keys())
+        return tuple(sorted(keys))
+
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return len(self._pending) + sum(
+                1 for w in self._workers.values() if w.busy
+            )
+
+    # ------------------------------------------------------------------
+    # the manager loop
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """One iteration: drain agent traffic, collect results, dispatch."""
+        events = 0
+        for message in self.channel.recv_all_ready():
+            events += 1
+            if isinstance(message, TaskMessage):
+                self._pending.append(message)
+            elif isinstance(message, CommandMessage):
+                self._on_command(message)
+        events += self._collect_results()
+        events += self._dispatch_pending()
+        self._maybe_heartbeat()
+        return events
+
+    def _collect_results(self) -> int:
+        count = 0
+        while True:
+            try:
+                worker_id, result = self._results.get_nowait()
+            except _queue.Empty:
+                break
+            count += 1
+            self.tasks_completed += 1
+            with self._lock:
+                self._idle.add(worker_id)
+            self.channel.send(result)
+            self._advertise()  # capacity freed: advertise immediately
+        return count
+
+    def _dispatch_pending(self) -> int:
+        dispatched = 0
+        while self._pending:
+            message = self._pending[0]
+            worker = self._worker_for(message.container_image)
+            if worker is None:
+                break
+            self._pending.popleft()
+            with self._lock:
+                self._idle.discard(worker.worker_id)
+            worker.inbox.put(message)
+            dispatched += 1
+        return dispatched
+
+    def _worker_for(self, container_image: str | None) -> Worker | None:
+        """An idle worker deployed in a suitable container (§4.5).
+
+        Prefers a matching idle worker; otherwise redeploys an idle
+        worker into the required container (warm pool first, else a cold
+        start whose modelled duration is physically applied).
+        """
+        key = container_image or "RAW"
+        with self._lock:
+            idle_workers = [self._workers[w] for w in self._idle]
+        if not idle_workers:
+            return None
+        for worker in idle_workers:
+            if worker.container.key == key:
+                return worker
+        # No matching container: redeploy one idle worker.
+        victim = idle_workers[0]
+        self._redeploy(victim, key)
+        return victim
+
+    def _redeploy(self, worker: Worker, key: str) -> None:
+        now = self._clock()
+        released = worker.container
+        self.warm_pool.release(released, now)
+
+        warm = self.warm_pool.acquire(key, now)
+        if warm is not None:
+            worker.container = warm
+        else:
+            spec = self._spec_for_key(key)
+            concurrent = 0  # live nodes deploy serially on the manager thread
+            instance = self.runtime.instantiate(spec, now=now, concurrent=concurrent)
+            self.cold_starts += 1
+            delay = instance.cold_start_time * self.config.scale_cold_start
+            if delay > 0:
+                self._sleep(delay)
+            worker.container = instance
+        worker._function_cache.clear()  # new environment, no stale modules
+        self._advertise(force=True)
+
+    def _spec_for_key(self, key: str) -> ContainerSpec:
+        if key == "RAW":
+            return ContainerSpec.bare()
+        tech_name, _, image = key.partition(":")
+        return ContainerSpec(image=image, technology=ContainerTechnology(tech_name))
+
+    # ------------------------------------------------------------------
+    # advertisement & heartbeats
+    # ------------------------------------------------------------------
+    def advertised_capacity(self) -> int:
+        """Capacity advertised to the agent.
+
+        With internal batching the manager requests tasks for every idle
+        worker plus a prefetch allowance; without it, one task per round
+        trip (the §5.5.2 baseline).
+        """
+        idle = self.idle_count
+        if not self.config.internal_batching:
+            return min(1, idle) if not self._pending else 0
+        prefetch = self.config.prefetch_capacity
+        queued = len(self._pending)
+        return max(0, idle + prefetch - queued)
+
+    def _advertise(self, force: bool = False) -> None:
+        capacity = self.advertised_capacity()
+        containers = self.deployed_containers()
+        state = (capacity, containers)
+        if not force and state == self._last_advertised:
+            return
+        self._last_advertised = state
+        self.channel.send(
+            Advertisement(
+                sender=self.manager_id,
+                manager_id=self.manager_id,
+                idle_workers=self.idle_count,
+                prefetch_capacity=max(0, capacity - self.idle_count),
+                deployed_containers=containers,
+            )
+        )
+
+    def _maybe_heartbeat(self) -> None:
+        now = self._clock()
+        if now - self._last_heartbeat < self.config.heartbeat_period:
+            return
+        self._last_heartbeat = now
+        self.channel.send(
+            Heartbeat(sender=self.manager_id, timestamp=now, outstanding_tasks=self.outstanding)
+        )
+        self.warm_pool.evict_expired(now)
+        self._advertise(force=True)
+
+    def _on_command(self, message: CommandMessage) -> None:
+        if message.command == "shutdown":
+            self._stop.set()
+        elif message.command == "suspend":
+            # Stop advertising; in-flight work completes ("suspend managers
+            # to prevent further tasks being scheduled to them", §4.3).
+            self._last_advertised = (0, self.deployed_containers())
+            self.channel.send(
+                Advertisement(
+                    sender=self.manager_id,
+                    manager_id=self.manager_id,
+                    idle_workers=0,
+                    prefetch_capacity=0,
+                    deployed_containers=self.deployed_containers(),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # threaded operation
+    # ------------------------------------------------------------------
+    def start(self, poll_interval: float = 0.002) -> None:
+        if self._thread is not None:
+            raise RuntimeError("manager already started")
+        self._stop.clear()
+        for worker in self._workers.values():
+            worker.start()
+        self.register()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                if self.step() == 0:
+                    time.sleep(poll_interval)
+
+        self._thread = threading.Thread(
+            target=loop, name=f"manager-{self.manager_id}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        for worker in self._workers.values():
+            worker.stop(timeout)
+
+    def kill(self) -> None:
+        """Abrupt failure (for the §5.4 experiments): drop the channel and
+        stop processing without draining anything."""
+        self._stop.set()
+        self.channel.disconnect()
+        if self._thread is not None:
+            self._thread.join(1.0)
+            self._thread = None

@@ -1,0 +1,161 @@
+"""Agent-side task→manager scheduling policies (paper sections 4.3, 4.5).
+
+"The funcX agent implements a greedy, randomized scheduling algorithm to
+route tasks to managers ... the agent attempts to send tasks to managers
+with suitable deployed containers.  If there is availability on several
+managers, the agent allocates pending tasks in a randomized manner."
+
+"Both the function routing and container deployment components are
+implemented with modular interfaces via which users can integrate their
+own algorithms" — hence the pluggable policy classes here, including the
+round-robin and first-fit ablation baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass
+class ManagerView:
+    """The agent's view of one manager's advertised state."""
+
+    manager_id: str
+    capacity: int                      # idle workers + prefetch allowance
+    deployed_containers: frozenset[str] = frozenset()
+    outstanding: int = 0               # tasks the agent sent, unacknowledged
+
+    @property
+    def available(self) -> int:
+        return max(0, self.capacity - self.outstanding)
+
+    def suits(self, container_key: str | None) -> bool:
+        """Whether this manager already deploys the required container."""
+        if container_key is None or container_key == "RAW":
+            return True
+        return container_key in self.deployed_containers
+
+
+class SchedulingPolicy(ABC):
+    """Selects a manager for each pending task."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def select(self, managers: list[ManagerView], container_key: str | None) -> ManagerView | None:
+        """Pick a manager with available capacity, or ``None``.
+
+        Implementations must never over-commit: the returned manager has
+        ``available > 0``; the caller increments ``outstanding``.
+        """
+
+
+class RandomizedScheduler(SchedulingPolicy):
+    """The paper's policy: greedy on container suitability, random among ties.
+
+    Managers with the task's container deployed are preferred (warm path);
+    if none has capacity, any manager with capacity is used (the manager
+    then deploys a container on demand).
+    """
+
+    name = "randomized"
+
+    def __init__(self, seed: int | None = None):
+        self._rng = random.Random(seed)
+
+    def select(self, managers: list[ManagerView], container_key: str | None) -> ManagerView | None:
+        available = [m for m in managers if m.available > 0]
+        if not available:
+            return None
+        suitable = [m for m in available if m.suits(container_key)]
+        pool = suitable or available
+        return self._rng.choice(pool)
+
+
+class RoundRobinScheduler(SchedulingPolicy):
+    """Ablation: cycle through managers regardless of container affinity."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def select(self, managers: list[ManagerView], container_key: str | None) -> ManagerView | None:
+        if not managers:
+            return None
+        n = len(managers)
+        for offset in range(n):
+            manager = managers[(self._cursor + offset) % n]
+            if manager.available > 0:
+                self._cursor = (self._cursor + offset + 1) % n
+                return manager
+        return None
+
+
+class FirstFitScheduler(SchedulingPolicy):
+    """Ablation: always pick the first manager with capacity.
+
+    Concentrates load (good cache locality, poor balance) — the contrast
+    case for the randomized policy's load spreading.
+    """
+
+    name = "first_fit"
+
+    def select(self, managers: list[ManagerView], container_key: str | None) -> ManagerView | None:
+        suitable_fallback = None
+        for manager in managers:
+            if manager.available <= 0:
+                continue
+            if manager.suits(container_key):
+                return manager
+            if suitable_fallback is None:
+                suitable_fallback = manager
+        return suitable_fallback
+
+
+class ResourceAwareScheduler(SchedulingPolicy):
+    """§8 future work: "developing resource-aware scheduling algorithms".
+
+    Greedy on container suitability like the paper's policy, but among
+    suitable managers picks the *least loaded* (lowest outstanding-to-
+    capacity ratio), breaking ties randomly.  Balances heterogeneous
+    managers better than uniform random choice when capacities differ.
+    """
+
+    name = "resource_aware"
+
+    def __init__(self, seed: int | None = None):
+        self._rng = random.Random(seed)
+
+    def select(self, managers: list[ManagerView], container_key: str | None) -> ManagerView | None:
+        available = [m for m in managers if m.available > 0]
+        if not available:
+            return None
+        suitable = [m for m in available if m.suits(container_key)] or available
+
+        def load(view: ManagerView) -> float:
+            return view.outstanding / max(1, view.capacity)
+
+        best = min(load(m) for m in suitable)
+        tied = [m for m in suitable if load(m) == best]
+        return self._rng.choice(tied)
+
+
+_POLICIES: dict[str, type[SchedulingPolicy]] = {
+    RandomizedScheduler.name: RandomizedScheduler,
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    FirstFitScheduler.name: FirstFitScheduler,
+    ResourceAwareScheduler.name: ResourceAwareScheduler,
+}
+
+
+def scheduler_by_name(name: str, seed: int | None = None) -> SchedulingPolicy:
+    """Instantiate a policy by its registry name."""
+    cls = _POLICIES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown scheduler policy {name!r}; known: {sorted(_POLICIES)}")
+    if cls in (RandomizedScheduler, ResourceAwareScheduler):
+        return cls(seed=seed)
+    return cls()

@@ -1,0 +1,15 @@
+"""Commercial FaaS comparators for the Table 1 latency study."""
+
+from repro.faas.commercial import (
+    PROVIDER_MODELS,
+    CommercialFaaSModel,
+    InvocationSample,
+    LatencyModel,
+)
+
+__all__ = [
+    "CommercialFaaSModel",
+    "LatencyModel",
+    "InvocationSample",
+    "PROVIDER_MODELS",
+]

@@ -1,0 +1,162 @@
+"""Closed-source FaaS platform models (paper §5.1, Table 1).
+
+Amazon Lambda, Google Cloud Functions and Azure Functions cannot be
+invoked from this offline reproduction; their rows of Table 1 are
+reproduced by latency models calibrated to the paper's own measurements
+(the funcX row, by contrast, is *measured* through our real stack).
+
+Each model captures: warm overhead, cold overhead, function time, the
+measured dispersion, and the provider's warm-cache lifetime (10, 5 and 5
+minutes for Google, Amazon and Azure respectively, §5.1) so the
+cold/warm state machine behaves like the real service under arbitrary
+invocation schedules.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """A clipped-lognormal latency distribution (milliseconds).
+
+    Parameterized directly by the mean/std the paper reports; lognormal
+    matches the heavy right tail visible in the cold-start std devs.
+    """
+
+    mean: float
+    std: float
+    floor: float = 0.1
+
+    def sample(self, rng: random.Random) -> float:
+        if self.std <= 0:
+            return max(self.floor, self.mean)
+        # Convert mean/std of the target distribution to lognormal params.
+        variance = self.std**2
+        mu = math.log(self.mean**2 / math.sqrt(variance + self.mean**2))
+        sigma = math.sqrt(math.log(1 + variance / self.mean**2))
+        return max(self.floor, rng.lognormvariate(mu, sigma))
+
+
+@dataclass(frozen=True)
+class InvocationSample:
+    """One simulated invocation's timing decomposition (ms)."""
+
+    overhead: float
+    function_time: float
+    cold: bool
+
+    @property
+    def total(self) -> float:
+        return self.overhead + self.function_time
+
+
+class CommercialFaaSModel:
+    """Stateful provider model: warm containers expire after the cache TTL.
+
+    Parameters
+    ----------
+    name:
+        Provider label.
+    warm_overhead / cold_overhead:
+        Latency models for the invocation overhead (Table 1 columns).
+    warm_function / cold_function:
+        Latency models for reported function execution time.
+    cache_ttl:
+        Seconds a function instance stays warm after an invocation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        warm_overhead: LatencyModel,
+        cold_overhead: LatencyModel,
+        warm_function: LatencyModel,
+        cold_function: LatencyModel,
+        cache_ttl: float,
+        seed: int | None = None,
+    ):
+        self.name = name
+        self.warm_overhead = warm_overhead
+        self.cold_overhead = cold_overhead
+        self.warm_function = warm_function
+        self.cold_function = cold_function
+        self.cache_ttl = cache_ttl
+        self._rng = random.Random(seed)
+        self._warm_until: float | None = None
+
+    # ------------------------------------------------------------------
+    def is_warm(self, now: float) -> bool:
+        return self._warm_until is not None and now <= self._warm_until
+
+    def invoke(self, now: float) -> InvocationSample:
+        """Invoke at wall/simulated time ``now`` (seconds)."""
+        cold = not self.is_warm(now)
+        if cold:
+            overhead = self.cold_overhead.sample(self._rng)
+            function_time = self.cold_function.sample(self._rng)
+        else:
+            overhead = self.warm_overhead.sample(self._rng)
+            function_time = self.warm_function.sample(self._rng)
+        self._warm_until = now + self.cache_ttl
+        return InvocationSample(overhead=overhead, function_time=function_time, cold=cold)
+
+    def sample_many(self, count: int, cold: bool) -> list[InvocationSample]:
+        """Draw ``count`` invocations pinned to one temperature.
+
+        The Table 1 methodology pins state explicitly: cold runs invoke
+        every 15 minutes (past every provider's cache TTL); warm runs
+        invoke back-to-back.
+        """
+        samples = []
+        interval = self.cache_ttl + 300.0 if cold else 0.001
+        now = 0.0
+        self._warm_until = None
+        for _ in range(count):
+            sample = self.invoke(now)
+            samples.append(sample)
+            now += interval
+        if not cold:
+            # first sample was necessarily cold; replace it with a warm one
+            samples[0] = self.invoke(now)
+        return samples
+
+
+def _models(seed: int | None = None) -> dict[str, CommercialFaaSModel]:
+    """Provider models calibrated to Table 1 (all values in ms)."""
+    return {
+        "azure": CommercialFaaSModel(
+            name="azure",
+            warm_overhead=LatencyModel(118.0, 13.0),
+            cold_overhead=LatencyModel(1327.7, 1200.0),
+            warm_function=LatencyModel(12.0, 2.0),
+            cold_function=LatencyModel(32.0, 8.0),
+            cache_ttl=5 * 60.0,
+            seed=seed,
+        ),
+        "google": CommercialFaaSModel(
+            name="google",
+            warm_overhead=LatencyModel(80.6, 11.0),
+            cold_overhead=LatencyModel(203.8, 135.0),
+            warm_function=LatencyModel(5.0, 1.5),
+            cold_function=LatencyModel(19.0, 6.0),
+            cache_ttl=10 * 60.0,
+            seed=None if seed is None else seed + 1,
+        ),
+        "amazon": CommercialFaaSModel(
+            name="amazon",
+            warm_overhead=LatencyModel(100.0, 6.5),
+            cold_overhead=LatencyModel(468.2, 70.0),
+            warm_function=LatencyModel(0.3, 0.1),
+            cold_function=LatencyModel(0.6, 0.2),
+            cache_ttl=5 * 60.0,
+            seed=None if seed is None else seed + 2,
+        ),
+    }
+
+
+#: Default provider models with a fixed seed for reproducible tables.
+PROVIDER_MODELS: dict[str, CommercialFaaSModel] = _models(seed=20200507)

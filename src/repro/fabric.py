@@ -1,0 +1,209 @@
+"""Live-fabric deployment helper.
+
+Wires a complete funcX installation in one process: auth service, web
+service, forwarders, and endpoints with real worker threads executing
+real Python functions.  This is the entry point examples and integration
+tests use:
+
+.. code-block:: python
+
+    with LocalDeployment() as deployment:
+        client = deployment.client()
+        ep = deployment.create_endpoint("my-laptop", nodes=1)
+        fid = client.register_function(my_function)
+        future = client.submit(fid, ep, 1, 2)
+        print(future.result(timeout=10))
+
+Network latencies are injectable per deployment so the latency benchmarks
+can model WAN placement (the paper submits from an ANL login node 18.2 ms
+from the service, §5.1).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.auth.service import AuthService, Identity
+from repro.core.client import FuncXClient
+from repro.core.forwarder import Forwarder
+from repro.core.service import FuncXService, ServiceConfig
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.endpoint import Endpoint
+from repro.providers.base import ExecutionProvider
+from repro.transport.channel import Network
+
+
+@dataclass
+class DeploymentTimings:
+    """Injectable latency model for a deployment.
+
+    Attributes
+    ----------
+    service_endpoint_latency:
+        One-way service↔endpoint (forwarder↔agent) channel latency, s.
+    manager_latency:
+        One-way agent↔manager latency, s.
+    service_overhead:
+        Synchronous per-request web-service processing time, s (the ts
+        component: auth + store round trips).
+    """
+
+    service_endpoint_latency: float = 0.0
+    manager_latency: float = 0.0
+    service_overhead: float = 0.0
+
+
+@dataclass
+class _EndpointHandle:
+    endpoint: Endpoint
+    forwarder: Forwarder
+
+
+class LocalDeployment:
+    """A complete in-process funcX deployment (context manager).
+
+    Parameters
+    ----------
+    timings:
+        Channel/service latency model (defaults to zero latency).
+    service_config:
+        Web-service tunables; ``request_overhead`` is overridden by
+        ``timings.service_overhead`` when that is non-zero.
+    """
+
+    def __init__(
+        self,
+        timings: DeploymentTimings | None = None,
+        service_config: ServiceConfig | None = None,
+        seed: int | None = None,
+    ):
+        self.timings = timings or DeploymentTimings()
+        config = service_config or ServiceConfig()
+        if self.timings.service_overhead > 0:
+            config = ServiceConfig(
+                payload_limit=config.payload_limit,
+                result_ttl=config.result_ttl,
+                request_overhead=self.timings.service_overhead,
+                default_max_retries=config.default_max_retries,
+            )
+        self.auth = AuthService()
+        self.service = FuncXService(auth=self.auth, config=config)
+        self.network = Network(seed=seed)
+        self._seed = seed
+        self._handles: dict[str, _EndpointHandle] = {}
+        self._identities: dict[str, Identity] = {}
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # identities & clients
+    # ------------------------------------------------------------------
+    def register_user(self, username: str, provider: str = "institution") -> Identity:
+        identity = self.auth.register_identity(username, provider=provider)
+        self._identities[username] = identity
+        return identity
+
+    def client(self, username: str = "researcher") -> FuncXClient:
+        """An SDK client for ``username`` (registered on first use)."""
+        identity = self._identities.get(username) or self.register_user(username)
+        return FuncXClient(self.service, identity)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def create_endpoint(
+        self,
+        name: str,
+        nodes: int = 1,
+        config: EndpointConfig | None = None,
+        owner: str = "endpoint-admin",
+        provider: ExecutionProvider | None = None,
+        start: bool = True,
+        public: bool = True,
+    ) -> str:
+        """Deploy an endpoint and its forwarder; returns the endpoint id."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("deployment is closed")
+        # Endpoints are native auth clients (§4.8).
+        ep_identity, ep_token = self.auth.endpoint_client_flow(name)
+        endpoint_id = self.service.register_endpoint(
+            ep_token.token, name=name, public=public,
+            metadata={"nodes": nodes},
+        )
+        channel = self.network.create_channel(
+            f"svc<->{name}", latency=self.timings.service_endpoint_latency
+        )
+        config = config or EndpointConfig()
+        forwarder = Forwarder(
+            service=self.service,
+            endpoint_id=endpoint_id,
+            channel_end=channel.left,
+            heartbeat_period=config.heartbeat_period,
+            heartbeat_grace=config.heartbeat_grace,
+        )
+        endpoint = Endpoint(
+            endpoint_id=endpoint_id,
+            forwarder_channel=channel.right,
+            config=config,
+            network=self.network,
+            nodes=nodes,
+            provider=provider,
+            manager_latency=self.timings.manager_latency,
+        )
+        handle = _EndpointHandle(endpoint=endpoint, forwarder=forwarder)
+        with self._lock:
+            self._handles[endpoint_id] = handle
+        if start:
+            forwarder.start()
+            endpoint.start()
+            endpoint.wait_ready()
+            # Also wait for the agent's registration to reach the forwarder
+            # so the endpoint is observably connected before we return.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if self.service.endpoints.get(endpoint_id).connected:
+                    break
+                time.sleep(0.005)
+        return endpoint_id
+
+    def endpoint(self, endpoint_id: str) -> Endpoint:
+        return self._handles[endpoint_id].endpoint
+
+    def forwarder(self, endpoint_id: str) -> Forwarder:
+        return self._handles[endpoint_id].forwarder
+
+    def endpoints(self) -> list[str]:
+        with self._lock:
+            return sorted(self._handles)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, endpoint_id: str, timeout: float = 30.0) -> bool:
+        """Wait until the endpoint has no outstanding tasks."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.service.outstanding_tasks(endpoint_id) == 0:
+                return True
+            time.sleep(0.005)
+        return False
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles.values())
+        for handle in handles:
+            handle.endpoint.stop()
+            handle.forwarder.stop()
+        self.network.close_all()
+
+    def __enter__(self) -> "LocalDeployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

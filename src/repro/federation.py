@@ -1,0 +1,177 @@
+"""Client-side federation: scheduling across many endpoints.
+
+The paper positions funcX as "a foundational research platform" for
+"multi-level function scheduling" (§1) and demonstrates a workload
+"simultaneously using two funcX endpoints provisioning heterogeneous
+resources" (§6, HEP).  This module provides that layer: a
+:class:`FederatedExecutor` that spreads submissions over a set of
+endpoints according to a pluggable selection policy, skipping endpoints
+that are offline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Sequence
+
+from repro.core.client import FuncXClient
+from repro.core.futures import FuncXFuture
+from repro.errors import EndpointError
+
+
+class EndpointSelectionPolicy(ABC):
+    """Chooses which endpoint receives the next task."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def select(self, candidates: Sequence[str], client: FuncXClient) -> str:
+        """Pick one endpoint id from the non-empty ``candidates``."""
+
+
+class RoundRobinEndpoints(EndpointSelectionPolicy):
+    """Cycle through endpoints — the §6 HEP pattern."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._counter = itertools.count()
+
+    def select(self, candidates: Sequence[str], client: FuncXClient) -> str:
+        return candidates[next(self._counter) % len(candidates)]
+
+
+class RandomEndpoints(EndpointSelectionPolicy):
+    """Uniform random choice."""
+
+    name = "random"
+
+    def __init__(self, seed: int | None = None):
+        self._rng = random.Random(seed)
+
+    def select(self, candidates: Sequence[str], client: FuncXClient) -> str:
+        return self._rng.choice(list(candidates))
+
+
+class LeastLoadedEndpoints(EndpointSelectionPolicy):
+    """Send to the endpoint with the fewest outstanding tasks.
+
+    Uses the service's monitoring view (queued + dispatched + running per
+    endpoint) — the information a multi-level scheduler would consume.
+    """
+
+    name = "least_loaded"
+
+    def select(self, candidates: Sequence[str], client: FuncXClient) -> str:
+        return min(
+            candidates, key=lambda ep: client.service.outstanding_tasks(ep)
+        )
+
+
+class FederatedExecutor:
+    """Submit tasks across a federation of endpoints.
+
+    Parameters
+    ----------
+    client:
+        An authenticated SDK client.
+    endpoints:
+        The endpoint ids in the federation.
+    policy:
+        Selection policy; defaults to round robin.
+    require_connected:
+        Skip endpoints whose agents are not currently connected; raises
+        :class:`EndpointError` if none are eligible.
+    """
+
+    def __init__(
+        self,
+        client: FuncXClient,
+        endpoints: Iterable[str],
+        policy: EndpointSelectionPolicy | None = None,
+        require_connected: bool = True,
+    ):
+        self.client = client
+        self._endpoints = list(dict.fromkeys(endpoints))
+        if not self._endpoints:
+            raise ValueError("federation requires at least one endpoint")
+        self.policy = policy or RoundRobinEndpoints()
+        self.require_connected = require_connected
+        self._lock = threading.Lock()
+        self.submissions: dict[str, int] = {ep: 0 for ep in self._endpoints}
+
+    # ------------------------------------------------------------------
+    def eligible_endpoints(self) -> list[str]:
+        if not self.require_connected:
+            return list(self._endpoints)
+        eligible = [
+            ep
+            for ep in self._endpoints
+            if self.client.service.endpoints.get(ep).connected
+        ]
+        return eligible
+
+    def _choose(self) -> str:
+        candidates = self.eligible_endpoints()
+        if not candidates:
+            raise EndpointError("no connected endpoint in the federation")
+        chosen = self.policy.select(candidates, self.client)
+        with self._lock:
+            self.submissions[chosen] = self.submissions.get(chosen, 0) + 1
+        return chosen
+
+    # ------------------------------------------------------------------
+    def submit(self, function_id: str, *args: Any, **kwargs: Any) -> FuncXFuture:
+        """Submit one invocation to a policy-chosen endpoint."""
+        endpoint_id = self._choose()
+        future = self.client.submit(function_id, endpoint_id, *args, **kwargs)
+        future.endpoint_id = endpoint_id  # type: ignore[attr-defined]
+        return future
+
+    def map(
+        self,
+        function_id: str,
+        iterator: Iterable[Any],
+        batch_size: int | None = None,
+        batch_count: int | None = None,
+    ) -> list[FuncXFuture]:
+        """Partition an iterator into batches spread across endpoints.
+
+        Unlike single-endpoint :meth:`FuncXClient.map`, each batch may
+        land on a different endpoint; returns the batch futures.
+        """
+        from repro.core.batch import MAP_TAG, partition_iterator
+
+        futures: list[FuncXFuture] = []
+        for batch in partition_iterator(iterator, batch_size=batch_size,
+                                        batch_count=batch_count):
+            endpoint_id = self._choose()
+            payload = self.client.serializer.serialize(batch, routing_tag=MAP_TAG)
+            task_id = self.client.service.submit(
+                self.client._token(), function_id, endpoint_id, payload
+            )
+            future = self.client._future_for(task_id)
+            future.endpoint_id = endpoint_id  # type: ignore[attr-defined]
+            futures.append(future)
+        return futures
+
+    # ------------------------------------------------------------------
+    def add_endpoint(self, endpoint_id: str) -> None:
+        with self._lock:
+            if endpoint_id not in self._endpoints:
+                self._endpoints.append(endpoint_id)
+                self.submissions.setdefault(endpoint_id, 0)
+
+    def remove_endpoint(self, endpoint_id: str) -> bool:
+        with self._lock:
+            if endpoint_id in self._endpoints:
+                self._endpoints.remove(endpoint_id)
+                return True
+            return False
+
+    @property
+    def endpoints(self) -> tuple[str, ...]:
+        return tuple(self._endpoints)

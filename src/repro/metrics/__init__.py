@@ -1,0 +1,14 @@
+"""Measurement utilities: latency statistics, stage timers, timelines."""
+
+from repro.metrics.stats import LatencyRecorder, SummaryStats, summarize
+from repro.metrics.timeline import Timeline
+from repro.metrics.timers import StageTimer, Stopwatch
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "LatencyRecorder",
+    "Timeline",
+    "Stopwatch",
+    "StageTimer",
+]

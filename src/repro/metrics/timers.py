@@ -1,0 +1,94 @@
+"""Stage timers for the latency-breakdown instrumentation (figure 4).
+
+The paper instruments a warm invocation into four stages: web-service
+time (ts), forwarder time (tf), endpoint time (te) and function execution
+(tw).  :class:`StageTimer` accumulates named stage durations per task so
+the breakdown benchmark can report the same decomposition.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+class Stopwatch:
+    """Minimal start/stop timer against an injectable clock."""
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock or time.perf_counter
+        self._started_at: float | None = None
+        self.elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = self._clock()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += self._clock() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._started_at = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+
+class StageTimer:
+    """Accumulates named stage durations, e.g. ts/tf/te/tw per task.
+
+    Thread-safe: stages of one task may be timed on different threads
+    (service thread, forwarder thread, worker thread).
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        import threading
+
+        self._clock = clock or time.perf_counter
+        self._lock = threading.Lock()
+        self._stages: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.add(name, self._clock() - start)
+
+    def add(self, name: str, duration: float) -> None:
+        with self._lock:
+            self._stages[name] = self._stages.get(name, 0.0) + duration
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        with self._lock:
+            return self._stages.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        with self._lock:
+            count = self._counts.get(name, 0)
+            return self._stages.get(name, 0.0) / count if count else 0.0
+
+    def stages(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._stages)
+
+    def breakdown(self, order: tuple[str, ...] = ("ts", "tf", "te", "tw")) -> dict[str, float]:
+        """Mean duration per stage, in the given stage order."""
+        return {name: self.mean(name) for name in order}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stages.clear()
+            self._counts.clear()

@@ -1,0 +1,51 @@
+"""Resource providers (Parsl provider-interface substitute, paper §4.4).
+
+funcX provisions compute through Parsl's provider interface, supporting
+batch schedulers (Slurm, Torque/PBS, Cobalt, SGE, Condor), the major
+clouds, and Kubernetes, using a pilot-job model.  This package implements
+that interface against *simulated* resource managers: each provider owns a
+model of its scheduler (queue delays, allocation accounting, node limits,
+downtime) and exposes uniform submit/status/cancel plus autoscaling hooks.
+"""
+
+from repro.providers.base import (
+    ExecutionProvider,
+    Job,
+    JobState,
+    ProviderLimits,
+)
+from repro.providers.batchsim import BatchScheduler, QueueModel
+from repro.providers.local import LocalProvider
+from repro.providers.batch import (
+    CobaltProvider,
+    CondorProvider,
+    GridEngineProvider,
+    PBSProvider,
+    SlurmProvider,
+)
+from repro.providers.kubernetes import KubernetesProvider, Pod
+from repro.providers.cloud import AWSProvider, AzureProvider, CloudProvider, GCPProvider
+from repro.providers.strategy import ScalingDecision, SimpleScalingStrategy
+
+__all__ = [
+    "ExecutionProvider",
+    "Job",
+    "JobState",
+    "ProviderLimits",
+    "BatchScheduler",
+    "QueueModel",
+    "LocalProvider",
+    "SlurmProvider",
+    "PBSProvider",
+    "CobaltProvider",
+    "CondorProvider",
+    "GridEngineProvider",
+    "KubernetesProvider",
+    "Pod",
+    "CloudProvider",
+    "AWSProvider",
+    "AzureProvider",
+    "GCPProvider",
+    "SimpleScalingStrategy",
+    "ScalingDecision",
+]

@@ -1,0 +1,187 @@
+"""Provider interface: uniform pilot-job provisioning across resources.
+
+The funcX agent "uses a pilot job model to provision and communicate with
+resources in a uniform manner, irrespective of the resource type (cloud or
+cluster) or local resource manager" (paper section 4.3).  Every provider
+submits *blocks* — pilot jobs of ``nodes_per_block`` nodes — and reports
+their lifecycle states.
+
+Providers are time-agnostic: state transitions happen in :meth:`poll`,
+which takes the current time, so the same provider code runs under both
+the wall clock and the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class JobState(Enum):
+    """Lifecycle of a pilot job."""
+
+    PENDING = "pending"      # queued at the resource manager
+    RUNNING = "running"      # nodes are up and managers may start
+    COMPLETED = "completed"  # ran to its walltime / finished cleanly
+    CANCELLED = "cancelled"  # cancelled by the agent (scale-in)
+    FAILED = "failed"        # rejected or killed by the resource manager
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.CANCELLED, JobState.FAILED)
+
+
+@dataclass
+class Job:
+    """One pilot job (block) and its observable state."""
+
+    job_id: str
+    nodes: int
+    state: JobState = JobState.PENDING
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    walltime: float | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def queue_delay(self) -> float | None:
+        """Seconds spent pending, once running."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+
+@dataclass(frozen=True)
+class ProviderLimits:
+    """Scaling bounds used by the elasticity strategy (paper §4.4).
+
+    Attributes
+    ----------
+    min_blocks:
+        Blocks kept alive even when idle.
+    max_blocks:
+        Hard cap on simultaneously active (pending+running) blocks.
+    init_blocks:
+        Blocks submitted when the endpoint starts.
+    parallelism:
+        Scaling aggressiveness in (0, 1]: the target is
+        ``outstanding_tasks * parallelism`` task slots.
+    """
+
+    min_blocks: int = 0
+    max_blocks: int = 10
+    init_blocks: int = 1
+    parallelism: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_blocks < 0 or self.max_blocks < self.min_blocks:
+            raise ValueError("require 0 <= min_blocks <= max_blocks")
+        if not 0.0 < self.parallelism <= 1.0:
+            raise ValueError("parallelism must be in (0, 1]")
+        if not self.min_blocks <= self.init_blocks <= self.max_blocks:
+            raise ValueError("init_blocks must lie within [min_blocks, max_blocks]")
+
+
+class ExecutionProvider(ABC):
+    """Abstract provider: submit/cancel pilot jobs, poll their states.
+
+    Parameters
+    ----------
+    nodes_per_block:
+        Nodes in each pilot job.
+    limits:
+        Scaling bounds.
+    label:
+        Human-readable provider name ("slurm", "aws", ...).
+    """
+
+    def __init__(
+        self,
+        nodes_per_block: int = 1,
+        limits: ProviderLimits | None = None,
+        label: str = "provider",
+    ):
+        if nodes_per_block < 1:
+            raise ValueError("nodes_per_block must be positive")
+        self.nodes_per_block = nodes_per_block
+        self.limits = limits or ProviderLimits()
+        self.label = label
+        self._jobs: dict[str, Job] = {}
+        self._job_seq = itertools.count(1)
+
+    # -- abstract core ------------------------------------------------------
+    @abstractmethod
+    def _do_submit(self, job: Job, now: float) -> None:
+        """Provider-specific admission (may set FAILED immediately)."""
+
+    @abstractmethod
+    def _do_poll(self, job: Job, now: float) -> None:
+        """Advance a single non-terminal job's state to time ``now``."""
+
+    @abstractmethod
+    def _do_cancel(self, job: Job, now: float) -> None:
+        """Provider-specific cancellation."""
+
+    # -- uniform interface ---------------------------------------------------
+    def submit(self, now: float, walltime: float | None = None) -> Job:
+        """Submit one block; returns the pending (or failed) job."""
+        job = Job(
+            job_id=f"{self.label}-{next(self._job_seq)}",
+            nodes=self.nodes_per_block,
+            submitted_at=now,
+            walltime=walltime,
+        )
+        self._jobs[job.job_id] = job
+        self._do_submit(job, now)
+        return job
+
+    def poll(self, now: float) -> list[Job]:
+        """Advance all jobs to ``now``; returns jobs that changed state."""
+        changed = []
+        for job in self._jobs.values():
+            if job.state.terminal:
+                continue
+            before = job.state
+            self._do_poll(job, now)
+            if job.state is not before:
+                changed.append(job)
+        return changed
+
+    def cancel(self, job_id: str, now: float) -> bool:
+        job = self._jobs.get(job_id)
+        if job is None or job.state.terminal:
+            return False
+        self._do_cancel(job, now)
+        job.state = JobState.CANCELLED
+        job.finished_at = now
+        return True
+
+    def cancel_all(self, now: float) -> int:
+        return sum(self.cancel(job_id, now) for job_id in list(self._jobs))
+
+    # -- introspection -----------------------------------------------------------
+    def job(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs_in_state(self, *states: JobState) -> list[Job]:
+        wanted = set(states)
+        return [j for j in self._jobs.values() if j.state in wanted]
+
+    @property
+    def active_blocks(self) -> int:
+        """Pending + running blocks — what max_blocks bounds."""
+        return len(self.jobs_in_state(JobState.PENDING, JobState.RUNNING))
+
+    @property
+    def running_nodes(self) -> int:
+        return sum(j.nodes for j in self.jobs_in_state(JobState.RUNNING))
+
+    def can_scale_out(self) -> bool:
+        return self.active_blocks < self.limits.max_blocks
+
+    def can_scale_in(self) -> bool:
+        return self.active_blocks > self.limits.min_blocks

@@ -1,0 +1,216 @@
+"""A simulated batch resource manager.
+
+Research CI "expose batch scheduling interfaces ... and have unpredictable
+scheduling delays for provisioning resources" with "long delays, periodic
+downtimes" (paper sections 1, 2).  :class:`BatchScheduler` models exactly
+those properties for the cluster providers:
+
+* a finite node pool with FIFO-plus-backfill admission;
+* sampled queue delay (scheduler cycle time) even when nodes are free;
+* allocation accounting in node-seconds (research "billing" requirement);
+* scheduled downtime windows during which nothing starts;
+* walltime enforcement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationExhausted
+from repro.providers.base import Job, JobState
+
+
+@dataclass(frozen=True)
+class QueueModel:
+    """Distribution of scheduler-induced queue delay.
+
+    Queue delay is sampled per job as ``base + Expo(mean_extra)``, capped
+    at ``max_delay``.  This delay applies *in addition to* waiting for free
+    nodes, modelling scheduler cycles and priority churn.
+    """
+
+    base_delay: float = 10.0
+    mean_extra: float = 60.0
+    max_delay: float = 3600.0
+
+    def sample(self, rng: random.Random) -> float:
+        extra = rng.expovariate(1.0 / self.mean_extra) if self.mean_extra > 0 else 0.0
+        return min(self.base_delay + extra, self.max_delay)
+
+
+@dataclass
+class _QueuedJob:
+    job: Job
+    eligible_at: float  # earliest start permitted by the queue model
+
+
+@dataclass
+class DowntimeWindow:
+    start: float
+    end: float
+
+    def covers(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass
+class BatchScheduler:
+    """Finite-capacity FIFO/backfill scheduler with allocation accounting.
+
+    Parameters
+    ----------
+    total_nodes:
+        Size of the machine partition available to this user.
+    queue_model:
+        Sampled per-job scheduler delay.
+    allocation_node_seconds:
+        Allocation budget; ``None`` disables accounting.  Jobs whose
+        requested ``nodes × walltime`` exceeds the remaining budget are
+        rejected (the paper's "allocation-based usage models").
+    backfill:
+        Whether smaller jobs may start ahead of a blocked queue head.
+    default_walltime:
+        Applied when a job is submitted without one.
+    """
+
+    total_nodes: int = 128
+    queue_model: QueueModel = field(default_factory=QueueModel)
+    allocation_node_seconds: float | None = None
+    backfill: bool = True
+    default_walltime: float = 3600.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_nodes < 1:
+            raise ValueError("total_nodes must be positive")
+        self._rng = random.Random(self.seed)
+        self._queue: list[_QueuedJob] = []
+        self._running: list[Job] = []
+        self._downtimes: list[DowntimeWindow] = []
+        self.allocation_used = 0.0
+
+    # -- admission ----------------------------------------------------------
+    def enqueue(self, job: Job, now: float) -> None:
+        """Admit a job to the queue (may raise :class:`AllocationExhausted`)."""
+        if job.nodes > self.total_nodes:
+            job.state = JobState.FAILED
+            job.finished_at = now
+            job.metadata["failure"] = (
+                f"requested {job.nodes} nodes exceeds partition of {self.total_nodes}"
+            )
+            return
+        walltime = job.walltime or self.default_walltime
+        job.walltime = walltime
+        if self.allocation_node_seconds is not None:
+            cost = job.nodes * walltime
+            if self.allocation_used + cost > self.allocation_node_seconds:
+                job.state = JobState.FAILED
+                job.finished_at = now
+                job.metadata["failure"] = "allocation exhausted"
+                raise AllocationExhausted(
+                    f"job needs {cost:.0f} node-seconds; "
+                    f"{self.allocation_node_seconds - self.allocation_used:.0f} remain"
+                )
+            self.allocation_used += cost
+        eligible = now + self.queue_model.sample(self._rng)
+        self._queue.append(_QueuedJob(job=job, eligible_at=eligible))
+
+    def dequeue(self, job_id: str) -> bool:
+        """Remove a pending job (cancellation while queued)."""
+        for i, entry in enumerate(self._queue):
+            if entry.job.job_id == job_id:
+                del self._queue[i]
+                return True
+        return False
+
+    def release(self, job_id: str, now: float) -> bool:
+        """Stop a running job (cancellation or agent shut-down)."""
+        for i, job in enumerate(self._running):
+            if job.job_id == job_id:
+                del self._running[i]
+                self._refund_unused(job, now)
+                return True
+        return False
+
+    # -- downtime -------------------------------------------------------------
+    def schedule_downtime(self, start: float, end: float) -> None:
+        if end <= start:
+            raise ValueError("downtime window must have positive length")
+        self._downtimes.append(DowntimeWindow(start, end))
+
+    def in_downtime(self, now: float) -> bool:
+        return any(w.covers(now) for w in self._downtimes)
+
+    # -- the scheduling cycle ------------------------------------------------------
+    def cycle(self, now: float) -> list[Job]:
+        """Run one scheduling cycle at time ``now``.
+
+        Completes jobs past their walltime, then starts eligible queued
+        jobs (FIFO head first; backfill fills leftover nodes).  Returns
+        jobs whose state changed.
+        """
+        changed: list[Job] = []
+
+        # 1. walltime completions
+        still_running: list[Job] = []
+        for job in self._running:
+            assert job.started_at is not None and job.walltime is not None
+            if now >= job.started_at + job.walltime:
+                job.state = JobState.COMPLETED
+                job.finished_at = job.started_at + job.walltime
+                changed.append(job)
+            else:
+                still_running.append(job)
+        self._running = still_running
+
+        if self.in_downtime(now):
+            return changed
+
+        # 2. starts — FIFO with optional backfill
+        free = self.free_nodes
+        remaining_queue: list[_QueuedJob] = []
+        head_blocked = False
+        for entry in self._queue:
+            job = entry.job
+            startable = entry.eligible_at <= now and job.nodes <= free
+            if startable and (not head_blocked or self.backfill):
+                job.state = JobState.RUNNING
+                job.started_at = now
+                self._running.append(job)
+                free -= job.nodes
+                changed.append(job)
+            else:
+                if not head_blocked:
+                    head_blocked = True
+                remaining_queue.append(entry)
+        self._queue = remaining_queue
+        return changed
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def free_nodes(self) -> int:
+        return self.total_nodes - sum(j.nodes for j in self._running)
+
+    @property
+    def queued_jobs(self) -> int:
+        return len(self._queue)
+
+    @property
+    def running_jobs(self) -> int:
+        return len(self._running)
+
+    def allocation_remaining(self) -> float | None:
+        if self.allocation_node_seconds is None:
+            return None
+        return self.allocation_node_seconds - self.allocation_used
+
+    # -- internals ---------------------------------------------------------------
+    def _refund_unused(self, job: Job, now: float) -> None:
+        """Credit back unused walltime when a job is released early."""
+        if self.allocation_node_seconds is None or job.started_at is None:
+            return
+        assert job.walltime is not None
+        used = max(0.0, now - job.started_at)
+        unused = max(0.0, job.walltime - used)
+        self.allocation_used = max(0.0, self.allocation_used - job.nodes * unused)

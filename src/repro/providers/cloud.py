@@ -1,0 +1,150 @@
+"""Cloud providers: AWS, Azure, GCP instance models.
+
+Cloud instances differ from batch jobs in the ways that matter to funcX:
+no queue, but a boot delay of tens of seconds; per-second billing rather
+than allocations; instance-count quotas; and (for spot-style capacity)
+occasional preemption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.providers.base import ExecutionProvider, Job, JobState, ProviderLimits
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A purchasable VM shape."""
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    hourly_price: float
+    gpu: bool = False
+
+
+#: A small catalog matching the instance types the paper uses.
+INSTANCE_CATALOG: dict[str, InstanceType] = {
+    "m5.large": InstanceType("m5.large", 2, 8.0, 0.096),
+    "c5n.9xlarge": InstanceType("c5n.9xlarge", 36, 96.0, 1.944),
+    "p3.2xlarge": InstanceType("p3.2xlarge", 8, 61.0, 3.06, gpu=True),
+    "t3.medium": InstanceType("t3.medium", 2, 4.0, 0.0416),
+}
+
+
+class CloudProvider(ExecutionProvider):
+    """Generic IaaS provider with boot delay, quota, billing and preemption.
+
+    Parameters
+    ----------
+    instance_type:
+        Catalog name; determines vCPUs (worker slots) and billing rate.
+    boot_mean, boot_jitter:
+        Instance boot-time model, seconds.
+    quota:
+        Maximum simultaneous instances.
+    preemption_rate:
+        Probability per poll-hour that a running (spot) instance is
+        reclaimed; 0 for on-demand.
+    """
+
+    cloud_name = "cloud"
+
+    def __init__(
+        self,
+        instance_type: str = "m5.large",
+        limits: ProviderLimits | None = None,
+        boot_mean: float = 45.0,
+        boot_jitter: float = 10.0,
+        quota: int = 20,
+        preemption_rate: float = 0.0,
+        seed: int | None = None,
+    ):
+        super().__init__(nodes_per_block=1, limits=limits, label=self.cloud_name)
+        if instance_type not in INSTANCE_CATALOG:
+            raise ValueError(
+                f"unknown instance type {instance_type!r}; "
+                f"known: {sorted(INSTANCE_CATALOG)}"
+            )
+        self.instance_type = INSTANCE_CATALOG[instance_type]
+        self.boot_mean = boot_mean
+        self.boot_jitter = boot_jitter
+        self.quota = quota
+        self.preemption_rate = preemption_rate
+        self._rng = random.Random(seed)
+
+    # -- billing ------------------------------------------------------------
+    def accrued_cost(self, now: float) -> float:
+        """Total spend in dollars (per-second billing) up to ``now``."""
+        rate = self.instance_type.hourly_price / 3600.0
+        total = 0.0
+        for job in self._jobs.values():
+            if job.started_at is None:
+                continue
+            end = job.finished_at if job.finished_at is not None else now
+            total += max(0.0, end - job.started_at) * rate
+        return total
+
+    # -- ExecutionProvider hooks ------------------------------------------------
+    def _do_submit(self, job: Job, now: float) -> None:
+        if self.active_blocks > self.quota:
+            job.state = JobState.FAILED
+            job.finished_at = now
+            job.metadata["failure"] = f"instance quota of {self.quota} reached"
+            return
+        boot = max(1.0, self._rng.gauss(self.boot_mean, self.boot_jitter))
+        job.metadata["boot_at"] = now + boot
+        job.metadata["vcpus"] = self.instance_type.vcpus
+
+    def _do_poll(self, job: Job, now: float) -> None:
+        if job.state is JobState.PENDING and now >= job.metadata.get("boot_at", 0.0):
+            job.state = JobState.RUNNING
+            job.started_at = job.metadata["boot_at"]
+        if job.state is JobState.RUNNING:
+            if self._maybe_preempt(job, now):
+                job.state = JobState.FAILED
+                job.finished_at = now
+                job.metadata["failure"] = "spot instance preempted"
+                return
+            if (
+                job.walltime is not None
+                and job.started_at is not None
+                and now >= job.started_at + job.walltime
+            ):
+                job.state = JobState.COMPLETED
+                job.finished_at = job.started_at + job.walltime
+
+    def _do_cancel(self, job: Job, now: float) -> None:
+        return  # terminate API call; nothing further to model
+
+    def _maybe_preempt(self, job: Job, now: float) -> bool:
+        if self.preemption_rate <= 0.0:
+            return False
+        last = job.metadata.get("preempt_checked_at")
+        job.metadata["preempt_checked_at"] = now
+        if last is None:
+            return False
+        elapsed_hours = max(0.0, (now - last) / 3600.0)
+        return self._rng.random() < self.preemption_rate * elapsed_hours
+
+
+class AWSProvider(CloudProvider):
+    cloud_name = "aws"
+
+
+class AzureProvider(CloudProvider):
+    cloud_name = "azure"
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("boot_mean", 60.0)
+        super().__init__(**kwargs)
+
+
+class GCPProvider(CloudProvider):
+    cloud_name = "gcp"
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("boot_mean", 35.0)
+        super().__init__(**kwargs)

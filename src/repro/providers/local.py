@@ -1,0 +1,66 @@
+"""Local provider: the laptop/login-node case.
+
+Turning "any existing resource (e.g., laptop, ...)" into a FaaS endpoint
+(paper section 1) needs a provider with no scheduler at all: blocks start
+immediately, bounded only by a configurable node (process-slot) cap.
+This is also the provider the live fabric uses in tests and examples.
+"""
+
+from __future__ import annotations
+
+from repro.providers.base import ExecutionProvider, Job, JobState, ProviderLimits
+
+
+class LocalProvider(ExecutionProvider):
+    """Pilot jobs start instantly on the local machine.
+
+    Parameters
+    ----------
+    max_nodes:
+        Total simultaneous "nodes" (process groups) allowed.
+    startup_delay:
+        Seconds between submit and RUNNING (process fork + import cost).
+    """
+
+    def __init__(
+        self,
+        nodes_per_block: int = 1,
+        limits: ProviderLimits | None = None,
+        max_nodes: int = 8,
+        startup_delay: float = 0.0,
+    ):
+        super().__init__(nodes_per_block=nodes_per_block, limits=limits, label="local")
+        if max_nodes < 1:
+            raise ValueError("max_nodes must be positive")
+        self.max_nodes = max_nodes
+        self.startup_delay = startup_delay
+
+    def _do_submit(self, job: Job, now: float) -> None:
+        # job is already registered as PENDING; exclude it from the count.
+        used = self.running_nodes + self._pending_nodes() - job.nodes
+        if used + job.nodes > self.max_nodes:
+            job.state = JobState.FAILED
+            job.finished_at = now
+            job.metadata["failure"] = f"local node cap of {self.max_nodes} reached"
+            return
+        job.metadata["start_at"] = now + self.startup_delay
+
+    def _do_poll(self, job: Job, now: float) -> None:
+        if job.state is JobState.PENDING and now >= job.metadata.get("start_at", 0.0):
+            job.state = JobState.RUNNING
+            job.started_at = job.metadata.get("start_at", now)
+        if (
+            job.state is JobState.RUNNING
+            and job.walltime is not None
+            and job.started_at is not None
+            and now >= job.started_at + job.walltime
+        ):
+            job.state = JobState.COMPLETED
+            job.finished_at = job.started_at + job.walltime
+
+    def _do_cancel(self, job: Job, now: float) -> None:
+        # Nothing external to tear down; base class marks CANCELLED.
+        return
+
+    def _pending_nodes(self) -> int:
+        return sum(j.nodes for j in self.jobs_in_state(JobState.PENDING))

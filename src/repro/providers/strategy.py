@@ -1,0 +1,149 @@
+"""Elastic scaling strategy (paper sections 4.4, 5.3).
+
+funcX endpoints "dynamically scale and provision compute resources in
+response to function load": the provider interface lets users "define
+rules for automatic scaling (i.e., limits and scaling aggressiveness)".
+
+:class:`SimpleScalingStrategy` is the shared, time-agnostic policy: given
+the current load (outstanding tasks per container type) and the current
+supply (pods/blocks per type), it returns scale-out/scale-in decisions.
+It reproduces the behaviour in figure 6: pods rise with arriving task
+batches (capped at the per-image max) and idle pods are reclaimed after a
+short grace period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One action for the agent to apply to its provider."""
+
+    action: str           # "scale_out" | "scale_in"
+    image: str            # container image / block type
+    count: int            # how many pods/blocks
+    reason: str = ""
+
+
+@dataclass
+class _IdleRecord:
+    idle_since: float | None = None
+
+
+@dataclass
+class SimpleScalingStrategy:
+    """Demand-tracking autoscaler.
+
+    Parameters
+    ----------
+    max_units_per_image:
+        Cap on pods/blocks per container image (figure 6 uses 10).
+    min_units_per_image:
+        Floor kept even when idle (figure 6 uses 0).
+    tasks_per_unit:
+        Worker slots one unit provides; the target unit count is
+        ``ceil(outstanding * parallelism / tasks_per_unit)``.
+    parallelism:
+        Scaling aggressiveness in (0, 1]; 1 requests a slot per task.
+    idle_grace:
+        Seconds a unit must be idle (no outstanding or running tasks of
+        its type) before scale-in reclaims it.
+    """
+
+    max_units_per_image: int = 10
+    min_units_per_image: int = 0
+    tasks_per_unit: int = 1
+    parallelism: float = 1.0
+    idle_grace: float = 5.0
+    _idle: dict[str, _IdleRecord] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.parallelism <= 1.0:
+            raise ValueError("parallelism must be in (0, 1]")
+        if self.tasks_per_unit < 1:
+            raise ValueError("tasks_per_unit must be positive")
+        if self.min_units_per_image > self.max_units_per_image:
+            raise ValueError("min_units_per_image exceeds max_units_per_image")
+
+    # ------------------------------------------------------------------
+    def target_units(self, outstanding: int) -> int:
+        """Units demanded by ``outstanding`` tasks (before caps)."""
+        import math
+
+        if outstanding <= 0:
+            return 0
+        return math.ceil(outstanding * self.parallelism / self.tasks_per_unit)
+
+    def decide(
+        self,
+        load: dict[str, int],
+        supply: dict[str, int],
+        now: float,
+    ) -> list[ScalingDecision]:
+        """Compute scaling actions.
+
+        Parameters
+        ----------
+        load:
+            Outstanding (queued + executing) task count per image key.
+        supply:
+            Active units per image key.
+        now:
+            Current time (drives the idle-grace clock).
+        """
+        decisions: list[ScalingDecision] = []
+        images = set(load) | set(supply) | set(self._idle)
+        for image in sorted(images):
+            outstanding = load.get(image, 0)
+            current = supply.get(image, 0)
+            target = min(
+                self.max_units_per_image,
+                max(self.min_units_per_image, self.target_units(outstanding)),
+            )
+            record = self._idle.setdefault(image, _IdleRecord())
+
+            if outstanding > 0:
+                record.idle_since = None
+            elif current > self.min_units_per_image and record.idle_since is None:
+                record.idle_since = now
+
+            if target > current:
+                decisions.append(
+                    ScalingDecision(
+                        action="scale_out",
+                        image=image,
+                        count=target - current,
+                        reason=f"{outstanding} outstanding tasks need {target} units",
+                    )
+                )
+            elif target < current:
+                # Scale in only after the idle grace period (avoids thrash
+                # on bursty arrivals); partial scale-downs when still loaded
+                # happen immediately.
+                if outstanding > 0:
+                    decisions.append(
+                        ScalingDecision(
+                            action="scale_in",
+                            image=image,
+                            count=current - target,
+                            reason="supply exceeds demand",
+                        )
+                    )
+                elif (
+                    record.idle_since is not None
+                    and (now - record.idle_since) >= self.idle_grace
+                ):
+                    decisions.append(
+                        ScalingDecision(
+                            action="scale_in",
+                            image=image,
+                            count=current - max(target, self.min_units_per_image),
+                            reason=f"idle for {now - record.idle_since:.1f}s",
+                        )
+                    )
+        return decisions
+
+    def reset(self) -> None:
+        self._idle.clear()

@@ -1,0 +1,39 @@
+"""Serialization facade (paper section 4.6).
+
+funcX serializes arbitrary Python functions and data by trying an ordered
+list of serialization methods until one succeeds, then packing the payload
+into a tagged buffer whose header records the method used so that only the
+buffer needs to be inspected at the destination.
+
+The public surface is :class:`FuncXSerializer` plus the buffer pack/unpack
+helpers.
+"""
+
+from repro.serialize.buffers import pack_buffer, unpack_buffer, BufferHeader
+from repro.serialize.facade import FuncXSerializer
+from repro.serialize.methods import (
+    SerializationMethod,
+    JsonMethod,
+    NumpyMethod,
+    PickleMethod,
+    SourceCodeMethod,
+    CodePickleMethod,
+    TracebackMethod,
+)
+from repro.serialize.traceback import RemoteExceptionWrapper, SerializableTraceback
+
+__all__ = [
+    "FuncXSerializer",
+    "pack_buffer",
+    "unpack_buffer",
+    "BufferHeader",
+    "SerializationMethod",
+    "JsonMethod",
+    "NumpyMethod",
+    "PickleMethod",
+    "SourceCodeMethod",
+    "CodePickleMethod",
+    "TracebackMethod",
+    "RemoteExceptionWrapper",
+    "SerializableTraceback",
+]

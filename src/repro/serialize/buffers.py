@@ -1,0 +1,94 @@
+"""Tagged payload buffers.
+
+The paper packs serialized objects "into buffers with headers that include
+routing tags and the serialization method, such that only the buffers need
+be unpacked and deserialized at the destination" (section 4.6).
+
+Wire format (all ASCII header, binary payload)::
+
+    <method:2><\x1f><routing-tag><\x1f><payload-length:decimal><\n><payload>
+
+The routing tag is free-form (task id, endpoint id, "result", ...) and is
+readable without deserializing the payload, which is what lets forwarders
+route buffers they cannot (and should not) decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeserializationError
+
+_SEP = b"\x1f"
+_END = b"\n"
+_MAX_HEADER = 4096
+
+
+@dataclass(frozen=True)
+class BufferHeader:
+    """Decoded buffer header."""
+
+    method: str
+    routing_tag: str
+    payload_length: int
+
+
+def pack_buffer(method: str, routing_tag: str, payload: bytes) -> bytes:
+    """Pack ``payload`` into a routed buffer.
+
+    Parameters
+    ----------
+    method:
+        Two-character serialization-method identifier.
+    routing_tag:
+        Free-form routing string; must not contain the separator byte.
+    payload:
+        The serialized object bytes.
+    """
+    if len(method) != 2:
+        raise ValueError(f"method identifier must be 2 chars, got {method!r}")
+    tag_bytes = routing_tag.encode("utf-8")
+    if _SEP in tag_bytes or _END in tag_bytes:
+        raise ValueError("routing tag contains reserved separator bytes")
+    header = method.encode("ascii") + _SEP + tag_bytes + _SEP + str(len(payload)).encode("ascii") + _END
+    return header + payload
+
+
+def peek_header(buffer: bytes) -> BufferHeader:
+    """Decode only the header of a packed buffer (no payload copy)."""
+    end = buffer.find(_END, 0, _MAX_HEADER)
+    if end < 0:
+        raise DeserializationError("buffer header terminator not found")
+    header = buffer[:end]
+    parts = header.split(_SEP)
+    if len(parts) != 3:
+        raise DeserializationError(f"malformed buffer header: {header!r}")
+    method_b, tag_b, length_b = parts
+    try:
+        method = method_b.decode("ascii")
+        tag = tag_b.decode("utf-8")
+        length = int(length_b)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise DeserializationError(f"corrupt buffer header: {exc}") from exc
+    if len(method) != 2 or length < 0:
+        raise DeserializationError(f"invalid buffer header fields: {header!r}")
+    return BufferHeader(method=method, routing_tag=tag, payload_length=length)
+
+
+def unpack_buffer(buffer: bytes) -> tuple[BufferHeader, bytes]:
+    """Split a packed buffer into its header and payload bytes.
+
+    Raises
+    ------
+    DeserializationError
+        If the header is malformed or the payload is truncated.
+    """
+    header = peek_header(buffer)
+    start = buffer.find(_END) + 1
+    payload = buffer[start : start + header.payload_length]
+    if len(payload) != header.payload_length:
+        raise DeserializationError(
+            f"truncated payload: expected {header.payload_length} bytes, "
+            f"got {len(payload)}"
+        )
+    return header, payload

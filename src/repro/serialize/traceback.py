@@ -1,0 +1,115 @@
+"""Serializable exception/traceback transport (tblib equivalent).
+
+Python tracebacks reference frames and cannot be pickled.  Workers that
+catch a user-function exception wrap it in :class:`RemoteExceptionWrapper`,
+which captures the formatted traceback and enough structure to re-raise a
+faithful error on the submitting client.
+"""
+
+from __future__ import annotations
+
+import traceback as _tb
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import TaskExecutionFailed
+
+
+@dataclass(frozen=True)
+class FrameSummary:
+    """One stack frame of a remote traceback."""
+
+    filename: str
+    lineno: int
+    name: str
+    line: str
+
+    def format(self) -> str:
+        return f'  File "{self.filename}", line {self.lineno}, in {self.name}\n    {self.line}\n'
+
+
+@dataclass(frozen=True)
+class SerializableTraceback:
+    """A picklable snapshot of a traceback."""
+
+    frames: tuple[FrameSummary, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "SerializableTraceback":
+        frames = tuple(
+            FrameSummary(f.filename, f.lineno or 0, f.name, f.line or "")
+            for f in _tb.extract_tb(exc.__traceback__)
+        )
+        return cls(frames=frames)
+
+    def format(self) -> str:
+        out = "Traceback (most recent call last):\n"
+        out += "".join(f.format() for f in self.frames)
+        return out
+
+
+class RemoteExceptionWrapper:
+    """Carries a remote exception across the wire and re-raises it locally.
+
+    Parameters
+    ----------
+    exc:
+        The exception caught on the worker.
+
+    Notes
+    -----
+    If the original exception type itself pickles, we keep it so ``reraise``
+    restores the exact type; otherwise only the formatted representation
+    survives and ``reraise`` raises :class:`TaskExecutionFailed`.
+    """
+
+    def __init__(self, exc: BaseException):
+        import pickle
+
+        self.exc_type_name = type(exc).__name__
+        self.exc_str = str(exc)
+        self.traceback = SerializableTraceback.from_exception(exc)
+        try:
+            self._exc_pickle: bytes | None = pickle.dumps(exc)
+        except Exception:
+            self._exc_pickle = None
+
+    # -- record form used by the serialization method -----------------------
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "type": self.exc_type_name,
+            "str": self.exc_str,
+            "traceback": self.traceback,
+            "pickle": self._exc_pickle,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "RemoteExceptionWrapper":
+        obj = cls.__new__(cls)
+        obj.exc_type_name = record["type"]
+        obj.exc_str = record["str"]
+        obj.traceback = record["traceback"]
+        obj._exc_pickle = record["pickle"]
+        return obj
+
+    # -----------------------------------------------------------------------
+    def format(self) -> str:
+        """The formatted remote traceback, ending with the exception line."""
+        return f"{self.traceback.format()}{self.exc_type_name}: {self.exc_str}\n"
+
+    def reraise(self) -> None:
+        """Re-raise the remote exception on the caller's stack."""
+        import pickle
+
+        if self._exc_pickle is not None:
+            try:
+                exc = pickle.loads(self._exc_pickle)
+            except Exception:
+                exc = None
+            if isinstance(exc, BaseException):
+                exc.__cause__ = TaskExecutionFailed(self.format())
+                raise exc
+        raise TaskExecutionFailed(self.format())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteExceptionWrapper({self.exc_type_name}: {self.exc_str!r})"

@@ -1,0 +1,187 @@
+"""Kubernetes elasticity simulation (paper §5.3, figure 6).
+
+"We deployed three sleep functions (running for 1s, 10s, and 20s), each
+in its own container.  We limit each function to use between 0 to 10
+pods.  Every 120 seconds, we submitted one 1s, five 10s, and twenty 20s
+functions to the endpoint."
+
+The simulation drives the *real* :class:`KubernetesProvider` and
+:class:`SimpleScalingStrategy` policy objects under the event loop: the
+strategy is evaluated periodically against per-image outstanding load,
+pods start after a modelled startup delay, execute queued tasks serially
+(one worker per pod, §4.5), and idle pods are reclaimed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.metrics.timeline import Timeline
+from repro.providers.kubernetes import KubernetesProvider, Pod
+from repro.providers.strategy import SimpleScalingStrategy
+from repro.sim.kernel import EventLoop
+from repro.workloads.generators import ArrivalEvent
+
+
+@dataclass
+class _ImageState:
+    queue: deque = field(default_factory=deque)      # waiting _SimPodTask
+    executing: int = 0
+    idle_pods: list[str] = field(default_factory=list)   # ready pod ids
+    busy_pods: set[str] = field(default_factory=set)
+
+
+@dataclass
+class PodTimelines:
+    """The two panels of figure 6."""
+
+    outstanding: Timeline      # series per image: pending+executing functions
+    active_pods: Timeline      # series per image: active pod count
+    completed: int = 0
+
+    def peak_pods(self, image: str) -> float:
+        return self.active_pods.max_over(image)
+
+
+class _SimPodTask:
+    __slots__ = ("duration", "submitted")
+
+    def __init__(self, duration: float, submitted: float):
+        self.duration = duration
+        self.submitted = submitted
+
+
+class ElasticitySimulation:
+    """Autoscaling pods against a bursty workload.
+
+    Parameters
+    ----------
+    provider:
+        The Kubernetes provider model (pod caps, startup time).
+    strategy:
+        The scaling policy (max 10 pods per image in the paper's run).
+    evaluation_period:
+        How often the endpoint evaluates the strategy, seconds.
+    sample_period:
+        Timeline sampling interval, seconds.
+    """
+
+    def __init__(
+        self,
+        provider: KubernetesProvider | None = None,
+        strategy: SimpleScalingStrategy | None = None,
+        evaluation_period: float = 1.0,
+        sample_period: float = 2.0,
+    ):
+        self.loop = EventLoop()
+        self.provider = provider or KubernetesProvider(
+            max_pods_per_image=10, startup_mean=2.0, startup_jitter=0.3, seed=7
+        )
+        self.strategy = strategy or SimpleScalingStrategy(
+            max_units_per_image=10, min_units_per_image=0, idle_grace=5.0
+        )
+        self.evaluation_period = evaluation_period
+        self.sample_period = sample_period
+        self._images: dict[str, _ImageState] = {}
+        self._pod_image: dict[str, str] = {}
+        self.timelines = PodTimelines(outstanding=Timeline(), active_pods=Timeline())
+        self._horizon = 0.0
+
+    # ------------------------------------------------------------------
+    def submit(self, arrivals: list[ArrivalEvent]) -> None:
+        """Schedule the workload; ``workload`` labels name the images."""
+        for event in arrivals:
+            self._images.setdefault(event.workload, _ImageState())
+            self.loop.at(event.time, self._arrive, event.workload,
+                         _SimPodTask(event.duration, event.time))
+            self._horizon = max(self._horizon, event.time + event.duration)
+
+    def _arrive(self, image: str, task: _SimPodTask) -> None:
+        state = self._images[image]
+        state.queue.append(task)
+        self._feed_pods(image)
+
+    # ------------------------------------------------------------------
+    # pod lifecycle
+    # ------------------------------------------------------------------
+    def _feed_pods(self, image: str) -> None:
+        state = self._images[image]
+        while state.queue and state.idle_pods:
+            pod_id = state.idle_pods.pop()
+            task = state.queue.popleft()
+            state.busy_pods.add(pod_id)
+            state.executing += 1
+            self.loop.schedule(task.duration, self._finish, image, pod_id)
+
+    def _finish(self, image: str, pod_id: str) -> None:
+        state = self._images[image]
+        state.executing -= 1
+        state.busy_pods.discard(pod_id)
+        self.timelines.completed += 1
+        if self._pod_alive(pod_id):
+            state.idle_pods.append(pod_id)
+            self._feed_pods(image)
+
+    def _pod_ready(self, image: str, pod: Pod) -> None:
+        if pod.terminated_at is not None:
+            return
+        state = self._images[image]
+        state.idle_pods.append(pod.pod_id)
+        self._feed_pods(image)
+
+    def _pod_alive(self, pod_id: str) -> bool:
+        for pod in self.provider.pods():
+            if pod.pod_id == pod_id:
+                return pod.active
+        return False
+
+    # ------------------------------------------------------------------
+    # the scaling loop
+    # ------------------------------------------------------------------
+    def _evaluate(self) -> None:
+        now = self.loop.now
+        load = {
+            image: len(state.queue) + state.executing
+            for image, state in self._images.items()
+        }
+        supply = {
+            image: self.provider.pods_for_image(image) for image in self._images
+        }
+        for decision in self.strategy.decide(load, supply, now):
+            state = self._images.get(decision.image)
+            if state is None:
+                continue
+            if decision.action == "scale_out":
+                for _ in range(decision.count):
+                    pod = self.provider.create_pod(decision.image, now)
+                    if pod is None:
+                        break
+                    self._pod_image[pod.pod_id] = decision.image
+                    self.loop.at(pod.ready_at, self._pod_ready, decision.image, pod)
+            elif decision.action == "scale_in":
+                # Reclaim idle pods only; busy pods finish their task.
+                for _ in range(decision.count):
+                    if not state.idle_pods:
+                        break
+                    pod_id = state.idle_pods.pop()
+                    self.provider.delete_pod(pod_id, now)
+        self.loop.schedule(self.evaluation_period, self._evaluate)
+
+    def _sample(self) -> None:
+        now = self.loop.now
+        for image, state in self._images.items():
+            self.timelines.outstanding.record(image, now, len(state.queue) + state.executing)
+            self.timelines.active_pods.record(
+                image, now, self.provider.pods_for_image(image)
+            )
+        self.loop.schedule(self.sample_period, self._sample)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> PodTimelines:
+        """Run the scenario; returns the figure-6 timelines."""
+        horizon = until if until is not None else self._horizon + 60.0
+        self.loop.schedule(0.0, self._evaluate)
+        self.loop.schedule(0.0, self._sample)
+        self.loop.run(until=horizon)
+        return self.timelines

@@ -1,0 +1,133 @@
+"""Platform models for the simulated fabric.
+
+Each :class:`SimPlatform` captures the handful of timing parameters that
+determine funcX-agent behaviour at scale.  The two supercomputer models
+are calibrated to the paper's own measured ceilings:
+
+* **Theta** — 64 Singularity containers per KNL node; the agent sustains
+  a maximum of 1694 tasks/s (§5.2.3), i.e. ≈0.59 ms of serialized agent
+  work per task.
+* **Cori** — 256 Shifter containers per node (4 hardware threads/core);
+  1466 tasks/s ceiling ⇒ ≈0.68 ms/task; slightly slower per-task worker
+  overhead on the busier nodes.
+* **EC2** — the c5n.9xlarge single-machine setup of figure 9.
+* **K8S** — the Kubernetes cluster of the elasticity experiment.
+
+``manager_cycle`` is the advertise→dispatch→deliver round trip a manager
+pays to refill idle workers when nothing is prefetched; the §5.5.2
+executor-batching baseline (one task per request) additionally pays
+``single_task_cycle`` per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimPlatform:
+    """Timing model of one execution platform.
+
+    Attributes
+    ----------
+    name:
+        Platform key (also selects Table 2 container models).
+    containers_per_node:
+        Workers one manager deploys.
+    agent_dispatch_overhead:
+        Serialized agent work per task dispatch, seconds.  Its inverse is
+        the agent throughput ceiling the paper measures in §5.2.3.
+    agent_result_overhead:
+        Serialized agent work per returned result, seconds.
+    manager_cycle:
+        Advertisement round trip (manager↔agent) refilling idle workers,
+        seconds — the poll cadence, not the wire latency.
+    dispatch_latency:
+        One-way wire latency for task delivery / result return between
+        agent and manager, seconds.
+    single_task_cycle:
+        Per-task request round trip when internal batching is disabled
+        (§5.5.2): the manager asks for exactly one task per cycle.
+    worker_overhead:
+        Worker-side deserialize/execute/serialize cost added to every
+        task, seconds.
+    service_overhead:
+        Cloud-service processing per request (auth + Redis), seconds.
+    wan_latency:
+        One-way client↔service↔endpoint network latency, seconds.
+    container_cold_start:
+        Mean cold instantiation time (Table 2), seconds — used when a
+        simulated task needs an undeployed container.
+    """
+
+    name: str
+    containers_per_node: int
+    agent_dispatch_overhead: float
+    agent_result_overhead: float = 0.0
+    manager_cycle: float = 0.1
+    dispatch_latency: float = 0.005
+    single_task_cycle: float = 0.042
+    worker_overhead: float = 0.0005
+    service_overhead: float = 0.0006
+    wan_latency: float = 0.0182
+    container_cold_start: float = 10.4
+
+    def __post_init__(self) -> None:
+        if self.containers_per_node < 1:
+            raise ValueError("containers_per_node must be positive")
+        if self.agent_dispatch_overhead <= 0:
+            raise ValueError("agent_dispatch_overhead must be positive")
+
+    @property
+    def agent_throughput_ceiling(self) -> float:
+        """Maximum tasks/s one agent can dispatch (paper §5.2.3)."""
+        return 1.0 / self.agent_dispatch_overhead
+
+    def nodes_for(self, containers: int) -> int:
+        """Managers needed to host ``containers`` workers."""
+        return -(-containers // self.containers_per_node)  # ceil
+
+
+THETA = SimPlatform(
+    name="theta",
+    containers_per_node=64,
+    agent_dispatch_overhead=1.0 / 1694.0,
+    manager_cycle=0.1,
+    worker_overhead=0.0008,       # KNL cores are slow (§4.7)
+    container_cold_start=10.40,   # Table 2: Theta/Singularity mean
+)
+
+CORI = SimPlatform(
+    name="cori",
+    containers_per_node=256,
+    agent_dispatch_overhead=1.0 / 1466.0,
+    manager_cycle=0.1,
+    worker_overhead=0.0010,       # 4 hardware threads share each core
+    container_cold_start=8.49,    # Table 2: Cori/Shifter mean
+)
+
+EC2 = SimPlatform(
+    name="ec2",
+    containers_per_node=36,       # c5n.9xlarge vCPUs (figure 9)
+    agent_dispatch_overhead=0.0002,
+    manager_cycle=0.005,
+    worker_overhead=0.0001,
+    wan_latency=0.0005,           # client and endpoint share the instance
+    container_cold_start=1.79,    # Table 2: EC2/Docker mean
+)
+
+K8S = SimPlatform(
+    name="k8s",
+    containers_per_node=1,        # one worker per pod (§4.5)
+    agent_dispatch_overhead=0.001,
+    manager_cycle=0.02,
+    worker_overhead=0.0005,
+    container_cold_start=2.0,
+)
+
+PLATFORMS: dict[str, SimPlatform] = {
+    "theta": THETA,
+    "cori": CORI,
+    "ec2": EC2,
+    "k8s": K8S,
+}

@@ -1,0 +1,30 @@
+"""Out-of-band data staging (Globus substitute, paper §4.6).
+
+"While the serializer can act on arbitrary Python objects ... for
+performance and cost reasons we limit the size of data that can be
+passed through the funcX service.  Instead, we rely on out-of-band data
+transfer mechanisms, such as Globus, when passing large datasets to/from
+funcX functions.  Data can be staged prior to the invocation of a
+function ... and a reference to the data's location can be passed to/from
+the function as input/output arguments."
+"""
+
+from repro.staging.transfer import (
+    DataRef,
+    DataStore,
+    TransferRecord,
+    TransferService,
+    fetch_ref,
+    register_store,
+    resolve_store,
+)
+
+__all__ = [
+    "DataStore",
+    "DataRef",
+    "TransferService",
+    "TransferRecord",
+    "register_store",
+    "resolve_store",
+    "fetch_ref",
+]

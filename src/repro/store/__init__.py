@@ -1,0 +1,17 @@
+"""In-memory data store (AWS ElastiCache Redis / RDS substitute).
+
+The funcX service keeps serialized functions and task records in a Redis
+hashset and one task queue + one result queue per endpoint (paper section
+4.1).  This package provides thread-safe equivalents:
+
+* :class:`KVStore` — hashsets, plain keys, TTL expiry and purge.
+* :class:`ReliableQueue` — FIFO queue with lease/ack semantics giving the
+  at-least-once delivery the hierarchical queueing architecture requires.
+* :class:`PubSub` — lightweight topic fan-out used for monitoring streams.
+"""
+
+from repro.store.kvstore import KVStore
+from repro.store.queues import Lease, ReliableQueue
+from repro.store.pubsub import PubSub
+
+__all__ = ["KVStore", "ReliableQueue", "Lease", "PubSub"]

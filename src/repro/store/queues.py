@@ -1,0 +1,246 @@
+"""Reliable FIFO queues with lease/ack semantics.
+
+The hierarchical queueing architecture (paper section 4.1, figure 3) needs
+queues that "reliably store and track tasks": a forwarder pops tasks only
+while its endpoint is connected, and returns outstanding tasks to the queue
+when the endpoint disconnects, giving *at-least-once* delivery.
+
+:class:`ReliableQueue` implements that contract directly:
+
+* ``put`` enqueues an item.
+* ``lease`` dequeues the oldest item under a revocable lease.
+* ``ack`` completes the lease; the item is gone for good.
+* ``nack`` (or lease expiry via ``requeue_expired``) returns the item to
+  the *front* of the queue so redelivery preserves age order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+
+@dataclass
+class Lease:
+    """An in-flight item handed to a consumer but not yet acknowledged."""
+
+    lease_id: int
+    item: Any
+    leased_at: float
+    deadline: float | None
+    enqueued_at: float = 0.0
+    deliveries: int = 1
+
+
+class ReliableQueue:
+    """FIFO queue with at-least-once delivery.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label (e.g. ``"tasks:<endpoint-id>"``).
+    clock:
+        Injectable time source; defaults to :func:`time.monotonic`.
+    default_lease_timeout:
+        Visibility timeout applied to leases when the consumer does not
+        specify one.  ``None`` means leases never auto-expire (the live
+        forwarder explicitly nacks on disconnect instead).
+    """
+
+    def __init__(
+        self,
+        name: str = "queue",
+        clock: Callable[[], float] | None = None,
+        default_lease_timeout: float | None = None,
+    ):
+        self.name = name
+        self._clock = clock or time.monotonic
+        self._lock = threading.Condition()
+        self._items: deque[tuple[Any, float, int]] = deque()  # (item, enq_at, deliveries)
+        self._leases: dict[int, Lease] = {}
+        self._lease_ids = itertools.count(1)
+        self._default_timeout = default_lease_timeout
+        self._closed = False
+        # counters for metrics
+        self.total_enqueued = 0
+        self.total_acked = 0
+        self.total_redelivered = 0
+
+    # -- producer side -------------------------------------------------------
+    def put(self, item: Any) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"queue {self.name} is closed")
+            self._items.append((item, self._clock(), 0))
+            self.total_enqueued += 1
+            self._lock.notify()
+
+    def put_many(self, items: Iterable[Any]) -> int:
+        """Enqueue a batch; returns the number enqueued."""
+        count = 0
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"queue {self.name} is closed")
+            now = self._clock()
+            for item in items:
+                self._items.append((item, now, 0))
+                count += 1
+            self.total_enqueued += count
+            if count:
+                self._lock.notify(count)
+        return count
+
+    # -- consumer side ---------------------------------------------------------
+    def lease(
+        self,
+        timeout: float | None = 0.0,
+        lease_timeout: float | None = None,
+    ) -> Lease | None:
+        """Dequeue the oldest item under a lease.
+
+        Parameters
+        ----------
+        timeout:
+            How long to block waiting for an item. ``0`` polls; ``None``
+            blocks indefinitely.
+        lease_timeout:
+            Overrides the queue's default visibility timeout.
+
+        Returns
+        -------
+        The :class:`Lease`, or ``None`` if no item arrived in time.
+        """
+        with self._lock:
+            if not self._wait_for_item(timeout):
+                return None
+            item, enq_at, deliveries = self._items.popleft()
+            now = self._clock()
+            effective = lease_timeout if lease_timeout is not None else self._default_timeout
+            lease = Lease(
+                lease_id=next(self._lease_ids),
+                item=item,
+                leased_at=now,
+                deadline=(now + effective) if effective is not None else None,
+                enqueued_at=enq_at,
+                deliveries=deliveries + 1,
+            )
+            self._leases[lease.lease_id] = lease
+            if deliveries:
+                self.total_redelivered += 1
+            return lease
+
+    def lease_many(self, max_items: int, lease_timeout: float | None = None) -> list[Lease]:
+        """Non-blocking bulk lease of up to ``max_items`` (executor batching)."""
+        leases: list[Lease] = []
+        with self._lock:
+            for _ in range(max_items):
+                if not self._items:
+                    break
+                item, enq_at, deliveries = self._items.popleft()
+                now = self._clock()
+                effective = (
+                    lease_timeout if lease_timeout is not None else self._default_timeout
+                )
+                lease = Lease(
+                    lease_id=next(self._lease_ids),
+                    item=item,
+                    leased_at=now,
+                    deadline=(now + effective) if effective is not None else None,
+                    enqueued_at=enq_at,
+                    deliveries=deliveries + 1,
+                )
+                self._leases[lease.lease_id] = lease
+                if deliveries:
+                    self.total_redelivered += 1
+                leases.append(lease)
+        return leases
+
+    def ack(self, lease_id: int) -> bool:
+        """Complete a lease; the item will never be redelivered."""
+        with self._lock:
+            if self._leases.pop(lease_id, None) is None:
+                return False
+            self.total_acked += 1
+            return True
+
+    def nack(self, lease_id: int) -> bool:
+        """Return a leased item to the front of the queue for redelivery."""
+        with self._lock:
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                return False
+            self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
+            self._lock.notify()
+            return True
+
+    def nack_all(self) -> int:
+        """Requeue every outstanding lease (endpoint-disconnect path).
+
+        Items return in age order: oldest ends up at the front.
+        """
+        with self._lock:
+            leases = sorted(self._leases.values(), key=lambda l: l.enqueued_at, reverse=True)
+            for lease in leases:
+                self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
+            count = len(leases)
+            self._leases.clear()
+            if count:
+                self._lock.notify(count)
+            return count
+
+    def requeue_expired(self) -> int:
+        """Requeue every lease past its visibility deadline."""
+        with self._lock:
+            now = self._clock()
+            expired = [
+                l for l in self._leases.values() if l.deadline is not None and l.deadline <= now
+            ]
+            for lease in sorted(expired, key=lambda l: l.enqueued_at, reverse=True):
+                del self._leases[lease.lease_id]
+                self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
+            if expired:
+                self._lock.notify(len(expired))
+            return len(expired)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._lock.notify_all()
+
+    # -- introspection -------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    def peek_ages(self) -> list[float]:
+        """Queue-delay of every waiting item (diagnostics)."""
+        with self._lock:
+            now = self._clock()
+            return [now - enq for (_, enq, _) in self._items]
+
+    # -- internals ---------------------------------------------------------------
+    def _wait_for_item(self, timeout: float | None) -> bool:
+        """Wait until an item is available; caller holds the lock."""
+        if self._items:
+            return True
+        if timeout == 0.0:
+            return False
+        deadline = None if timeout is None else self._clock() + timeout
+        while not self._items:
+            if self._closed:
+                return False
+            remaining = None if deadline is None else deadline - self._clock()
+            if remaining is not None and remaining <= 0:
+                return False
+            self._lock.wait(remaining)
+        return True

@@ -1,0 +1,35 @@
+"""In-process message transport (ZeroMQ substitute).
+
+funcX connects its forwarders, agents, managers and workers with ZeroMQ
+sockets using "asynchronous communication patterns" (paper section 4.3).
+This package provides channels with the same properties the paper's
+experiments depend on — ordered delivery, configurable latency, explicit
+disconnect/reconnect, and message drop injection — so the fault-tolerance
+experiments (section 5.4) are reproducible deterministically.
+"""
+
+from repro.transport.channel import Channel, ChannelEnd, Network
+from repro.transport.heartbeat import HeartbeatTracker
+from repro.transport.messages import (
+    Advertisement,
+    CommandMessage,
+    Heartbeat,
+    Message,
+    Registration,
+    ResultMessage,
+    TaskMessage,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelEnd",
+    "Network",
+    "HeartbeatTracker",
+    "Message",
+    "TaskMessage",
+    "ResultMessage",
+    "Heartbeat",
+    "Registration",
+    "Advertisement",
+    "CommandMessage",
+]

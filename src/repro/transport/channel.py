@@ -1,0 +1,266 @@
+"""Bidirectional in-process channels with latency and failure injection.
+
+A :class:`Channel` joins two :class:`ChannelEnd` objects.  Each end has an
+inbox ordered by *delivery time*: a send stamps the message with
+``now + latency`` and the receiving end only surfaces messages whose
+delivery time has arrived.  Under the wall clock a blocking ``recv`` waits
+out the remaining latency, so injected latency is physically real in the
+live fabric; under a simulation clock the DES advances time instead.
+
+Failure injection supports the paper's fault-tolerance experiments
+(section 5.4):
+
+* ``disconnect()`` — the end goes down; sends toward it are dropped (as a
+  crashed process would drop them) and peers observe missing heartbeats.
+* ``reconnect()`` — the end comes back; queued *new* traffic flows again.
+* ``drop_probability`` — random message loss for stress testing the
+  at-least-once delivery machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import ChannelClosed, Disconnected
+
+
+class ChannelEnd:
+    """One side of a channel: ``send`` to the peer, ``recv`` from it."""
+
+    def __init__(self, name: str, clock: Callable[[], float]):
+        self.name = name
+        self._clock = clock
+        self._peer: "ChannelEnd | None" = None
+        self._channel: "Channel | None" = None
+        self._lock = threading.Condition()
+        self._inbox: list[tuple[float, int, Any]] = []
+        self._seq = itertools.count()
+        self._connected = True
+        self._closed = False
+        self.sent_count = 0
+        self.received_count = 0
+
+    # -- wiring -----------------------------------------------------------
+    def _bind(self, peer: "ChannelEnd", channel: "Channel") -> None:
+        self._peer = peer
+        self._channel = channel
+
+    # -- sending ------------------------------------------------------------
+    def send(self, message: Any) -> bool:
+        """Send ``message`` to the peer.
+
+        Returns ``True`` if the message was handed to the network.  Sends
+        from a disconnected end raise :class:`Disconnected`; messages
+        toward a disconnected peer are silently dropped (the network
+        accepted them but the crashed process never sees them), mirroring
+        how a real ZeroMQ peer failure manifests.
+        """
+        if self._closed:
+            raise ChannelClosed(f"channel end {self.name} is closed")
+        if not self._connected:
+            raise Disconnected(f"channel end {self.name} is disconnected")
+        assert self._peer is not None and self._channel is not None
+        channel = self._channel
+        if channel.rng.random() < channel.drop_probability:
+            channel.dropped_count += 1
+            return False
+        if not self._peer._connected or self._peer._closed:
+            channel.dropped_count += 1
+            return False
+        latency = channel.sample_latency()
+        self._peer._deliver(self._clock() + latency, message)
+        self.sent_count += 1
+        return True
+
+    def _deliver(self, deliver_at: float, message: Any) -> None:
+        with self._lock:
+            heapq.heappush(self._inbox, (deliver_at, next(self._seq), message))
+            self._lock.notify()
+
+    # -- receiving -------------------------------------------------------------
+    def recv(self, timeout: float | None = 0.0) -> Any | None:
+        """Receive the next ripe message.
+
+        Parameters
+        ----------
+        timeout:
+            ``0`` polls, ``None`` blocks indefinitely, otherwise blocks up
+            to ``timeout`` seconds (wall-clock fabrics only).
+        """
+        deadline = None if timeout is None else self._clock() + (timeout or 0.0)
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise ChannelClosed(f"channel end {self.name} is closed")
+                now = self._clock()
+                if self._inbox and self._inbox[0][0] <= now:
+                    _, _, message = heapq.heappop(self._inbox)
+                    self.received_count += 1
+                    return message
+                # Determine how long to wait: until the next message ripens,
+                # the deadline, or a notification.
+                wait = None
+                if self._inbox:
+                    wait = self._inbox[0][0] - now
+                if deadline is not None:
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                if timeout == 0.0 and (wait is None or wait > 0):
+                    # Pure poll: nothing ripe right now.
+                    if not self._inbox or self._inbox[0][0] > now:
+                        return None
+                self._lock.wait(wait)
+
+    def recv_all_ready(self) -> list[Any]:
+        """Drain every ripe message without blocking."""
+        messages: list[Any] = []
+        with self._lock:
+            now = self._clock()
+            while self._inbox and self._inbox[0][0] <= now:
+                _, _, message = heapq.heappop(self._inbox)
+                messages.append(message)
+            self.received_count += len(messages)
+        return messages
+
+    def pending(self) -> int:
+        """Messages queued for this end (ripe or still in flight)."""
+        with self._lock:
+            return len(self._inbox)
+
+    # -- failure injection ---------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._connected and not self._closed
+
+    def disconnect(self, drop_inbox: bool = True) -> None:
+        """Simulate this end's process dying or losing the network.
+
+        With ``drop_inbox`` (default) any undelivered messages are lost,
+        as they would be in a crashed process's memory.
+        """
+        with self._lock:
+            self._connected = False
+            if drop_inbox:
+                if self._channel is not None:
+                    self._channel.dropped_count += len(self._inbox)
+                self._inbox.clear()
+            self._lock.notify_all()
+
+    def reconnect(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise ChannelClosed(f"channel end {self.name} is closed")
+            self._connected = True
+            self._lock.notify_all()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._inbox.clear()
+            self._lock.notify_all()
+
+
+class Channel:
+    """A pair of linked channel ends with a shared latency/failure model.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label.
+    clock:
+        Shared time source for both ends.
+    latency:
+        Fixed one-way latency in seconds, or a zero-argument callable
+        sampling a latency per message.
+    drop_probability:
+        Probability an accepted message is lost in transit.
+    seed:
+        Seed for the channel's private RNG (reproducible drops/jitter).
+    """
+
+    def __init__(
+        self,
+        name: str = "channel",
+        clock: Callable[[], float] | None = None,
+        latency: float | Callable[[], float] = 0.0,
+        drop_probability: float = 0.0,
+        seed: int | None = None,
+    ):
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        self.name = name
+        clock = clock or time.monotonic
+        self._latency = latency
+        self.drop_probability = drop_probability
+        self.rng = random.Random(seed)
+        self.dropped_count = 0
+        self.left = ChannelEnd(f"{name}.left", clock)
+        self.right = ChannelEnd(f"{name}.right", clock)
+        self.left._bind(self.right, self)
+        self.right._bind(self.left, self)
+
+    def sample_latency(self) -> float:
+        if callable(self._latency):
+            value = self._latency()
+        else:
+            value = self._latency
+        return max(0.0, float(value))
+
+    def close(self) -> None:
+        self.left.close()
+        self.right.close()
+
+
+class Network:
+    """Factory for channels sharing a clock and default latency model.
+
+    Used by the live fabric to wire service↔endpoint↔manager↔worker links
+    with realistic latencies (e.g. 18.2 ms WAN to the service, <1 ms
+    intra-site, per paper section 5.1).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        default_latency: float | Callable[[], float] = 0.0,
+        seed: int | None = None,
+    ):
+        self._clock = clock or time.monotonic
+        self._default_latency = default_latency
+        self._seed_counter = itertools.count(seed if seed is not None else 0)
+        self._use_seed = seed is not None
+        self.channels: list[Channel] = []
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._clock
+
+    def create_channel(
+        self,
+        name: str,
+        latency: float | Callable[[], float] | None = None,
+        drop_probability: float = 0.0,
+    ) -> Channel:
+        channel = Channel(
+            name=name,
+            clock=self._clock,
+            latency=self._default_latency if latency is None else latency,
+            drop_probability=drop_probability,
+            seed=next(self._seed_counter) if self._use_seed else None,
+        )
+        self.channels.append(channel)
+        return channel
+
+    def close_all(self) -> None:
+        for channel in self.channels:
+            channel.close()
+
+    def total_dropped(self) -> int:
+        return sum(c.dropped_count for c in self.channels)

@@ -1,0 +1,108 @@
+"""Wire message types exchanged between funcX components.
+
+All messages are plain frozen dataclasses.  Payloads (function bodies,
+arguments, results) travel as *already-serialized* routed buffers — the
+forwarder and agent route buffers by tag without deserializing them, which
+is the property the serialization design (section 4.6) exists to provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; ``sender`` identifies the originating component."""
+
+    sender: str
+
+
+@dataclass(frozen=True)
+class TaskMessage(Message):
+    """A task dispatched toward a worker.
+
+    Attributes
+    ----------
+    task_id:
+        Service-assigned UUID for this invocation.
+    function_id:
+        Registered function UUID.
+    function_buffer:
+        Serialized function body (routed buffer bytes).
+    payload_buffer:
+        Serialized ``(args, kwargs)`` (routed buffer bytes).
+    container_image:
+        Container the function must run in, or ``None`` for the bare
+        worker Python environment.
+    """
+
+    task_id: str = ""
+    function_id: str = ""
+    function_buffer: bytes = b""
+    payload_buffer: bytes = b""
+    container_image: str | None = None
+    submitted_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class ResultMessage(Message):
+    """A completed task's outcome heading back to the service."""
+
+    task_id: str = ""
+    success: bool = True
+    result_buffer: bytes = b""
+    execution_time: float = 0.0
+    worker_id: str = ""
+    completed_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Periodic liveness signal (agent→forwarder, manager→agent)."""
+
+    timestamp: float = 0.0
+    outstanding_tasks: int = 0
+
+
+@dataclass(frozen=True)
+class Registration(Message):
+    """A component announcing itself to its parent.
+
+    Managers register with the agent once all their workers connect
+    (section 4.3); agents register with the service to obtain a forwarder.
+    """
+
+    component_type: str = ""  # "endpoint" | "manager" | "worker"
+    capacity: int = 0
+    container_types: tuple[str, ...] = ()
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Advertisement(Message):
+    """A manager advertising available (and anticipated) capacity.
+
+    ``prefetch_capacity`` implements "advertising with opportunistic
+    prefetching" (section 4.7): the manager asks for more tasks than it has
+    idle workers so network transfer overlaps computation.
+    """
+
+    manager_id: str = ""
+    idle_workers: int = 0
+    prefetch_capacity: int = 0
+    deployed_containers: tuple[str, ...] = ()
+
+    @property
+    def total_request(self) -> int:
+        return self.idle_workers + self.prefetch_capacity
+
+
+@dataclass(frozen=True)
+class CommandMessage(Message):
+    """Control-plane commands (shutdown, suspend, resume, drain)."""
+
+    command: str = ""
+    target: str = ""
+    arguments: dict[str, Any] = field(default_factory=dict)

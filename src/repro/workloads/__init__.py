@@ -1,0 +1,41 @@
+"""Workload models: the paper's six science case studies and the
+synthetic functions (no-op / sleep / stress) used throughout section 5.
+"""
+
+from repro.workloads.casestudies import (
+    CASE_STUDIES,
+    CaseStudy,
+    case_study,
+)
+from repro.workloads.functions import (
+    double_after_sleep,
+    echo,
+    make_sleep_function,
+    noop,
+    simulated_case_function,
+    sleep_100ms,
+    stress,
+)
+from repro.workloads.generators import (
+    ArrivalEvent,
+    burst_arrivals,
+    poisson_arrivals,
+    uniform_rate_arrivals,
+)
+
+__all__ = [
+    "CaseStudy",
+    "CASE_STUDIES",
+    "case_study",
+    "noop",
+    "echo",
+    "sleep_100ms",
+    "make_sleep_function",
+    "stress",
+    "double_after_sleep",
+    "simulated_case_function",
+    "ArrivalEvent",
+    "uniform_rate_arrivals",
+    "poisson_arrivals",
+    "burst_arrivals",
+]

@@ -1,0 +1,227 @@
+"""Real Python functions used by the evaluation (paper section 5.2).
+
+"To measure scalability we created functions of various durations: a
+0-second 'no-op' function that exits immediately, a 1-second 'sleep'
+function, and a 1-minute CPU 'stress' function that keeps a CPU core at
+100% utilization."
+
+These execute for real on the live fabric; the simulated fabric uses only
+their *durations*.  Every function body imports what it needs (paper
+section 3: "the function body must specify all imported modules") so the
+source-code serializer can ship them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def noop() -> None:
+    """The 0-second no-op: exits immediately."""
+    return None
+
+
+def echo(payload: str = "hello-world") -> str:
+    """The Table 1 latency probe: returns its input string."""
+    return payload
+
+
+def sleep_100ms() -> float:
+    """The 100 ms sleep used by the fault-tolerance timelines (§5.4)."""
+    import time
+
+    time.sleep(0.1)
+    return 0.1
+
+
+def make_sleep_function(duration: float):
+    """Build a sleep function of a given duration (1 s, 10 s, 20 s ...).
+
+    Returns a closure, exercising the code-pickle serialization path.
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+
+    def sleeper() -> float:
+        import time
+
+        time.sleep(duration)
+        return duration
+
+    sleeper.__name__ = f"sleep_{duration:g}s"
+    return sleeper
+
+
+def stress(duration: float = 60.0) -> int:
+    """Keep one CPU core at 100% for ``duration`` seconds.
+
+    Returns the number of busy-loop iterations performed.
+    """
+    import time
+
+    deadline = time.perf_counter() + duration
+    iterations = 0
+    x = 1.0
+    while time.perf_counter() < deadline:
+        x = (x * 1.0000001) % 1e9
+        iterations += 1
+    return iterations
+
+
+def double_after_sleep(x: float) -> float:
+    """The Table 3 memoization probe: sleep one second, return 2*x."""
+    import time
+
+    time.sleep(1.0)
+    return 2 * x
+
+
+def busy_10us(_item: int = 0) -> int:
+    """A ~10 microsecond function (figure 9's map-throughput workload).
+
+    Accepts (and ignores) one positional argument so it can be mapped
+    over an input iterator, as the paper's 10M-function sweep does.
+    """
+    total = 0
+    for i in range(120):
+        total += i * i
+    return total
+
+
+def simulated_case_function(case_name: str, scale: float = 1.0):
+    """A runnable stand-in for a science case-study function.
+
+    Sleeps a duration drawn from the case study's distribution (scaled by
+    ``scale`` so tests/examples can compress time), then returns a small
+    result record like the real extractors/models do.
+    """
+
+    def run(sample_id: int = 0, seed: int | None = None) -> dict[str, Any]:
+        import random
+        import time
+
+        from repro.workloads.casestudies import case_study
+
+        study = case_study(case_name)
+        rng = random.Random(seed if seed is not None else sample_id)
+        duration = study.sample(rng) * scale
+        time.sleep(duration)
+        return {
+            "case": case_name,
+            "sample_id": sample_id,
+            "duration": duration,
+        }
+
+    run.__name__ = f"case_{case_name}"
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Realistic example-application functions (used by examples/, executed live).
+# ---------------------------------------------------------------------------
+
+def extract_text_metadata(document: str) -> dict[str, Any]:
+    """An Xtract-style metadata extractor: summarize a text document."""
+    import re
+    from collections import Counter
+
+    words = re.findall(r"[a-zA-Z']+", document.lower())
+    counts = Counter(words)
+    return {
+        "n_chars": len(document),
+        "n_words": len(words),
+        "n_unique": len(counts),
+        "top_words": counts.most_common(5),
+    }
+
+
+def extract_tabular_metadata(rows: list[list[float]]) -> dict[str, Any]:
+    """An Xtract-style aggregate extractor over a numeric table."""
+    import math
+
+    if not rows:
+        return {"n_rows": 0, "n_cols": 0, "column_means": []}
+    n_cols = len(rows[0])
+    if any(len(row) != n_cols for row in rows):
+        raise ValueError("ragged table")
+    sums = [0.0] * n_cols
+    for row in rows:
+        for j, value in enumerate(row):
+            sums[j] += value
+    means = [s / len(rows) for s in sums]
+    variances = [0.0] * n_cols
+    for row in rows:
+        for j, value in enumerate(row):
+            variances[j] += (value - means[j]) ** 2
+    stds = [math.sqrt(v / len(rows)) for v in variances]
+    return {
+        "n_rows": len(rows),
+        "n_cols": n_cols,
+        "column_means": means,
+        "column_stds": stds,
+    }
+
+
+def infer_digit(pixels: list[float]) -> dict[str, Any]:
+    """A DLHub-style inference function: nearest-centroid 'MNIST' digit.
+
+    A deterministic toy classifier — each digit's centroid is a synthetic
+    8x8 intensity pattern — exercising the ship-model-to-data path without
+    a real framework.
+    """
+    import math
+
+    if len(pixels) != 64:
+        raise ValueError("expected a flattened 8x8 image (64 values)")
+    best_digit, best_distance = -1, math.inf
+    for digit in range(10):
+        distance = 0.0
+        for idx, pixel in enumerate(pixels):
+            # synthetic centroid: banded pattern varying per digit
+            centroid = ((idx * (digit + 3)) % 17) / 16.0
+            distance += (pixel - centroid) ** 2
+        if distance < best_distance:
+            best_digit, best_distance = digit, distance
+    return {"digit": best_digit, "distance": best_distance}
+
+
+def correlate_frames(frames: list[list[float]], max_lag: int = 4) -> list[float]:
+    """An XPCS-style intensity autocorrelation g2(lag) over detector frames."""
+    if not frames:
+        raise ValueError("no frames supplied")
+    n_pixels = len(frames[0])
+    if any(len(f) != n_pixels for f in frames):
+        raise ValueError("inconsistent frame sizes")
+    n = len(frames)
+    mean_intensity = [
+        sum(frame[p] for frame in frames) / n for p in range(n_pixels)
+    ]
+    g2: list[float] = []
+    for lag in range(1, min(max_lag, n - 1) + 1):
+        numerator = 0.0
+        denominator = 0.0
+        for t in range(n - lag):
+            for p in range(n_pixels):
+                numerator += frames[t][p] * frames[t + lag][p]
+        for p in range(n_pixels):
+            denominator += mean_intensity[p] ** 2
+        pairs = (n - lag) * n_pixels
+        g2.append((numerator / pairs) / (denominator / n_pixels))
+    return g2
+
+
+def histogram_events(energies: list[float], n_bins: int = 10,
+                     lo: float = 0.0, hi: float = 100.0) -> list[int]:
+    """A Coffea-style HEP subtask: partial histogram of event energies."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    counts = [0] * n_bins
+    width = (hi - lo) / n_bins
+    for energy in energies:
+        if lo <= energy < hi:
+            counts[int((energy - lo) / width)] += 1
+        elif energy == hi:
+            counts[-1] += 1
+    return counts

@@ -1,0 +1,104 @@
+"""Task-arrival generators for the evaluation workloads.
+
+The fault-tolerance experiments launch tasks "at a uniform rate"
+(section 5.4); the elasticity experiment submits fixed batches "every 120
+seconds" (section 5.3); the scaling experiments submit large concurrent
+batches.  These generators produce the corresponding arrival schedules as
+lazy iterators (the map machinery depends on iterator laziness, section
+4.7 — we keep that idiom everywhere).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One scheduled task arrival."""
+
+    time: float          # seconds from workload start
+    workload: str        # workload/function label
+    duration: float      # intended function runtime (sim fabric)
+    index: int           # sequence number within the schedule
+
+
+def uniform_rate_arrivals(
+    rate: float,
+    total: int,
+    workload: str = "task",
+    duration: float = 0.0,
+    start: float = 0.0,
+) -> Iterator[ArrivalEvent]:
+    """``total`` arrivals at a uniform ``rate`` per second."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    interval = 1.0 / rate
+    for i in range(total):
+        yield ArrivalEvent(
+            time=start + i * interval, workload=workload, duration=duration, index=i
+        )
+
+
+def poisson_arrivals(
+    rate: float,
+    total: int,
+    workload: str = "task",
+    duration: float = 0.0,
+    start: float = 0.0,
+    seed: int | None = None,
+) -> Iterator[ArrivalEvent]:
+    """``total`` arrivals from a Poisson process of intensity ``rate``."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = random.Random(seed)
+    t = start
+    for i in range(total):
+        t += rng.expovariate(rate)
+        yield ArrivalEvent(time=t, workload=workload, duration=duration, index=i)
+
+
+def burst_arrivals(
+    period: float,
+    bursts: int,
+    composition: Sequence[tuple[str, int, float]],
+    start: float = 0.0,
+) -> Iterator[ArrivalEvent]:
+    """Periodic bursts, each containing a fixed mix of tasks.
+
+    The figure 6 elasticity workload is
+    ``burst_arrivals(120, 3, [("1s", 1, 1.0), ("10s", 5, 10.0), ("20s", 20, 20.0)])``:
+    every 120 s submit one 1 s, five 10 s, and twenty 20 s functions.
+
+    Parameters
+    ----------
+    composition:
+        Sequence of ``(workload_label, count, duration)`` triples.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if bursts < 0:
+        raise ValueError("bursts must be non-negative")
+    index = 0
+    for b in range(bursts):
+        burst_time = start + b * period
+        for workload, count, duration in composition:
+            if count < 0:
+                raise ValueError("composition counts must be non-negative")
+            for _ in range(count):
+                yield ArrivalEvent(
+                    time=burst_time, workload=workload, duration=duration, index=index
+                )
+                index += 1
+
+
+def concurrent_batch(
+    total: int, workload: str = "task", duration: float = 0.0
+) -> Iterator[ArrivalEvent]:
+    """All ``total`` tasks arrive at t=0 (the scaling-test workload)."""
+    for i in range(total):
+        yield ArrivalEvent(time=0.0, workload=workload, duration=duration, index=i)

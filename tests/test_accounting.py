@@ -1,0 +1,145 @@
+"""Unit and integration tests for usage accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LocalDeployment
+from repro.accounting import AllocationBudget, UsageLedger, UsageRecord
+
+
+class TestUsageRecord:
+    def test_charge_success(self):
+        record = UsageRecord()
+        record.charge(1.5, failed=False, memo=False)
+        assert record.invocations == 1
+        assert record.execution_seconds == 1.5
+        assert record.success_rate == 1.0
+
+    def test_charge_failure(self):
+        record = UsageRecord()
+        record.charge(0.0, failed=True, memo=False)
+        record.charge(1.0, failed=False, memo=False)
+        assert record.failures == 1
+        assert record.success_rate == 0.5
+
+    def test_memo_hit_not_billed_execution(self):
+        record = UsageRecord()
+        record.charge(99.0, failed=False, memo=True)
+        assert record.memo_hits == 1
+        assert record.execution_seconds == 0.0
+
+    def test_empty_success_rate(self):
+        assert UsageRecord().success_rate == 1.0
+
+
+class TestLedgerCharging:
+    def test_charges_all_dimensions(self):
+        ledger = UsageLedger()
+        ledger.charge("alice", "fn-1", "ep-1", 2.0)
+        ledger.charge("alice", "fn-2", "ep-1", 3.0)
+        ledger.charge("bob", "fn-1", "ep-2", 1.0)
+        assert ledger.user_usage("alice").execution_seconds == 5.0
+        assert ledger.user_usage("alice").invocations == 2
+        assert ledger.function_usage("fn-1").invocations == 2
+        assert ledger.endpoint_usage("ep-1").execution_seconds == 5.0
+
+    def test_unknown_keys_are_zero(self):
+        ledger = UsageLedger()
+        assert ledger.user_usage("ghost").invocations == 0
+
+    def test_top_users(self):
+        ledger = UsageLedger()
+        ledger.charge("light", "f", "e", 1.0)
+        ledger.charge("heavy", "f", "e", 10.0)
+        top = ledger.top_users(1)
+        assert top[0][0] == "heavy"
+
+    def test_statement_contains_users(self):
+        ledger = UsageLedger()
+        ledger.charge("alice", "fn-1", "ep-1", 1.0)
+        text = ledger.statement()
+        assert "alice" in text and "per endpoint" in text
+
+
+class TestAllocations:
+    def test_budget_accrual(self):
+        ledger = UsageLedger()
+        budget = ledger.set_allocation("ep-1", core_seconds=10.0)
+        ledger.charge("a", "f", "ep-1", 4.0)
+        assert budget.used_core_seconds == 4.0
+        assert budget.remaining == 6.0
+        assert not budget.exhausted
+        ledger.charge("a", "f", "ep-1", 7.0)
+        assert budget.exhausted
+
+    def test_memo_hits_free(self):
+        ledger = UsageLedger()
+        budget = ledger.set_allocation("ep-1", core_seconds=10.0)
+        ledger.charge("a", "f", "ep-1", 5.0, memo_hit=True)
+        assert budget.used_core_seconds == 0.0
+
+    def test_other_endpoints_not_billed(self):
+        ledger = UsageLedger()
+        budget = ledger.set_allocation("ep-1", core_seconds=10.0)
+        ledger.charge("a", "f", "ep-2", 5.0)
+        assert budget.used_core_seconds == 0.0
+
+    def test_allocation_lookup(self):
+        ledger = UsageLedger()
+        assert ledger.allocation("none") is None
+        ledger.set_allocation("e", 1.0)
+        assert isinstance(ledger.allocation("e"), AllocationBudget)
+
+
+class TestLiveIntegration:
+    def test_ledger_tracks_live_tasks(self):
+        with LocalDeployment() as dep:
+            ledger = UsageLedger()
+            ledger.attach(dep.service)
+            client = dep.client("alice")
+            ep = dep.create_endpoint("billed-ep", nodes=1)
+
+            def work(x):
+                import time
+
+                time.sleep(0.05)
+                return x
+
+            fid = client.register_function(work)
+            futures = [client.submit(fid, ep, i) for i in range(4)]
+            for f in futures:
+                f.result(timeout=30)
+            usage = ledger.user_usage(client.identity.identity_id)
+            assert usage.invocations == 4
+            assert usage.execution_seconds >= 4 * 0.05
+            assert ledger.function_usage(fid).invocations == 4
+            assert ledger.endpoint_usage(ep).invocations == 4
+            ledger.detach()
+
+    def test_failures_counted(self):
+        with LocalDeployment() as dep:
+            ledger = UsageLedger()
+            ledger.attach(dep.service)
+            client = dep.client("alice")
+            ep = dep.create_endpoint("billed-ep", nodes=1)
+
+            def bad():
+                raise RuntimeError("no")
+
+            fid = client.register_function(bad)
+            future = client.submit(fid, ep)
+            with pytest.raises(RuntimeError):
+                future.result(timeout=30)
+            usage = ledger.user_usage(client.identity.identity_id)
+            assert usage.failures == 1
+
+    def test_double_attach_rejected(self):
+        with LocalDeployment() as dep:
+            ledger = UsageLedger()
+            ledger.attach(dep.service)
+            with pytest.raises(RuntimeError):
+                ledger.attach(dep.service)
+            ledger.detach()
+            ledger.attach(dep.service)  # re-attach after detach is fine
+            ledger.detach()

@@ -1,0 +1,147 @@
+"""Unit tests for the identity/token service (Globus Auth substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import AuthClient, AuthService, Scope
+from repro.auth.scopes import ENDPOINT_SCOPES, USER_DEFAULT_SCOPES
+from repro.errors import AuthenticationFailed, AuthorizationFailed
+
+
+class TestIdentities:
+    def test_register_and_get(self, clock):
+        auth = AuthService(clock=clock)
+        identity = auth.register_identity("alice", provider="orcid")
+        assert auth.get_identity(identity.identity_id) == identity
+        assert identity.display == "alice@orcid"
+
+    def test_unknown_provider_rejected(self, clock):
+        with pytest.raises(ValueError):
+            AuthService(clock=clock).register_identity("x", provider="myspace")
+
+    def test_unknown_identity(self, clock):
+        with pytest.raises(AuthenticationFailed):
+            AuthService(clock=clock).get_identity("nope")
+
+
+class TestTokenFlows:
+    def test_native_client_flow_default_scopes(self, clock):
+        auth = AuthService(clock=clock)
+        alice = auth.register_identity("alice")
+        token = auth.native_client_flow(alice)
+        assert token.scopes == frozenset(USER_DEFAULT_SCOPES)
+        assert auth.introspect(token.token).identity == alice
+
+    def test_endpoint_client_flow(self, clock):
+        auth = AuthService(clock=clock)
+        identity, token = auth.endpoint_client_flow("theta-endpoint")
+        assert identity.provider == "funcx-endpoint"
+        assert token.scopes == frozenset(ENDPOINT_SCOPES)
+
+    def test_expiry(self, clock):
+        auth = AuthService(token_lifetime=100.0, clock=clock)
+        token = auth.native_client_flow(auth.register_identity("a"))
+        clock.advance(99.0)
+        auth.introspect(token.token)
+        clock.advance(2.0)
+        with pytest.raises(AuthenticationFailed):
+            auth.introspect(token.token)
+
+    def test_revocation(self, clock):
+        auth = AuthService(clock=clock)
+        token = auth.native_client_flow(auth.register_identity("a"))
+        assert auth.revoke(token.token)
+        with pytest.raises(AuthenticationFailed):
+            auth.introspect(token.token)
+
+    def test_revoke_unknown(self, clock):
+        assert not AuthService(clock=clock).revoke("bogus")
+
+    def test_refresh_rotates(self, clock):
+        auth = AuthService(clock=clock)
+        old = auth.native_client_flow(auth.register_identity("a"))
+        new = auth.refresh(old.refresh_token)
+        assert new.token != old.token
+        with pytest.raises(AuthenticationFailed):
+            auth.introspect(old.token)  # old access token revoked
+        auth.introspect(new.token)
+
+    def test_refresh_token_single_use(self, clock):
+        auth = AuthService(clock=clock)
+        old = auth.native_client_flow(auth.register_identity("a"))
+        auth.refresh(old.refresh_token)
+        with pytest.raises(AuthenticationFailed):
+            auth.refresh(old.refresh_token)
+
+    def test_unknown_refresh_token(self, clock):
+        with pytest.raises(AuthenticationFailed):
+            AuthService(clock=clock).refresh("nope")
+
+
+class TestAuthorization:
+    def test_scope_enforced(self, clock):
+        auth = AuthService(clock=clock)
+        alice = auth.register_identity("alice")
+        token = auth.native_client_flow(alice, scopes=[Scope.EXECUTE])
+        assert auth.authorize(token.token, Scope.EXECUTE) == alice
+        with pytest.raises(AuthorizationFailed):
+            auth.authorize(token.token, Scope.REGISTER_ENDPOINT)
+
+    def test_admin_scope_implies_all(self, clock):
+        auth = AuthService(clock=clock)
+        token = auth.native_client_flow(
+            auth.register_identity("root"), scopes=[Scope.ADMIN]
+        )
+        auth.authorize(token.token, Scope.REGISTER_FUNCTION)
+        auth.authorize(token.token, Scope.EXECUTE)
+
+    def test_scope_urns(self):
+        assert Scope.REGISTER_FUNCTION.value == (
+            "urn:globus:auth:scope:funcx:register_function"
+        )
+        assert Scope.parse(Scope.EXECUTE.value) is Scope.EXECUTE
+        with pytest.raises(ValueError):
+            Scope.parse("urn:bogus")
+
+
+class TestGroups:
+    def test_membership(self, clock):
+        auth = AuthService(clock=clock)
+        alice = auth.register_identity("alice")
+        bob = auth.register_identity("bob")
+        group = auth.create_group("xpcs-team", members=[alice])
+        assert auth.is_member(group.group_id, alice.identity_id)
+        assert not auth.is_member(group.group_id, bob.identity_id)
+        auth.add_to_group(group.group_id, bob)
+        assert auth.is_member(group.group_id, bob.identity_id)
+
+    def test_unknown_group(self, clock):
+        auth = AuthService(clock=clock)
+        assert not auth.is_member("nope", "anyone")
+        with pytest.raises(AuthenticationFailed):
+            auth.add_to_group("nope", auth.register_identity("a"))
+
+
+class TestAuthClient:
+    def test_bearer_token_valid(self, clock):
+        auth = AuthService(clock=clock)
+        client = AuthClient(auth, auth.register_identity("a"))
+        auth.introspect(client.bearer_token())
+
+    def test_auto_refresh_near_expiry(self, clock):
+        auth = AuthService(token_lifetime=100.0, clock=clock)
+        client = AuthClient(auth, auth.register_identity("a"))
+        first = client.bearer_token()
+        clock.advance(95.0)  # inside the 10% refresh window
+        second = client.bearer_token()
+        assert second != first
+        auth.introspect(second)
+
+    def test_logout_revokes(self, clock):
+        auth = AuthService(clock=clock)
+        client = AuthClient(auth, auth.register_identity("a"))
+        token = client.bearer_token()
+        client.logout()
+        with pytest.raises(AuthenticationFailed):
+            auth.introspect(token)

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scale_defaults(self):
+        args = build_parser().parse_args(["scale"])
+        assert args.platform == "theta"
+        assert args.containers == 256
+
+    def test_scale_platform_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scale", "--platform", "summit"])
+
+
+class TestCommands:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "theta" in out and "cori" in out
+        assert "1694" in out
+
+    def test_casestudies(self, capsys):
+        assert main(["casestudies", "--samples", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "xpcs" in out and "metadata" in out
+
+    def test_scale(self, capsys):
+        assert main(["scale", "--containers", "64", "--tasks", "640"]) == 0
+        out = capsys.readouterr().out
+        assert "completion" in out and "throughput" in out
+
+    def test_elasticity(self, capsys):
+        assert main(["elasticity", "--bursts", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "peak-pods" in out
+        assert "functions completed: 26" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--tasks", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "double(21) -> 42" in out

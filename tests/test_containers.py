@@ -1,0 +1,198 @@
+"""Unit tests for container specs, runtimes (Table 2 models) and warming."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.containers import (
+    ColdStartModel,
+    ContainerRuntime,
+    ContainerSpec,
+    ContainerTechnology,
+    TABLE2_MODELS,
+    WarmPool,
+    cold_start_model_for,
+)
+
+
+class TestContainerSpec:
+    def test_key_includes_technology(self):
+        spec = ContainerSpec(image="dlhub/mnist", technology=ContainerTechnology.SINGULARITY)
+        assert spec.key == "singularity:dlhub/mnist"
+
+    def test_bare_key(self):
+        assert ContainerSpec.bare().key == "RAW"
+
+    def test_requires_image(self):
+        with pytest.raises(ValueError):
+            ContainerSpec(image="")
+
+    def test_base_software_always_present(self):
+        spec = ContainerSpec(image="x")
+        assert "python3" in spec.software
+        assert "funcx-worker" in spec.software
+
+    def test_satisfies(self):
+        spec = ContainerSpec(image="x", python_packages=frozenset({"numpy", "tomopy"}))
+        assert spec.satisfies({"numpy"})
+        assert spec.satisfies({"numpy", "python3"})
+        assert not spec.satisfies({"tensorflow"})
+
+    def test_convert_changes_technology_only(self):
+        docker = ContainerSpec(image="img", python_packages=frozenset({"scipy"}))
+        shifter = docker.convert(ContainerTechnology.SHIFTER)
+        assert shifter.technology is ContainerTechnology.SHIFTER
+        assert shifter.image == docker.image
+        assert shifter.python_packages == docker.python_packages
+        assert shifter.spec_id != docker.spec_id
+
+    def test_convert_to_bare_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerSpec(image="x").convert(ContainerTechnology.NONE)
+
+
+class TestColdStartModel:
+    def test_samples_within_bounds(self):
+        model = ColdStartModel(9.83, 14.06, 10.40)
+        rng = random.Random(1)
+        for _ in range(500):
+            assert 9.83 <= model.sample(rng) <= 14.06
+
+    def test_mean_matches_calibration(self):
+        model = TABLE2_MODELS[("cori", ContainerTechnology.SHIFTER)]
+        rng = random.Random(2)
+        samples = [model.sample(rng) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 8.49) / 8.49 < 0.10  # within 10% of Table 2
+
+    def test_degenerate_span(self):
+        model = ColdStartModel(2.0, 2.0, 2.0)
+        assert model.sample(random.Random(0)) == 2.0
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            ColdStartModel(1.0, 2.0, 5.0)
+
+    def test_all_table2_rows_present(self):
+        assert len(TABLE2_MODELS) == 4
+        assert ("theta", ContainerTechnology.SINGULARITY) in TABLE2_MODELS
+        assert ("ec2", ContainerTechnology.DOCKER) in TABLE2_MODELS
+
+
+class TestModelLookup:
+    def test_exact_match(self):
+        model = cold_start_model_for("theta", ContainerTechnology.SINGULARITY)
+        assert model.mean == 10.40
+
+    def test_case_insensitive(self):
+        assert cold_start_model_for("Theta", ContainerTechnology.SINGULARITY).mean == 10.40
+
+    def test_fallback_docker(self):
+        assert cold_start_model_for("unknown", ContainerTechnology.DOCKER).mean == 1.79
+
+    def test_fallback_shifter(self):
+        assert cold_start_model_for("unknown", ContainerTechnology.SHIFTER).mean == 8.49
+
+    def test_bare_near_free(self):
+        assert cold_start_model_for("anything", ContainerTechnology.NONE).maximum < 0.1
+
+
+class TestContainerRuntime:
+    def test_instantiate_records_cold_start(self):
+        rt = ContainerRuntime(system="ec2", seed=1)
+        inst = rt.instantiate(ContainerSpec(image="x"), now=5.0)
+        assert 1.74 <= inst.cold_start_time <= 1.88
+        assert inst.started_at == 5.0
+        assert rt.total_cold_starts == 1
+
+    def test_concurrency_limit_queues_waves(self):
+        rt = ContainerRuntime(system="theta", seed=1, concurrency_limit=4)
+        base = rt.queued_cold_start(ContainerTechnology.SINGULARITY, concurrent=0)
+        waved = rt.queued_cold_start(ContainerTechnology.SINGULARITY, concurrent=8)
+        assert waved > base
+
+    def test_measure_samples(self):
+        rt = ContainerRuntime(system="cori", seed=3)
+        samples = rt.measure(ContainerTechnology.SHIFTER, 50)
+        assert len(samples) == 50
+        assert all(7.25 <= s <= 31.26 for s in samples)
+        with pytest.raises(ValueError):
+            rt.measure(ContainerTechnology.SHIFTER, 0)
+
+    def test_unique_instance_ids(self):
+        rt = ContainerRuntime(seed=0)
+        a = rt.instantiate(ContainerSpec.bare())
+        b = rt.instantiate(ContainerSpec.bare())
+        assert a.instance_id != b.instance_id
+
+
+class TestWarmPool:
+    def test_acquire_from_empty_is_miss(self):
+        pool = WarmPool(ttl=300)
+        assert pool.acquire("k", now=0.0) is None
+        assert pool.misses == 1
+
+    def test_release_then_acquire_is_hit(self):
+        pool = WarmPool(ttl=300)
+        rt = ContainerRuntime(seed=0)
+        inst = rt.instantiate(ContainerSpec(image="img"))
+        assert pool.release(inst, now=0.0)
+        got = pool.acquire(inst.key, now=10.0)
+        assert got is inst
+        assert pool.hits == 1
+        assert got.warm_since is None
+
+    def test_expiry_after_ttl(self):
+        pool = WarmPool(ttl=300)
+        rt = ContainerRuntime(seed=0)
+        inst = rt.instantiate(ContainerSpec(image="img"))
+        pool.release(inst, now=0.0)
+        assert pool.acquire(inst.key, now=301.0) is None
+        assert pool.expired == 1
+
+    def test_ttl_zero_disables_warming(self):
+        pool = WarmPool(ttl=0)
+        rt = ContainerRuntime(seed=0)
+        assert not pool.release(rt.instantiate(ContainerSpec(image="i")), now=0.0)
+        assert pool.warm_count() == 0
+
+    def test_lifo_reuse(self):
+        pool = WarmPool(ttl=300)
+        rt = ContainerRuntime(seed=0)
+        first = rt.instantiate(ContainerSpec(image="i"))
+        second = rt.instantiate(ContainerSpec(image="i"))
+        pool.release(first, now=0.0)
+        pool.release(second, now=1.0)
+        assert pool.acquire(first.key, now=2.0) is second
+
+    def test_capacity_cap(self):
+        pool = WarmPool(ttl=300, capacity=1)
+        rt = ContainerRuntime(seed=0)
+        a = rt.instantiate(ContainerSpec(image="i"))
+        b = rt.instantiate(ContainerSpec(image="i"))
+        assert pool.release(a, now=0.0)
+        assert not pool.release(b, now=0.0)
+
+    def test_warm_keys(self):
+        pool = WarmPool(ttl=300)
+        rt = ContainerRuntime(seed=0)
+        pool.release(rt.instantiate(ContainerSpec(image="a")), now=0.0)
+        pool.release(rt.instantiate(ContainerSpec(image="b")), now=0.0)
+        assert pool.warm_keys() == ("docker:a", "docker:b")
+
+    def test_hit_rate(self):
+        pool = WarmPool(ttl=300)
+        rt = ContainerRuntime(seed=0)
+        pool.acquire("docker:a", now=0.0)  # miss
+        pool.release(rt.instantiate(ContainerSpec(image="a")), now=0.0)
+        pool.acquire("docker:a", now=0.0)  # hit
+        assert pool.hit_rate == 0.5
+
+    def test_clear(self):
+        pool = WarmPool(ttl=300)
+        rt = ContainerRuntime(seed=0)
+        pool.release(rt.instantiate(ContainerSpec(image="a")), now=0.0)
+        assert pool.clear() == 1
+        assert pool.warm_count() == 0

@@ -1,0 +1,116 @@
+"""Unit tests for dynamic container building and sharing (§4.2/§8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers import BuildRequest, ContainerBuilder, ContainerTechnology
+
+
+class TestBuildRequest:
+    def test_from_requirements_strips_pins(self):
+        req = BuildRequest.from_requirements(
+            ["numpy==1.26", "scipy>=1.10", "Tomopy", "# comment"]
+        )
+        assert req.python_packages == frozenset({"numpy", "scipy", "tomopy"})
+
+    def test_environment_hash_stable(self):
+        a = BuildRequest(python_packages=frozenset({"numpy", "scipy"}))
+        b = BuildRequest(python_packages=frozenset({"scipy", "numpy"}))
+        assert a.environment_hash == b.environment_hash
+
+    def test_environment_hash_distinguishes(self):
+        a = BuildRequest(python_packages=frozenset({"numpy"}))
+        b = BuildRequest(python_packages=frozenset({"numpy"}), gpu=True)
+        c = BuildRequest(system_packages=frozenset({"numpy"}))
+        assert len({a.environment_hash, b.environment_hash, c.environment_hash}) == 3
+
+    def test_dockerfile_rendering(self):
+        req = BuildRequest(
+            python_packages=frozenset({"tomopy"}),
+            system_packages=frozenset({"libhdf5"}),
+        )
+        dockerfile = req.render_dockerfile()
+        assert dockerfile.startswith("FROM python:3.11-slim")
+        assert "apt-get install -y libhdf5" in dockerfile
+        assert "pip install funcx-worker" in dockerfile
+        assert "pip install tomopy" in dockerfile
+
+
+class TestContainerBuilder:
+    def test_build_produces_docker_spec(self):
+        builder = ContainerBuilder()
+        spec = builder.build_for_function(["numpy", "torch"])
+        assert spec.technology is ContainerTechnology.DOCKER
+        assert spec.image.startswith("funcx/env-")
+        assert spec.satisfies({"numpy", "torch"})
+        assert builder.builds_performed == 1
+
+    def test_identical_environment_cached(self):
+        builder = ContainerBuilder()
+        a = builder.build_for_function(["numpy==1.0"])
+        b = builder.build_for_function(["numpy==2.0"])  # pin stripped
+        assert a is b
+        assert builder.builds_performed == 1
+        assert builder.cache_hits == 1
+
+    def test_dockerfile_recorded(self):
+        builder = ContainerBuilder()
+        spec = builder.build_for_function(["scipy"])
+        dockerfile = builder.dockerfile_for(spec)
+        assert dockerfile is not None and "scipy" in dockerfile
+        assert builder.dockerfile_for(spec.convert(ContainerTechnology.SHIFTER)) is None
+
+    def test_convert_for_site_cached(self):
+        builder = ContainerBuilder()
+        docker = builder.build_for_function(["numpy"])
+        shifter1 = builder.convert_for_site(docker, ContainerTechnology.SHIFTER)
+        shifter2 = builder.convert_for_site(docker, ContainerTechnology.SHIFTER)
+        assert shifter1 is shifter2
+        assert shifter1.technology is ContainerTechnology.SHIFTER
+        assert shifter1.python_packages == docker.python_packages
+
+    def test_convert_same_technology_identity(self):
+        builder = ContainerBuilder()
+        docker = builder.build_for_function(["numpy"])
+        assert builder.convert_for_site(docker, ContainerTechnology.DOCKER) is docker
+
+
+class TestContainerSharing:
+    def test_find_satisfying_prefers_tightest(self):
+        builder = ContainerBuilder()
+        builder.build_for_function(["numpy"])
+        fat = builder.build_for_function(["numpy", "scipy", "torch", "pandas"])
+        lean = builder.build_for_function(["numpy", "scipy"])
+        found = builder.find_satisfying(["numpy", "scipy"])
+        assert found is lean
+        assert builder.find_satisfying(["numpy", "torch"]) is fat
+
+    def test_find_satisfying_none(self):
+        builder = ContainerBuilder()
+        builder.build_for_function(["numpy"])
+        assert builder.find_satisfying(["tensorflow"]) is None
+
+    def test_gpu_requirement_respected(self):
+        builder = ContainerBuilder()
+        builder.build(BuildRequest(python_packages=frozenset({"torch"})))
+        assert builder.find_satisfying(["torch"], gpu=True) is None
+        gpu_spec = builder.build(
+            BuildRequest(python_packages=frozenset({"torch"}), gpu=True)
+        )
+        assert builder.find_satisfying(["torch"], gpu=True) is gpu_spec
+
+    def test_build_or_share(self):
+        builder = ContainerBuilder()
+        first, shared1 = builder.build_or_share(["numpy", "scipy"])
+        assert not shared1
+        second, shared2 = builder.build_or_share(["numpy"])  # subset: share
+        assert shared2 and second is first
+        assert len(builder) == 1
+
+    def test_build_or_share_builds_when_unsatisfied(self):
+        builder = ContainerBuilder()
+        builder.build_or_share(["numpy"])
+        other, shared = builder.build_or_share(["tensorflow"])
+        assert not shared
+        assert len(builder) == 2

@@ -1,0 +1,146 @@
+"""Unit tests for user-driven batching: partitioning and map results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import MapResult, apply_batch, partition_iterator
+from repro.core.futures import FuncXFuture
+from repro.errors import TaskExecutionFailed
+from repro.serialize.traceback import RemoteExceptionWrapper
+
+
+class TestPartitionIterator:
+    def test_batch_size(self):
+        batches = list(partition_iterator(range(10), batch_size=3))
+        assert batches == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_batch_size_exact_multiple(self):
+        batches = list(partition_iterator(range(6), batch_size=3))
+        assert batches == [[0, 1, 2], [3, 4, 5]]
+
+    def test_batch_count(self):
+        batches = list(partition_iterator(range(10), batch_count=4))
+        assert len(batches) == 4
+        assert sum(len(b) for b in batches) == 10
+
+    def test_batch_count_takes_precedence(self):
+        """Paper §4.7: batch_count takes precedence over batch_size."""
+        batches = list(partition_iterator(range(100), batch_size=1, batch_count=2))
+        assert len(batches) == 2
+
+    def test_lazy_generator_input(self):
+        def gen():
+            yield from range(7)
+
+        batches = list(partition_iterator(gen(), batch_size=4))
+        assert batches == [[0, 1, 2, 3], [4, 5, 6]]
+
+    def test_batch_count_on_sized_iterable_stays_lazy(self):
+        # range supports length_hint: must not materialize.
+        batches = partition_iterator(range(10**6), batch_count=10)
+        first = next(batches)
+        assert len(first) == 10**5
+
+    def test_batch_count_on_generator_materializes(self):
+        def gen():
+            yield from range(9)
+
+        batches = list(partition_iterator(gen(), batch_count=3))
+        assert [len(b) for b in batches] == [3, 3, 3]
+
+    def test_empty_input(self):
+        assert list(partition_iterator([], batch_size=5)) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(partition_iterator(range(3)))
+        with pytest.raises(ValueError):
+            list(partition_iterator(range(3), batch_size=0))
+        with pytest.raises(ValueError):
+            list(partition_iterator(range(3), batch_count=0))
+
+    def test_no_empty_batches(self):
+        for n in range(1, 20):
+            for size in range(1, 8):
+                assert all(partition_iterator(range(n), batch_size=size))
+
+
+class TestApplyBatch:
+    def test_bare_items(self):
+        assert apply_batch(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_args_kwargs_items(self):
+        def f(a, b=0):
+            return a + b
+
+        items = [((1,), {"b": 10}), ((2,), {})]
+        assert apply_batch(f, items) == [11, 2]
+
+    def test_failures_become_wrappers(self):
+        def f(x):
+            if x == 2:
+                raise ValueError("bad item")
+            return x
+
+        out = apply_batch(f, [1, 2, 3])
+        assert out[0] == 1 and out[2] == 3
+        assert isinstance(out[1], RemoteExceptionWrapper)
+
+    def test_empty(self):
+        assert apply_batch(lambda x: x, []) == []
+
+
+class TestMapResult:
+    def _resolved(self, values_per_batch):
+        futures, sizes = [], []
+        for i, values in enumerate(values_per_batch):
+            f = FuncXFuture(f"t{i}")
+            f.set_result(values)
+            futures.append(f)
+            sizes.append(len(values))
+        return MapResult(futures, sizes)
+
+    def test_flattening_preserves_order(self):
+        mr = self._resolved([[1, 2], [3], [4, 5, 6]])
+        assert mr.result() == [1, 2, 3, 4, 5, 6]
+        assert mr.total_items == 6
+        assert mr.batch_count == 3
+
+    def test_done(self):
+        mr = self._resolved([[1]])
+        assert mr.done()
+
+    def test_item_failure_reraised(self):
+        try:
+            raise RuntimeError("item died")
+        except RuntimeError as exc:
+            wrapper = RemoteExceptionWrapper(exc)
+        mr = self._resolved([[1, wrapper]])
+        with pytest.raises(RuntimeError, match="item died"):
+            mr.result()
+
+    def test_result_or_exceptions_keeps_partials(self):
+        try:
+            raise RuntimeError("x")
+        except RuntimeError as exc:
+            wrapper = RemoteExceptionWrapper(exc)
+        mr = self._resolved([[1, wrapper, 3]])
+        out = mr.result_or_exceptions()
+        assert out[0] == 1 and out[2] == 3
+        assert isinstance(out[1], RemoteExceptionWrapper)
+
+    def test_wrong_batch_shape_rejected(self):
+        f = FuncXFuture("t")
+        f.set_result("not-a-list")
+        mr = MapResult([f], [3])
+        with pytest.raises(TaskExecutionFailed):
+            mr.result()
+
+    def test_sizes_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MapResult([FuncXFuture("t")], [1, 2])
+
+    def test_iterates_futures(self):
+        mr = self._resolved([[1], [2]])
+        assert len(list(mr)) == 2

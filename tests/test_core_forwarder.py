@@ -1,0 +1,267 @@
+"""Unit tests for the forwarder: dispatch, heartbeats, requeue-on-loss.
+
+The forwarder is stepped manually against a fake agent on the other end
+of a channel, so every scenario is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import AuthService
+from repro.core.forwarder import Forwarder
+from repro.core.service import FuncXService
+from repro.core.tasks import TaskState
+from repro.serialize import FuncXSerializer
+from repro.transport.channel import Channel
+from repro.transport.messages import Heartbeat, Registration, ResultMessage, TaskMessage
+
+
+@pytest.fixture
+def world(clock):
+    """service + forwarder + the agent's channel end."""
+    service = FuncXService(auth=AuthService(clock=clock), clock=clock)
+    identity = service.auth.register_identity("alice")
+    token = service.auth.native_client_flow(identity).token
+    _, ep_tok = service.auth.endpoint_client_flow("ep")
+    endpoint_id = service.register_endpoint(ep_tok.token, name="ep")
+    serializer = FuncXSerializer()
+
+    def double(x):
+        return 2 * x
+
+    function_id = service.register_function(
+        token, "double", serializer.serialize_function(double), public=True
+    )
+    channel = Channel(clock=clock)
+    forwarder = Forwarder(
+        service, endpoint_id, channel.left, heartbeat_period=1.0, heartbeat_grace=3
+    )
+    agent_end = channel.right
+
+    class World:
+        pass
+
+    w = World()
+    w.clock = clock
+    w.service = service
+    w.forwarder = forwarder
+    w.agent = agent_end
+    w.endpoint_id = endpoint_id
+    w.function_id = function_id
+    w.token = token
+    w.serializer = serializer
+    return w
+
+
+def connect_agent(w):
+    w.agent.send(Registration(sender="agent:x", component_type="endpoint"))
+    w.forwarder.step()
+
+
+def submit(w, value=1):
+    payload = w.serializer.serialize(([value], {}))
+    return w.service.submit(w.token, w.function_id, w.endpoint_id, payload)
+
+
+class TestDispatch:
+    def test_no_dispatch_until_agent_connects(self, world):
+        submit(world)
+        world.forwarder.step()
+        assert world.agent.recv_all_ready() == []
+        assert not world.forwarder.agent_connected
+
+    def test_dispatch_after_registration(self, world):
+        task_id = submit(world)
+        connect_agent(world)
+        world.forwarder.step()
+        messages = world.agent.recv_all_ready()
+        assert len(messages) == 1
+        msg = messages[0]
+        assert isinstance(msg, TaskMessage)
+        assert msg.task_id == task_id
+        assert msg.function_buffer  # function body travels with the task
+        assert world.service.task_by_id(task_id).state is TaskState.DISPATCHED
+
+    def test_dispatch_batch(self, world):
+        ids = {submit(world, i) for i in range(10)}
+        connect_agent(world)
+        world.forwarder.step()
+        got = {m.task_id for m in world.agent.recv_all_ready()}
+        assert got == ids
+        assert world.forwarder.tasks_forwarded == 10
+
+    def test_cancelled_task_not_dispatched(self, world):
+        task_id = submit(world)
+        task = world.service.task_by_id(task_id)
+        task.advance(TaskState.CANCELLED, 0.0)
+        connect_agent(world)
+        world.forwarder.step()
+        assert world.agent.recv_all_ready() == []
+
+
+class TestResults:
+    def test_result_completes_task(self, world):
+        task_id = submit(world, 21)
+        connect_agent(world)
+        world.forwarder.step()
+        world.agent.recv_all_ready()
+        result_buf = world.serializer.serialize(42, routing_tag=task_id)
+        world.agent.send(
+            ResultMessage(
+                sender="w0", task_id=task_id, success=True, result_buffer=result_buf,
+                execution_time=0.1, completed_at=world.clock(),
+            )
+        )
+        world.forwarder.step()
+        assert world.service.task_by_id(task_id).state is TaskState.SUCCESS
+        assert world.service.get_result(world.token, task_id) == result_buf
+        assert world.forwarder.outstanding == 0
+
+    def test_failure_result_records_traceback(self, world):
+        from repro.serialize.traceback import RemoteExceptionWrapper
+
+        task_id = submit(world)
+        connect_agent(world)
+        world.forwarder.step()
+        world.agent.recv_all_ready()
+        try:
+            raise ValueError("remote boom")
+        except ValueError as exc:
+            wrapper = RemoteExceptionWrapper(exc)
+        buf = world.serializer.serialize(wrapper, routing_tag=task_id)
+        world.agent.send(
+            ResultMessage(sender="w0", task_id=task_id, success=False,
+                          result_buffer=buf, completed_at=world.clock())
+        )
+        world.forwarder.step()
+        task = world.service.task_by_id(task_id)
+        assert task.state is TaskState.FAILED
+        assert "remote boom" in task.exception_text
+
+
+class TestHeartbeatsAndLoss:
+    def test_heartbeat_marks_endpoint_connected(self, world):
+        connect_agent(world)
+        world.agent.send(Heartbeat(sender="agent:x", timestamp=world.clock()))
+        world.forwarder.step()
+        record = world.service.endpoints.get(world.endpoint_id)
+        assert record.connected
+
+    def test_agent_loss_requeues_outstanding(self, world):
+        task_id = submit(world)
+        connect_agent(world)
+        world.forwarder.step()
+        world.agent.recv_all_ready()
+        assert world.forwarder.outstanding == 1
+        world.clock.advance(4.0)  # beyond period*grace = 3s
+        world.forwarder.step()
+        assert not world.forwarder.agent_connected
+        task = world.service.task_by_id(task_id)
+        assert task.state is TaskState.QUEUED
+        assert len(world.service.task_queue(world.endpoint_id)) == 1
+        assert world.forwarder.requeue_events == 1
+
+    def test_redispatch_after_reconnection(self, world):
+        task_id = submit(world)
+        connect_agent(world)
+        world.forwarder.step()
+        world.agent.recv_all_ready()
+        world.clock.advance(4.0)
+        world.forwarder.step()  # loss detected, task requeued
+        world.agent.send(Registration(sender="agent:x", component_type="endpoint"))
+        world.forwarder.step()
+        world.forwarder.step()
+        redelivered = world.agent.recv_all_ready()
+        assert [m.task_id for m in redelivered if isinstance(m, TaskMessage)] == [task_id]
+        assert world.service.task_by_id(task_id).attempts == 2
+
+    def test_retry_budget_failure_after_repeated_loss(self, world):
+        task_id = submit(world)
+        world.service.task_by_id(task_id).max_retries = 1
+        for _ in range(2):
+            world.agent.send(Registration(sender="agent:x", component_type="endpoint"))
+            world.forwarder.step()
+            world.forwarder.step()
+            world.agent.recv_all_ready()
+            world.clock.advance(4.0)
+            world.forwarder.step()
+        task = world.service.task_by_id(task_id)
+        assert task.state is TaskState.FAILED
+        assert "retries exhausted" in task.exception_text
+
+    def test_result_return_time_recorded(self, world):
+        task_id = submit(world)
+        connect_agent(world)
+        world.forwarder.step()
+        world.agent.recv_all_ready()
+        completed_at = world.clock()
+        world.clock.advance(0.5)
+        world.agent.send(
+            ResultMessage(sender="w", task_id=task_id, success=True,
+                          result_buffer=world.serializer.serialize(1),
+                          completed_at=completed_at)
+        )
+        world.forwarder.step()
+        task = world.service.task_by_id(task_id)
+        assert task.metadata["result_return_time"] == pytest.approx(0.5)
+
+
+class TestSiteContainerConversion:
+    """§4.2: a Docker-format key is converted to the site's technology."""
+
+    def test_converted_for_shifter_site(self, world):
+        record = world.service.endpoints.get(world.endpoint_id)
+        record.metadata["container_technology"] = "shifter"
+        payload = world.serializer.serialize(([1], {}))
+        token = world.token
+        fid = world.service.register_function(
+            token, "containerized", world.serializer.serialize_function(lambda x: x),
+            container_image="docker:dials/stills:1", public=True,
+        )
+        world.service.submit(token, fid, world.endpoint_id, payload)
+        connect_agent(world)
+        world.forwarder.step()
+        (message,) = [m for m in world.agent.recv_all_ready()
+                      if isinstance(m, TaskMessage)]
+        assert message.container_image == "shifter:dials/stills:1"
+
+    def test_untouched_without_site_technology(self, world):
+        payload = world.serializer.serialize(([1], {}))
+        fid = world.service.register_function(
+            world.token, "containerized",
+            world.serializer.serialize_function(lambda x: x),
+            container_image="docker:dials/stills:1", public=True,
+        )
+        world.service.submit(world.token, fid, world.endpoint_id, payload)
+        connect_agent(world)
+        world.forwarder.step()
+        (message,) = [m for m in world.agent.recv_all_ready()
+                      if isinstance(m, TaskMessage)]
+        assert message.container_image == "docker:dials/stills:1"
+
+    def test_bare_tasks_unaffected(self, world):
+        record = world.service.endpoints.get(world.endpoint_id)
+        record.metadata["container_technology"] = "singularity"
+        task_id = submit(world)
+        connect_agent(world)
+        world.forwarder.step()
+        (message,) = [m for m in world.agent.recv_all_ready()
+                      if isinstance(m, TaskMessage)]
+        assert message.container_image is None
+
+
+class TestDispatchBatching:
+    def test_max_dispatch_per_step_bounds_each_iteration(self, world):
+        world.forwarder.max_dispatch_per_step = 3
+        for i in range(8):
+            submit(world, i)
+        connect_agent(world)  # performs one step -> first wave of 3
+        first_wave = [m for m in world.agent.recv_all_ready()
+                      if isinstance(m, TaskMessage)]
+        assert len(first_wave) == 3
+        world.forwarder.step()
+        world.forwarder.step()
+        rest = [m for m in world.agent.recv_all_ready()
+                if isinstance(m, TaskMessage)]
+        assert len(rest) == 5

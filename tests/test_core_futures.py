@@ -1,0 +1,111 @@
+"""Unit tests for FuncXFuture."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.futures import FuncXFuture, wait_all
+from repro.errors import TaskCancelled, TaskExecutionFailed, TaskPending
+from repro.serialize.traceback import RemoteExceptionWrapper
+
+
+class TestResolution:
+    def test_set_result(self):
+        f = FuncXFuture("t")
+        assert not f.done()
+        f.set_result(42)
+        assert f.done()
+        assert f.result() == 42
+
+    def test_set_exception(self):
+        f = FuncXFuture("t")
+        f.set_exception(ValueError("x"))
+        with pytest.raises(ValueError):
+            f.result()
+        assert isinstance(f.exception(), ValueError)
+
+    def test_double_resolution_rejected(self):
+        f = FuncXFuture("t")
+        f.set_result(1)
+        with pytest.raises(RuntimeError):
+            f.set_result(2)
+        with pytest.raises(RuntimeError):
+            f.set_exception(ValueError())
+
+    def test_timeout_raises_pending(self):
+        f = FuncXFuture("t")
+        with pytest.raises(TaskPending):
+            f.result(timeout=0.01)
+
+    def test_remote_wrapper_reraised(self):
+        f = FuncXFuture("t")
+        try:
+            raise KeyError("remote")
+        except KeyError as exc:
+            f.set_result(RemoteExceptionWrapper(exc))
+        with pytest.raises(KeyError):
+            f.result()
+        assert isinstance(f.exception(), TaskExecutionFailed)
+
+    def test_cancel(self):
+        f = FuncXFuture("t")
+        f.cancel()
+        assert f.cancelled
+        with pytest.raises(TaskCancelled):
+            f.result()
+
+    def test_cancel_after_done_is_noop(self):
+        f = FuncXFuture("t")
+        f.set_result(1)
+        f.cancel()
+        assert not f.cancelled
+        assert f.result() == 1
+
+
+class TestCallbacks:
+    def test_callback_on_resolution(self):
+        f = FuncXFuture("t")
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(fut.task_id))
+        f.set_result(1)
+        assert seen == ["t"]
+
+    def test_callback_fires_immediately_if_done(self):
+        f = FuncXFuture("t")
+        f.set_result(1)
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(1))
+        assert seen == [1]
+
+    def test_callbacks_on_exception(self):
+        f = FuncXFuture("t")
+        seen = []
+        f.add_done_callback(lambda fut: seen.append("done"))
+        f.set_exception(ValueError())
+        assert seen == ["done"]
+
+
+class TestWaiting:
+    def test_cross_thread_wait(self):
+        f = FuncXFuture("t")
+
+        def resolver():
+            f.set_result("from-thread")
+
+        t = threading.Thread(target=resolver)
+        t.start()
+        assert f.result(timeout=5.0) == "from-thread"
+        t.join()
+
+    def test_wait_all_success(self):
+        futures = [FuncXFuture(str(i)) for i in range(3)]
+        for f in futures:
+            f.set_result(1)
+        assert wait_all(futures, timeout=1.0)
+
+    def test_wait_all_timeout(self):
+        futures = [FuncXFuture("done"), FuncXFuture("never")]
+        futures[0].set_result(1)
+        assert not wait_all(futures, timeout=0.05)

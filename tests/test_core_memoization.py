@@ -1,0 +1,90 @@
+"""Unit tests for the memoizer (§4.7 / Table 3 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.memoization import Memoizer
+
+
+class TestLookupStore:
+    def test_miss_then_hit(self):
+        memo = Memoizer()
+        assert memo.lookup(b"func", b"args") is None
+        memo.store(b"func", b"args", b"result")
+        assert memo.lookup(b"func", b"args") == b"result"
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_key_depends_on_function_body(self):
+        memo = Memoizer()
+        memo.store(b"func-v1", b"args", b"r1")
+        assert memo.lookup(b"func-v2", b"args") is None
+
+    def test_key_depends_on_payload(self):
+        memo = Memoizer()
+        memo.store(b"f", b"args1", b"r1")
+        assert memo.lookup(b"f", b"args2") is None
+
+    def test_key_boundary_not_ambiguous(self):
+        """func=ab,payload=c must differ from func=a,payload=bc."""
+        memo = Memoizer()
+        memo.store(b"ab", b"c", b"r")
+        assert memo.lookup(b"a", b"bc") is None
+
+    def test_overwrite_updates(self):
+        memo = Memoizer()
+        memo.store(b"f", b"a", b"old")
+        memo.store(b"f", b"a", b"new")
+        assert memo.lookup(b"f", b"a") == b"new"
+        assert len(memo) == 1
+
+    def test_deterministic_key(self):
+        assert Memoizer.key(b"f", b"p") == Memoizer.key(b"f", b"p")
+        assert Memoizer.key(b"f", b"p") != Memoizer.key(b"f", b"q")
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        memo = Memoizer(capacity=2)
+        memo.store(b"f", b"1", b"r1")
+        memo.store(b"f", b"2", b"r2")
+        memo.lookup(b"f", b"1")           # touch 1 -> 2 becomes LRU
+        memo.store(b"f", b"3", b"r3")     # evicts 2
+        assert memo.lookup(b"f", b"1") == b"r1"
+        assert memo.lookup(b"f", b"2") is None
+        assert memo.lookup(b"f", b"3") == b"r3"
+
+    def test_capacity_enforced(self):
+        memo = Memoizer(capacity=10)
+        for i in range(50):
+            memo.store(b"f", str(i).encode(), b"r")
+        assert len(memo) == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Memoizer(capacity=0)
+
+
+class TestMaintenance:
+    def test_invalidate_function_clears(self):
+        memo = Memoizer()
+        memo.store(b"f", b"a", b"r")
+        memo.invalidate_function(b"f")
+        assert memo.lookup(b"f", b"a") is None
+
+    def test_hit_rate(self):
+        memo = Memoizer()
+        memo.store(b"f", b"a", b"r")
+        memo.lookup(b"f", b"a")
+        memo.lookup(b"f", b"b")
+        assert memo.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert Memoizer().hit_rate == 0.0
+
+    def test_clear_resets_counters(self):
+        memo = Memoizer()
+        memo.store(b"f", b"a", b"r")
+        memo.lookup(b"f", b"a")
+        memo.clear()
+        assert len(memo) == 0 and memo.hits == 0 and memo.misses == 0

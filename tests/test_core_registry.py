@@ -1,0 +1,139 @@
+"""Unit tests for the function and endpoint registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import AuthService
+from repro.core.registry import EndpointRegistry, FunctionRegistry
+from repro.errors import AuthorizationFailed, EndpointNotFound, FunctionNotFound
+
+
+@pytest.fixture
+def auth(clock):
+    return AuthService(clock=clock)
+
+
+@pytest.fixture
+def alice(auth):
+    return auth.register_identity("alice")
+
+
+@pytest.fixture
+def bob(auth):
+    return auth.register_identity("bob")
+
+
+class TestFunctionRegistry:
+    def test_register_and_get(self, auth, alice):
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("double", alice, b"body", description="x2")
+        assert reg.get(record.function_id) is record
+        assert record.version == 1
+        assert len(reg) == 1
+
+    def test_get_unknown(self, auth):
+        with pytest.raises(FunctionNotFound):
+            FunctionRegistry(auth=auth).get("nope")
+
+    def test_owner_can_invoke(self, auth, alice):
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("f", alice, b"b")
+        assert reg.check_invocable(record.function_id, alice.identity_id) is record
+
+    def test_private_function_denies_others(self, auth, alice, bob):
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("f", alice, b"b", public=False)
+        with pytest.raises(AuthorizationFailed):
+            reg.check_invocable(record.function_id, bob.identity_id)
+
+    def test_public_function_open(self, auth, alice, bob):
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("f", alice, b"b", public=True)
+        reg.check_invocable(record.function_id, bob.identity_id)
+
+    def test_user_sharing(self, auth, alice, bob):
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("f", alice, b"b", allowed_users=[bob.identity_id])
+        reg.check_invocable(record.function_id, bob.identity_id)
+
+    def test_group_sharing(self, auth, alice, bob):
+        group = auth.create_group("team", members=[bob])
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("f", alice, b"b", allowed_groups=[group.group_id])
+        reg.check_invocable(record.function_id, bob.identity_id)
+
+    def test_share_with_after_registration(self, auth, alice, bob):
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("f", alice, b"b")
+        reg.share_with(record.function_id, alice, users=[bob.identity_id])
+        reg.check_invocable(record.function_id, bob.identity_id)
+
+    def test_only_owner_may_share(self, auth, alice, bob):
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("f", alice, b"b")
+        with pytest.raises(AuthorizationFailed):
+            reg.share_with(record.function_id, bob, users=[bob.identity_id])
+
+    def test_update_bumps_version_and_keeps_history(self, auth, alice):
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("f", alice, b"v1")
+        reg.update_body(record.function_id, alice, b"v2")
+        assert record.version == 2
+        assert record.function_buffer == b"v2"
+        assert record.history == [b"v1"]
+
+    def test_only_owner_may_update(self, auth, alice, bob):
+        reg = FunctionRegistry(auth=auth)
+        record = reg.register("f", alice, b"v1")
+        with pytest.raises(AuthorizationFailed):
+            reg.update_body(record.function_id, bob, b"evil")
+
+    def test_owned_by(self, auth, alice, bob):
+        reg = FunctionRegistry(auth=auth)
+        reg.register("f1", alice, b"")
+        reg.register("f2", alice, b"")
+        reg.register("g", bob, b"")
+        assert len(reg.owned_by(alice.identity_id)) == 2
+
+
+class TestEndpointRegistry:
+    def test_register_and_get(self, alice):
+        reg = EndpointRegistry()
+        record = reg.register("theta", alice, metadata={"nodes": 8})
+        assert reg.get(record.endpoint_id).metadata["nodes"] == 8
+        assert len(reg) == 1
+
+    def test_get_unknown(self):
+        with pytest.raises(EndpointNotFound):
+            EndpointRegistry().get("nope")
+
+    def test_private_endpoint_access(self, alice, bob):
+        reg = EndpointRegistry()
+        record = reg.register("laptop", alice, public=False)
+        reg.check_usable(record.endpoint_id, alice.identity_id)
+        with pytest.raises(AuthorizationFailed):
+            reg.check_usable(record.endpoint_id, bob.identity_id)
+
+    def test_allowed_users(self, alice, bob):
+        reg = EndpointRegistry()
+        record = reg.register("laptop", alice, public=False)
+        record.allowed_users.add(bob.identity_id)
+        reg.check_usable(record.endpoint_id, bob.identity_id)
+
+    def test_connection_state(self, alice):
+        reg = EndpointRegistry()
+        record = reg.register("ep", alice)
+        assert not record.connected
+        reg.set_connected(record.endpoint_id, True, now=5.0)
+        assert record.connected and record.last_heartbeat == 5.0
+        reg.heartbeat(record.endpoint_id, now=9.0)
+        assert record.last_heartbeat == 9.0
+        reg.set_connected(record.endpoint_id, False)
+        assert not record.connected
+
+    def test_all_listing(self, alice):
+        reg = EndpointRegistry()
+        reg.register("a", alice)
+        reg.register("b", alice)
+        assert {r.name for r in reg.all()} == {"a", "b"}

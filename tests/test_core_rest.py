@@ -1,0 +1,197 @@
+"""Tests for the REST facade (routing, status codes, payload encoding)."""
+
+from __future__ import annotations
+
+import base64
+
+import pytest
+
+from repro import LocalDeployment
+from repro.core.rest import RestApi
+from repro.serialize import FuncXSerializer
+
+
+def b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+@pytest.fixture
+def world():
+    with LocalDeployment() as dep:
+        api = RestApi(dep.service)
+        identity = dep.register_user("rest-user")
+        token = dep.auth.native_client_flow(identity).token
+        ep_id = dep.create_endpoint("rest-ep", nodes=1)
+        serializer = FuncXSerializer()
+
+        def double(x):
+            return 2 * x
+
+        func_b64 = b64(serializer.serialize_function(double))
+        yield dep, api, token, ep_id, serializer, func_b64
+
+
+class TestAuthAndRouting:
+    def test_missing_token_401(self, world):
+        _dep, api, _token, _ep, _s, _f = world
+        response = api.request("GET", "/api/v1/endpoints")
+        assert response.status == 401
+
+    def test_bad_token_401(self, world):
+        _dep, api, _token, _ep, _s, _f = world
+        response = api.request("GET", "/api/v1/endpoints", token="bogus")
+        assert response.status == 401
+
+    def test_unknown_route_404(self, world):
+        _dep, api, token, _ep, _s, _f = world
+        assert api.request("GET", "/api/v1/nothing", token=token).status == 404
+
+    def test_wrong_method_404(self, world):
+        _dep, api, token, _ep, _s, _f = world
+        assert api.request("DELETE", "/api/v1/endpoints", token=token).status == 404
+
+    def test_malformed_body_400(self, world):
+        _dep, api, token, _ep, _s, _f = world
+        response = api.request("POST", "/api/v1/functions", token=token, body={})
+        assert response.status == 400
+
+
+class TestFunctionRoutes:
+    def test_register_and_update(self, world):
+        _dep, api, token, _ep, serializer, func_b64 = world
+        created = api.request(
+            "POST", "/api/v1/functions", token=token,
+            body={"name": "double", "function": func_b64},
+        )
+        assert created.status == 201
+        fid = created.body["function_id"]
+
+        def triple(x):
+            return 3 * x
+
+        updated = api.request(
+            "PUT", f"/api/v1/functions/{fid}", token=token,
+            body={"function": b64(serializer.serialize_function(triple))},
+        )
+        assert updated.status == 200
+        assert updated.body["version"] == 2
+
+    def test_update_unknown_function_404(self, world):
+        _dep, api, token, _ep, _s, func_b64 = world
+        response = api.request(
+            "PUT", "/api/v1/functions/missing", token=token,
+            body={"function": func_b64},
+        )
+        assert response.status == 404
+
+    def test_oversized_function_413(self, world):
+        dep, api, token, _ep, _s, _f = world
+        big = b64(b"x" * (dep.service.config.payload_limit + 1))
+        response = api.request(
+            "POST", "/api/v1/functions", token=token,
+            body={"name": "big", "function": big},
+        )
+        assert response.status == 413
+
+
+class TestTaskRoutes:
+    def _register(self, api, token, func_b64, public=True):
+        return api.request(
+            "POST", "/api/v1/functions", token=token,
+            body={"name": "double", "function": func_b64, "public": public},
+        ).body["function_id"]
+
+    def test_full_rest_round_trip(self, world):
+        _dep, api, token, ep_id, serializer, func_b64 = world
+        fid = self._register(api, token, func_b64)
+        payload = b64(serializer.serialize(([21], {})))
+        submitted = api.request(
+            "POST", "/api/v1/tasks", token=token,
+            body={"function_id": fid, "endpoint_id": ep_id, "payload": payload},
+        )
+        assert submitted.status == 201
+        tid = submitted.body["task_id"]
+
+        result = api.request(
+            "GET", f"/api/v1/tasks/{tid}/result", token=token,
+            body={"timeout": 15.0},
+        )
+        assert result.status == 200
+        value = serializer.deserialize(base64.b64decode(result.body["result"]))
+        assert value == 42
+
+        status = api.request("GET", f"/api/v1/tasks/{tid}/status", token=token)
+        assert status.body["status"] == "success"
+
+    def test_pending_result_202(self, world):
+        dep, api, token, _ep, serializer, func_b64 = world
+        lazy_ep = dep.create_endpoint("never-started", nodes=1, start=False)
+        fid = self._register(api, token, func_b64)
+        payload = b64(serializer.serialize(([1], {})))
+        tid = api.request(
+            "POST", "/api/v1/tasks", token=token,
+            body={"function_id": fid, "endpoint_id": lazy_ep, "payload": payload},
+        ).body["task_id"]
+        response = api.request("GET", f"/api/v1/tasks/{tid}/result", token=token)
+        assert response.status == 202
+        assert response.body["task_id"] == tid
+
+    def test_batch_submission(self, world):
+        _dep, api, token, ep_id, serializer, func_b64 = world
+        fid = self._register(api, token, func_b64)
+        tasks = [
+            {"function_id": fid, "endpoint_id": ep_id,
+             "payload": b64(serializer.serialize(([i], {})))}
+            for i in range(3)
+        ]
+        response = api.request("POST", "/api/v1/batch", token=token,
+                               body={"tasks": tasks})
+        assert response.status == 201
+        assert len(response.body["task_ids"]) == 3
+        for i, tid in enumerate(response.body["task_ids"]):
+            result = api.request("GET", f"/api/v1/tasks/{tid}/result",
+                                 token=token, body={"timeout": 15.0})
+            assert serializer.deserialize(
+                base64.b64decode(result.body["result"])
+            ) == 2 * i
+
+    def test_unknown_task_404(self, world):
+        _dep, api, token, _ep, _s, _f = world
+        assert api.request(
+            "GET", "/api/v1/tasks/missing/status", token=token
+        ).status == 404
+
+    def test_unauthorized_function_403(self, world):
+        dep, api, token, ep_id, serializer, func_b64 = world
+        other = dep.register_user("other")
+        other_token = dep.auth.native_client_flow(other).token
+        api_other = RestApi(dep.service)
+        fid = self._register(api, token, func_b64, public=False)
+        response = api_other.request(
+            "POST", "/api/v1/tasks", token=other_token,
+            body={"function_id": fid, "endpoint_id": ep_id,
+                  "payload": b64(serializer.serialize(([1], {})))},
+        )
+        assert response.status == 403
+
+
+class TestEndpointRoutes:
+    def test_list_endpoints(self, world):
+        _dep, api, token, ep_id, _s, _f = world
+        response = api.request("GET", "/api/v1/endpoints", token=token)
+        assert response.status == 200
+        ids = [e["endpoint_id"] for e in response.body["endpoints"]]
+        assert ep_id in ids
+
+    def test_register_endpoint_requires_scope(self, world):
+        _dep, api, token, _ep, _s, _f = world
+        # default user scopes do not include register_endpoint
+        response = api.request("POST", "/api/v1/endpoints", token=token,
+                               body={"name": "rogue"})
+        assert response.status == 403
+
+    def test_response_json_serializable(self, world):
+        _dep, api, token, _ep, _s, _f = world
+        response = api.request("GET", "/api/v1/endpoints", token=token)
+        assert isinstance(response.json(), str)
+        assert response.ok

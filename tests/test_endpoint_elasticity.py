@@ -1,0 +1,157 @@
+"""Tests for the resource-aware scheduler and live elasticity controller."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import EndpointConfig, LocalDeployment
+from repro.endpoint.scheduling import (
+    ManagerView,
+    ResourceAwareScheduler,
+    scheduler_by_name,
+)
+from repro.providers import LocalProvider, ProviderLimits, SimpleScalingStrategy
+from repro.endpoint.elasticity import ElasticityController
+
+
+def view(mid, capacity, outstanding=0, containers=()):
+    return ManagerView(
+        manager_id=mid,
+        capacity=capacity,
+        outstanding=outstanding,
+        deployed_containers=frozenset(containers),
+    )
+
+
+class TestResourceAwareScheduler:
+    def test_registered(self):
+        assert isinstance(scheduler_by_name("resource_aware"), ResourceAwareScheduler)
+
+    def test_picks_least_loaded(self):
+        s = ResourceAwareScheduler(seed=1)
+        managers = [view("busy", 10, outstanding=8), view("idle", 10, outstanding=1)]
+        assert all(
+            s.select(managers, None).manager_id == "idle" for _ in range(10)
+        )
+
+    def test_normalizes_by_capacity(self):
+        s = ResourceAwareScheduler(seed=1)
+        # big: 10/64 load; small: 1/2 load -> big wins despite more tasks
+        managers = [view("big", 64, outstanding=10), view("small", 2, outstanding=1)]
+        assert s.select(managers, None).manager_id == "big"
+
+    def test_container_affinity_first(self):
+        s = ResourceAwareScheduler(seed=1)
+        managers = [
+            view("empty", 10, outstanding=0),
+            view("warm-but-busy", 10, outstanding=5, containers=["docker:x"]),
+        ]
+        assert s.select(managers, "docker:x").manager_id == "warm-but-busy"
+
+    def test_none_when_saturated(self):
+        s = ResourceAwareScheduler(seed=1)
+        assert s.select([view("m", 2, outstanding=2)], None) is None
+
+    def test_balances_over_sequence(self):
+        s = ResourceAwareScheduler(seed=1)
+        managers = [view("a", 10), view("b", 10)]
+        for _ in range(10):
+            chosen = s.select(managers, None)
+            chosen.outstanding += 1
+        assert managers[0].outstanding == managers[1].outstanding == 5
+
+
+class TestElasticityController:
+    def _world(self, max_blocks=3, min_blocks=0):
+        dep = LocalDeployment()
+        client = dep.client()
+        ep_id = dep.create_endpoint(
+            "elastic-ep", nodes=0,
+            config=EndpointConfig(workers_per_node=2, heartbeat_period=0.1),
+        )
+        endpoint = dep.endpoint(ep_id)
+        provider = LocalProvider(
+            max_nodes=max_blocks + 1,
+            limits=ProviderLimits(min_blocks=min_blocks, max_blocks=max_blocks,
+                                  init_blocks=min_blocks),
+        )
+        strategy = SimpleScalingStrategy(
+            max_units_per_image=max_blocks,
+            min_units_per_image=min_blocks,
+            tasks_per_unit=2,
+            idle_grace=0.2,
+        )
+        controller = ElasticityController(
+            endpoint, provider=provider, strategy=strategy
+        )
+        return dep, client, ep_id, endpoint, controller
+
+    def test_requires_provider(self):
+        with LocalDeployment() as dep:
+            ep_id = dep.create_endpoint("no-provider", nodes=1)
+            with pytest.raises(ValueError):
+                ElasticityController(dep.endpoint(ep_id))
+
+    def test_scales_out_under_load_and_back(self):
+        dep, client, ep_id, endpoint, controller = self._world()
+        try:
+            import repro.workloads as w
+
+            fid = client.register_function(w.make_sleep_function(0.3), public=True)
+            futures = [client.submit(fid, ep_id) for _ in range(6)]
+            # drive the control loop manually until managers exist
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline and controller.active_managers < 3:
+                controller.step()
+                time.sleep(0.02)
+            assert controller.active_managers >= 1
+            assert controller.scale_out_events >= 1
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and not all(f.done() for f in futures):
+                controller.step()
+                time.sleep(0.05)
+            for future in futures:
+                assert future.result(timeout=5) == 0.3
+            # drain, then idle-grace scale-in reclaims everything
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline and controller.active_managers > 0:
+                controller.step()
+                time.sleep(0.05)
+            assert controller.active_managers == 0
+            assert controller.scale_in_events >= 1
+        finally:
+            dep.shutdown()
+
+    def test_respects_max_blocks(self):
+        dep, client, ep_id, endpoint, controller = self._world(max_blocks=2)
+        try:
+            import repro.workloads as w
+
+            fid = client.register_function(w.make_sleep_function(0.2), public=True)
+            futures = [client.submit(fid, ep_id) for _ in range(20)]
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                controller.step()
+                assert controller.provider.active_blocks <= 2
+                if all(f.done() for f in futures):
+                    break
+                time.sleep(0.02)
+            for f in futures:
+                assert f.result(timeout=30) == 0.2
+        finally:
+            dep.shutdown()
+
+    def test_threaded_mode(self):
+        dep, client, ep_id, endpoint, controller = self._world()
+        try:
+            controller.evaluation_period = 0.05
+            controller.start()
+            fid = client.register_function(lambda x: x + 1, public=True)
+            futures = [client.submit(fid, ep_id, i) for i in range(4)]
+            assert [f.result(timeout=30) for f in futures] == [1, 2, 3, 4]
+            controller.stop()
+        finally:
+            controller.stop()
+            dep.shutdown()

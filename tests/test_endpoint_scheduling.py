@@ -1,0 +1,125 @@
+"""Unit tests for the agent's manager-selection policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.endpoint.scheduling import (
+    FirstFitScheduler,
+    ManagerView,
+    RandomizedScheduler,
+    RoundRobinScheduler,
+    scheduler_by_name,
+)
+
+
+def view(mid, capacity, containers=(), outstanding=0):
+    return ManagerView(
+        manager_id=mid,
+        capacity=capacity,
+        deployed_containers=frozenset(containers),
+        outstanding=outstanding,
+    )
+
+
+class TestManagerView:
+    def test_available(self):
+        v = view("m", 5, outstanding=3)
+        assert v.available == 2
+
+    def test_available_never_negative(self):
+        assert view("m", 2, outstanding=5).available == 0
+
+    def test_suits_raw_always(self):
+        v = view("m", 1)
+        assert v.suits(None)
+        assert v.suits("RAW")
+
+    def test_suits_container(self):
+        v = view("m", 1, containers=["docker:img"])
+        assert v.suits("docker:img")
+        assert not v.suits("docker:other")
+
+
+class TestRandomizedScheduler:
+    def test_none_when_no_capacity(self):
+        s = RandomizedScheduler(seed=1)
+        assert s.select([view("m", 0)], None) is None
+        assert s.select([], None) is None
+
+    def test_prefers_suitable_container(self):
+        s = RandomizedScheduler(seed=1)
+        managers = [
+            view("plain", 10),
+            view("warm", 10, containers=["docker:x"]),
+        ]
+        picks = {s.select(managers, "docker:x").manager_id for _ in range(50)}
+        assert picks == {"warm"}
+
+    def test_falls_back_when_no_suitable(self):
+        s = RandomizedScheduler(seed=1)
+        managers = [view("plain", 5)]
+        assert s.select(managers, "docker:x").manager_id == "plain"
+
+    def test_randomizes_among_ties(self):
+        s = RandomizedScheduler(seed=1)
+        managers = [view("a", 5), view("b", 5), view("c", 5)]
+        picks = {s.select(managers, None).manager_id for _ in range(100)}
+        assert picks == {"a", "b", "c"}
+
+    def test_skips_saturated(self):
+        s = RandomizedScheduler(seed=1)
+        managers = [view("full", 5, outstanding=5), view("free", 5)]
+        assert s.select(managers, None).manager_id == "free"
+
+    def test_deterministic_with_seed(self):
+        managers = [view("a", 1), view("b", 1), view("c", 1)]
+        seq1 = [RandomizedScheduler(seed=9).select(managers, None).manager_id for _ in range(5)]
+        seq2 = [RandomizedScheduler(seed=9).select(managers, None).manager_id for _ in range(5)]
+        assert seq1 == seq2
+
+
+class TestRoundRobinScheduler:
+    def test_cycles(self):
+        s = RoundRobinScheduler()
+        managers = [view("a", 10), view("b", 10), view("c", 10)]
+        picks = [s.select(managers, None).manager_id for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_skips_full(self):
+        s = RoundRobinScheduler()
+        managers = [view("a", 10), view("b", 0), view("c", 10)]
+        picks = [s.select(managers, None).manager_id for _ in range(4)]
+        assert picks == ["a", "c", "a", "c"]
+
+    def test_all_full_returns_none(self):
+        s = RoundRobinScheduler()
+        assert s.select([view("a", 0), view("b", 0)], None) is None
+
+
+class TestFirstFitScheduler:
+    def test_concentrates_on_first(self):
+        s = FirstFitScheduler()
+        managers = [view("a", 10), view("b", 10)]
+        assert all(s.select(managers, None).manager_id == "a" for _ in range(5))
+
+    def test_spills_when_first_full(self):
+        s = FirstFitScheduler()
+        managers = [view("a", 2, outstanding=2), view("b", 10)]
+        assert s.select(managers, None).manager_id == "b"
+
+    def test_prefers_container_match(self):
+        s = FirstFitScheduler()
+        managers = [view("plain", 10), view("warm", 10, containers=["docker:x"])]
+        assert s.select(managers, "docker:x").manager_id == "warm"
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(scheduler_by_name("randomized"), RandomizedScheduler)
+        assert isinstance(scheduler_by_name("round_robin"), RoundRobinScheduler)
+        assert isinstance(scheduler_by_name("first_fit"), FirstFitScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            scheduler_by_name("lottery")

@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_funcx_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.FuncXError), name
+
+    def test_not_found_family(self):
+        for cls in (errors.FunctionNotFound, errors.EndpointNotFound,
+                    errors.TaskNotFound, errors.ContainerNotFound):
+            exc = cls("abc-123")
+            assert isinstance(exc, errors.NotFoundError)
+            assert "abc-123" in str(exc)
+            assert exc.identifier == "abc-123"
+
+    def test_auth_family(self):
+        exc = errors.AuthorizationFailed("alice@orcid", "execute")
+        assert isinstance(exc, errors.AuthError)
+        assert exc.identity == "alice@orcid"
+        assert exc.required == "execute"
+        assert issubclass(errors.AuthenticationFailed, errors.AuthError)
+
+    def test_payload_too_large_message(self):
+        exc = errors.PayloadTooLarge(size=2048, limit=1024)
+        assert exc.size == 2048 and exc.limit == 1024
+        assert "out-of-band" in str(exc)
+
+    def test_task_pending_fields(self):
+        exc = errors.TaskPending("t-1", "queued")
+        assert exc.task_id == "t-1" and exc.status == "queued"
+        assert isinstance(exc, errors.TaskError)
+
+    def test_task_execution_failed_carries_traceback(self):
+        exc = errors.TaskExecutionFailed("Traceback...\nValueError: x")
+        assert "ValueError" in exc.remote_traceback
+
+    def test_max_retries(self):
+        exc = errors.MaxRetriesExceeded("t-9", attempts=3)
+        assert exc.attempts == 3 and "3 attempts" in str(exc)
+
+    def test_heartbeat_missed_fields(self):
+        exc = errors.HeartbeatMissed("manager-1", last_seen=12.5)
+        assert isinstance(exc, errors.TransportError)
+        assert "12.5" in str(exc)
+
+    def test_provider_family(self):
+        for cls in (errors.AllocationExhausted, errors.SubmitFailed,
+                    errors.InvalidJobState):
+            assert issubclass(cls, errors.ProviderError)
+
+    def test_endpoint_family(self):
+        for cls in (errors.NoSuitableManager, errors.WorkerLost,
+                    errors.ManagerLost):
+            assert issubclass(cls, errors.EndpointError)
+
+    def test_simulation_family(self):
+        assert issubclass(errors.ClockMonotonicityViolation, errors.SimulationError)
+
+    def test_catching_base_catches_specific(self):
+        with pytest.raises(errors.FuncXError):
+            raise errors.FunctionNotFound("f")
+        with pytest.raises(errors.TaskError):
+            raise errors.TaskCancelled("stopped")

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the documentation users actually execute; these tests keep
+them green as the library evolves.  Each runs in a subprocess with a
+clean interpreter, exactly as a user would run it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["double(21) -> 42", "remote failure surfaced locally"],
+    "metadata_extraction.py": ["extracted 18 metadata records", "archived corpus"],
+    "ml_inference_service.py": ["model published", "unauthorized invocation rejected"],
+    "federated_hep_analysis.py": ["resonance bump"],
+    "xpcs_streaming_pipeline.py": ["accounting:", "g2(1..3)"],
+    "ssx_multisite.py": ["quality control at the beamline", "strongest diffraction"],
+}
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS), (
+        "examples/ and EXPECTED_MARKERS are out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in result.stdout, (
+            f"{script} output missing {marker!r}:\n{result.stdout}"
+        )

@@ -1,0 +1,93 @@
+"""Unit tests for the commercial FaaS latency models (Table 1 comparators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faas import PROVIDER_MODELS, CommercialFaaSModel, LatencyModel
+
+
+class TestLatencyModel:
+    def test_mean_and_std_calibration(self):
+        import random
+
+        model = LatencyModel(mean=100.0, std=7.0)
+        rng = random.Random(1)
+        samples = np.array([model.sample(rng) for _ in range(20000)])
+        assert samples.mean() == pytest.approx(100.0, rel=0.05)
+        assert samples.std() == pytest.approx(7.0, rel=0.15)
+
+    def test_zero_std_degenerate(self):
+        import random
+
+        model = LatencyModel(mean=50.0, std=0.0)
+        assert model.sample(random.Random(0)) == 50.0
+
+    def test_floor_respected(self):
+        import random
+
+        model = LatencyModel(mean=1.0, std=5.0, floor=0.5)
+        rng = random.Random(2)
+        assert all(model.sample(rng) >= 0.5 for _ in range(500))
+
+
+class TestProviderModels:
+    def test_all_three_providers_present(self):
+        assert set(PROVIDER_MODELS) == {"azure", "google", "amazon"}
+
+    @pytest.mark.parametrize(
+        "provider,warm_total,cold_total",
+        [("azure", 130.0, 1359.7), ("google", 85.6, 222.8), ("amazon", 100.3, 468.8)],
+    )
+    def test_totals_match_table1(self, provider, warm_total, cold_total):
+        from repro.faas.commercial import _models
+
+        model = _models(seed=1)[provider]
+        warm = np.array([s.total for s in model.sample_many(3000, cold=False)])
+        cold = np.array([s.total for s in model.sample_many(1000, cold=True)])
+        assert warm.mean() == pytest.approx(warm_total, rel=0.10)
+        assert cold.mean() == pytest.approx(cold_total, rel=0.15)
+
+    def test_cold_slower_than_warm(self):
+        for model in PROVIDER_MODELS.values():
+            warm = np.mean([s.total for s in model.sample_many(500, cold=False)])
+            cold = np.mean([s.total for s in model.sample_many(500, cold=True)])
+            assert cold > warm
+
+
+class TestCacheStateMachine:
+    def _model(self):
+        from repro.faas.commercial import _models
+
+        return _models(seed=3)["amazon"]
+
+    def test_first_invocation_is_cold(self):
+        model = self._model()
+        assert model.invoke(now=0.0).cold
+
+    def test_back_to_back_is_warm(self):
+        model = self._model()
+        model.invoke(now=0.0)
+        assert not model.invoke(now=1.0).cold
+
+    def test_cache_expires_after_ttl(self):
+        model = self._model()
+        model.invoke(now=0.0)
+        # Amazon's cache is 5 minutes (§5.1); 15-minute gaps force cold.
+        assert model.invoke(now=15 * 60.0).cold
+
+    def test_invocation_refreshes_cache(self):
+        model = self._model()
+        model.invoke(now=0.0)
+        model.invoke(now=250.0)
+        assert not model.invoke(now=500.0).cold  # 250 s after refresh
+
+    def test_sample_many_pins_temperature(self):
+        model = self._model()
+        assert all(s.cold for s in model.sample_many(20, cold=True))
+        assert all(not s.cold for s in model.sample_many(20, cold=False))
+
+    def test_sample_decomposition(self):
+        sample = self._model().invoke(now=0.0)
+        assert sample.total == sample.overhead + sample.function_time

@@ -1,0 +1,118 @@
+"""Tests for client-side federation across multiple endpoints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LocalDeployment
+from repro.errors import EndpointError
+from repro.federation import (
+    FederatedExecutor,
+    LeastLoadedEndpoints,
+    RandomEndpoints,
+    RoundRobinEndpoints,
+)
+
+
+def double(x):
+    return 2 * x
+
+
+@pytest.fixture
+def federation():
+    with LocalDeployment(seed=11) as dep:
+        client = dep.client()
+        eps = [dep.create_endpoint(f"site-{i}", nodes=1) for i in range(3)]
+        fid = client.register_function(double, public=True)
+        yield dep, client, eps, fid
+
+
+class TestPolicies:
+    def test_round_robin_cycles(self, federation):
+        _dep, client, eps, _fid = federation
+        policy = RoundRobinEndpoints()
+        picks = [policy.select(eps, client) for _ in range(6)]
+        assert picks == eps + eps
+
+    def test_random_is_seeded(self, federation):
+        _dep, client, eps, _fid = federation
+        a = [RandomEndpoints(seed=1).select(eps, client) for _ in range(10)]
+        b = [RandomEndpoints(seed=1).select(eps, client) for _ in range(10)]
+        assert a == b
+        assert set(a) <= set(eps)
+
+    def test_least_loaded_prefers_idle(self, federation):
+        dep, client, eps, fid = federation
+        # Load the first endpoint with queued work on a stopped twin.
+        lazy = dep.create_endpoint("busy-site", nodes=1, start=False)
+        for _ in range(5):
+            client.run(fid, lazy, 1)
+        policy = LeastLoadedEndpoints()
+        pick = policy.select([lazy, eps[0]], client)
+        assert pick == eps[0]
+
+
+class TestFederatedExecutor:
+    def test_submissions_spread(self, federation):
+        _dep, client, eps, fid = federation
+        executor = FederatedExecutor(client, eps)
+        futures = [executor.submit(fid, i) for i in range(9)]
+        assert [f.result(timeout=30) for f in futures] == [2 * i for i in range(9)]
+        assert all(executor.submissions[ep] == 3 for ep in eps)
+
+    def test_future_records_endpoint(self, federation):
+        _dep, client, eps, fid = federation
+        executor = FederatedExecutor(client, eps)
+        future = executor.submit(fid, 1)
+        assert future.endpoint_id in eps
+        assert future.result(timeout=30) == 2
+
+    def test_federated_map(self, federation):
+        _dep, client, eps, fid = federation
+        executor = FederatedExecutor(client, eps)
+        futures = executor.map(fid, range(12), batch_size=4)
+        assert len(futures) == 3
+        flat = [v for f in futures for v in f.result(timeout=30)]
+        assert flat == [2 * i for i in range(12)]
+        assert {f.endpoint_id for f in futures} == set(eps)
+
+    def test_offline_endpoints_skipped(self, federation):
+        dep, client, eps, fid = federation
+        dep.endpoint(eps[0]).kill_endpoint()
+        import time
+
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if not dep.service.endpoints.get(eps[0]).connected:
+                break
+            dep.forwarder(eps[0]).heartbeats  # just wait for detection
+            time.sleep(0.05)
+        executor = FederatedExecutor(client, eps)
+        futures = [executor.submit(fid, i) for i in range(4)]
+        assert all(f.endpoint_id != eps[0] for f in futures)
+        assert [f.result(timeout=30) for f in futures] == [0, 2, 4, 6]
+
+    def test_no_endpoints_raises(self, federation):
+        _dep, client, eps, fid = federation
+        with pytest.raises(ValueError):
+            FederatedExecutor(client, [])
+
+    def test_all_offline_raises(self, federation):
+        dep, client, eps, fid = federation
+        executor = FederatedExecutor(client, ["not-connected"],
+                                     require_connected=True)
+        # an endpoint id that exists but was never started
+        lazy = dep.create_endpoint("never", nodes=1, start=False)
+        executor = FederatedExecutor(client, [lazy])
+        with pytest.raises(EndpointError):
+            executor.submit(fid, 1)
+
+    def test_membership_management(self, federation):
+        _dep, client, eps, _fid = federation
+        executor = FederatedExecutor(client, eps[:1])
+        executor.add_endpoint(eps[1])
+        executor.add_endpoint(eps[1])  # idempotent
+        assert executor.endpoints == (eps[0], eps[1])
+        assert executor.remove_endpoint(eps[0])
+        assert not executor.remove_endpoint(eps[0])
+        assert executor.endpoints == (eps[1],)

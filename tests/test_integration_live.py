@@ -1,0 +1,289 @@
+"""End-to-end integration tests on the live fabric.
+
+Real threads, real channels, real Python functions executing through the
+complete service → forwarder → agent → manager → worker pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import DeploymentTimings, EndpointConfig, LocalDeployment, TaskState
+from repro.errors import AuthorizationFailed, PayloadTooLarge, TaskPending
+
+
+def double(x):
+    return 2 * x
+
+
+def concat(a, b, sep="-"):
+    return f"{a}{sep}{b}"
+
+
+def boom():
+    raise ZeroDivisionError("intentional")
+
+
+@pytest.fixture
+def deployment():
+    with LocalDeployment(seed=7) as dep:
+        yield dep
+
+
+@pytest.fixture
+def world(deployment):
+    client = deployment.client("alice")
+    endpoint_id = deployment.create_endpoint(
+        "test-ep", nodes=1,
+        config=EndpointConfig(workers_per_node=4, heartbeat_period=0.1),
+    )
+    return deployment, client, endpoint_id
+
+
+class TestBasicExecution:
+    def test_run_and_wait(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(double, public=True)
+        task_id = client.run(fid, ep, 21)
+        assert client.wait_for(task_id, timeout=15) == 42
+
+    def test_positional_and_keyword_args(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(concat)
+        task_id = client.run(fid, ep, "a", "b", sep="+")
+        assert client.wait_for(task_id, timeout=15) == "a+b"
+
+    def test_future_api(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(double)
+        future = client.submit(fid, ep, 5)
+        assert future.result(timeout=15) == 10
+        assert future.done()
+
+    def test_many_concurrent_tasks(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(double)
+        futures = [client.submit(fid, ep, i) for i in range(40)]
+        values = [f.result(timeout=30) for f in futures]
+        assert values == [2 * i for i in range(40)]
+
+    def test_remote_exception_reraised_with_traceback(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(boom)
+        task_id = client.run(fid, ep)
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            state = client.get_status(task_id)
+            if state is TaskState.FAILED:
+                break
+            time.sleep(0.02)
+        from repro.errors import TaskExecutionFailed
+
+        # The original exception type is restored, carrying the remote
+        # traceback as its cause.
+        with pytest.raises(ZeroDivisionError, match="intentional") as info:
+            client.get_result(task_id)
+        assert isinstance(info.value.__cause__, TaskExecutionFailed)
+
+    def test_status_progression(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(double)
+        task_id = client.run(fid, ep, 1)
+        client.wait_for(task_id, timeout=15)
+        task = world[0].service.task_by_id(task_id)
+        times = task.state_times
+        assert times["received"] <= times["queued"] <= times["dispatched"]
+        assert task.breakdown()["tw"] >= 0
+
+    def test_result_pending_before_completion(self, world):
+        _dep, client, ep = world
+        import repro.workloads as w
+
+        fid = client.register_function(w.make_sleep_function(1.0))
+        task_id = client.run(fid, ep)
+        with pytest.raises(TaskPending):
+            client.get_result(task_id, timeout=0.0)
+        assert client.wait_for(task_id, timeout=15) == 1.0
+
+
+class TestBatchAndMap:
+    def test_batch_run(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(double)
+        ids = client.batch_run([(fid, ep, (i,), {}) for i in range(5)])
+        assert [client.wait_for(t, timeout=15) for t in ids] == [0, 2, 4, 6, 8]
+
+    def test_map_flattens_in_order(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(double)
+        result = client.map(fid, range(20), ep, batch_size=6)
+        assert result.result(timeout=20) == [2 * i for i in range(20)]
+        assert result.batch_count == 4
+
+    def test_map_batch_count_precedence(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(double)
+        result = client.map(fid, range(12), ep, batch_size=1, batch_count=3)
+        assert result.batch_count == 3
+        assert result.result(timeout=20) == [2 * i for i in range(12)]
+
+    def test_map_partial_failures(self, world):
+        _dep, client, ep = world
+
+        def picky(x):
+            if x == 3:
+                raise ValueError("no threes")
+            return x
+
+        fid = client.register_function(picky)
+        result = client.map(fid, range(6), ep, batch_size=2)
+        out = result.result_or_exceptions(timeout=20)
+        from repro.serialize.traceback import RemoteExceptionWrapper
+
+        assert out[0] == 0 and out[5] == 5
+        assert isinstance(out[3], RemoteExceptionWrapper)
+
+
+class TestMemoizationLive:
+    def test_memo_hit_skips_execution(self, world):
+        dep, client, ep = world
+        calls = []
+
+        def slow_double(x):
+            import time
+
+            time.sleep(0.2)
+            return 2 * x
+
+        fid = client.register_function(slow_double)
+        t1 = client.run(fid, ep, 4, memoize=True)
+        assert client.wait_for(t1, timeout=15) == 8
+        start = time.monotonic()
+        t2 = client.run(fid, ep, 4, memoize=True)
+        assert client.wait_for(t2, timeout=15) == 8
+        assert time.monotonic() - start < 0.2  # served from cache
+        assert dep.service.task_by_id(t2).memo_hit
+
+
+class TestAuthorizationLive:
+    def test_private_function_blocked(self, deployment):
+        client_a = deployment.client("alice")
+        client_b = deployment.client("bob")
+        ep = deployment.create_endpoint("ep", nodes=1)
+        fid = client_a.register_function(double, public=False)
+        with pytest.raises(AuthorizationFailed):
+            client_b.run(fid, ep, 1)
+
+    def test_shared_function_allowed(self, deployment):
+        client_a = deployment.client("alice")
+        client_b = deployment.client("bob")
+        ep = deployment.create_endpoint("ep", nodes=1)
+        fid = client_a.register_function(
+            double, allowed_users=(client_b.identity.identity_id,)
+        )
+        task_id = client_b.run(fid, ep, 3)
+        assert client_b.wait_for(task_id, timeout=15) == 6
+
+    def test_payload_cap_enforced(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(double)
+        with pytest.raises(PayloadTooLarge):
+            client.run(fid, ep, "x" * (1024 * 1024))
+
+
+class TestFederation:
+    def test_two_endpoints_one_function(self, deployment):
+        client = deployment.client()
+        ep1 = deployment.create_endpoint("site-a", nodes=1)
+        ep2 = deployment.create_endpoint("site-b", nodes=1)
+        fid = client.register_function(double)
+        t1 = client.run(fid, ep1, 1)
+        t2 = client.run(fid, ep2, 2)
+        assert client.wait_for(t1, timeout=15) == 2
+        assert client.wait_for(t2, timeout=15) == 4
+
+    def test_endpoint_listing(self, deployment):
+        client = deployment.client()
+        deployment.create_endpoint("alpha", nodes=1)
+        deployment.create_endpoint("beta", nodes=1)
+        names = {e.name for e in deployment.service.list_endpoints(
+            client._auth_client.bearer_token())}
+        assert {"alpha", "beta"} <= names
+
+
+class TestLatencyInjection:
+    def test_wan_latency_visible_in_round_trip(self):
+        timings = DeploymentTimings(service_endpoint_latency=0.05)
+        with LocalDeployment(timings=timings) as dep:
+            client = dep.client()
+            ep = dep.create_endpoint("remote", nodes=1)
+            fid = client.register_function(double)
+            start = time.monotonic()
+            task_id = client.run(fid, ep, 1)
+            client.wait_for(task_id, timeout=15)
+            elapsed = time.monotonic() - start
+            assert elapsed >= 0.1  # at least one WAN round trip
+
+
+class TestFaultToleranceLive:
+    def test_manager_failure_recovery(self, deployment):
+        config = EndpointConfig(
+            workers_per_node=2, heartbeat_period=0.1, heartbeat_grace=3
+        )
+        client = deployment.client()
+        ep_id = deployment.create_endpoint("flaky", nodes=2, config=config)
+        endpoint = deployment.endpoint(ep_id)
+        import repro.workloads as w
+
+        fid = client.register_function(w.make_sleep_function(0.2))
+        futures = [client.submit(fid, ep_id) for _ in range(12)]
+        time.sleep(0.15)
+        victim = endpoint.agent.manager_ids()[0]
+        endpoint.kill_manager(victim)
+        endpoint.restart_manager()
+        for future in futures:
+            assert future.result(timeout=30) == 0.2
+
+    def test_endpoint_failure_recovery(self, deployment):
+        config = EndpointConfig(
+            workers_per_node=2, heartbeat_period=0.1, heartbeat_grace=3
+        )
+        client = deployment.client()
+        ep_id = deployment.create_endpoint("offline-prone", nodes=1, config=config)
+        endpoint = deployment.endpoint(ep_id)
+        fid = client.register_function(double)
+        # Take the endpoint down, submit while offline, then recover.
+        endpoint.kill_endpoint()
+        time.sleep(0.5)  # forwarder notices the silence and requeues
+        futures = [client.submit(fid, ep_id, i) for i in range(4)]
+        endpoint.recover_endpoint()
+        assert [f.result(timeout=30) for f in futures] == [0, 2, 4, 6]
+
+
+class TestElasticityLive:
+    def test_scale_out_and_in(self, deployment):
+        client = deployment.client()
+        ep_id = deployment.create_endpoint("elastic", nodes=1)
+        endpoint = deployment.endpoint(ep_id)
+        assert endpoint.total_workers == 4
+        added = endpoint.scale_out(2)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and len(endpoint.agent.manager_ids()) < 3:
+            time.sleep(0.02)
+        assert endpoint.total_workers == 12
+        fid = client.register_function(double)
+        futures = [client.submit(fid, ep_id, i) for i in range(24)]
+        assert [f.result(timeout=30) for f in futures] == [2 * i for i in range(24)]
+        assert endpoint.scale_in(added[0])
+        assert endpoint.total_workers == 8
+
+
+class TestFmapAlias:
+    def test_fmap_matches_paper_signature(self, world):
+        _dep, client, ep = world
+        fid = client.register_function(double)
+        result = client.fmap(fid, range(8), ep, batch_size=4)
+        assert result.batch_count == 2
+        assert result.result(timeout=20) == [2 * i for i in range(8)]

@@ -1,0 +1,190 @@
+"""Unit tests for metrics: stats, timelines, timers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import LatencyRecorder, StageTimer, Stopwatch, Timeline, summarize
+
+
+class TestSummaryStats:
+    def test_basic_stats(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        assert stats.median == 2.5
+        assert stats.count == 4
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_sample_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentiles(self):
+        stats = summarize(np.arange(101.0))
+        assert stats.p95 == pytest.approx(95.0)
+        assert stats.p99 == pytest.approx(99.0)
+
+    def test_scaled(self):
+        stats = summarize([1.0, 2.0]).scaled(1000.0)
+        assert stats.mean == 1500.0
+        assert stats.count == 2
+
+    def test_row_format(self):
+        row = summarize([1.0]).row("warm funcx")
+        assert "warm funcx" in row and "mean=" in row
+
+
+class TestLatencyRecorder:
+    def test_record_and_summarize(self):
+        rec = LatencyRecorder()
+        rec.record("warm", 0.1)
+        rec.record("warm", 0.3)
+        rec.record_many("cold", [1.0, 2.0, 3.0])
+        assert rec.count("warm") == 2
+        assert rec.summary("warm").mean == pytest.approx(0.2)
+        assert rec.labels() == ["cold", "warm"]
+
+    def test_samples_array(self):
+        rec = LatencyRecorder()
+        rec.record("x", 1.0)
+        assert isinstance(rec.samples("x"), np.ndarray)
+        assert rec.samples("missing").size == 0
+
+    def test_clear(self):
+        rec = LatencyRecorder()
+        rec.record("x", 1.0)
+        rec.clear()
+        assert rec.labels() == []
+
+    def test_thread_safety(self):
+        import threading
+
+        rec = LatencyRecorder()
+
+        def writer():
+            for i in range(1000):
+                rec.record("t", float(i))
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.count("t") == 4000
+
+
+class TestTimeline:
+    def test_record_and_read(self):
+        tl = Timeline()
+        tl.record("pods", 0.0, 1)
+        tl.record("pods", 5.0, 3)
+        times, values = tl.series("pods")
+        assert list(times) == [0.0, 5.0]
+        assert list(values) == [1.0, 3.0]
+        assert len(tl) == 2
+
+    def test_out_of_order_insert_keeps_sorted(self):
+        tl = Timeline()
+        tl.record("s", 5.0, 1)
+        tl.record("s", 2.0, 2)
+        times, values = tl.series("s")
+        assert list(times) == [2.0, 5.0]
+        assert list(values) == [2.0, 1.0]
+
+    def test_step_resample(self):
+        tl = Timeline()
+        tl.record("pods", 1.0, 5)
+        tl.record("pods", 10.0, 2)
+        out = tl.step_resample("pods", [0.0, 1.0, 5.0, 10.0, 20.0])
+        assert list(out) == [0.0, 5.0, 5.0, 2.0, 2.0]
+
+    def test_step_resample_empty_series(self):
+        tl = Timeline()
+        assert list(tl.step_resample("none", [0.0, 1.0])) == [0.0, 0.0]
+
+    def test_bin_mean(self):
+        tl = Timeline()
+        for t, v in [(0.1, 10.0), (0.9, 20.0), (1.5, 100.0)]:
+            tl.record("lat", t, v)
+        centers, means = tl.bin_mean("lat", 1.0)
+        assert list(centers) == [0.5, 1.5]
+        assert list(means) == [15.0, 100.0]
+
+    def test_bin_mean_validation(self):
+        with pytest.raises(ValueError):
+            Timeline().bin_mean("x", 0.0)
+
+    def test_max_over(self):
+        tl = Timeline()
+        tl.record("s", 0.0, 3)
+        tl.record("s", 1.0, 9)
+        assert tl.max_over("s") == 9.0
+        with pytest.raises(ValueError):
+            tl.max_over("empty")
+
+    def test_rate_of_events(self):
+        tl = Timeline()
+        for i in range(10):
+            tl.record("ev", float(i), 1)
+        # events at t=0..9; window 5 looks back from t=9: events at 4..9 = 6
+        assert tl.rate_of_events("ev", window=5.0) == pytest.approx(6 / 5.0)
+
+
+class TestTimers:
+    def test_stopwatch(self):
+        clock_values = iter([0.0, 2.5])
+        sw = Stopwatch(clock=lambda: next(clock_values))
+        sw.start()
+        assert sw.stop() == 2.5
+
+    def test_stopwatch_accumulates(self, clock):
+        sw = Stopwatch(clock=clock)
+        sw.start()
+        clock.advance(1.0)
+        sw.stop()
+        sw.start()
+        clock.advance(2.0)
+        sw.stop()
+        assert sw.elapsed == 3.0
+
+    def test_stopwatch_misuse(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            sw.stop()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stage_timer_context(self, clock):
+        timer = StageTimer(clock=clock)
+        with timer.stage("ts"):
+            clock.advance(0.5)
+        with timer.stage("tw"):
+            clock.advance(1.0)
+        assert timer.total("ts") == 0.5
+        assert timer.total("tw") == 1.0
+
+    def test_stage_timer_mean(self, clock):
+        timer = StageTimer(clock=clock)
+        timer.add("ts", 1.0)
+        timer.add("ts", 3.0)
+        assert timer.mean("ts") == 2.0
+        assert timer.mean("unknown") == 0.0
+
+    def test_breakdown_order(self, clock):
+        timer = StageTimer(clock=clock)
+        for name, duration in [("tw", 1.0), ("ts", 0.2), ("tf", 0.1), ("te", 0.3)]:
+            timer.add(name, duration)
+        breakdown = timer.breakdown()
+        assert list(breakdown) == ["ts", "tf", "te", "tw"]
+
+    def test_clear(self, clock):
+        timer = StageTimer(clock=clock)
+        timer.add("x", 1.0)
+        timer.clear()
+        assert timer.stages() == {}

@@ -1,0 +1,287 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import partition_iterator
+from repro.core.memoization import Memoizer
+from repro.serialize import FuncXSerializer
+from repro.serialize.buffers import pack_buffer, unpack_buffer
+from repro.sim.kernel import EventLoop
+from repro.store.queues import ReliableQueue
+
+
+# ---------------------------------------------------------------------------
+# Serialization round-trips
+# ---------------------------------------------------------------------------
+json_like = st.recursive(
+    st.none() | st.booleans() | st.integers(-(10**9), 10**9) |
+    st.floats(allow_nan=False, allow_infinity=False) | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=10), children, max_size=5),
+    max_leaves=25,
+)
+
+picklable = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=30)
+    | st.binary(max_size=30) | st.floats(allow_nan=False),
+    lambda children: st.lists(children, max_size=4)
+    | st.tuples(children, children)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4)
+    | st.frozensets(st.integers(), max_size=4),
+    max_leaves=20,
+)
+
+
+class TestSerializerProperties:
+    @given(obj=json_like)
+    @settings(max_examples=150)
+    def test_roundtrip_json_like(self, obj):
+        s = FuncXSerializer()
+        assert s.deserialize(s.serialize(obj)) == obj
+
+    @given(obj=picklable)
+    @settings(max_examples=150)
+    def test_roundtrip_arbitrary_picklable(self, obj):
+        s = FuncXSerializer()
+        assert s.deserialize(s.serialize(obj)) == obj
+
+    @given(
+        payload=st.binary(max_size=2000),
+        tag=st.text(
+            alphabet=st.characters(blacklist_characters="\x1f\n", blacklist_categories=("Cs",)),
+            max_size=50,
+        ),
+    )
+    @settings(max_examples=150)
+    def test_buffer_roundtrip(self, payload, tag):
+        header, out = unpack_buffer(pack_buffer("01", tag, payload))
+        assert out == payload
+        assert header.routing_tag == tag
+
+    @given(obj=json_like, tag=st.text(alphabet="abcdef0123456789-", max_size=36))
+    @settings(max_examples=60)
+    def test_routing_tag_readable_without_decode(self, obj, tag):
+        s = FuncXSerializer()
+        assert s.routing_tag(s.serialize(obj, routing_tag=tag)) == tag
+
+
+# ---------------------------------------------------------------------------
+# Reliable queue: at-least-once delivery under arbitrary ack/nack patterns
+# ---------------------------------------------------------------------------
+class TestQueueProperties:
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=40),
+        decisions=st.lists(st.booleans(), min_size=100, max_size=100),
+    )
+    @settings(max_examples=80)
+    def test_every_item_eventually_acked_exactly_once(self, items, decisions):
+        """Whatever interleaving of nacks happens, finishing with acks
+        delivers every item at least once and loses nothing."""
+        q = ReliableQueue()
+        q.put_many(items)
+        delivered = []
+        decision_iter = iter(decisions)
+        while len(q) or q.in_flight:
+            lease = q.lease()
+            if lease is None:
+                break
+            if next(decision_iter, True):
+                delivered.append(lease.item)
+                q.ack(lease.lease_id)
+            else:
+                q.nack(lease.lease_id)
+        assert sorted(delivered) == sorted(items)
+        assert q.total_acked == len(items)
+
+    @given(items=st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_nack_all_preserves_multiset(self, items):
+        q = ReliableQueue()
+        q.put_many(items)
+        q.lease_many(len(items))
+        q.nack_all()
+        redelivered = [l.item for l in q.lease_many(len(items))]
+        assert sorted(redelivered) == sorted(items)
+
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=30),
+        chunk=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50)
+    def test_fifo_order_without_nacks(self, items, chunk):
+        q = ReliableQueue()
+        q.put_many(items)
+        seen = []
+        while True:
+            leases = q.lease_many(chunk)
+            if not leases:
+                break
+            seen.extend(l.item for l in leases)
+            for l in leases:
+                q.ack(l.lease_id)
+        assert seen == items
+
+
+# ---------------------------------------------------------------------------
+# Memoizer
+# ---------------------------------------------------------------------------
+class TestMemoizerProperties:
+    @given(
+        entries=st.lists(
+            st.tuples(st.binary(min_size=1, max_size=16), st.binary(max_size=16),
+                      st.binary(max_size=16)),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=80)
+    def test_lookup_returns_last_stored(self, entries):
+        memo = Memoizer()
+        latest = {}
+        for func, payload, result in entries:
+            memo.store(func, payload, result)
+            latest[(func, payload)] = result
+        for (func, payload), expected in latest.items():
+            assert memo.lookup(func, payload) == expected
+
+    @given(
+        keys=st.lists(
+            st.tuples(st.binary(min_size=1, max_size=8), st.binary(max_size=8)),
+            min_size=1, max_size=50, unique=True,
+        ),
+        capacity=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60)
+    def test_capacity_never_exceeded(self, keys, capacity):
+        memo = Memoizer(capacity=capacity)
+        for func, payload in keys:
+            memo.store(func, payload, b"r")
+            assert len(memo) <= capacity
+
+
+# ---------------------------------------------------------------------------
+# Event kernel ordering
+# ---------------------------------------------------------------------------
+class TestKernelProperties:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+    @settings(max_examples=80)
+    def test_execution_times_monotone(self, delays):
+        loop = EventLoop()
+        fired = []
+        for delay in delays:
+            loop.schedule(delay, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40),
+        horizon=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=80)
+    def test_run_until_boundary(self, delays, horizon):
+        loop = EventLoop()
+        fired = []
+        for delay in delays:
+            loop.schedule(delay, lambda d=delay: fired.append(d))
+        loop.run(until=horizon)
+        assert all(d <= horizon for d in fired)
+        assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+
+
+# ---------------------------------------------------------------------------
+# Batch partitioning
+# ---------------------------------------------------------------------------
+class TestPartitionProperties:
+    @given(
+        n=st.integers(min_value=0, max_value=500),
+        batch_size=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=100)
+    def test_partition_by_size_lossless(self, n, batch_size):
+        batches = list(partition_iterator(range(n), batch_size=batch_size))
+        assert [x for b in batches for x in b] == list(range(n))
+        assert all(len(b) <= batch_size for b in batches)
+        assert all(batches)  # no empty batches
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        batch_count=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=100)
+    def test_partition_by_count_lossless(self, n, batch_count):
+        batches = list(partition_iterator(range(n), batch_count=batch_count))
+        assert [x for b in batches for x in b] == list(range(n))
+        assert len(batches) <= batch_count
+
+    @given(n=st.integers(min_value=1, max_value=200), count=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60)
+    def test_partition_by_count_balanced(self, n, count):
+        batches = list(partition_iterator(range(n), batch_count=count))
+        sizes = {len(b) for b in batches}
+        assert max(sizes) - min(sizes) <= max(sizes)  # sanity
+        # all batches but the last have the same size
+        assert len({len(b) for b in batches[:-1]}) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Scheduler never over-commits
+# ---------------------------------------------------------------------------
+class TestSchedulerProperties:
+    @given(
+        capacities=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=8),
+        n_tasks=st.integers(min_value=0, max_value=60),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=100)
+    def test_assignments_respect_capacity(self, capacities, n_tasks, seed):
+        from repro.endpoint.scheduling import ManagerView, RandomizedScheduler
+
+        views = [ManagerView(manager_id=str(i), capacity=c) for i, c in enumerate(capacities)]
+        scheduler = RandomizedScheduler(seed=seed)
+        assigned = 0
+        for _ in range(n_tasks):
+            chosen = scheduler.select(views, None)
+            if chosen is None:
+                break
+            assert chosen.available > 0
+            chosen.outstanding += 1
+            assigned += 1
+        assert assigned <= sum(capacities)
+        if n_tasks >= sum(capacities):
+            assert assigned == sum(capacities)  # work-conserving
+
+
+# ---------------------------------------------------------------------------
+# REST facade robustness: arbitrary requests never raise
+# ---------------------------------------------------------------------------
+class TestRestProperties:
+    @given(
+        method=st.sampled_from(["GET", "POST", "PUT", "DELETE", "PATCH"]),
+        path=st.text(max_size=60),
+        body=st.dictionaries(
+            st.text(max_size=12),
+            st.none() | st.booleans() | st.integers() | st.text(max_size=20),
+            max_size=4,
+        ),
+        with_token=st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_any_request_yields_a_status_not_an_exception(
+        self, method, path, body, with_token
+    ):
+        from repro.auth import AuthService
+        from repro.core.rest import RestApi
+        from repro.core.service import FuncXService
+
+        auth = AuthService()
+        service = FuncXService(auth=auth)
+        api = RestApi(service)
+        token = None
+        if with_token:
+            token = auth.native_client_flow(auth.register_identity("u")).token
+        response = api.request(method, path, token=token, body=body)
+        assert 200 <= response.status < 600
+        assert isinstance(response.body, dict)

@@ -1,0 +1,201 @@
+"""Unit tests for the simulated batch scheduler and batch providers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AllocationExhausted, SubmitFailed
+from repro.providers import (
+    BatchScheduler,
+    CobaltProvider,
+    CondorProvider,
+    GridEngineProvider,
+    PBSProvider,
+    QueueModel,
+    SlurmProvider,
+)
+from repro.providers.base import Job, JobState
+
+
+def make_scheduler(**kwargs) -> BatchScheduler:
+    kwargs.setdefault("queue_model", QueueModel(base_delay=10.0, mean_extra=0.0))
+    kwargs.setdefault("seed", 0)
+    return BatchScheduler(**kwargs)
+
+
+class TestBatchScheduler:
+    def test_job_starts_after_queue_delay(self):
+        sched = make_scheduler(total_nodes=4)
+        job = Job(job_id="j1", nodes=2, submitted_at=0.0, walltime=100.0)
+        sched.enqueue(job, now=0.0)
+        sched.cycle(now=5.0)
+        assert job.state is JobState.PENDING
+        sched.cycle(now=10.0)
+        assert job.state is JobState.RUNNING
+        assert job.queue_delay == 10.0
+
+    def test_waits_for_free_nodes(self):
+        sched = make_scheduler(total_nodes=2)
+        j1 = Job(job_id="j1", nodes=2, walltime=50.0)
+        j2 = Job(job_id="j2", nodes=2, walltime=50.0)
+        sched.enqueue(j1, now=0.0)
+        sched.enqueue(j2, now=0.0)
+        sched.cycle(now=10.0)
+        assert j1.state is JobState.RUNNING
+        assert j2.state is JobState.PENDING
+        sched.cycle(now=60.0)  # j1 completed its walltime
+        assert j1.state is JobState.COMPLETED
+        assert j2.state is JobState.RUNNING
+
+    def test_walltime_completion_time_exact(self):
+        sched = make_scheduler(total_nodes=4)
+        job = Job(job_id="j", nodes=1, walltime=30.0)
+        sched.enqueue(job, now=0.0)
+        sched.cycle(now=10.0)
+        sched.cycle(now=200.0)
+        assert job.state is JobState.COMPLETED
+        assert job.finished_at == 40.0
+
+    def test_backfill_lets_small_jobs_skip(self):
+        sched = make_scheduler(total_nodes=4, backfill=True)
+        big = Job(job_id="big", nodes=4, walltime=100.0)
+        small = Job(job_id="small", nodes=1, walltime=10.0)
+        blocker = Job(job_id="blocker", nodes=2, walltime=100.0)
+        sched.enqueue(blocker, now=0.0)
+        sched.cycle(now=10.0)   # blocker running, 2 nodes free
+        sched.enqueue(big, now=10.0)
+        sched.enqueue(small, now=10.0)
+        sched.cycle(now=25.0)
+        assert big.state is JobState.PENDING      # needs 4 nodes
+        assert small.state is JobState.RUNNING    # backfilled past big
+
+    def test_no_backfill_preserves_strict_fifo(self):
+        sched = make_scheduler(total_nodes=4, backfill=False)
+        blocker = Job(job_id="blocker", nodes=2, walltime=100.0)
+        sched.enqueue(blocker, now=0.0)
+        sched.cycle(now=10.0)
+        big = Job(job_id="big", nodes=4, walltime=10.0)
+        small = Job(job_id="small", nodes=1, walltime=10.0)
+        sched.enqueue(big, now=10.0)
+        sched.enqueue(small, now=10.0)
+        sched.cycle(now=25.0)
+        assert small.state is JobState.PENDING
+
+    def test_oversized_job_fails(self):
+        sched = make_scheduler(total_nodes=2)
+        job = Job(job_id="huge", nodes=10)
+        sched.enqueue(job, now=0.0)
+        assert job.state is JobState.FAILED
+        assert "exceeds partition" in job.metadata["failure"]
+
+    def test_allocation_accounting(self):
+        sched = make_scheduler(total_nodes=10, allocation_node_seconds=100.0)
+        ok = Job(job_id="ok", nodes=1, walltime=50.0)
+        sched.enqueue(ok, now=0.0)
+        assert sched.allocation_remaining() == 50.0
+        too_big = Job(job_id="big", nodes=2, walltime=50.0)
+        with pytest.raises(AllocationExhausted):
+            sched.enqueue(too_big, now=0.0)
+
+    def test_early_release_refunds_allocation(self):
+        sched = make_scheduler(total_nodes=10, allocation_node_seconds=100.0)
+        job = Job(job_id="j", nodes=1, walltime=100.0)
+        sched.enqueue(job, now=0.0)
+        sched.cycle(now=10.0)
+        assert sched.release(job.job_id, now=30.0)  # used 20 of 100
+        assert sched.allocation_remaining() == pytest.approx(80.0)
+
+    def test_downtime_blocks_starts(self):
+        sched = make_scheduler(total_nodes=4)
+        sched.schedule_downtime(5.0, 50.0)
+        job = Job(job_id="j", nodes=1, walltime=10.0)
+        sched.enqueue(job, now=0.0)
+        sched.cycle(now=20.0)
+        assert job.state is JobState.PENDING
+        sched.cycle(now=55.0)
+        assert job.state is JobState.RUNNING
+
+    def test_dequeue_pending(self):
+        sched = make_scheduler()
+        job = Job(job_id="j", nodes=1)
+        sched.enqueue(job, now=0.0)
+        assert sched.dequeue("j")
+        assert not sched.dequeue("j")
+
+    def test_queue_model_sampling_bounds(self):
+        import random
+
+        model = QueueModel(base_delay=5.0, mean_extra=30.0, max_delay=40.0)
+        rng = random.Random(7)
+        for _ in range(200):
+            delay = model.sample(rng)
+            assert 5.0 <= delay <= 40.0
+
+
+class TestBatchProviders:
+    @pytest.mark.parametrize(
+        "provider_cls,prefix",
+        [
+            (SlurmProvider, "#SBATCH"),
+            (PBSProvider, "#PBS"),
+            (CobaltProvider, "#COBALT"),
+            (CondorProvider, "#CONDOR"),
+            (GridEngineProvider, "#$"),
+        ],
+    )
+    def test_submit_script_directives(self, provider_cls, prefix):
+        provider = provider_cls(nodes_per_block=4, account="alloc123", seed=0)
+        job = provider.submit(now=0.0, walltime=7200.0)
+        script = job.metadata["script"]
+        assert script.startswith("#!/bin/bash")
+        assert f"{prefix} --nodes=4" in script
+        assert f"{prefix} --time=02:00:00" in script
+        assert f"{prefix} --account=alloc123" in script
+        assert "funcx-manager" in script
+
+    def test_job_lifecycle_through_provider(self):
+        provider = SlurmProvider(
+            scheduler=make_scheduler(total_nodes=8), nodes_per_block=2, seed=0
+        )
+        job = provider.submit(now=0.0, walltime=100.0)
+        assert job.state is JobState.PENDING
+        provider.poll(now=15.0)
+        assert job.state is JobState.RUNNING
+        assert provider.running_nodes == 2
+
+    def test_cancel_pending(self):
+        provider = SlurmProvider(scheduler=make_scheduler(), seed=0)
+        job = provider.submit(now=0.0)
+        assert provider.cancel(job.job_id, now=1.0)
+        assert job.state is JobState.CANCELLED
+        provider.poll(now=100.0)
+        assert job.state is JobState.CANCELLED  # stays terminal
+
+    def test_cancel_running_releases_nodes(self):
+        sched = make_scheduler(total_nodes=2)
+        provider = SlurmProvider(scheduler=sched, nodes_per_block=2, seed=0)
+        job = provider.submit(now=0.0, walltime=1000.0)
+        provider.poll(now=15.0)
+        assert sched.free_nodes == 0
+        provider.cancel(job.job_id, now=20.0)
+        assert sched.free_nodes == 2
+
+    def test_allocation_exhaustion_surfaces_as_submit_failed(self):
+        sched = make_scheduler(total_nodes=10, allocation_node_seconds=10.0)
+        provider = SlurmProvider(scheduler=sched, seed=0)
+        with pytest.raises(SubmitFailed):
+            provider.submit(now=0.0, walltime=1000.0)
+
+    def test_scale_bounds(self):
+        from repro.providers import ProviderLimits
+
+        provider = SlurmProvider(
+            scheduler=make_scheduler(total_nodes=100),
+            limits=ProviderLimits(min_blocks=1, max_blocks=2, init_blocks=1),
+            seed=0,
+        )
+        provider.submit(now=0.0)
+        assert provider.can_scale_out()
+        provider.submit(now=0.0)
+        assert not provider.can_scale_out()
+        assert provider.can_scale_in()

@@ -1,0 +1,82 @@
+"""Unit tests for the Kubernetes provider (pods, caps, readiness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.providers import KubernetesProvider
+from repro.providers.base import JobState
+
+
+class TestPods:
+    def test_create_pod_ready_after_startup(self):
+        k8s = KubernetesProvider(startup_mean=2.0, startup_jitter=0.0, seed=1)
+        pod = k8s.create_pod("sleep1s", now=0.0)
+        assert pod is not None
+        assert not pod.is_ready(now=1.0)
+        assert pod.is_ready(now=pod.ready_at)
+
+    def test_per_image_cap(self):
+        k8s = KubernetesProvider(max_pods_per_image=2, seed=1)
+        assert k8s.create_pod("img", now=0.0) is not None
+        assert k8s.create_pod("img", now=0.0) is not None
+        assert k8s.create_pod("img", now=0.0) is None
+        assert k8s.create_pod("other", now=0.0) is not None
+
+    def test_cluster_capacity(self):
+        k8s = KubernetesProvider(max_pods_per_image=10, cluster_capacity=2, seed=1)
+        k8s.create_pod("a", now=0.0)
+        k8s.create_pod("b", now=0.0)
+        assert k8s.create_pod("c", now=0.0) is None
+
+    def test_delete_frees_cap(self):
+        k8s = KubernetesProvider(max_pods_per_image=1, seed=1)
+        pod = k8s.create_pod("img", now=0.0)
+        assert k8s.create_pod("img", now=1.0) is None
+        assert k8s.delete_pod(pod.pod_id, now=2.0)
+        assert k8s.create_pod("img", now=3.0) is not None
+
+    def test_delete_twice_false(self):
+        k8s = KubernetesProvider(seed=1)
+        pod = k8s.create_pod("img", now=0.0)
+        assert k8s.delete_pod(pod.pod_id, now=1.0)
+        assert not k8s.delete_pod(pod.pod_id, now=2.0)
+
+    def test_ready_pods_filter(self):
+        k8s = KubernetesProvider(startup_mean=5.0, startup_jitter=0.0, seed=1)
+        k8s.create_pod("img", now=0.0)
+        k8s.create_pod("img", now=3.0)
+        assert len(k8s.ready_pods("img", now=5.5)) == 1
+        assert len(k8s.ready_pods("img", now=8.5)) == 2
+
+    def test_pod_events_audit(self):
+        k8s = KubernetesProvider(seed=1)
+        pod = k8s.create_pod("img", now=1.0)
+        k8s.delete_pod(pod.pod_id, now=2.0)
+        assert [(t, e) for t, e, _ in k8s.pod_events] == [(1.0, "created"), (2.0, "deleted")]
+
+
+class TestProviderInterface:
+    def test_block_submission_creates_pod(self):
+        k8s = KubernetesProvider(startup_mean=1.0, startup_jitter=0.0, seed=1)
+        job = k8s.submit(now=0.0)
+        assert job.state is JobState.PENDING
+        k8s.poll(now=1.5)
+        assert job.state is JobState.RUNNING
+
+    def test_block_fails_when_capped(self):
+        k8s = KubernetesProvider(max_pods_per_image=1, seed=1)
+        k8s.submit(now=0.0)
+        job = k8s.submit(now=0.0)
+        assert job.state is JobState.FAILED
+
+    def test_cancel_deletes_pod(self):
+        k8s = KubernetesProvider(seed=1)
+        job = k8s.submit(now=0.0)
+        k8s.cancel(job.job_id, now=1.0)
+        pod_id = job.metadata["pod_id"]
+        assert not any(p.active for p in k8s.pods() if p.pod_id == pod_id)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KubernetesProvider(max_pods_per_image=0)

@@ -1,0 +1,127 @@
+"""Unit tests for the local and cloud providers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.providers import AWSProvider, AzureProvider, GCPProvider, LocalProvider
+from repro.providers.base import JobState, ProviderLimits
+
+
+class TestLocalProvider:
+    def test_immediate_start(self):
+        provider = LocalProvider(max_nodes=4)
+        job = provider.submit(now=0.0)
+        provider.poll(now=0.0)
+        assert job.state is JobState.RUNNING
+
+    def test_startup_delay(self):
+        provider = LocalProvider(max_nodes=4, startup_delay=2.0)
+        job = provider.submit(now=0.0)
+        provider.poll(now=1.0)
+        assert job.state is JobState.PENDING
+        provider.poll(now=2.5)
+        assert job.state is JobState.RUNNING
+
+    def test_node_cap(self):
+        provider = LocalProvider(nodes_per_block=2, max_nodes=3)
+        ok = provider.submit(now=0.0)
+        provider.poll(now=0.0)
+        over = provider.submit(now=0.0)
+        assert ok.state is JobState.RUNNING
+        assert over.state is JobState.FAILED
+        assert "cap" in over.metadata["failure"]
+
+    def test_walltime_completes(self):
+        provider = LocalProvider(max_nodes=4)
+        job = provider.submit(now=0.0, walltime=10.0)
+        provider.poll(now=0.0)
+        provider.poll(now=11.0)
+        assert job.state is JobState.COMPLETED
+
+    def test_cancel(self):
+        provider = LocalProvider(max_nodes=4)
+        job = provider.submit(now=0.0)
+        provider.poll(now=0.0)
+        assert provider.cancel(job.job_id, now=1.0)
+        assert job.state is JobState.CANCELLED
+        assert not provider.cancel(job.job_id, now=2.0)
+
+    def test_invalid_max_nodes(self):
+        with pytest.raises(ValueError):
+            LocalProvider(max_nodes=0)
+
+
+class TestCloudProviders:
+    def test_boot_delay(self):
+        provider = AWSProvider(boot_mean=30.0, boot_jitter=0.0, seed=1)
+        job = provider.submit(now=0.0)
+        provider.poll(now=10.0)
+        assert job.state is JobState.PENDING
+        provider.poll(now=31.0)
+        assert job.state is JobState.RUNNING
+        assert job.metadata["vcpus"] == 2  # m5.large
+
+    def test_unknown_instance_type(self):
+        with pytest.raises(ValueError):
+            AWSProvider(instance_type="z9.mega")
+
+    def test_quota(self):
+        provider = AWSProvider(quota=1, seed=1)
+        provider.submit(now=0.0)
+        over = provider.submit(now=0.0)
+        assert over.state is JobState.FAILED
+
+    def test_billing_accrues_per_second(self):
+        provider = AWSProvider(
+            instance_type="c5n.9xlarge", boot_mean=10.0, boot_jitter=0.0, seed=1
+        )
+        provider.submit(now=0.0)
+        provider.poll(now=10.0)
+        cost = provider.accrued_cost(now=10.0 + 3600.0)
+        assert cost == pytest.approx(1.944, rel=0.01)
+
+    def test_preemption_eventually_fires(self):
+        provider = AWSProvider(
+            boot_mean=1.0, boot_jitter=0.0, preemption_rate=0.9, seed=5, quota=10
+        )
+        job = provider.submit(now=0.0)
+        t = 1.0
+        for _ in range(400):
+            t += 1800.0
+            provider.poll(now=t)
+            if job.state is JobState.FAILED:
+                break
+        assert job.state is JobState.FAILED
+        assert job.metadata["failure"] == "spot instance preempted"
+
+    def test_on_demand_never_preempts(self):
+        provider = AWSProvider(boot_mean=1.0, boot_jitter=0.0, preemption_rate=0.0, seed=5)
+        job = provider.submit(now=0.0, walltime=1e9)
+        for i in range(50):
+            provider.poll(now=float(i * 3600))
+        assert job.state is JobState.RUNNING
+
+    def test_provider_labels(self):
+        assert AWSProvider(seed=0).label == "aws"
+        assert AzureProvider(seed=0).label == "azure"
+        assert GCPProvider(seed=0).label == "gcp"
+
+    def test_azure_slower_boot_default(self):
+        assert AzureProvider(seed=0).boot_mean > AWSProvider(seed=0).boot_mean
+
+
+class TestProviderLimits:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProviderLimits(min_blocks=5, max_blocks=2)
+        with pytest.raises(ValueError):
+            ProviderLimits(parallelism=0.0)
+        with pytest.raises(ValueError):
+            ProviderLimits(parallelism=1.5)
+        with pytest.raises(ValueError):
+            ProviderLimits(init_blocks=100, max_blocks=10)
+
+    def test_defaults_valid(self):
+        limits = ProviderLimits()
+        assert limits.min_blocks <= limits.init_blocks <= limits.max_blocks

@@ -1,0 +1,91 @@
+"""Unit tests for the elastic scaling strategy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.providers import SimpleScalingStrategy
+
+
+class TestTargets:
+    def test_target_units_ceil(self):
+        s = SimpleScalingStrategy(tasks_per_unit=4)
+        assert s.target_units(0) == 0
+        assert s.target_units(1) == 1
+        assert s.target_units(4) == 1
+        assert s.target_units(5) == 2
+
+    def test_parallelism_scales_demand(self):
+        s = SimpleScalingStrategy(parallelism=0.5)
+        assert s.target_units(10) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimpleScalingStrategy(parallelism=0.0)
+        with pytest.raises(ValueError):
+            SimpleScalingStrategy(tasks_per_unit=0)
+        with pytest.raises(ValueError):
+            SimpleScalingStrategy(min_units_per_image=5, max_units_per_image=2)
+
+
+class TestDecisions:
+    def test_scale_out_on_load(self):
+        s = SimpleScalingStrategy(max_units_per_image=10)
+        decisions = s.decide({"img": 5}, {"img": 0}, now=0.0)
+        assert len(decisions) == 1
+        d = decisions[0]
+        assert d.action == "scale_out" and d.count == 5
+
+    def test_scale_out_capped(self):
+        s = SimpleScalingStrategy(max_units_per_image=10)
+        (d,) = s.decide({"img": 20}, {"img": 0}, now=0.0)
+        assert d.count == 10  # the paper's figure-6 cap
+
+    def test_no_action_when_matched(self):
+        s = SimpleScalingStrategy()
+        assert s.decide({"img": 3}, {"img": 3}, now=0.0) == []
+
+    def test_scale_in_waits_for_idle_grace(self):
+        s = SimpleScalingStrategy(idle_grace=5.0)
+        assert s.decide({"img": 0}, {"img": 4}, now=0.0) == []      # starts idle clock
+        assert s.decide({"img": 0}, {"img": 4}, now=3.0) == []      # still in grace
+        (d,) = s.decide({"img": 0}, {"img": 4}, now=6.0)
+        assert d.action == "scale_in" and d.count == 4
+
+    def test_load_resets_idle_clock(self):
+        s = SimpleScalingStrategy(idle_grace=5.0)
+        s.decide({"img": 0}, {"img": 2}, now=0.0)
+        s.decide({"img": 1}, {"img": 2}, now=3.0)   # busy again
+        assert all(
+            d.action != "scale_in" for d in s.decide({"img": 0}, {"img": 2}, now=6.0)
+        )
+
+    def test_partial_scale_in_under_load_is_immediate(self):
+        s = SimpleScalingStrategy()
+        (d,) = s.decide({"img": 2}, {"img": 6}, now=0.0)
+        assert d.action == "scale_in" and d.count == 4
+
+    def test_min_units_floor(self):
+        s = SimpleScalingStrategy(min_units_per_image=2, idle_grace=0.0)
+        s.decide({"img": 0}, {"img": 5}, now=0.0)
+        (d,) = s.decide({"img": 0}, {"img": 5}, now=1.0)
+        assert d.count == 3  # down to the floor, not zero
+
+    def test_multiple_images_independent(self):
+        s = SimpleScalingStrategy(max_units_per_image=10)
+        decisions = s.decide({"a": 4, "b": 0}, {"a": 0, "b": 0}, now=0.0)
+        assert [d.image for d in decisions] == ["a"]
+
+    def test_figure6_composition(self):
+        """First burst of the paper's workload: 1x1s, 5x10s, 20x20s."""
+        s = SimpleScalingStrategy(max_units_per_image=10)
+        load = {"1s": 1, "10s": 5, "20s": 20}
+        supply = {"1s": 0, "10s": 0, "20s": 0}
+        out = {d.image: d.count for d in s.decide(load, supply, now=0.0)}
+        assert out == {"1s": 1, "10s": 5, "20s": 10}
+
+    def test_reset(self):
+        s = SimpleScalingStrategy(idle_grace=5.0)
+        s.decide({"img": 0}, {"img": 3}, now=0.0)
+        s.reset()
+        assert s.decide({"img": 0}, {"img": 3}, now=10.0) == []  # clock restarted

@@ -1,0 +1,148 @@
+"""Reliability stress tests: lossy links, flapping components, duplicates.
+
+These exercise the at-least-once machinery end to end — the paper's
+"multi-layered and reliable communication model to overcome the
+unreliability of distributed endpoints" (§1).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import EndpointConfig, LocalDeployment
+from repro.core.forwarder import Forwarder
+from repro.endpoint.endpoint import Endpoint
+
+
+def build_lossy_world(drop_probability: float, lease_timeout: float,
+                      max_retries: int = 8):
+    """A deployment whose service↔agent channel randomly drops messages."""
+    from repro.core.service import ServiceConfig
+
+    dep = LocalDeployment(
+        seed=3, service_config=ServiceConfig(default_max_retries=max_retries)
+    )
+    client = dep.client()
+    # Build the endpoint manually so we control the channel and forwarder.
+    _identity, ep_token = dep.auth.endpoint_client_flow("lossy-ep")
+    endpoint_id = dep.service.register_endpoint(ep_token.token, name="lossy-ep")
+    channel = dep.network.create_channel(
+        "lossy", latency=0.001, drop_probability=drop_probability
+    )
+    config = EndpointConfig(workers_per_node=4, heartbeat_period=0.05,
+                            heartbeat_grace=6)
+    forwarder = Forwarder(
+        dep.service, endpoint_id, channel.left,
+        heartbeat_period=config.heartbeat_period,
+        heartbeat_grace=config.heartbeat_grace,
+        lease_timeout=lease_timeout,
+    )
+    endpoint = Endpoint(
+        endpoint_id=endpoint_id,
+        forwarder_channel=channel.right,
+        config=config,
+        network=dep.network,
+        nodes=1,
+    )
+    forwarder.start()
+    endpoint.start()
+    endpoint.wait_ready()
+    return dep, client, endpoint_id, endpoint, forwarder
+
+
+class TestLossyChannel:
+    @pytest.mark.parametrize("drop", [0.05, 0.2])
+    def test_all_tasks_complete_despite_drops(self, drop):
+        dep, client, ep_id, endpoint, forwarder = build_lossy_world(
+            drop_probability=drop, lease_timeout=0.5
+        )
+        try:
+            def double(x):
+                return 2 * x
+
+            fid = client.register_function(double, public=True)
+            futures = [client.submit(fid, ep_id, i) for i in range(30)]
+            values = [f.result(timeout=60) for f in futures]
+            assert values == [2 * i for i in range(30)]
+        finally:
+            endpoint.stop()
+            forwarder.stop()
+            dep.shutdown()
+
+    def test_duplicate_completions_are_idempotent(self):
+        """A timed-out lease re-dispatches a task the worker also finishes;
+        the service must keep exactly one completion."""
+        dep, client, ep_id, endpoint, forwarder = build_lossy_world(
+            drop_probability=0.0, lease_timeout=0.2
+        )
+        try:
+            import repro.workloads as w
+
+            # longer than the lease timeout: guaranteed duplicate dispatch
+            fid = client.register_function(w.make_sleep_function(0.6), public=True)
+            future = client.submit(fid, ep_id)
+            assert future.result(timeout=60) == 0.6
+            task = dep.service.task_by_id(future.task_id)
+            assert task.state.terminal
+            # the forwarder provably re-dispatched at least once
+            assert forwarder.requeue_events >= 1
+            assert dep.service.tasks_completed >= 1
+        finally:
+            endpoint.stop()
+            forwarder.stop()
+            dep.shutdown()
+
+
+class TestFlappingComponents:
+    def test_repeated_manager_failures(self):
+        from repro.core.service import ServiceConfig
+
+        with LocalDeployment(seed=5,
+                             service_config=ServiceConfig(default_max_retries=4)) as dep:
+            config = EndpointConfig(workers_per_node=2, heartbeat_period=0.05,
+                                    heartbeat_grace=3)
+            client = dep.client()
+            ep_id = dep.create_endpoint("flappy", nodes=2, config=config)
+            endpoint = dep.endpoint(ep_id)
+            import repro.workloads as w
+
+            fid = client.register_function(w.make_sleep_function(0.1), public=True)
+            futures = [client.submit(fid, ep_id) for _ in range(16)]
+            # kill/replace a manager twice while the workload runs
+            for _ in range(2):
+                time.sleep(0.15)
+                victim = next(iter(endpoint.managers))
+                endpoint.kill_manager(victim)
+                endpoint.restart_manager()
+            for future in futures:
+                assert future.result(timeout=60) == 0.1
+
+    def test_endpoint_flap(self):
+        from repro.core.service import ServiceConfig
+
+        with LocalDeployment(seed=6,
+                             service_config=ServiceConfig(default_max_retries=4)) as dep:
+            config = EndpointConfig(workers_per_node=2, heartbeat_period=0.05,
+                                    heartbeat_grace=3)
+            client = dep.client()
+            ep_id = dep.create_endpoint("bouncy", nodes=1, config=config)
+            endpoint = dep.endpoint(ep_id)
+
+            def identity(x):
+                return x
+
+            fid = client.register_function(identity, public=True)
+            all_futures = []
+            for round_number in range(2):
+                all_futures.extend(
+                    client.submit(fid, ep_id, (round_number, i)) for i in range(4)
+                )
+                endpoint.kill_endpoint()
+                time.sleep(0.3)
+                endpoint.recover_endpoint()
+            values = [f.result(timeout=60) for f in all_futures]
+            assert sorted(values) == sorted(
+                (r, i) for r in range(2) for i in range(4)
+            )

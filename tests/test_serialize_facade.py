@@ -1,0 +1,132 @@
+"""Unit tests for the serialization facade (ordered-fallback behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeserializationError, SerializationError
+from repro.serialize import FuncXSerializer
+from repro.serialize.buffers import peek_header
+from repro.serialize.methods import JsonMethod, PickleMethod, SourceCodeMethod
+from repro.serialize.traceback import RemoteExceptionWrapper
+
+
+def top_level_square(x):
+    return x * x
+
+
+class TestDataSerialization:
+    def setup_method(self):
+        self.s = FuncXSerializer()
+
+    def test_json_fast_path_used_for_plain_data(self):
+        buf = self.s.serialize({"a": [1, 2]})
+        assert peek_header(buf).method == JsonMethod.identifier
+
+    def test_pickle_fallback_for_non_json(self):
+        buf = self.s.serialize({1, 2, 3})
+        assert peek_header(buf).method == PickleMethod.identifier
+        assert self.s.deserialize(buf) == {1, 2, 3}
+
+    def test_roundtrip_various(self):
+        for obj in (None, 1, "x", [1, {"k": (2, 3)}], {"s": "v"}):
+            assert self.s.deserialize(self.s.serialize(obj)) == obj
+
+    def test_routing_tag_preserved(self):
+        buf = self.s.serialize([1], routing_tag="task-42")
+        assert self.s.routing_tag(buf) == "task-42"
+
+    def test_unserializable_raises_with_context(self):
+        import threading
+
+        with pytest.raises(SerializationError) as info:
+            self.s.serialize(threading.Lock())
+        assert "tried" in str(info.value)
+
+    def test_unknown_method_id(self):
+        from repro.serialize.buffers import pack_buffer
+
+        with pytest.raises(DeserializationError):
+            self.s.deserialize(pack_buffer("99", "t", b"x"))
+
+
+class TestCodeSerialization:
+    def setup_method(self):
+        self.s = FuncXSerializer()
+
+    def test_function_uses_source_method(self):
+        buf = self.s.serialize(top_level_square)
+        assert peek_header(buf).method == SourceCodeMethod.identifier
+        func = self.s.deserialize(buf)
+        assert func(7) == 49
+
+    def test_lambda_falls_back_to_code_pickle(self):
+        buf = self.s.serialize(lambda x: x + 1)
+        func = self.s.deserialize(buf)
+        assert func(1) == 2
+
+    def test_closure_roundtrip(self):
+        base = 100
+
+        def offset(x):
+            return x + base
+
+        func = self.s.deserialize(self.s.serialize(offset))
+        assert func(1) == 101
+
+    def test_serialize_function_rejects_non_callable(self):
+        with pytest.raises(SerializationError):
+            self.s.serialize_function(42)
+
+    def test_reconstructed_function_is_independent(self):
+        func = self.s.deserialize(self.s.serialize(top_level_square))
+        assert func is not top_level_square
+
+
+class TestExceptionTransport:
+    def setup_method(self):
+        self.s = FuncXSerializer()
+
+    def _wrapper(self):
+        try:
+            raise KeyError("missing-key")
+        except KeyError as exc:
+            return RemoteExceptionWrapper(exc)
+
+    def test_wrapper_roundtrip(self):
+        out = self.s.deserialize(self.s.serialize(self._wrapper()))
+        assert isinstance(out, RemoteExceptionWrapper)
+        assert out.exc_type_name == "KeyError"
+
+    def test_reraise_restores_type(self):
+        out = self.s.deserialize(self.s.serialize(self._wrapper()))
+        with pytest.raises(KeyError):
+            out.reraise()
+
+    def test_reraise_carries_cause(self):
+        from repro.errors import TaskExecutionFailed
+
+        out = self.s.deserialize(self.s.serialize(self._wrapper()))
+        try:
+            out.reraise()
+        except KeyError as exc:
+            assert isinstance(exc.__cause__, TaskExecutionFailed)
+
+
+class TestCustomOrdering:
+    def test_pickle_only_ordering(self):
+        s = FuncXSerializer(data_methods=[PickleMethod()])
+        buf = s.serialize({"a": 1})
+        assert peek_header(buf).method == PickleMethod.identifier
+
+    def test_conflicting_ids_rejected(self):
+        class Impostor(JsonMethod):
+            identifier = PickleMethod.identifier
+
+        with pytest.raises(ValueError):
+            FuncXSerializer(data_methods=[Impostor(), PickleMethod()])
+
+    def test_check_roundtrip_helper(self):
+        s = FuncXSerializer()
+        assert s.check_roundtrip([1, 2, 3])
+        assert not s.check_roundtrip(object())

@@ -1,0 +1,108 @@
+"""Focused tests for remote-exception transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaskExecutionFailed
+from repro.serialize.traceback import (
+    FrameSummary,
+    RemoteExceptionWrapper,
+    SerializableTraceback,
+)
+
+
+def _raise_nested():
+    def inner():
+        raise KeyError("deep")
+
+    inner()
+
+
+class TestSerializableTraceback:
+    def test_captures_frames(self):
+        try:
+            _raise_nested()
+        except KeyError as exc:
+            tb = SerializableTraceback.from_exception(exc)
+        names = [frame.name for frame in tb.frames]
+        assert "_raise_nested" in names
+        assert "inner" in names
+
+    def test_format_is_python_style(self):
+        try:
+            _raise_nested()
+        except KeyError as exc:
+            tb = SerializableTraceback.from_exception(exc)
+        text = tb.format()
+        assert text.startswith("Traceback (most recent call last):")
+        assert 'File "' in text
+
+    def test_frame_summary_format(self):
+        frame = FrameSummary("script.py", 12, "run", "x = 1/0")
+        line = frame.format()
+        assert 'File "script.py", line 12, in run' in line
+        assert "x = 1/0" in line
+
+    def test_empty_traceback(self):
+        tb = SerializableTraceback.from_exception(ValueError("no tb"))
+        assert tb.frames == ()
+        assert tb.format() == "Traceback (most recent call last):\n"
+
+
+class TestRemoteExceptionWrapper:
+    def test_reraise_restores_original_type(self):
+        try:
+            raise LookupError("lost")
+        except LookupError as exc:
+            wrapper = RemoteExceptionWrapper(exc)
+        with pytest.raises(LookupError, match="lost"):
+            wrapper.reraise()
+
+    def test_unpicklable_exception_degrades_gracefully(self):
+        import threading
+
+        class CursedError(Exception):
+            def __init__(self):
+                super().__init__("cursed")
+                self.lock = threading.Lock()  # unpicklable baggage
+
+        try:
+            raise CursedError()
+        except CursedError as exc:
+            wrapper = RemoteExceptionWrapper(exc)
+        assert wrapper._exc_pickle is None
+        with pytest.raises(TaskExecutionFailed, match="cursed"):
+            wrapper.reraise()
+
+    def test_record_roundtrip(self):
+        try:
+            raise ValueError("payload")
+        except ValueError as exc:
+            wrapper = RemoteExceptionWrapper(exc)
+        clone = RemoteExceptionWrapper.from_record(wrapper.to_record())
+        assert clone.exc_type_name == "ValueError"
+        assert clone.exc_str == "payload"
+        assert "payload" in clone.format()
+
+    def test_format_ends_with_exception_line(self):
+        try:
+            raise RuntimeError("tail")
+        except RuntimeError as exc:
+            wrapper = RemoteExceptionWrapper(exc)
+        assert wrapper.format().rstrip().endswith("RuntimeError: tail")
+
+    def test_locally_defined_exception_type(self):
+        """Exception classes defined inside functions cannot be pickled by
+        reference; the wrapper must still transport them as text."""
+
+        class LocalError(Exception):
+            pass
+
+        try:
+            raise LocalError("local")
+        except LocalError as exc:
+            wrapper = RemoteExceptionWrapper(exc)
+        assert wrapper.exc_type_name == "LocalError"
+        with pytest.raises((LocalError, TaskExecutionFailed)):
+            wrapper.reraise()

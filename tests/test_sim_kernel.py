@@ -1,0 +1,125 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ClockMonotonicityViolation
+from repro.sim.kernel import EventLoop
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, order.append, "c")
+        loop.schedule(1.0, order.append, "a")
+        loop.schedule(2.0, order.append, "b")
+        loop.run()
+        assert order == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_fifo_ties(self):
+        loop = EventLoop()
+        order = []
+        for name in "abc":
+            loop.schedule(1.0, order.append, name)
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_at_absolute_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.at(5.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ClockMonotonicityViolation):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain(n):
+            seen.append(loop.now)
+            if n > 0:
+                loop.schedule(1.0, chain, n - 1)
+
+        loop.schedule(0.0, chain, 3)
+        loop.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_step(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, seen.append, 1)
+        assert loop.step()
+        assert not loop.step()
+        assert seen == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        seen = []
+        event = loop.schedule(1.0, seen.append, "never")
+        loop.schedule(2.0, seen.append, "yes")
+        event.cancel()
+        loop.run()
+        assert seen == ["yes"]
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        event.cancel()
+        assert loop.pending == 1
+
+
+class TestBoundedRuns:
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, seen.append, "early")
+        loop.schedule(10.0, seen.append, "late")
+        loop.run(until=5.0)
+        assert seen == ["early"]
+        assert loop.now == 5.0  # clock advanced to the horizon
+        loop.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        loop = EventLoop()
+        loop.run(until=42.0)
+        assert loop.now == 42.0
+
+    def test_max_events(self):
+        loop = EventLoop()
+        seen = []
+        for i in range(10):
+            loop.schedule(float(i), seen.append, i)
+        assert loop.run(max_events=3) == 3
+        assert seen == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i), lambda: None)
+        loop.run()
+        assert loop.events_processed == 5
+
+    def test_next_event_time(self):
+        loop = EventLoop()
+        assert loop.next_event_time() is None
+        loop.schedule(4.0, lambda: None)
+        assert loop.next_event_time() == 4.0
+
+    def test_clock_callable(self):
+        loop = EventLoop()
+        snapshot = []
+        loop.schedule(2.5, lambda: snapshot.append(loop.clock()))
+        loop.run()
+        assert snapshot == [2.5]

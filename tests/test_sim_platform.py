@@ -1,0 +1,59 @@
+"""Unit tests for the platform models' calibration contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.platform import CORI, EC2, K8S, PLATFORMS, THETA, SimPlatform
+
+
+class TestCalibration:
+    def test_registry_complete(self):
+        assert set(PLATFORMS) == {"theta", "cori", "ec2", "k8s"}
+        assert PLATFORMS["theta"] is THETA
+
+    def test_theta_matches_paper(self):
+        assert THETA.containers_per_node == 64          # §5.2 Singularity/node
+        assert THETA.agent_throughput_ceiling == pytest.approx(1694)
+        assert THETA.container_cold_start == pytest.approx(10.40)  # Table 2
+
+    def test_cori_matches_paper(self):
+        assert CORI.containers_per_node == 256          # 4 hw threads/core
+        assert CORI.agent_throughput_ceiling == pytest.approx(1466)
+        assert CORI.container_cold_start == pytest.approx(8.49)
+
+    def test_ec2_is_the_fig9_machine(self):
+        assert EC2.containers_per_node == 36            # c5n.9xlarge vCPUs
+        assert EC2.agent_dispatch_overhead < THETA.agent_dispatch_overhead
+
+    def test_k8s_single_worker_pods(self):
+        assert K8S.containers_per_node == 1             # §4.5 pod model
+
+    def test_knl_workers_slower_than_cloud(self):
+        assert THETA.worker_overhead > EC2.worker_overhead
+        assert CORI.worker_overhead >= THETA.worker_overhead
+
+    def test_wan_latency_default(self):
+        # the §5.1 measurement: 18.2 ms to the service
+        assert THETA.wan_latency == pytest.approx(0.0182)
+
+
+class TestDerivedQuantities:
+    def test_nodes_for_exact(self):
+        assert THETA.nodes_for(1) == 1
+        assert THETA.nodes_for(64) == 1
+        assert THETA.nodes_for(65) == 2
+        assert THETA.nodes_for(131_072) == 2048
+        assert CORI.nodes_for(131_072) == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimPlatform(name="bad", containers_per_node=0,
+                        agent_dispatch_overhead=0.001)
+        with pytest.raises(ValueError):
+            SimPlatform(name="bad", containers_per_node=1,
+                        agent_dispatch_overhead=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            THETA.containers_per_node = 128  # type: ignore[misc]

@@ -1,0 +1,130 @@
+"""Unit tests for the KV store (Redis substitute)."""
+
+from __future__ import annotations
+
+from repro.store import KVStore
+
+
+class TestPlainKeys:
+    def test_set_get(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("k", "v")
+        assert kv.get("k") == "v"
+
+    def test_get_default(self, clock):
+        kv = KVStore(clock=clock)
+        assert kv.get("missing") is None
+        assert kv.get("missing", 7) == 7
+
+    def test_delete(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("k", 1)
+        assert kv.delete("k")
+        assert not kv.delete("k")
+        assert not kv.exists("k")
+
+    def test_overwrite(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("k", 1)
+        kv.set("k", 2)
+        assert kv.get("k") == 2
+
+    def test_incr(self, clock):
+        kv = KVStore(clock=clock)
+        assert kv.incr("counter") == 1
+        assert kv.incr("counter", 5) == 6
+        assert kv.get("counter") == 6
+
+    def test_keys_prefix(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("task:1", "a")
+        kv.set("task:2", "b")
+        kv.set("result:1", "c")
+        assert kv.keys("task:") == ["task:1", "task:2"]
+
+
+class TestHashsets:
+    def test_hset_hget(self, clock):
+        kv = KVStore(clock=clock)
+        kv.hset("tasks", "t1", {"state": "queued"})
+        assert kv.hget("tasks", "t1") == {"state": "queued"}
+        assert kv.hget("tasks", "t2") is None
+
+    def test_hgetall(self, clock):
+        kv = KVStore(clock=clock)
+        kv.hset("h", "a", 1)
+        kv.hset("h", "b", 2)
+        assert kv.hgetall("h") == {"a": 1, "b": 2}
+
+    def test_hdel(self, clock):
+        kv = KVStore(clock=clock)
+        kv.hset("h", "a", 1)
+        assert kv.hdel("h", "a")
+        assert not kv.hdel("h", "a")
+        assert kv.hlen("h") == 0
+
+    def test_hgetall_returns_copy(self, clock):
+        kv = KVStore(clock=clock)
+        kv.hset("h", "a", 1)
+        snapshot = kv.hgetall("h")
+        snapshot["b"] = 2
+        assert kv.hlen("h") == 1
+
+
+class TestTTL:
+    def test_expiry_on_read(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("k", "v", ttl=10.0)
+        clock.advance(9.0)
+        assert kv.get("k") == "v"
+        clock.advance(2.0)
+        assert kv.get("k") is None
+
+    def test_expire_existing_key(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("k", "v")
+        kv.expire("k", 5.0)
+        assert kv.ttl("k") == 5.0
+        clock.advance(6.0)
+        assert not kv.exists("k")
+
+    def test_purge_expired(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("a", 1, ttl=1.0)
+        kv.set("b", 2, ttl=100.0)
+        kv.set("c", 3)
+        clock.advance(2.0)
+        assert kv.purge_expired() == 1
+        assert kv.keys() == ["b", "c"]
+
+    def test_set_clears_old_ttl(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("k", 1, ttl=1.0)
+        kv.set("k", 2)  # no TTL
+        clock.advance(10.0)
+        assert kv.get("k") == 2
+
+    def test_ttl_none_without_expiry(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("k", 1)
+        assert kv.ttl("k") is None
+
+
+class TestIntrospection:
+    def test_len_counts_both_kinds(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("a", 1)
+        kv.hset("h", "f", 1)
+        assert len(kv) == 2
+
+    def test_iter(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("a", 1)
+        kv.set("b", 2)
+        assert sorted(kv) == ["a", "b"]
+
+    def test_memory_footprint_counts_bytes(self, clock):
+        kv = KVStore(clock=clock)
+        kv.set("a", b"12345")
+        kv.hset("h", "f", "abc")
+        assert kv.memory_footprint() >= 8

@@ -1,0 +1,88 @@
+"""Unit tests for the pub/sub fan-out."""
+
+from __future__ import annotations
+
+from repro.store import PubSub
+
+
+class TestExactTopics:
+    def test_publish_to_subscriber(self):
+        ps = PubSub()
+        seen = []
+        ps.subscribe("task.1", lambda t, m: seen.append((t, m)))
+        assert ps.publish("task.1", "done") == 1
+        assert seen == [("task.1", "done")]
+
+    def test_no_cross_topic_delivery(self):
+        ps = PubSub()
+        seen = []
+        ps.subscribe("task.1", lambda t, m: seen.append(m))
+        ps.publish("task.2", "x")
+        assert seen == []
+
+    def test_multiple_subscribers(self):
+        ps = PubSub()
+        seen = []
+        ps.subscribe("t", lambda _t, m: seen.append("a"))
+        ps.subscribe("t", lambda _t, m: seen.append("b"))
+        assert ps.publish("t", None) == 2
+        assert sorted(seen) == ["a", "b"]
+
+    def test_publish_without_subscribers(self):
+        assert PubSub().publish("nobody", 1) == 0
+
+
+class TestPrefixTopics:
+    def test_prefix_matches(self):
+        ps = PubSub()
+        seen = []
+        ps.subscribe_prefix("endpoint.", lambda t, m: seen.append(t))
+        ps.publish("endpoint.abc.queued", 1)
+        ps.publish("task.1", 1)
+        assert seen == ["endpoint.abc.queued"]
+
+    def test_empty_prefix_matches_everything(self):
+        ps = PubSub()
+        seen = []
+        ps.subscribe_prefix("", lambda t, m: seen.append(t))
+        ps.publish("anything", 1)
+        assert seen == ["anything"]
+
+    def test_subscriber_count_includes_prefix(self):
+        ps = PubSub()
+        ps.subscribe("a.b", lambda t, m: None)
+        ps.subscribe_prefix("a.", lambda t, m: None)
+        assert ps.subscriber_count("a.b") == 2
+
+
+class TestUnsubscribeAndErrors:
+    def test_unsubscribe(self):
+        ps = PubSub()
+        seen = []
+        token = ps.subscribe("t", lambda _t, m: seen.append(m))
+        assert ps.unsubscribe(token)
+        ps.publish("t", 1)
+        assert seen == []
+
+    def test_unsubscribe_unknown_token(self):
+        assert not PubSub().unsubscribe(12345)
+
+    def test_unsubscribe_prefix(self):
+        ps = PubSub()
+        token = ps.subscribe_prefix("x.", lambda t, m: None)
+        assert ps.unsubscribe(token)
+        assert ps.subscriber_count("x.y") == 0
+
+    def test_bad_subscriber_is_isolated(self):
+        ps = PubSub()
+        seen = []
+
+        def bad(_t, _m):
+            raise RuntimeError("monitor crashed")
+
+        ps.subscribe("t", bad)
+        ps.subscribe("t", lambda _t, m: seen.append(m))
+        delivered = ps.publish("t", "msg")
+        assert delivered == 1          # good subscriber still served
+        assert seen == ["msg"]
+        assert len(ps.delivery_errors) == 1

@@ -1,0 +1,161 @@
+"""Unit tests for the reliable (at-least-once) queue."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.store import ReliableQueue
+
+
+class TestBasicFifo:
+    def test_put_lease_ack(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("a")
+        lease = q.lease()
+        assert lease is not None and lease.item == "a"
+        assert q.ack(lease.lease_id)
+        assert len(q) == 0 and q.in_flight == 0
+
+    def test_fifo_order(self, clock):
+        q = ReliableQueue(clock=clock)
+        for item in "abc":
+            q.put(item)
+        assert [q.lease().item for _ in range(3)] == ["a", "b", "c"]
+
+    def test_empty_poll_returns_none(self, clock):
+        q = ReliableQueue(clock=clock)
+        assert q.lease(timeout=0.0) is None
+
+    def test_put_many(self, clock):
+        q = ReliableQueue(clock=clock)
+        assert q.put_many(range(5)) == 5
+        assert len(q) == 5
+
+    def test_lease_many_bulk(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put_many(range(10))
+        leases = q.lease_many(4)
+        assert [l.item for l in leases] == [0, 1, 2, 3]
+        assert q.in_flight == 4
+        assert len(q) == 6
+
+    def test_lease_many_drains_at_most_available(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("only")
+        assert len(q.lease_many(100)) == 1
+
+    def test_counters(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put_many(range(3))
+        leases = q.lease_many(3)
+        q.ack(leases[0].lease_id)
+        q.nack(leases[1].lease_id)
+        assert q.total_enqueued == 3
+        assert q.total_acked == 1
+
+
+class TestRedelivery:
+    def test_nack_returns_to_front(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("a")
+        q.put("b")
+        lease = q.lease()
+        assert lease.item == "a"
+        q.nack(lease.lease_id)
+        assert q.lease().item == "a"  # redelivered before b
+
+    def test_nack_increments_delivery_count(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("a")
+        lease = q.lease()
+        q.nack(lease.lease_id)
+        lease2 = q.lease()
+        assert lease2.deliveries == 2
+        assert q.total_redelivered == 1
+
+    def test_double_ack_is_false(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("a")
+        lease = q.lease()
+        assert q.ack(lease.lease_id)
+        assert not q.ack(lease.lease_id)
+        assert not q.nack(lease.lease_id)
+
+    def test_nack_all_preserves_age_order(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("old")
+        clock.advance(1.0)
+        q.put("new")
+        l1 = q.lease()
+        l2 = q.lease()
+        assert (l1.item, l2.item) == ("old", "new")
+        assert q.nack_all() == 2
+        assert q.lease().item == "old"
+        assert q.lease().item == "new"
+
+    def test_lease_timeout_requeues(self, clock):
+        q = ReliableQueue(clock=clock, default_lease_timeout=5.0)
+        q.put("a")
+        q.lease()
+        clock.advance(6.0)
+        assert q.requeue_expired() == 1
+        assert q.lease().item == "a"
+
+    def test_unexpired_lease_not_requeued(self, clock):
+        q = ReliableQueue(clock=clock, default_lease_timeout=5.0)
+        q.put("a")
+        q.lease()
+        clock.advance(4.0)
+        assert q.requeue_expired() == 0
+
+    def test_per_lease_timeout_override(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("a")
+        q.lease(lease_timeout=1.0)
+        clock.advance(2.0)
+        assert q.requeue_expired() == 1
+
+
+class TestBlockingAndLifecycle:
+    def test_blocking_lease_wakes_on_put(self):
+        q = ReliableQueue()
+        result = []
+
+        def consumer():
+            lease = q.lease(timeout=5.0)
+            result.append(lease.item if lease else None)
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.put("wake")
+        t.join(timeout=5.0)
+        assert result == ["wake"]
+
+    def test_close_unblocks_waiters(self):
+        q = ReliableQueue()
+        result = []
+
+        def consumer():
+            result.append(q.lease(timeout=10.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.close()
+        t.join(timeout=5.0)
+        assert result == [None]
+
+    def test_put_after_close_raises(self):
+        q = ReliableQueue()
+        q.close()
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            q.put("x")
+
+    def test_peek_ages(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("a")
+        clock.advance(3.0)
+        q.put("b")
+        ages = q.peek_ages()
+        assert ages == [3.0, 0.0]

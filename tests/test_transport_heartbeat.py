@@ -1,0 +1,83 @@
+"""Unit tests for heartbeat liveness tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport import HeartbeatTracker
+
+
+class TestLiveness:
+    def test_alive_after_beat(self, clock):
+        hb = HeartbeatTracker(period=1.0, grace_periods=3, clock=clock)
+        hb.beat("mgr1")
+        assert hb.is_alive("mgr1")
+
+    def test_untracked_is_not_alive(self, clock):
+        hb = HeartbeatTracker(clock=clock)
+        assert not hb.is_alive("ghost")
+
+    def test_lost_after_grace(self, clock):
+        hb = HeartbeatTracker(period=1.0, grace_periods=3, clock=clock)
+        hb.beat("mgr1")
+        clock.advance(3.0)
+        assert hb.is_alive("mgr1")  # exactly at deadline still alive
+        clock.advance(0.1)
+        assert not hb.is_alive("mgr1")
+        assert hb.lost_components() == ["mgr1"]
+
+    def test_beat_refreshes(self, clock):
+        hb = HeartbeatTracker(period=1.0, grace_periods=2, clock=clock)
+        hb.beat("m")
+        clock.advance(1.5)
+        hb.beat("m")
+        clock.advance(1.5)
+        assert hb.is_alive("m")
+
+    def test_multiple_components(self, clock):
+        hb = HeartbeatTracker(period=1.0, grace_periods=1, clock=clock)
+        hb.beat("a")
+        clock.advance(0.9)
+        hb.beat("b")
+        clock.advance(0.5)
+        assert hb.lost_components() == ["a"]
+        assert hb.alive_components() == ["b"]
+
+    def test_explicit_timestamp(self, clock):
+        hb = HeartbeatTracker(period=1.0, grace_periods=1, clock=clock)
+        clock.advance(10.0)
+        hb.beat("m", timestamp=9.5)
+        assert hb.is_alive("m")
+
+    def test_out_of_order_beats_keep_latest(self, clock):
+        hb = HeartbeatTracker(period=1.0, grace_periods=1, clock=clock)
+        clock.advance(5.0)
+        hb.beat("m", timestamp=5.0)
+        hb.beat("m", timestamp=3.0)  # late-arriving old beat
+        assert hb.last_seen("m") == 5.0
+
+
+class TestBookkeeping:
+    def test_forget(self, clock):
+        hb = HeartbeatTracker(clock=clock)
+        hb.beat("m")
+        assert hb.forget("m")
+        assert not hb.forget("m")
+        assert hb.tracked() == []
+
+    def test_beat_count(self, clock):
+        hb = HeartbeatTracker(clock=clock)
+        for _ in range(4):
+            hb.beat("m")
+        assert hb.beat_count("m") == 4
+        assert hb.beat_count("other") == 0
+
+    def test_deadline(self):
+        hb = HeartbeatTracker(period=0.5, grace_periods=4)
+        assert hb.deadline == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeartbeatTracker(period=0)
+        with pytest.raises(ValueError):
+            HeartbeatTracker(grace_periods=0)

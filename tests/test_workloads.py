@@ -1,0 +1,215 @@
+"""Unit tests for the workload models (case studies, functions, arrivals)."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    CASE_STUDIES,
+    burst_arrivals,
+    case_study,
+    double_after_sleep,
+    echo,
+    make_sleep_function,
+    noop,
+    poisson_arrivals,
+    simulated_case_function,
+    stress,
+    uniform_rate_arrivals,
+)
+from repro.workloads.functions import (
+    busy_10us,
+    correlate_frames,
+    extract_tabular_metadata,
+    extract_text_metadata,
+    histogram_events,
+    infer_digit,
+)
+from repro.workloads.generators import concurrent_batch
+
+
+class TestCaseStudies:
+    def test_all_six_present(self):
+        assert set(CASE_STUDIES) == {
+            "metadata", "ml_inference", "ssx", "neuro", "hep", "xpcs",
+        }
+
+    def test_samples_within_quoted_ranges(self):
+        rng = random.Random(0)
+        for study in CASE_STUDIES.values():
+            for _ in range(200):
+                value = study.sample(rng)
+                assert study.low <= value <= study.high
+
+    def test_xpcs_is_longest(self):
+        rng = np.random.default_rng(0)
+        medians = {
+            name: float(np.median(study.sample_many(500, seed=1)))
+            for name, study in CASE_STUDIES.items()
+        }
+        assert max(medians, key=medians.get) == "xpcs"
+        assert medians["xpcs"] == pytest.approx(50.0, rel=0.15)
+
+    def test_ml_inference_is_fastest(self):
+        medians = {
+            name: float(np.median(study.sample_many(500, seed=1)))
+            for name, study in CASE_STUDIES.items()
+        }
+        assert min(medians, key=medians.get) == "ml_inference"
+
+    def test_sample_many_matches_figure1_protocol(self):
+        samples = case_study("ssx").sample_many(100, seed=3)
+        assert samples.shape == (100,)
+        assert (samples >= 1.0).all() and (samples <= 2.5).all()
+
+    def test_unknown_case_study(self):
+        with pytest.raises(KeyError, match="unknown case study"):
+            case_study("astrology")
+
+    def test_validation(self):
+        from repro.workloads.casestudies import CaseStudy
+
+        with pytest.raises(ValueError):
+            CaseStudy("bad", "", median=5.0, sigma=1.0, low=10.0, high=20.0)
+
+
+class TestSyntheticFunctions:
+    def test_noop(self):
+        assert noop() is None
+
+    def test_echo(self):
+        assert echo() == "hello-world"
+        assert echo("hi") == "hi"
+
+    def test_sleep_function_duration(self):
+        sleeper = make_sleep_function(0.05)
+        start = time.perf_counter()
+        assert sleeper() == 0.05
+        assert time.perf_counter() - start >= 0.05
+
+    def test_sleep_function_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_sleep_function(-1)
+
+    def test_stress_busy_loops(self):
+        iterations = stress(0.02)
+        assert iterations > 1000
+
+    def test_double_after_sleep(self):
+        start = time.perf_counter()
+        assert double_after_sleep(21) == 42
+        assert time.perf_counter() - start >= 1.0
+
+    def test_busy_10us(self):
+        assert busy_10us() == sum(i * i for i in range(120))
+
+    def test_simulated_case_function_runs(self):
+        func = simulated_case_function("ml_inference", scale=0.01)
+        out = func(sample_id=3)
+        assert out["case"] == "ml_inference"
+        assert out["duration"] > 0
+
+
+class TestScienceFunctions:
+    def test_text_metadata(self):
+        out = extract_text_metadata("the cat and the hat and the bat")
+        assert out["n_words"] == 8
+        assert out["top_words"][0] == ("the", 3)
+
+    def test_tabular_metadata(self):
+        out = extract_tabular_metadata([[1.0, 2.0], [3.0, 4.0]])
+        assert out["column_means"] == [2.0, 3.0]
+        assert out["n_rows"] == 2
+
+    def test_tabular_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            extract_tabular_metadata([[1.0], [1.0, 2.0]])
+
+    def test_tabular_empty(self):
+        assert extract_tabular_metadata([])["n_rows"] == 0
+
+    def test_infer_digit_deterministic(self):
+        pixels = [((i * 5) % 17) / 16.0 for i in range(64)]
+        out1 = infer_digit(pixels)
+        out2 = infer_digit(pixels)
+        assert out1 == out2
+        assert out1["digit"] == 2  # centroid pattern for digit 2 uses factor 5
+
+    def test_infer_digit_shape_check(self):
+        with pytest.raises(ValueError):
+            infer_digit([0.0] * 10)
+
+    def test_correlate_frames(self):
+        frames = [[1.0, 2.0], [1.0, 2.0], [1.0, 2.0]]
+        g2 = correlate_frames(frames, max_lag=2)
+        assert len(g2) == 2
+        assert g2[0] == pytest.approx(1.0, rel=0.3)
+
+    def test_correlate_validation(self):
+        with pytest.raises(ValueError):
+            correlate_frames([])
+        with pytest.raises(ValueError):
+            correlate_frames([[1.0], [1.0, 2.0]])
+
+    def test_histogram_events(self):
+        counts = histogram_events([5.0, 15.0, 15.5, 100.0], n_bins=10)
+        assert counts[0] == 1 and counts[1] == 2 and counts[9] == 1
+        assert sum(counts) == 4
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            histogram_events([], n_bins=0)
+        with pytest.raises(ValueError):
+            histogram_events([], lo=10, hi=5)
+
+
+class TestArrivalGenerators:
+    def test_uniform_rate_spacing(self):
+        events = list(uniform_rate_arrivals(rate=10, total=5))
+        times = [e.time for e in events]
+        assert times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_uniform_rate_lazy(self):
+        gen = uniform_rate_arrivals(rate=1, total=10**9)
+        assert next(gen).index == 0  # no materialization
+
+    def test_poisson_mean_rate(self):
+        events = list(poisson_arrivals(rate=100, total=2000, seed=1))
+        span = events[-1].time - events[0].time
+        rate = len(events) / span
+        assert rate == pytest.approx(100, rel=0.15)
+
+    def test_poisson_monotone(self):
+        events = list(poisson_arrivals(rate=5, total=100, seed=2))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_burst_composition(self):
+        events = list(
+            burst_arrivals(120.0, 3, [("1s", 1, 1.0), ("10s", 5, 10.0), ("20s", 20, 20.0)])
+        )
+        assert len(events) == 3 * 26
+        first_burst = [e for e in events if e.time == 0.0]
+        assert sum(1 for e in first_burst if e.workload == "20s") == 20
+        assert {e.time for e in events} == {0.0, 120.0, 240.0}
+
+    def test_burst_indexes_unique(self):
+        events = list(burst_arrivals(1.0, 2, [("a", 3, 0.0)]))
+        assert [e.index for e in events] == list(range(6))
+
+    def test_concurrent_batch(self):
+        events = list(concurrent_batch(10, duration=1.0))
+        assert all(e.time == 0.0 for e in events)
+        assert len(events) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(uniform_rate_arrivals(rate=0, total=1))
+        with pytest.raises(ValueError):
+            list(burst_arrivals(0.0, 1, [("a", 1, 0.0)]))
+        with pytest.raises(ValueError):
+            list(burst_arrivals(1.0, 1, [("a", -1, 0.0)]))
