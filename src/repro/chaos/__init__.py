@@ -1,0 +1,30 @@
+"""Chaos harness: scripted fault injection + continuously-checked invariants.
+
+See ``docs/CHAOS.md`` for the full guide.
+"""
+
+from repro.chaos.invariants import (
+    Invariant,
+    InvariantRegistry,
+    InvariantViolation,
+    default_invariants,
+)
+from repro.chaos.plan import ACTIONS, FaultPlan, FaultStep, generate_plan
+from repro.chaos.scheduler import AppliedStep, ChaosScheduler, ScheduleResult
+from repro.chaos.world import ChaosReport, ChaosWorld
+
+__all__ = [
+    "ACTIONS",
+    "AppliedStep",
+    "ChaosReport",
+    "ChaosScheduler",
+    "ChaosWorld",
+    "FaultPlan",
+    "FaultStep",
+    "Invariant",
+    "InvariantRegistry",
+    "InvariantViolation",
+    "ScheduleResult",
+    "default_invariants",
+    "generate_plan",
+]

@@ -1,0 +1,220 @@
+"""Seed-deterministic fault plans.
+
+A :class:`FaultPlan` is a scripted schedule of fault-injection steps —
+message-drop windows, endpoint disconnect/reconnect, latency spikes,
+manager kills, clock-skewed heartbeats — applied against a live
+:class:`~repro.chaos.world.ChaosWorld` or converted to a
+:class:`~repro.sim.fabric.FailureSchedule` for the simulated fabric.
+
+Plans are plain data: byte-identical under the same seed (the
+determinism contract chaos CI relies on), JSON round-trippable (the
+replay artifact), and composed of frozen :class:`FaultStep` records so a
+violation report can name the exact step that triggered it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+#: Actions the scheduler knows how to apply to a live world.
+ACTIONS = frozenset({
+    "set_drop",             # params: probability        target: endpoint name
+    "set_latency",          # params: latency            target: endpoint name
+    "disconnect_endpoint",  #                            target: endpoint name
+    "reconnect_endpoint",   #                            target: endpoint name
+    "kill_manager",         # params: index (optional)   target: endpoint name
+    "restart_manager",      #                            target: endpoint name
+    "skew_heartbeats",      # params: skew               target: endpoint name
+    "pause",                # no-op marker step
+})
+
+
+@dataclass(frozen=True, order=True)
+class FaultStep:
+    """One scheduled fault action.
+
+    ``params`` is a canonically-sorted tuple of ``(key, value)`` pairs so
+    steps stay hashable and serialize to byte-identical JSON.
+    """
+
+    at: float
+    action: str
+    target: str = ""
+    params: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def make(cls, at: float, action: str, target: str = "", **params: Any) -> "FaultStep":
+        if action not in ACTIONS:
+            raise ValueError(f"unknown fault action {action!r}")
+        return cls(at=float(at), action=action, target=target,
+                   params=tuple(sorted(params.items())))
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        target = f" @{self.target}" if self.target else ""
+        return f"t+{self.at:.3f}s {self.action}{target}({params})"
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "at": self.at,
+            "action": self.action,
+            "target": self.target,
+            "params": {k: v for k, v in self.params},
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "FaultStep":
+        return cls.make(record["at"], record["action"],
+                        record.get("target", ""), **record.get("params", {}))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, named, seeded schedule of fault steps."""
+
+    name: str
+    seed: int
+    steps: tuple[FaultStep, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(sorted(self.steps)))
+
+    @property
+    def duration(self) -> float:
+        return self.steps[-1].at if self.steps else 0.0
+
+    # -- serialization (replay artifacts) ------------------------------------
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "steps": [step.to_record() for step in self.steps],
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "FaultPlan":
+        return cls(
+            name=record["name"],
+            seed=record["seed"],
+            steps=tuple(FaultStep.from_record(s) for s in record["steps"]),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_record(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_record(json.loads(text))
+
+    def schedule_bytes(self) -> bytes:
+        """Canonical byte encoding of the schedule.
+
+        Two plans generated from the same seed and spec produce identical
+        bytes — the determinism contract asserted by the chaos suite.
+        """
+        return json.dumps(self.to_record(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def checksum(self) -> str:
+        return hashlib.sha256(self.schedule_bytes()).hexdigest()
+
+    # -- sim bridge ----------------------------------------------------------
+    def to_failure_schedule(self) -> "Any":
+        """Convert disconnect/kill pairs to a sim ``FailureSchedule``.
+
+        Endpoint ``disconnect_endpoint``/``reconnect_endpoint`` pairs and
+        ``kill_manager``/``restart_manager`` pairs (matched in time order
+        per target) become the simulated fabric's failure windows; other
+        actions have no sim analogue and are skipped.
+        """
+        from repro.sim.fabric import FailureSchedule
+
+        endpoint_failures: list[tuple[float, float]] = []
+        manager_failures: list[tuple[float, float, int]] = []
+        open_disconnects: list[float] = []
+        open_kills: list[tuple[float, int]] = []
+        for step in self.steps:
+            if step.action == "disconnect_endpoint":
+                open_disconnects.append(step.at)
+            elif step.action == "reconnect_endpoint" and open_disconnects:
+                endpoint_failures.append((open_disconnects.pop(0), step.at))
+            elif step.action == "kill_manager":
+                open_kills.append((step.at, int(step.param("index", 0))))
+            elif step.action == "restart_manager" and open_kills:
+                fail_at, index = open_kills.pop(0)
+                manager_failures.append((fail_at, step.at, index))
+        return FailureSchedule(
+            manager_failures=tuple(manager_failures),
+            endpoint_failures=tuple(endpoint_failures),
+        )
+
+
+def generate_plan(
+    name: str,
+    seed: int,
+    duration: float,
+    endpoints: Sequence[str] | Iterable[str] = ("ep",),
+    *,
+    drop_windows: int = 1,
+    max_drop: float = 0.3,
+    latency_spikes: int = 0,
+    base_latency: float = 0.001,
+    spike_latency: float = 0.05,
+    disconnects: int = 0,
+    manager_kills: int = 0,
+    heartbeat_skews: int = 0,
+    skew: float = 10.0,
+) -> FaultPlan:
+    """Generate a randomized fault plan, deterministically from ``seed``.
+
+    Fault kinds are emitted in a fixed order and all randomness flows
+    from one ``random.Random(seed)``, so the same arguments always yield
+    a byte-identical schedule.
+    """
+    rng = random.Random(seed)
+    steps: list[FaultStep] = []
+
+    def window(max_width: float) -> tuple[float, float]:
+        start = rng.uniform(0.0, max(0.0, duration * 0.7))
+        width = rng.uniform(0.05, max(0.06, max_width))
+        return start, min(duration, start + width)
+
+    for endpoint in sorted(endpoints):
+        for _ in range(drop_windows):
+            start, end = window(duration * 0.5)
+            probability = rng.uniform(0.05, max_drop)
+            steps.append(FaultStep.make(start, "set_drop", endpoint,
+                                        probability=round(probability, 6)))
+            steps.append(FaultStep.make(end, "set_drop", endpoint,
+                                        probability=0.0))
+        for _ in range(latency_spikes):
+            start, end = window(duration * 0.4)
+            steps.append(FaultStep.make(start, "set_latency", endpoint,
+                                        latency=spike_latency))
+            steps.append(FaultStep.make(end, "set_latency", endpoint,
+                                        latency=base_latency))
+        for _ in range(disconnects):
+            start, end = window(duration * 0.5)
+            steps.append(FaultStep.make(start, "disconnect_endpoint", endpoint))
+            steps.append(FaultStep.make(end, "reconnect_endpoint", endpoint))
+        for _ in range(manager_kills):
+            start, end = window(duration * 0.5)
+            steps.append(FaultStep.make(start, "kill_manager", endpoint, index=0))
+            steps.append(FaultStep.make(end, "restart_manager", endpoint))
+        for _ in range(heartbeat_skews):
+            start, end = window(duration * 0.5)
+            steps.append(FaultStep.make(start, "skew_heartbeats", endpoint,
+                                        skew=skew))
+            steps.append(FaultStep.make(end, "skew_heartbeats", endpoint,
+                                        skew=0.0))
+    return FaultPlan(name=name, seed=seed, steps=tuple(steps))

@@ -1,0 +1,100 @@
+"""The fault scheduler: applies a :class:`FaultPlan` to a live world.
+
+Steps fire at ``plan_start + step.at`` on the wall clock; before each
+application the world's invariant registry is pointed at the step so any
+violation the fault provokes is attributed to it in the report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.chaos.plan import FaultPlan, FaultStep
+
+
+@dataclass
+class AppliedStep:
+    """One step as actually applied (or skipped) during a run."""
+
+    step: FaultStep
+    applied_at: float
+    error: str | None = None
+
+
+@dataclass
+class ScheduleResult:
+    """What the scheduler did with a plan."""
+
+    plan: FaultPlan
+    applied: list[AppliedStep] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[AppliedStep]:
+        return [a for a in self.applied if a.error is not None]
+
+
+class ChaosScheduler:
+    """Replays a fault plan against a :class:`~repro.chaos.world.ChaosWorld`.
+
+    The scheduler is deliberately dumb: the plan is the authority on what
+    happens and when, the world knows how to apply each action, and the
+    registry records which step was active.  ``run`` blocks until every
+    step has fired; ``run_async`` drives the same loop on a daemon thread
+    so the test can submit tasks while faults land.
+    """
+
+    def __init__(self, world: "ChaosWorld"):  # noqa: F821 - forward ref
+        self.world = world
+        self._thread: threading.Thread | None = None
+        self._abort = threading.Event()
+        self.last_result: ScheduleResult | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, plan: FaultPlan) -> ScheduleResult:
+        """Apply every step of ``plan`` in order, pacing on the wall clock."""
+        result = ScheduleResult(plan=plan)
+        registry = self.world.registry
+        start = time.monotonic()
+        for step in plan.steps:  # already sorted by FaultPlan
+            if self._abort.is_set():
+                break
+            delay = (start + step.at) - time.monotonic()
+            if delay > 0 and self._abort.wait(delay):
+                break
+            registry.set_step(step)
+            applied = AppliedStep(step=step, applied_at=time.monotonic() - start)
+            try:
+                self.world.apply_step(step)
+            except Exception as exc:
+                applied.error = f"{type(exc).__name__}: {exc}"
+            result.applied.append(applied)
+        registry.set_step(None)
+        self.last_result = result
+        return result
+
+    # ------------------------------------------------------------------
+    def run_async(self, plan: FaultPlan) -> "threading.Thread":
+        """Run the plan on a background thread; returns it for joining."""
+        if self._thread is not None and self._thread.is_alive():
+            raise RuntimeError("a plan is already running")
+        self._abort.clear()
+        self.last_result = None
+
+        def _drive() -> None:
+            self.last_result = self.run(plan)
+
+        self._thread = threading.Thread(target=_drive, name="chaos-scheduler",
+                                        daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def join(self, timeout: float | None = None) -> ScheduleResult | None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return getattr(self, "last_result", None)
+
+    def abort(self) -> None:
+        """Stop firing further steps (already-applied faults stay applied)."""
+        self._abort.set()

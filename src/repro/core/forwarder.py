@@ -16,7 +16,7 @@ stepped manually under test control.
 from __future__ import annotations
 
 import threading
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core.service import FuncXService
 from repro.store.queues import Lease
@@ -81,6 +81,17 @@ class Forwarder:
         self.tasks_forwarded = 0
         self.results_returned = 0
         self.requeue_events = 0
+        # Agent-liveness incarnation: bumped on every (re-)registration so
+        # liveness transitions can be attributed to one agent lifetime.
+        self.incarnation = 0
+        # Observation hook: ``probe(event, fields)`` for liveness and
+        # requeue events (chaos invariant probes attach here).
+        self.probe: Callable[[str, dict[str, Any]], None] | None = None
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        probe = self.probe
+        if probe is not None:
+            probe(event, {"endpoint_id": self.endpoint_id, **fields})
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +102,11 @@ class Forwarder:
     def outstanding(self) -> int:
         with self._lock:
             return len(self._open_leases)
+
+    def open_task_ids(self) -> list[str]:
+        """Task ids currently dispatched under an open queue lease."""
+        with self._lock:
+            return list(self._open_leases)
 
     # ------------------------------------------------------------------
     def step(self) -> int:
@@ -121,8 +137,11 @@ class Forwarder:
                                          enqueue=False):
                 queue.nack(lease.lease_id)
                 self.requeue_events += 1
+                self._emit("forwarder.lease_timeout", task_id=task_id)
             else:
                 queue.ack(lease.lease_id)
+                self._emit("forwarder.dropped", task_id=task_id,
+                           reason="lease timeout")
         return len(expired)
 
     # -- inbound ------------------------------------------------------------
@@ -139,17 +158,33 @@ class Forwarder:
         return count
 
     def _on_agent_registered(self, message: Registration) -> None:
+        was_connected = self._agent_connected
         self._agent_name = message.sender
         self._agent_connected = True
+        self.incarnation += 1
         self.heartbeats.beat(message.sender)
         self.service.endpoints.set_connected(self.endpoint_id, True, self._clock())
+        self._emit("liveness.registered", component=message.sender,
+                   incarnation=self.incarnation)
+        if not was_connected:
+            self._emit("liveness.transition", component=message.sender,
+                       alive=True, incarnation=self.incarnation,
+                       via="registration")
 
     def _on_heartbeat(self, message: Heartbeat) -> None:
         self.heartbeats.beat(message.sender)
         if message.sender == self._agent_name:
+            was_connected = self._agent_connected
             self._agent_connected = True
             self.service.endpoint_heartbeat(self.endpoint_id)
             self.service.endpoints.set_connected(self.endpoint_id, True, self._clock())
+            self._emit("liveness.beat", component=message.sender,
+                       timestamp=message.timestamp,
+                       incarnation=self.incarnation)
+            if not was_connected:
+                self._emit("liveness.transition", component=message.sender,
+                           alive=True, incarnation=self.incarnation,
+                           via="heartbeat")
 
     def _on_result(self, message: ResultMessage) -> None:
         with self._lock:
@@ -192,6 +227,9 @@ class Forwarder:
         # queue", §4.1) and mark the endpoint disconnected.
         self._agent_connected = False
         self.service.endpoints.set_connected(self.endpoint_id, False)
+        self._emit("liveness.transition", component=self._agent_name,
+                   alive=False, incarnation=self.incarnation,
+                   via="heartbeat-timeout")
         self._requeue_outstanding("agent heartbeat lost")
 
     def _requeue_outstanding(self, reason: str) -> None:
@@ -205,8 +243,10 @@ class Forwarder:
             if kept:
                 queue.nack(lease.lease_id)
                 self.requeue_events += 1
+                self._emit("forwarder.requeued", task_id=task_id, reason=reason)
             else:
                 queue.ack(lease.lease_id)  # retries exhausted; drop for good
+                self._emit("forwarder.dropped", task_id=task_id, reason=reason)
 
     # -- outbound -------------------------------------------------------------------
     def _dispatch_tasks(self) -> int:

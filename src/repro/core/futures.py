@@ -9,7 +9,7 @@ resolves when the service publishes the task's terminal state.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable
+from typing import Any, Callable, ClassVar
 
 from repro.errors import TaskCancelled, TaskExecutionFailed, TaskPending
 
@@ -22,6 +22,16 @@ class FuncXFuture:
     stack (via the deserializer's :class:`RemoteExceptionWrapper`).
     """
 
+    #: Observation hook shared by all futures: when set, invoked as
+    #: ``observer(event, fields)`` on every delivery attempt and success,
+    #: so an external checker can assert no future resolves twice.
+    observer: ClassVar[Callable[[str, dict[str, Any]], None] | None] = None
+
+    def _emit(self, event: str) -> None:
+        observer = type(self).observer
+        if observer is not None:
+            observer(event, {"task_id": self.task_id})
+
     def __init__(self, task_id: str):
         self.task_id = task_id
         self._event = threading.Event()
@@ -33,22 +43,26 @@ class FuncXFuture:
 
     # -- producer side (service/client plumbing) ----------------------------
     def set_result(self, value: Any) -> None:
+        self._emit("future.deliver_attempt")
         with self._lock:
             if self._event.is_set():
                 raise RuntimeError(f"future for task {self.task_id} already resolved")
             self._value = value
             self._event.set()
             callbacks = list(self._callbacks)
+        self._emit("future.delivered")
         for callback in callbacks:
             callback(self)
 
     def set_exception(self, exc: BaseException) -> None:
+        self._emit("future.deliver_attempt")
         with self._lock:
             if self._event.is_set():
                 raise RuntimeError(f"future for task {self.task_id} already resolved")
             self._exception = exc
             self._event.set()
             callbacks = list(self._callbacks)
+        self._emit("future.delivered")
         for callback in callbacks:
             callback(self)
 

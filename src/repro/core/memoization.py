@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
+from typing import Any, Callable
 
 
 class Memoizer:
@@ -36,6 +37,19 @@ class Memoizer:
         self._cache: OrderedDict[str, bytes] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Observation hook: ``probe(event, fields)`` on store/hit, carrying
+        # the cache key and a digest of the result buffer so an external
+        # checker can verify a hit never returns bytes stored under a
+        # different (function, payload) hash.  Emitted under the lock.
+        self.probe: Callable[[str, dict[str, Any]], None] | None = None
+
+    def _emit(self, event: str, key: str, result_buffer: bytes) -> None:
+        probe = self.probe
+        if probe is not None:
+            probe(event, {
+                "key": key,
+                "result_sha": hashlib.sha256(result_buffer).hexdigest(),
+            })
 
     @staticmethod
     def key(function_buffer: bytes, payload_buffer: bytes) -> str:
@@ -56,6 +70,7 @@ class Memoizer:
                 return None
             self._cache.move_to_end(k)
             self.hits += 1
+            self._emit("memo.hit", k, result)
             return result
 
     def store(self, function_buffer: bytes, payload_buffer: bytes, result_buffer: bytes) -> None:
@@ -64,6 +79,7 @@ class Memoizer:
         with self._lock:
             self._cache[k] = result_buffer
             self._cache.move_to_end(k)
+            self._emit("memo.store", k, result_buffer)
             while len(self._cache) > self.capacity:
                 self._cache.popitem(last=False)
 

@@ -95,10 +95,18 @@ class FuncXService:
         self.tasks_received = 0
         self.tasks_completed = 0
         self.memo_completions = 0
+        # Observation hook: ``probe(event, fields)`` for task lifecycle
+        # events (chaos invariant probes attach here).
+        self.probe: Callable[[str, dict[str, Any]], None] | None = None
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _emit(self, event: str, **fields: Any) -> None:
+        probe = self.probe
+        if probe is not None:
+            probe(event, fields)
+
     def _spend_overhead(self) -> None:
         if self.config.request_overhead > 0:
             self._sleep(self.config.request_overhead)
@@ -249,6 +257,7 @@ class FuncXService:
             self._tasks[task.task_id] = task
             self.tasks_received += 1
         self.store.hset("tasks", task.task_id, task.to_record())
+        self._emit("task.submitted", task_id=task.task_id, endpoint_id=endpoint_id)
 
         if memoize:
             cached = self.memoizer.lookup(function.function_buffer, payload_buffer)
@@ -371,6 +380,8 @@ class FuncXService:
         if task.state.terminal:
             return False
         if task.attempts > task.max_retries:
+            self._emit("task.retries_exhausted", task_id=task_id, reason=reason,
+                       attempts=task.attempts)
             self._complete(
                 task,
                 success=False,
@@ -381,6 +392,7 @@ class FuncXService:
         if task.state is not TaskState.QUEUED:
             task.advance(TaskState.QUEUED, self._clock())
         task.metadata.setdefault("requeue_reasons", []).append(reason)
+        self._emit("task.requeued", task_id=task_id, reason=reason)
         if enqueue:
             self._queue_for(task.endpoint_id).put(task.task_id)
         return True
@@ -404,6 +416,11 @@ class FuncXService:
     def purge(self) -> int:
         """Run the periodic store purge; returns evicted entries."""
         return self.store.purge_expired()
+
+    def iter_tasks(self) -> list[Task]:
+        """A snapshot of every task record (chaos accounting probes)."""
+        with self._lock:
+            return list(self._tasks.values())
 
     def outstanding_tasks(self, endpoint_id: str) -> int:
         """Queued + dispatched + running tasks for an endpoint."""
@@ -443,6 +460,8 @@ class FuncXService:
         # Tolerate completion from any live state (worker may finish after
         # a requeue decision raced it; first completion wins).
         if task.state.terminal:
+            self._emit("task.duplicate_completion", task_id=task.task_id,
+                       success=success)
             return
         if task.state in (TaskState.RECEIVED, TaskState.QUEUED, TaskState.DISPATCHED):
             # fast paths (memo hits complete straight from RECEIVED)
@@ -457,6 +476,8 @@ class FuncXService:
         task.metadata["execution_time"] = execution_time
         with self._lock:
             self.tasks_completed += 1
+        self._emit("task.completed", task_id=task.task_id, success=success,
+                   state=task.state.value)
         self.store.hset("tasks", task.task_id, task.to_record())
         self.store.set(f"result:{task.task_id}", result_buffer, ttl=None)
         self.pubsub.publish(f"task.{task.task_id}", task.state.value)

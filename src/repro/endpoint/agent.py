@@ -90,6 +90,10 @@ class FuncXAgent:
         self.tasks_dispatched = 0
         self.results_forwarded = 0
         self.tasks_reexecuted = 0
+        # Fault injection: extra seconds added to the effective heartbeat
+        # period (clock-skewed heartbeats; a large skew silences the agent
+        # until the forwarder declares it lost).
+        self.heartbeat_skew = 0.0
 
     @property
     def name(self) -> str:
@@ -175,6 +179,12 @@ class FuncXAgent:
     def manager_ids(self) -> list[str]:
         with self._lock:
             return sorted(self._manager_channels)
+
+    def tracked_task_ids(self) -> list[str]:
+        """Ids of tasks the agent still holds (pending + assigned)."""
+        with self._lock:
+            pending = [m.task_id for m in self._pending]
+            return pending + list(self._assigned)
 
     # ------------------------------------------------------------------
     # the agent loop
@@ -328,7 +338,8 @@ class FuncXAgent:
     # -- heartbeats to the forwarder ----------------------------------------------
     def _maybe_heartbeat(self) -> None:
         now = self._clock()
-        if now - self._last_heartbeat < self.config.heartbeat_period:
+        period = max(0.0, self.config.heartbeat_period + self.heartbeat_skew)
+        if now - self._last_heartbeat < period:
             return
         self._last_heartbeat = now
         try:

@@ -150,6 +150,19 @@ class Endpoint:
     # ------------------------------------------------------------------
     # fault injection (section 5.4)
     # ------------------------------------------------------------------
+    def skew_heartbeats(self, skew: float) -> None:
+        """Add ``skew`` seconds to every component's heartbeat period.
+
+        A skew larger than the peer's grace window silences heartbeats
+        long enough for the agent/forwarder watchdogs to declare the
+        component lost; resetting to ``0.0`` lets it flap back.
+        """
+        self.agent.heartbeat_skew = skew
+        with self._lock:
+            managers = list(self.managers.values())
+        for manager in managers:
+            manager.heartbeat_skew = skew
+
     def kill_manager(self, manager_id: str) -> Manager:
         """Terminate a manager abruptly; in-flight tasks are lost with it."""
         with self._lock:

@@ -90,6 +90,9 @@ class Manager:
         self._last_advertised: tuple[int, tuple[str, ...]] | None = None
         self.tasks_completed = 0
         self.cold_starts = 0
+        # Fault injection: extra seconds added to the effective heartbeat
+        # period (clock-skewed heartbeats toward the agent's watchdog).
+        self.heartbeat_skew = 0.0
 
         self._deploy_initial_workers()
 
@@ -148,6 +151,15 @@ class Manager:
             return len(self._pending) + sum(
                 1 for w in self._workers.values() if w.busy
             )
+
+    def tracked_task_ids(self) -> list[str]:
+        """Ids of tasks queued on this node (chaos accounting probes).
+
+        Tasks already handed to a worker's inbox are not listed; at
+        quiescence (idle workers) the pending deque is the full picture.
+        """
+        with self._lock:
+            return [m.task_id for m in self._pending]
 
     # ------------------------------------------------------------------
     # the manager loop
@@ -277,7 +289,8 @@ class Manager:
 
     def _maybe_heartbeat(self) -> None:
         now = self._clock()
-        if now - self._last_heartbeat < self.config.heartbeat_period:
+        period = max(0.0, self.config.heartbeat_period + self.heartbeat_skew)
+        if now - self._last_heartbeat < period:
             return
         self._last_heartbeat = now
         self.channel.send(

@@ -69,6 +69,51 @@ class ReliableQueue:
         self.total_enqueued = 0
         self.total_acked = 0
         self.total_redelivered = 0
+        # Observation hook: when set, invoked as ``probe(event, fields)``
+        # after every mutation, carrying a conservation snapshot.  Handlers
+        # run under the queue lock and must not call back into the queue.
+        self.probe: Callable[[str, dict[str, Any]], None] | None = None
+
+    # -- observation ---------------------------------------------------------
+    def _emit(self, event: str, **fields: Any) -> None:
+        """Emit ``event`` with a conservation snapshot (caller holds lock)."""
+        probe = self.probe
+        if probe is None:
+            return
+        probe(
+            event,
+            {
+                "queue": self.name,
+                "enqueued": self.total_enqueued,
+                "acked": self.total_acked,
+                "in_flight": len(self._leases),
+                "ready": len(self._items),
+                **fields,
+            },
+        )
+
+    def conservation_delta(self) -> int:
+        """``total_enqueued - total_acked - in_flight - ready``.
+
+        Every ``put`` adds one item; ``lease`` moves it to the lease table;
+        ``ack`` retires it; ``nack``/expiry moves it back.  The delta is
+        therefore zero at all times — the queue-conservation invariant.
+        """
+        with self._lock:
+            return (
+                self.total_enqueued
+                - self.total_acked
+                - len(self._leases)
+                - len(self._items)
+            )
+
+    def snapshot_items(self) -> tuple[list[Any], list[Any]]:
+        """(waiting items, leased items) — chaos accounting introspection."""
+        with self._lock:
+            return (
+                [item for (item, _enq, _d) in self._items],
+                [lease.item for lease in self._leases.values()],
+            )
 
     # -- producer side -------------------------------------------------------
     def put(self, item: Any) -> None:
@@ -77,6 +122,7 @@ class ReliableQueue:
                 raise RuntimeError(f"queue {self.name} is closed")
             self._items.append((item, self._clock(), 0))
             self.total_enqueued += 1
+            self._emit("queue.put")
             self._lock.notify()
 
     def put_many(self, items: Iterable[Any]) -> int:
@@ -91,6 +137,7 @@ class ReliableQueue:
                 count += 1
             self.total_enqueued += count
             if count:
+                self._emit("queue.put_many", count=count)
                 self._lock.notify(count)
         return count
 
@@ -131,6 +178,7 @@ class ReliableQueue:
             self._leases[lease.lease_id] = lease
             if deliveries:
                 self.total_redelivered += 1
+            self._emit("queue.lease", deliveries=lease.deliveries)
             return lease
 
     def lease_many(self, max_items: int, lease_timeout: float | None = None) -> list[Lease]:
@@ -157,14 +205,18 @@ class ReliableQueue:
                 if deliveries:
                     self.total_redelivered += 1
                 leases.append(lease)
+            if leases:
+                self._emit("queue.lease_many", count=len(leases))
         return leases
 
     def ack(self, lease_id: int) -> bool:
         """Complete a lease; the item will never be redelivered."""
         with self._lock:
             if self._leases.pop(lease_id, None) is None:
+                self._emit("queue.ack_rejected", lease_id=lease_id)
                 return False
             self.total_acked += 1
+            self._emit("queue.ack")
             return True
 
     def nack(self, lease_id: int) -> bool:
@@ -172,8 +224,10 @@ class ReliableQueue:
         with self._lock:
             lease = self._leases.pop(lease_id, None)
             if lease is None:
+                self._emit("queue.nack_rejected", lease_id=lease_id)
                 return False
             self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
+            self._emit("queue.nack")
             self._lock.notify()
             return True
 
@@ -189,6 +243,7 @@ class ReliableQueue:
             count = len(leases)
             self._leases.clear()
             if count:
+                self._emit("queue.nack_all", count=count)
                 self._lock.notify(count)
             return count
 
@@ -203,6 +258,7 @@ class ReliableQueue:
                 del self._leases[lease.lease_id]
                 self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
             if expired:
+                self._emit("queue.requeue_expired", count=len(expired))
                 self._lock.notify(len(expired))
             return len(expired)
 

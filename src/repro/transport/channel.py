@@ -68,9 +68,11 @@ class ChannelEnd:
         channel = self._channel
         if channel.rng.random() < channel.drop_probability:
             channel.dropped_count += 1
+            channel.emit("channel.dropped", end=self.name, reason="random-loss")
             return False
         if not self._peer._connected or self._peer._closed:
             channel.dropped_count += 1
+            channel.emit("channel.dropped", end=self.name, reason="peer-down")
             return False
         latency = channel.sample_latency()
         self._peer._deliver(self._clock() + latency, message)
@@ -150,6 +152,11 @@ class ChannelEnd:
             if drop_inbox:
                 if self._channel is not None:
                     self._channel.dropped_count += len(self._inbox)
+                    if self._inbox:
+                        self._channel.emit(
+                            "channel.dropped", end=self.name,
+                            reason="disconnect", count=len(self._inbox),
+                        )
                 self._inbox.clear()
             self._lock.notify_all()
 
@@ -201,10 +208,22 @@ class Channel:
         self.drop_probability = drop_probability
         self.rng = random.Random(seed)
         self.dropped_count = 0
+        # Observation hook: when set, invoked as ``probe(event, fields)``
+        # for message-loss events (chaos invariant probes attach here).
+        self.probe: Callable[[str, dict[str, Any]], None] | None = None
         self.left = ChannelEnd(f"{name}.left", clock)
         self.right = ChannelEnd(f"{name}.right", clock)
         self.left._bind(self.right, self)
         self.right._bind(self.left, self)
+
+    def emit(self, event: str, **fields: Any) -> None:
+        probe = self.probe
+        if probe is not None:
+            probe(event, {"channel": self.name, **fields})
+
+    def set_latency(self, latency: float | Callable[[], float]) -> None:
+        """Swap the latency model at runtime (chaos latency spikes)."""
+        self._latency = latency
 
     def sample_latency(self) -> float:
         if callable(self._latency):
@@ -257,6 +276,13 @@ class Network:
         )
         self.channels.append(channel)
         return channel
+
+    def find(self, name: str) -> Channel | None:
+        """The channel created under ``name``, or ``None``."""
+        for channel in self.channels:
+            if channel.name == name:
+                return channel
+        return None
 
     def close_all(self) -> None:
         for channel in self.channels:

@@ -24,3 +24,28 @@ class FakeClock:
 @pytest.fixture
 def clock() -> FakeClock:
     return FakeClock()
+
+
+@pytest.fixture
+def chaos_world():
+    """A factory for instrumented chaos deployments (closed on teardown).
+
+    Usage::
+
+        def test_something(chaos_world):
+            world = chaos_world(seed=7)
+            world.add_endpoint("ep")
+            ...
+    """
+    from repro.chaos import ChaosWorld
+
+    worlds = []
+
+    def factory(seed: int = 0, **kwargs) -> ChaosWorld:
+        world = ChaosWorld(seed=seed, **kwargs)
+        worlds.append(world)
+        return world
+
+    yield factory
+    for world in worlds:
+        world.close()

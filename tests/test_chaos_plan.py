@@ -1,0 +1,115 @@
+"""Fault plans: determinism, serialization, and the sim bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ACTIONS, FaultPlan, FaultStep, generate_plan
+from repro.sim.fabric import FailureSchedule
+
+
+class TestFaultStep:
+    def test_make_validates_action(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultStep.make(0.1, "unplug_the_router", "ep")
+
+    def test_all_declared_actions_are_valid(self):
+        for action in ACTIONS:
+            step = FaultStep.make(0.5, action, "ep")
+            assert step.action == action
+
+    def test_params_are_canonically_sorted(self):
+        step = FaultStep.make(0.1, "set_drop", "ep", zeta=1, alpha=2)
+        assert step.params == (("alpha", 2), ("zeta", 1))
+        assert step.param("alpha") == 2
+        assert step.param("missing", 42) == 42
+
+    def test_record_round_trip(self):
+        step = FaultStep.make(0.25, "set_latency", "ep", latency=0.05)
+        assert FaultStep.from_record(step.to_record()) == step
+
+    def test_describe_names_time_action_target(self):
+        text = FaultStep.make(1.5, "disconnect_endpoint", "ep").describe()
+        assert "t+1.500s" in text
+        assert "disconnect_endpoint" in text
+        assert "@ep" in text
+
+
+class TestFaultPlan:
+    def test_steps_sorted_by_time(self):
+        late = FaultStep.make(2.0, "pause")
+        early = FaultStep.make(0.5, "pause")
+        plan = FaultPlan(name="p", seed=1, steps=(late, early))
+        assert plan.steps == (early, late)
+        assert plan.duration == 2.0
+
+    def test_json_round_trip(self):
+        plan = generate_plan("rt", seed=11, duration=2.0, endpoints=["a", "b"],
+                             drop_windows=2, latency_spikes=1, disconnects=1)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.schedule_bytes() == plan.schedule_bytes()
+
+    def test_empty_plan(self):
+        plan = FaultPlan(name="empty", seed=0)
+        assert plan.duration == 0.0
+        assert plan.checksum() == FaultPlan(name="empty", seed=0).checksum()
+
+
+class TestDeterminism:
+    """Same seed + same spec => byte-identical fault schedule."""
+
+    KWARGS = dict(duration=3.0, endpoints=["ep1", "ep2"], drop_windows=2,
+                  latency_spikes=2, disconnects=1, manager_kills=1,
+                  heartbeat_skews=1)
+
+    def test_same_seed_byte_identical(self):
+        one = generate_plan("det", seed=42, **self.KWARGS)
+        two = generate_plan("det", seed=42, **self.KWARGS)
+        assert one.schedule_bytes() == two.schedule_bytes()
+        assert one.checksum() == two.checksum()
+
+    def test_different_seed_differs(self):
+        one = generate_plan("det", seed=42, **self.KWARGS)
+        two = generate_plan("det", seed=43, **self.KWARGS)
+        assert one.schedule_bytes() != two.schedule_bytes()
+
+    def test_endpoint_order_does_not_matter(self):
+        fwd = generate_plan("det", seed=7, duration=2.0,
+                            endpoints=["a", "b"], drop_windows=1)
+        rev = generate_plan("det", seed=7, duration=2.0,
+                            endpoints=["b", "a"], drop_windows=1)
+        assert fwd.schedule_bytes() == rev.schedule_bytes()
+
+    def test_generated_steps_within_duration(self):
+        plan = generate_plan("det", seed=5, **self.KWARGS)
+        assert all(0.0 <= s.at <= 3.0 for s in plan.steps)
+
+
+class TestSimBridge:
+    def test_disconnect_pairs_become_endpoint_failures(self):
+        plan = FaultPlan(name="b", seed=0, steps=(
+            FaultStep.make(1.0, "disconnect_endpoint", "ep"),
+            FaultStep.make(2.5, "reconnect_endpoint", "ep"),
+        ))
+        schedule = plan.to_failure_schedule()
+        assert isinstance(schedule, FailureSchedule)
+        assert schedule.endpoint_failures == ((1.0, 2.5),)
+        assert schedule.manager_failures == ()
+
+    def test_manager_kill_pairs_become_manager_failures(self):
+        plan = FaultPlan(name="b", seed=0, steps=(
+            FaultStep.make(0.5, "kill_manager", "ep", index=1),
+            FaultStep.make(1.5, "restart_manager", "ep"),
+        ))
+        schedule = plan.to_failure_schedule()
+        assert schedule.manager_failures == ((0.5, 1.5, 1),)
+
+    def test_non_failure_actions_skipped(self):
+        plan = FaultPlan(name="b", seed=0, steps=(
+            FaultStep.make(0.1, "set_drop", "ep", probability=0.5),
+            FaultStep.make(0.2, "skew_heartbeats", "ep", skew=5.0),
+        ))
+        schedule = plan.to_failure_schedule()
+        assert schedule.endpoint_failures == ()
+        assert schedule.manager_failures == ()

@@ -1,0 +1,193 @@
+"""Live chaos runs: fault plans against a real deployment, invariants on.
+
+These are the paper's §5.4 fault-tolerance experiments turned into
+continuously-checked tests (select with ``pytest -m chaos``).  Every run
+is seeded — the world's channel RNGs and the fault plan share a
+deterministic schedule — so failures replay exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.chaos import ChaosWorld, FaultPlan, FaultStep, generate_plan
+from repro.chaos.invariants import Invariant, default_invariants
+
+pytestmark = pytest.mark.chaos
+
+
+def double(x):
+    return x * 2
+
+
+def slow_double(x):
+    import time as _time
+
+    _time.sleep(0.25)
+    return x * 2
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestDisconnectMidFlight:
+    """Paper fig. 8: kill an endpoint with tasks in flight, recover it."""
+
+    def test_invariants_hold_and_all_tasks_complete(self, chaos_world):
+        world = chaos_world(seed=13)
+        ep = world.add_endpoint("ep", nodes=1, workers_per_node=4)
+        plan = FaultPlan(name="fig8-disconnect", seed=13, steps=(
+            FaultStep.make(0.10, "set_drop", "ep", probability=0.15),
+            FaultStep.make(0.20, "disconnect_endpoint", "ep"),
+            FaultStep.make(0.60, "reconnect_endpoint", "ep"),
+            FaultStep.make(0.70, "set_drop", "ep", probability=0.0),
+        ))
+        client = world.client()
+        fid = client.register_function(double)
+        world.start_plan(plan)
+        futures = [client.submit(fid, ep, i) for i in range(40)]
+        schedule = world.finish_plan()
+        assert schedule is not None and not schedule.errors
+        assert world.drain(timeout=30)
+        results = [f.result(timeout=30) for f in futures]
+        assert results == [i * 2 for i in range(40)]
+        report = world.check_final()
+        assert report.ok, report.describe()
+        assert report.events_seen > 0
+
+    def test_generated_plan_smoke(self, chaos_world):
+        """Deterministic-seed smoke: a generated plan with every fault kind."""
+        world = chaos_world(seed=21)
+        ep = world.add_endpoint("ep", nodes=2, workers_per_node=2)
+        plan = generate_plan("smoke", seed=21, duration=0.8, endpoints=["ep"],
+                             drop_windows=1, max_drop=0.2, latency_spikes=1,
+                             disconnects=1, manager_kills=1)
+        client = world.client()
+        fid = client.register_function(double)
+        world.start_plan(plan)
+        futures = [client.submit(fid, ep, i) for i in range(25)]
+        world.finish_plan()
+        assert world.drain(timeout=30)
+        assert [f.result(timeout=30) for f in futures] == [i * 2 for i in range(25)]
+        report = world.check_final()
+        assert report.ok, report.describe()
+
+
+class TestBrokenInvariantIsCaught:
+    """Disable the forwarder's requeue path: tasks must be reported lost,
+    naming the fault step that stranded them."""
+
+    def test_disabled_requeue_reported_as_task_loss(self, chaos_world):
+        world = chaos_world(seed=5)
+        ep = world.add_endpoint("ep", nodes=1, workers_per_node=2)
+        forwarder = world.hooks["ep"].forwarder
+        queue = world.deployment.service.task_queue(ep)
+
+        def broken_requeue(reason: str) -> None:
+            # The bug under test: leases are acked (dropped for good)
+            # instead of nacked back into the task queue.
+            with forwarder._lock:
+                leases = dict(forwarder._open_leases)
+                forwarder._open_leases.clear()
+            for _task_id, lease in leases.items():
+                queue.ack(lease.lease_id)
+
+        forwarder._requeue_outstanding = broken_requeue
+
+        client = world.client()
+        fid = client.register_function(slow_double)
+        futures = [client.submit(fid, ep, i) for i in range(6)]
+        assert wait_until(lambda: forwarder.outstanding >= 6)
+        # Disconnect with everything in flight; never reconnect.
+        plan = FaultPlan(name="broken-requeue", seed=5, steps=(
+            FaultStep.make(0.05, "disconnect_endpoint", "ep"),
+        ))
+        world.run_plan(plan)
+        # Wait out the heartbeat grace so the forwarder declares the agent
+        # lost and runs the (broken) requeue path.
+        assert wait_until(lambda: not forwarder.agent_connected, timeout=10)
+        assert wait_until(lambda: forwarder.outstanding == 0, timeout=10)
+
+        report = world.check_final()
+        assert not report.ok
+        lost = [v for v in report.violations if v.invariant == "no-task-lost"]
+        assert lost, report.describe()
+        # The report names both the violated invariant and the fault step.
+        violation = lost[0]
+        assert violation.fault_step is not None
+        assert violation.fault_step.action == "disconnect_endpoint"
+        assert "no-task-lost" in violation.describe()
+        assert "disconnect_endpoint" in violation.describe()
+        del futures  # never resolve: the tasks were permanently lost
+
+
+class TestHeartbeatSkew:
+    def test_skewed_heartbeats_flap_liveness_monotonically(self, chaos_world):
+        transitions = []
+
+        class LivenessSpy(Invariant):
+            name = "liveness-spy"
+
+            def on_event(self, source, event, fields, record):
+                if event == "liveness.transition":
+                    transitions.append(fields["alive"])
+
+        world = chaos_world(seed=9, invariants=default_invariants() + [LivenessSpy()])
+        world.add_endpoint("ep", nodes=1, workers_per_node=2,
+                           heartbeat_period=0.05, heartbeat_grace=4)
+        forwarder = world.hooks["ep"].forwarder
+        plan = FaultPlan(name="skew", seed=9, steps=(
+            FaultStep.make(0.05, "skew_heartbeats", "ep", skew=30.0),
+            FaultStep.make(0.70, "skew_heartbeats", "ep", skew=0.0),
+        ))
+        world.run_plan(plan)
+        assert wait_until(lambda: forwarder.agent_connected, timeout=10)
+        assert wait_until(lambda: False in transitions and transitions[-1] is True,
+                          timeout=10)
+        report = world.check_final()
+        assert report.ok, report.describe()
+
+
+class TestArtifactReplay:
+    def test_failure_artifact_rebuilds_world_and_plan(self, chaos_world, tmp_path):
+        plan = generate_plan("replayable", seed=17, duration=0.5,
+                             endpoints=["ep"], drop_windows=1, max_drop=0.2)
+        world = chaos_world(seed=17)
+        world.add_endpoint("ep", nodes=1, workers_per_node=2,
+                           drop_probability=0.05, lease_timeout=0.4)
+        path = tmp_path / "failure.json"
+        world.save_artifact(str(path), plan)
+        world.close()
+
+        replayed, replayed_plan = ChaosWorld.replay(str(path))
+        with replayed:
+            assert replayed_plan.schedule_bytes() == plan.schedule_bytes()
+            assert replayed.seed == 17
+            hooks = replayed.hooks["ep"]
+            assert hooks.spec["drop_probability"] == 0.05
+            assert hooks.spec["lease_timeout"] == 0.4
+            assert hooks.forwarder.lease_timeout == 0.4
+            # The replayed world actually runs the recorded plan.
+            client = replayed.client()
+            fid = client.register_function(double)
+            ep = replayed.endpoint_id("ep")
+            replayed.start_plan(replayed_plan)
+            futures = [client.submit(fid, ep, i) for i in range(10)]
+            replayed.finish_plan()
+            assert replayed.drain(timeout=30)
+            assert [f.result(timeout=30) for f in futures] == [i * 2 for i in range(10)]
+            assert replayed.check_final().ok
+
+    def test_replay_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError, match="unsupported artifact version"):
+            ChaosWorld.replay(str(path))

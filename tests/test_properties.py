@@ -67,6 +67,85 @@ class TestSerializerProperties:
         s = FuncXSerializer()
         assert s.routing_tag(s.serialize(obj, routing_tag=tag)) == tag
 
+    @given(args=st.lists(picklable, max_size=5),
+           kwargs=st.dictionaries(
+               st.text(alphabet="abcdefghij_", min_size=1, max_size=8),
+               picklable, max_size=4))
+    @settings(max_examples=100)
+    def test_roundtrip_call_payload(self, args, kwargs):
+        """The (args, kwargs) payload shape the client ships with a task."""
+        s = FuncXSerializer()
+        payload = (list(args), kwargs)
+        restored_args, restored_kwargs = s.deserialize(s.serialize(payload))
+        assert restored_args == list(args)
+        assert restored_kwargs == kwargs
+
+
+exception_types = st.sampled_from(
+    [ValueError, TypeError, RuntimeError, KeyError, OSError, ZeroDivisionError]
+)
+
+
+class TestSerializerExceptionProperties:
+    """Remote exceptions survive the wire with type, message, and frames."""
+
+    @staticmethod
+    def _raise_wrapped(exc_type, message):
+        """Raise through a helper so the traceback has real frames."""
+        from repro.serialize.traceback import RemoteExceptionWrapper
+
+        def inner():
+            raise exc_type(message)
+
+        try:
+            inner()
+        except Exception as exc:
+            return RemoteExceptionWrapper(exc)
+        raise AssertionError("unreachable")
+
+    @given(exc_type=exception_types, message=st.text(max_size=60))
+    @settings(max_examples=100)
+    def test_wrapper_roundtrip_preserves_identity(self, exc_type, message):
+        s = FuncXSerializer()
+        wrapper = self._raise_wrapped(exc_type, message)
+        restored = s.deserialize(s.serialize(wrapper))
+        assert restored.exc_type_name == exc_type.__name__
+        assert restored.exc_str == wrapper.exc_str
+        # The captured frames survive serialization, innermost included.
+        assert restored.traceback.frames == wrapper.traceback.frames
+        assert any(f.name == "inner" for f in restored.traceback.frames)
+        formatted = restored.format()
+        assert formatted.startswith("Traceback (most recent call last):")
+        assert exc_type.__name__ in formatted
+
+    @given(exc_type=exception_types, message=st.text(max_size=40))
+    @settings(max_examples=60)
+    def test_reraise_restores_original_type(self, exc_type, message):
+        import pytest as _pytest
+
+        s = FuncXSerializer()
+        restored = s.deserialize(s.serialize(self._raise_wrapped(exc_type, message)))
+        with _pytest.raises(exc_type) as excinfo:
+            restored.reraise()
+        assert str(excinfo.value) == restored.exc_str
+
+    @given(message=st.text(max_size=40))
+    @settings(max_examples=30)
+    def test_unpicklable_exception_degrades_to_wrapped_type(self, message):
+        from repro.errors import TaskExecutionFailed
+
+        class Unpicklable(Exception):  # locally-defined: cannot unpickle
+            pass
+
+        import pytest as _pytest
+
+        wrapper = self._raise_wrapped(Unpicklable, message)
+        restored = FuncXSerializer().deserialize(FuncXSerializer().serialize(wrapper))
+        assert restored.exc_type_name == "Unpicklable"
+        with _pytest.raises(TaskExecutionFailed) as excinfo:
+            restored.reraise()
+        assert "Unpicklable" in str(excinfo.value)
+
 
 # ---------------------------------------------------------------------------
 # Reliable queue: at-least-once delivery under arbitrary ack/nack patterns

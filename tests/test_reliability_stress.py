@@ -2,7 +2,9 @@
 
 These exercise the at-least-once machinery end to end — the paper's
 "multi-layered and reliable communication model to overcome the
-unreliability of distributed endpoints" (§1).
+unreliability of distributed endpoints" (§1) — on chaos worlds, so every
+run is also continuously checked against the system invariants
+(``repro.chaos.invariants``).
 """
 
 from __future__ import annotations
@@ -11,138 +13,100 @@ import time
 
 import pytest
 
-from repro import EndpointConfig, LocalDeployment
-from repro.core.forwarder import Forwarder
-from repro.endpoint.endpoint import Endpoint
+from repro.chaos import FaultPlan, FaultStep
+
+pytestmark = pytest.mark.chaos
 
 
-def build_lossy_world(drop_probability: float, lease_timeout: float,
-                      max_retries: int = 8):
-    """A deployment whose service↔agent channel randomly drops messages."""
-    from repro.core.service import ServiceConfig
+def double(x):
+    return 2 * x
 
-    dep = LocalDeployment(
-        seed=3, service_config=ServiceConfig(default_max_retries=max_retries)
-    )
-    client = dep.client()
-    # Build the endpoint manually so we control the channel and forwarder.
-    _identity, ep_token = dep.auth.endpoint_client_flow("lossy-ep")
-    endpoint_id = dep.service.register_endpoint(ep_token.token, name="lossy-ep")
-    channel = dep.network.create_channel(
-        "lossy", latency=0.001, drop_probability=drop_probability
-    )
-    config = EndpointConfig(workers_per_node=4, heartbeat_period=0.05,
-                            heartbeat_grace=6)
-    forwarder = Forwarder(
-        dep.service, endpoint_id, channel.left,
-        heartbeat_period=config.heartbeat_period,
-        heartbeat_grace=config.heartbeat_grace,
-        lease_timeout=lease_timeout,
-    )
-    endpoint = Endpoint(
-        endpoint_id=endpoint_id,
-        forwarder_channel=channel.right,
-        config=config,
-        network=dep.network,
-        nodes=1,
-    )
-    forwarder.start()
-    endpoint.start()
-    endpoint.wait_ready()
-    return dep, client, endpoint_id, endpoint, forwarder
+
+def identity(x):
+    return x
 
 
 class TestLossyChannel:
     @pytest.mark.parametrize("drop", [0.05, 0.2])
-    def test_all_tasks_complete_despite_drops(self, drop):
-        dep, client, ep_id, endpoint, forwarder = build_lossy_world(
-            drop_probability=drop, lease_timeout=0.5
-        )
-        try:
-            def double(x):
-                return 2 * x
+    def test_all_tasks_complete_despite_drops(self, chaos_world, drop):
+        world = chaos_world(seed=3)
+        ep_id = world.add_endpoint("lossy-ep", nodes=1, workers_per_node=4,
+                                   drop_probability=drop, lease_timeout=0.5)
+        client = world.client()
+        fid = client.register_function(double, public=True)
+        futures = [client.submit(fid, ep_id, i) for i in range(30)]
+        values = [f.result(timeout=60) for f in futures]
+        assert values == [2 * i for i in range(30)]
+        report = world.check_final()
+        assert report.ok, report.describe()
 
-            fid = client.register_function(double, public=True)
-            futures = [client.submit(fid, ep_id, i) for i in range(30)]
-            values = [f.result(timeout=60) for f in futures]
-            assert values == [2 * i for i in range(30)]
-        finally:
-            endpoint.stop()
-            forwarder.stop()
-            dep.shutdown()
-
-    def test_duplicate_completions_are_idempotent(self):
+    def test_duplicate_completions_are_idempotent(self, chaos_world):
         """A timed-out lease re-dispatches a task the worker also finishes;
-        the service must keep exactly one completion."""
-        dep, client, ep_id, endpoint, forwarder = build_lossy_world(
-            drop_probability=0.0, lease_timeout=0.2
-        )
-        try:
-            import repro.workloads as w
+        the service must keep exactly one completion (and the future must
+        resolve exactly once — checked by the no-double-* invariants)."""
+        world = chaos_world(seed=3)
+        ep_id = world.add_endpoint("lossy-ep", nodes=1, workers_per_node=4,
+                                   drop_probability=0.0, lease_timeout=0.2)
+        forwarder = world.hooks["lossy-ep"].forwarder
+        client = world.client()
+        import repro.workloads as w
 
-            # longer than the lease timeout: guaranteed duplicate dispatch
-            fid = client.register_function(w.make_sleep_function(0.6), public=True)
-            future = client.submit(fid, ep_id)
-            assert future.result(timeout=60) == 0.6
-            task = dep.service.task_by_id(future.task_id)
-            assert task.state.terminal
-            # the forwarder provably re-dispatched at least once
-            assert forwarder.requeue_events >= 1
-            assert dep.service.tasks_completed >= 1
-        finally:
-            endpoint.stop()
-            forwarder.stop()
-            dep.shutdown()
+        # longer than the lease timeout: guaranteed duplicate dispatch
+        fid = client.register_function(w.make_sleep_function(0.6), public=True)
+        future = client.submit(fid, ep_id)
+        assert future.result(timeout=60) == 0.6
+        task = world.deployment.service.task_by_id(future.task_id)
+        assert task.state.terminal
+        # the forwarder provably re-dispatched at least once
+        assert forwarder.requeue_events >= 1
+        assert world.deployment.service.tasks_completed >= 1
+        report = world.check_final()
+        assert report.ok, report.describe()
 
 
 class TestFlappingComponents:
-    def test_repeated_manager_failures(self):
-        from repro.core.service import ServiceConfig
+    def test_repeated_manager_failures(self, chaos_world):
+        world = chaos_world(seed=5, max_retries=4)
+        ep_id = world.add_endpoint("flappy", nodes=2, workers_per_node=2,
+                                   heartbeat_period=0.05, heartbeat_grace=3)
+        client = world.client()
+        import repro.workloads as w
 
-        with LocalDeployment(seed=5,
-                             service_config=ServiceConfig(default_max_retries=4)) as dep:
-            config = EndpointConfig(workers_per_node=2, heartbeat_period=0.05,
-                                    heartbeat_grace=3)
-            client = dep.client()
-            ep_id = dep.create_endpoint("flappy", nodes=2, config=config)
-            endpoint = dep.endpoint(ep_id)
-            import repro.workloads as w
+        fid = client.register_function(w.make_sleep_function(0.1), public=True)
+        # kill/replace a manager twice while the workload runs
+        plan = FaultPlan(name="manager-flap", seed=5, steps=(
+            FaultStep.make(0.15, "kill_manager", "flappy", index=0),
+            FaultStep.make(0.16, "restart_manager", "flappy"),
+            FaultStep.make(0.30, "kill_manager", "flappy", index=0),
+            FaultStep.make(0.31, "restart_manager", "flappy"),
+        ))
+        world.start_plan(plan)
+        futures = [client.submit(fid, ep_id) for _ in range(16)]
+        schedule = world.finish_plan()
+        assert schedule is not None and not schedule.errors
+        for future in futures:
+            assert future.result(timeout=60) == 0.1
+        report = world.check_final()
+        assert report.ok, report.describe()
 
-            fid = client.register_function(w.make_sleep_function(0.1), public=True)
-            futures = [client.submit(fid, ep_id) for _ in range(16)]
-            # kill/replace a manager twice while the workload runs
-            for _ in range(2):
-                time.sleep(0.15)
-                victim = next(iter(endpoint.managers))
-                endpoint.kill_manager(victim)
-                endpoint.restart_manager()
-            for future in futures:
-                assert future.result(timeout=60) == 0.1
-
-    def test_endpoint_flap(self):
-        from repro.core.service import ServiceConfig
-
-        with LocalDeployment(seed=6,
-                             service_config=ServiceConfig(default_max_retries=4)) as dep:
-            config = EndpointConfig(workers_per_node=2, heartbeat_period=0.05,
-                                    heartbeat_grace=3)
-            client = dep.client()
-            ep_id = dep.create_endpoint("bouncy", nodes=1, config=config)
-            endpoint = dep.endpoint(ep_id)
-
-            def identity(x):
-                return x
-
-            fid = client.register_function(identity, public=True)
-            all_futures = []
-            for round_number in range(2):
-                all_futures.extend(
-                    client.submit(fid, ep_id, (round_number, i)) for i in range(4)
-                )
-                endpoint.kill_endpoint()
-                time.sleep(0.3)
-                endpoint.recover_endpoint()
-            values = [f.result(timeout=60) for f in all_futures]
-            assert sorted(values) == sorted(
-                (r, i) for r in range(2) for i in range(4)
+    def test_endpoint_flap(self, chaos_world):
+        world = chaos_world(seed=6, max_retries=4)
+        ep_id = world.add_endpoint("bouncy", nodes=1, workers_per_node=2,
+                                   heartbeat_period=0.05, heartbeat_grace=3)
+        endpoint = world.hooks["bouncy"].endpoint
+        client = world.client()
+        fid = client.register_function(identity, public=True)
+        all_futures = []
+        for round_number in range(2):
+            all_futures.extend(
+                client.submit(fid, ep_id, (round_number, i)) for i in range(4)
             )
+            endpoint.kill_endpoint()
+            time.sleep(0.3)
+            endpoint.recover_endpoint()
+        values = [f.result(timeout=60) for f in all_futures]
+        assert sorted(values) == sorted(
+            (r, i) for r in range(2) for i in range(4)
+        )
+        report = world.check_final()
+        assert report.ok, report.describe()

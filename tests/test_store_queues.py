@@ -159,3 +159,86 @@ class TestBlockingAndLifecycle:
         q.put("b")
         ages = q.peek_ages()
         assert ages == [3.0, 0.0]
+
+
+class TestLeaseExpirySemantics:
+    """Pin the *lazy* expiry contract around ack timing.
+
+    A deadline passing does not by itself revoke a lease: revocation
+    happens only when ``requeue_expired()`` scans.  Consumers that finish
+    late but before a scan may therefore still ack successfully — and the
+    conservation law must hold exactly through every such interleaving.
+    """
+
+    def test_ack_after_deadline_before_scan_succeeds(self, clock):
+        q = ReliableQueue(clock=clock, default_lease_timeout=1.0)
+        q.put("t")
+        lease = q.lease()
+        clock.advance(5.0)  # deadline long past, but nobody scanned
+        assert q.ack(lease.lease_id) is True
+        assert q.total_acked == 1
+        assert q.requeue_expired() == 0  # nothing left to revoke
+        assert q.conservation_delta() == 0
+
+    def test_ack_after_scan_is_rejected(self, clock):
+        q = ReliableQueue(clock=clock, default_lease_timeout=1.0)
+        q.put("t")
+        lease = q.lease()
+        clock.advance(1.0)
+        assert q.requeue_expired() == 1  # scan revokes the lease
+        assert q.ack(lease.lease_id) is False
+        assert q.total_acked == 0
+        # The item is redelivered under a fresh lease with a bumped count.
+        redelivery = q.lease()
+        assert redelivery.item == "t"
+        assert redelivery.deliveries == 2
+        assert redelivery.lease_id != lease.lease_id
+        assert q.total_redelivered == 1
+        assert q.conservation_delta() == 0
+
+    def test_late_ack_does_not_touch_redelivered_item(self, clock):
+        q = ReliableQueue(clock=clock, default_lease_timeout=1.0)
+        q.put("t")
+        stale = q.lease()
+        clock.advance(2.0)
+        q.requeue_expired()
+        fresh = q.lease()
+        # The stale consumer wakes up and acks its dead lease: rejected,
+        # and the fresh lease must be unaffected.
+        assert q.ack(stale.lease_id) is False
+        assert q.in_flight == 1
+        assert q.ack(fresh.lease_id) is True
+        assert q.total_acked == 1
+        assert q.conservation_delta() == 0
+
+    def test_double_ack_counts_once(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("t")
+        lease = q.lease()
+        assert q.ack(lease.lease_id) is True
+        assert q.ack(lease.lease_id) is False
+        assert q.nack(lease.lease_id) is False  # nack after ack also dead
+        assert q.total_acked == 1
+        assert q.conservation_delta() == 0
+
+    def test_nack_then_ack_is_rejected(self, clock):
+        q = ReliableQueue(clock=clock)
+        q.put("t")
+        lease = q.lease()
+        assert q.nack(lease.lease_id) is True
+        assert q.ack(lease.lease_id) is False  # lease died with the nack
+        assert q.total_acked == 0
+        assert len(q) == 1
+        assert q.conservation_delta() == 0
+
+    def test_conservation_holds_through_expiry_churn(self, clock):
+        q = ReliableQueue(clock=clock, default_lease_timeout=0.5)
+        q.put_many(range(6))
+        for _round in range(4):
+            leases = q.lease_many(3)
+            q.ack(leases[0].lease_id)  # one completes
+            clock.advance(1.0)  # rest expire
+            q.requeue_expired()
+            assert q.conservation_delta() == 0
+        assert q.total_acked == 4
+        assert q.total_acked + len(q) + q.in_flight == q.total_enqueued

@@ -1,4 +1,11 @@
-"""Unit tests for heartbeat liveness tracking."""
+"""Unit tests for heartbeat liveness tracking.
+
+Every test runs against the injectable ``clock`` fixture — no test in
+this module touches the wall clock, so there is nothing timing-sensitive
+to flake.  (``HeartbeatTracker`` only falls back to ``time.monotonic``
+when no clock is given; the two constructor-validation tests below pass
+the fake clock too, pinning that nothing forces the wall-clock path.)
+"""
 
 from __future__ import annotations
 
@@ -72,12 +79,51 @@ class TestBookkeeping:
         assert hb.beat_count("m") == 4
         assert hb.beat_count("other") == 0
 
-    def test_deadline(self):
-        hb = HeartbeatTracker(period=0.5, grace_periods=4)
+    def test_deadline(self, clock):
+        hb = HeartbeatTracker(period=0.5, grace_periods=4, clock=clock)
         assert hb.deadline == 2.0
 
-    def test_validation(self):
+    def test_validation(self, clock):
         with pytest.raises(ValueError):
-            HeartbeatTracker(period=0)
+            HeartbeatTracker(period=0, clock=clock)
         with pytest.raises(ValueError):
-            HeartbeatTracker(grace_periods=0)
+            HeartbeatTracker(grace_periods=0, clock=clock)
+
+
+class TestClockSkew:
+    """Semantics under skewed sender clocks (the chaos ``skew_heartbeats``
+    fault relies on these staying monotone)."""
+
+    def test_future_timestamp_extends_liveness(self, clock):
+        # A fast sender clock stamps beats ahead of the receiver: liveness
+        # is extended (last_seen is the max), never reset backwards.
+        hb = HeartbeatTracker(period=1.0, grace_periods=2, clock=clock)
+        hb.beat("m", timestamp=4.0)  # 4s ahead of receiver time 0
+        assert hb.last_seen("m") == 4.0
+        clock.advance(5.5)  # receiver reaches 5.5; silence = 1.5 < 2.0
+        assert hb.is_alive("m")
+        clock.advance(1.0)  # silence = 2.5 > deadline
+        assert not hb.is_alive("m")
+
+    def test_stale_timestamp_never_regresses_last_seen(self, clock):
+        hb = HeartbeatTracker(period=1.0, grace_periods=1, clock=clock)
+        clock.advance(10.0)
+        hb.beat("m")  # arrival-stamped at 10.0
+        hb.beat("m", timestamp=2.0)  # slow sender clock, long-delayed beat
+        assert hb.last_seen("m") == 10.0
+        assert hb.is_alive("m")
+
+    def test_silenced_sender_crosses_deadline_exactly_once(self, clock):
+        # A sender whose period is skewed far beyond the deadline (the
+        # chaos fault) is declared lost after exactly period x grace of
+        # receiver-side silence and stays lost until it beats again.
+        hb = HeartbeatTracker(period=0.05, grace_periods=6, clock=clock)
+        hb.beat("agent")
+        clock.advance(hb.deadline)
+        assert hb.is_alive("agent")  # boundary inclusive
+        clock.advance(0.001)
+        assert hb.lost_components() == ["agent"]
+        clock.advance(100.0)
+        assert hb.lost_components() == ["agent"]  # still just lost, once
+        hb.beat("agent")
+        assert hb.is_alive("agent")
