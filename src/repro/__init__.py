@@ -34,7 +34,9 @@ from repro.endpoint.endpoint import Endpoint
 from repro.core.rest import RestApi
 from repro.fabric import DeploymentTimings, LocalDeployment
 from repro.federation import FederatedExecutor
+from repro.metrics.registry import MetricsRegistry
 from repro.monitoring import Dashboard, TaskEventLog
+from repro.observability.trace import TraceContext, TraceStore
 from repro.serialize import FuncXSerializer
 
 __version__ = "1.0.0"
@@ -56,5 +58,8 @@ __all__ = [
     "UsageLedger",
     "TaskEventLog",
     "Dashboard",
+    "MetricsRegistry",
+    "TraceContext",
+    "TraceStore",
     "__version__",
 ]

@@ -96,6 +96,9 @@ class ChaosWorld:
         service = self.deployment.service
         service.probe = self.registry.probe("service")
         service.memoizer.probe = self.registry.probe("memoizer")
+        # Stamp invariant violations with the trace ids of the tasks they
+        # name, so a failed run links straight into the span record.
+        self.registry.trace_resolver = service.traces.trace_id_for
         self._saved_future_observer = FuncXFuture.observer
         FuncXFuture.observer = self.registry.probe("futures")
         self.scheduler = ChaosScheduler(self)

@@ -7,6 +7,11 @@ Offline-friendly subcommands::
     python -m repro.cli elasticity           # figure-6 scenario
     python -m repro.cli casestudies          # figure-1 distributions
     python -m repro.cli platforms            # list platform models
+    python -m repro.cli trace <task-id>      # per-stage latency breakdown
+    python -m repro.cli metrics              # render an exported registry
+
+``demo --trace-out traces.jsonl --metrics-out metrics.jsonl`` exports the
+observability artifacts the ``trace``/``metrics`` subcommands consume.
 
 Each prints the same rows the corresponding benchmark regenerates, at a
 smaller default scale suited to interactive use.
@@ -35,9 +40,75 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print(f"registered function {fid}")
         task = client.run(fid, ep, 21)
         print(f"double(21) -> {client.wait_for(task, timeout=30)}")
+        print(f"task id: {task}")
         mapped = client.map(fid, range(args.tasks), ep, batch_size=16)
         values = mapped.result(timeout=60)
         print(f"map over {args.tasks} inputs -> first 5: {values[:5]}")
+        if args.trace_out:
+            count = deployment.service.traces.dump_jsonl(args.trace_out)
+            print(f"wrote {count} traces to {args.trace_out} "
+                  f"(inspect with: repro trace {task} --input {args.trace_out})")
+        if args.metrics_out:
+            count = deployment.metrics.dump_jsonl(args.metrics_out)
+            print(f"wrote {count} metrics to {args.metrics_out} "
+                  f"(inspect with: repro metrics --input {args.metrics_out})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability.trace import STAGES, TraceStore
+
+    try:
+        contexts = TraceStore.load_jsonl(args.input)
+    except OSError as exc:
+        print(f"cannot read {args.input}: {exc}", file=sys.stderr)
+        return 1
+    wanted = [c for c in contexts
+              if c.task_id == args.task_id or c.trace_id == args.task_id
+              or c.task_id.startswith(args.task_id)
+              or c.trace_id.startswith(args.task_id)]
+    if not wanted:
+        print(f"no trace for task or trace id {args.task_id!r} in {args.input}",
+              file=sys.stderr)
+        return 1
+    for ctx in wanted:
+        print(f"trace {ctx.trace_id}  task {ctx.task_id}")
+        spans = ctx.completed_spans()
+        if spans:
+            print(f"  {'stage':<20s} {'component':<24s} {'duration':>12s}  notes")
+            for span in spans:
+                duration = span.duration
+                text = f"{duration * 1e3:9.3f}ms" if duration is not None else "   (open)"
+                notes = ", ".join(f"{k}={v}" for k, v in sorted(span.annotations.items()))
+                if span.attempt:
+                    notes = f"attempt={span.attempt}" + (f", {notes}" if notes else "")
+                print(f"  {span.name:<20s} {span.component:<24s} {text:>12s}  {notes}")
+        breakdown = ctx.breakdown()
+        if breakdown:
+            ordered = [s for s in STAGES if s in breakdown]
+            ordered += [s for s in breakdown if s not in STAGES]
+            parts = " + ".join(f"{s}={breakdown[s] * 1e3:.3f}ms" for s in ordered)
+            print(f"  breakdown: {parts}")
+        total = ctx.total()
+        if total is not None:
+            print(f"  end-to-end: {total * 1e3:.3f}ms")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.metrics.registry import MetricsRegistry, render_records
+
+    try:
+        records = MetricsRegistry.load_jsonl(args.input)
+    except OSError as exc:
+        print(f"cannot read {args.input}: {exc}", file=sys.stderr)
+        return 1
+    if args.name:
+        records = [r for r in records if args.name in r["name"]]
+    if not records:
+        print("no matching metrics", file=sys.stderr)
+        return 1
+    print(render_records(records))
     return 0
 
 
@@ -113,7 +184,28 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--nodes", type=int, default=1)
     demo.add_argument("--workers", type=int, default=4)
     demo.add_argument("--tasks", type=int, default=50)
+    demo.add_argument("--trace-out", default="",
+                      help="write per-task traces (JSON lines) to this path")
+    demo.add_argument("--metrics-out", default="",
+                      help="write the metrics registry (JSON lines) to this path")
     demo.set_defaults(func=_cmd_demo)
+
+    trace = sub.add_parser(
+        "trace", help="show a task's per-stage latency breakdown")
+    trace.add_argument("task_id", help="task id or trace id (prefix accepted)")
+    trace.add_argument("--input", default="traces.jsonl",
+                       help="trace dump written by 'demo --trace-out' "
+                            "(default: traces.jsonl)")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="render an exported metrics registry")
+    metrics.add_argument("--input", default="metrics.jsonl",
+                         help="metrics dump written by 'demo --metrics-out' "
+                              "(default: metrics.jsonl)")
+    metrics.add_argument("--name", default="",
+                         help="only show metrics whose name contains this")
+    metrics.set_defaults(func=_cmd_metrics)
 
     scale = sub.add_parser("scale", help="simulate an agent scaling run")
     scale.add_argument("--platform", choices=["theta", "cori", "ec2", "k8s"],

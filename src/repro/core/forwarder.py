@@ -16,10 +16,12 @@ stepped manually under test control.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from typing import Any, Callable
 
 from repro.core.service import FuncXService
-from repro.store.queues import Lease
+from repro.errors import TaskNotFound
+from repro.store.queues import Lease, ReliableQueue
 from repro.transport.channel import ChannelEnd
 from repro.transport.heartbeat import HeartbeatTracker
 from repro.transport.messages import Heartbeat, Registration, ResultMessage, TaskMessage
@@ -77,16 +79,57 @@ class Forwarder:
         self._lock = threading.RLock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
-        # counters
-        self.tasks_forwarded = 0
-        self.results_returned = 0
-        self.requeue_events = 0
+        # counters live in the deployment-wide registry, labelled by endpoint
+        metrics = service.metrics
+        self._c_forwarded = metrics.counter(
+            "forwarder.tasks_forwarded", endpoint=endpoint_id)
+        self._c_results = metrics.counter(
+            "forwarder.results_returned", endpoint=endpoint_id)
+        self._c_requeues = metrics.counter(
+            "forwarder.requeue_events", endpoint=endpoint_id)
+        self._c_duplicates = metrics.counter(
+            "forwarder.duplicate_results", endpoint=endpoint_id)
+        self._c_orphans = metrics.counter(
+            "forwarder.orphan_leases", endpoint=endpoint_id)
+        self._c_stale_beats = metrics.counter(
+            "forwarder.stale_beats", endpoint=endpoint_id)
+        metrics.gauge("forwarder.outstanding_leases",
+                      endpoint=endpoint_id).set_function(lambda: self.outstanding)
         # Agent-liveness incarnation: bumped on every (re-)registration so
         # liveness transitions can be attributed to one agent lifetime.
         self.incarnation = 0
+        # The agent-supplied incarnation from the latest accepted
+        # registration; heartbeats tagged with an older one are from a
+        # prior agent lifetime and must not revive the connection.
+        self._registered_incarnation = 0
         # Observation hook: ``probe(event, fields)`` for liveness and
         # requeue events (chaos invariant probes attach here).
         self.probe: Callable[[str, dict[str, Any]], None] | None = None
+
+    # -- registry-backed counters (compat with the former int attributes) ----
+    @property
+    def tasks_forwarded(self) -> int:
+        return int(self._c_forwarded.value)
+
+    @property
+    def results_returned(self) -> int:
+        return int(self._c_results.value)
+
+    @property
+    def requeue_events(self) -> int:
+        return int(self._c_requeues.value)
+
+    @property
+    def duplicate_results(self) -> int:
+        return int(self._c_duplicates.value)
+
+    @property
+    def orphan_leases(self) -> int:
+        return int(self._c_orphans.value)
+
+    @property
+    def stale_beats(self) -> int:
+        return int(self._c_stale_beats.value)
 
     def _emit(self, event: str, **fields: Any) -> None:
         probe = self.probe
@@ -136,7 +179,7 @@ class Forwarder:
             if self.service.requeue_task(task_id, reason="lease timeout",
                                          enqueue=False):
                 queue.nack(lease.lease_id)
-                self.requeue_events += 1
+                self._c_requeues.inc()
                 self._emit("forwarder.lease_timeout", task_id=task_id)
             else:
                 queue.ack(lease.lease_id)
@@ -158,10 +201,20 @@ class Forwarder:
         return count
 
     def _on_agent_registered(self, message: Registration) -> None:
+        if (message.incarnation
+                and message.incarnation < self._registered_incarnation):
+            # A delayed registration from an agent lifetime we have
+            # already superseded — accepting it would roll liveness back.
+            self._c_stale_beats.inc()
+            self._emit("liveness.stale_registration", component=message.sender,
+                       incarnation=message.incarnation,
+                       registered=self._registered_incarnation)
+            return
         was_connected = self._agent_connected
         self._agent_name = message.sender
         self._agent_connected = True
         self.incarnation += 1
+        self._registered_incarnation = message.incarnation
         self.heartbeats.beat(message.sender)
         self.service.endpoints.set_connected(self.endpoint_id, True, self._clock())
         self._emit("liveness.registered", component=message.sender,
@@ -172,6 +225,18 @@ class Forwarder:
                        via="registration")
 
     def _on_heartbeat(self, message: Heartbeat) -> None:
+        if (message.sender == self._agent_name
+                and message.incarnation
+                and message.incarnation < self._registered_incarnation):
+            # A late beat from a dead incarnation must not feed the
+            # liveness tracker: it would revive a connection whose tasks
+            # were already requeued, double-executing them against a
+            # departed agent.
+            self._c_stale_beats.inc()
+            self._emit("liveness.stale_beat", component=message.sender,
+                       incarnation=message.incarnation,
+                       registered=self._registered_incarnation)
+            return
         self.heartbeats.beat(message.sender)
         if message.sender == self._agent_name:
             was_connected = self._agent_connected
@@ -192,16 +257,34 @@ class Forwarder:
         queue = self.service.task_queue(self.endpoint_id)
         if lease is not None:
             queue.ack(lease.lease_id)
-        return_time = max(0.0, self._clock() - message.completed_at)
-        self.service.complete_task(
-            message.task_id,
-            success=message.success,
-            result_buffer=message.result_buffer,
-            exception_text=None if message.success else self._failure_text(message),
-            execution_time=message.execution_time,
-            result_return_time=return_time,
-        )
-        self.results_returned += 1
+        now = self._clock()
+        return_time = max(0.0, now - message.completed_at)
+        trace = message.trace or self.service.traces.context_for(message.task_id)
+        if trace is not None:
+            trace.record("result_return", f"forwarder:{self.endpoint_id[:8]}",
+                         start=message.completed_at, end=now,
+                         worker_id=message.worker_id)
+        try:
+            applied = self.service.complete_task(
+                message.task_id,
+                success=message.success,
+                result_buffer=message.result_buffer,
+                exception_text=None if message.success else self._failure_text(message),
+                execution_time=message.execution_time,
+                result_return_time=return_time,
+            )
+        except TaskNotFound:
+            # The task record was administratively purged while the result
+            # was in flight; the lease (if any) is already acked above.
+            self._c_orphans.inc()
+            self._emit("forwarder.orphan_result", task_id=message.task_id)
+            return
+        if applied:
+            self._c_results.inc()
+        else:
+            self._c_duplicates.inc()
+            self._emit("forwarder.duplicate_result", task_id=message.task_id,
+                       success=message.success)
 
     @staticmethod
     def _failure_text(message: ResultMessage) -> str:
@@ -242,7 +325,7 @@ class Forwarder:
             kept = self.service.requeue_task(task_id, reason=reason, enqueue=False)
             if kept:
                 queue.nack(lease.lease_id)
-                self.requeue_events += 1
+                self._c_requeues.inc()
                 self._emit("forwarder.requeued", task_id=task_id, reason=reason)
             else:
                 queue.ack(lease.lease_id)  # retries exhausted; drop for good
@@ -250,36 +333,77 @@ class Forwarder:
 
     # -- outbound -------------------------------------------------------------------
     def _dispatch_tasks(self) -> int:
+        """Dispatch leased tasks to the agent; every lease is disposed.
+
+        Each lease obtained from the queue ends this method either acked
+        (orphaned/terminal task), nacked (send failure, or unprocessed
+        when a later lease blows up), or registered in ``_open_leases``
+        awaiting its result.  Without that discipline a single bad queue
+        entry — e.g. a task id whose record was purged — would strand
+        every lease behind it until the visibility timeout, or forever
+        when leases don't expire.
+        """
         queue = self.service.task_queue(self.endpoint_id)
-        leases = queue.lease_many(self.max_dispatch_per_step,
-                                  lease_timeout=self.lease_timeout)
+        pending = deque(queue.lease_many(self.max_dispatch_per_step,
+                                         lease_timeout=self.lease_timeout))
         dispatched = 0
-        for lease in leases:
-            task_id: str = lease.item
-            task = self.service.task_by_id(task_id)
-            if task.state.terminal:
-                queue.ack(lease.lease_id)  # cancelled/failed while queued
-                continue
-            message = TaskMessage(
-                sender=f"forwarder:{self.endpoint_id}",
-                task_id=task.task_id,
-                function_id=task.function_id,
-                function_buffer=self.service.function_buffer(task.function_id),
-                payload_buffer=task.payload_buffer,
-                container_image=self._site_container(task.container_image),
-                submitted_at=task.state_times.get("received", self._clock()),
-            )
-            if not self.channel.send(message):
-                # Message dropped (peer down mid-step).  The task was never
-                # marked dispatched, so only the queue lease needs returning.
+        try:
+            while pending:
+                lease = pending.popleft()
+                dispatched += self._dispatch_one(queue, lease)
+        except Exception:
+            # An unexpected failure mid-batch: return every unprocessed
+            # lease to the queue so the tasks redeliver next step instead
+            # of hanging open against a crashed dispatch loop.
+            for lease in pending:
                 queue.nack(lease.lease_id)
-                continue
-            with self._lock:
-                self._open_leases[task_id] = lease
-            self.service.mark_dispatched(task_id)
-            self.tasks_forwarded += 1
-            dispatched += 1
+            raise
         return dispatched
+
+    def _dispatch_one(self, queue: ReliableQueue, lease: Lease) -> int:
+        """Send one leased task; returns 1 if dispatched, 0 otherwise."""
+        task_id: str = lease.item
+        try:
+            task = self.service.task_by_id(task_id)
+        except TaskNotFound:
+            # The record behind this queue entry is gone (forget_task /
+            # TTL purge raced the dispatch).  Ack the lease so the orphan
+            # id stops cycling through the queue.
+            queue.ack(lease.lease_id)
+            self._c_orphans.inc()
+            self._emit("forwarder.orphan_lease", task_id=task_id)
+            return 0
+        if task.state.terminal:
+            queue.ack(lease.lease_id)  # cancelled/failed while queued
+            return 0
+        trace = self.service.traces.context_for(task_id)
+        message = TaskMessage(
+            sender=f"forwarder:{self.endpoint_id}",
+            task_id=task.task_id,
+            function_id=task.function_id,
+            function_buffer=self.service.function_buffer(task.function_id),
+            payload_buffer=task.payload_buffer,
+            container_image=self._site_container(task.container_image),
+            submitted_at=task.state_times.get("received", self._clock()),
+            trace=trace,
+        )
+        if not self.channel.send(message):
+            # Message dropped (peer down mid-step).  The task was never
+            # marked dispatched, so only the queue lease needs returning.
+            queue.nack(lease.lease_id)
+            return 0
+        # Order matters: mark dispatched *before* registering the lease so
+        # an exception can never leave a lease both registered here and
+        # nacked by the _dispatch_tasks outer handler.
+        self.service.mark_dispatched(task_id)
+        with self._lock:
+            self._open_leases[task_id] = lease
+        if trace is not None:
+            trace.record("forwarder.dispatch", f"forwarder:{self.endpoint_id[:8]}",
+                         start=lease.enqueued_at, end=self._clock(),
+                         attempt=task.attempts)
+        self._c_forwarded.inc()
+        return 1
 
     def _site_container(self, container_image: str | None) -> str | None:
         """Convert a container key to the endpoint's site technology.

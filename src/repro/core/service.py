@@ -23,6 +23,8 @@ from repro.core.memoization import Memoizer
 from repro.core.registry import EndpointRecord, EndpointRegistry, FunctionRegistry
 from repro.core.tasks import Task, TaskState
 from repro.errors import PayloadTooLarge, TaskNotFound, TaskPending
+from repro.metrics.registry import MetricsRegistry
+from repro.observability.trace import TraceStore
 from repro.store.kvstore import KVStore
 from repro.store.pubsub import PubSub
 from repro.store.queues import ReliableQueue
@@ -47,12 +49,19 @@ class ServiceConfig:
         model the measured cloud-service overhead (ts in figure 4).
     default_max_retries:
         Retry budget for tasks lost to worker/manager failure.
+    tracing:
+        Whether the service opens a per-task trace context propagated
+        through the whole fabric (the figure-4 latency decomposition).
+    trace_capacity:
+        Retention bound on stored traces (oldest finalized evicted first).
     """
 
     payload_limit: int = 512 * 1024
     result_ttl: float = 3600.0
     request_overhead: float = 0.0
     default_max_retries: int = 1
+    tracing: bool = True
+    trace_capacity: int = 100_000
 
 
 class FuncXService:
@@ -69,6 +78,9 @@ class FuncXService:
     sleeper:
         Injectable delay function used to apply ``request_overhead`` in
         live deployments (ignored when overhead is zero).
+    metrics:
+        The deployment's shared metrics registry (a private one is
+        created when not provided, so standalone services stay isolated).
     """
 
     def __init__(
@@ -77,6 +89,7 @@ class FuncXService:
         config: ServiceConfig | None = None,
         clock: Callable[[], float] | None = None,
         sleeper: Callable[[float], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.auth = auth or AuthService()
         self.config = config or ServiceConfig()
@@ -91,13 +104,37 @@ class FuncXService:
         self._tasks: dict[str, Task] = {}
         self._task_queues: dict[str, ReliableQueue] = {}
         self._result_queues: dict[str, ReliableQueue] = {}
-        # counters
-        self.tasks_received = 0
-        self.tasks_completed = 0
-        self.memo_completions = 0
+        # observability fabric: per-task traces + registry-backed counters
+        self.metrics = metrics or MetricsRegistry(clock=self._clock)
+        self.traces = TraceStore(clock=self._clock, enabled=self.config.tracing,
+                                 capacity=self.config.trace_capacity)
+        self._c_received = self.metrics.counter("service.tasks_received")
+        self._c_completed = self.metrics.counter("service.tasks_completed")
+        self._c_memo = self.metrics.counter("service.memo_completions")
+        self._c_duplicate_results = self.metrics.counter("service.duplicate_results")
+        self._c_forgotten = self.metrics.counter("service.tasks_forgotten")
+        self.metrics.gauge("service.tasks_live").set_function(
+            lambda: sum(1 for t in self.iter_tasks() if not t.state.terminal))
         # Observation hook: ``probe(event, fields)`` for task lifecycle
         # events (chaos invariant probes attach here).
         self.probe: Callable[[str, dict[str, Any]], None] | None = None
+
+    # -- registry-backed counters (compat with the former int attributes) ----
+    @property
+    def tasks_received(self) -> int:
+        return int(self._c_received.value)
+
+    @property
+    def tasks_completed(self) -> int:
+        return int(self._c_completed.value)
+
+    @property
+    def memo_completions(self) -> int:
+        return int(self._c_memo.value)
+
+    @property
+    def duplicate_results(self) -> int:
+        return int(self._c_duplicate_results.value)
 
     # ------------------------------------------------------------------
     # helpers
@@ -216,10 +253,20 @@ class FuncXService:
 
         Batch submission amortizes the per-request overhead — the paper's
         answer to web-service throughput limits (section 5.2.4).
+
+        The batch is atomic on validation: every request is checked
+        (payload size, function invocability, endpoint usability) before
+        *any* task is enqueued, so a rejected member cannot leave a
+        partial batch behind with the caller holding no task ids.
         """
         received_at = self._clock()
         identity = self.auth.authorize(token, Scope.EXECUTE)
         self._spend_overhead()  # one overhead for the whole batch
+        for fid, eid, payload in requests:
+            if len(payload) > self.config.payload_limit:
+                raise PayloadTooLarge(len(payload), self.config.payload_limit)
+            self.functions.check_invocable(fid, identity.identity_id)
+            self.endpoints.check_usable(eid, identity.identity_id)
         return [
             self._submit_authorized(identity, fid, eid, payload, memoize, None,
                                     received_at=received_at)
@@ -255,7 +302,10 @@ class FuncXService:
         task.state_times[TaskState.RECEIVED.value] = now  # born RECEIVED
         with self._lock:
             self._tasks[task.task_id] = task
-            self.tasks_received += 1
+        self._c_received.inc()
+        trace = self.traces.open(task.task_id, at=now)
+        if trace is not None:
+            task.metadata["trace_id"] = trace.trace_id
         self.store.hset("tasks", task.task_id, task.to_record())
         self._emit("task.submitted", task_id=task.task_id, endpoint_id=endpoint_id)
 
@@ -263,14 +313,21 @@ class FuncXService:
             cached = self.memoizer.lookup(function.function_buffer, payload_buffer)
             if cached is not None:
                 task.memo_hit = True
+                done = self._clock()
+                if trace is not None:
+                    trace.record("service", "service", start=now, end=done,
+                                 memo_hit=True)
                 self._complete(task, success=True, result_buffer=cached,
-                               execution_time=0.0, now=self._clock())
-                self.memo_completions += 1
+                               execution_time=0.0, now=done)
+                self._c_memo.inc()
                 return task.task_id
             task.metadata["memoize"] = True
 
         queue = self._queue_for(endpoint_id)
-        task.advance(TaskState.QUEUED, self._clock())
+        queued_at = self._clock()
+        task.advance(TaskState.QUEUED, queued_at)
+        if trace is not None:
+            trace.record("service", "service", start=now, end=queued_at)
         queue.put(task.task_id)
         self.pubsub.publish(f"endpoint.{endpoint_id}.queued", task.task_id)
         return task.task_id
@@ -350,9 +407,19 @@ class FuncXService:
         exception_text: str | None = None,
         execution_time: float = 0.0,
         result_return_time: float = 0.0,
-    ) -> None:
-        """Record a task outcome arriving from a forwarder (fig 3, step 5)."""
+    ) -> bool:
+        """Record a task outcome arriving from a forwarder (fig 3, step 5).
+
+        Returns ``True`` when the outcome was applied.  A result for an
+        already-terminal task (the at-least-once delivery path redelivers
+        on requeue races) is counted and reported but must not mutate the
+        recorded outcome, metadata, or memo store — first result wins.
+        """
         task = self._get_task(task_id)
+        if task.state.terminal:
+            self._c_duplicate_results.inc()
+            self._emit("task.duplicate_result", task_id=task_id, success=success)
+            return False
         now = self._clock()
         task.metadata["result_return_time"] = result_return_time
         if success and task.metadata.get("memoize"):
@@ -366,6 +433,7 @@ class FuncXService:
             execution_time=execution_time,
             now=now,
         )
+        return True
 
     def requeue_task(self, task_id: str, reason: str = "", enqueue: bool = True) -> bool:
         """Return a dispatched-but-unfinished task to its endpoint queue.
@@ -416,6 +484,22 @@ class FuncXService:
     def purge(self) -> int:
         """Run the periodic store purge; returns evicted entries."""
         return self.store.purge_expired()
+
+    def forget_task(self, task_id: str) -> bool:
+        """Administratively purge a task record (TTL eviction, GDPR wipe).
+
+        The task id may still be riding an endpoint queue — forwarders
+        must treat a leased-but-unknown id as an orphan, ack it, and keep
+        draining (see ``Forwarder._dispatch_tasks``).
+        """
+        with self._lock:
+            task = self._tasks.pop(task_id, None)
+        if task is None:
+            return False
+        self.store.hdel("tasks", task_id)
+        self._c_forgotten.inc()
+        self._emit("task.forgotten", task_id=task_id, state=task.state.value)
+        return True
 
     def iter_tasks(self) -> list[Task]:
         """A snapshot of every task record (chaos accounting probes)."""
@@ -474,8 +558,14 @@ class FuncXService:
         task.result_buffer = result_buffer or None
         task.exception_text = exception_text
         task.metadata["execution_time"] = execution_time
-        with self._lock:
-            self.tasks_completed += 1
+        self._c_completed.inc()
+        trace = self.traces.finalize(task.task_id, at=now)
+        if trace is not None:
+            for stage, duration in trace.breakdown().items():
+                self.metrics.histogram("task.stage_seconds", stage=stage).observe(duration)
+            total = trace.total()
+            if total is not None:
+                self.metrics.histogram("task.total_seconds").observe(total)
         self._emit("task.completed", task_id=task.task_id, success=success,
                    state=task.state.value)
         self.store.hset("tasks", task.task_id, task.to_record())

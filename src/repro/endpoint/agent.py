@@ -25,6 +25,7 @@ from typing import Callable
 
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.scheduling import ManagerView, SchedulingPolicy, scheduler_by_name
+from repro.metrics.registry import MetricsRegistry
 from repro.serialize import FuncXSerializer
 from repro.serialize.traceback import RemoteExceptionWrapper
 from repro.transport.channel import ChannelEnd
@@ -52,6 +53,9 @@ class FuncXAgent:
         Endpoint configuration.
     scheduler:
         Manager-selection policy; defaults to the configured policy name.
+    metrics:
+        The deployment's shared metrics registry (a private one is
+        created when not provided).
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class FuncXAgent:
         config: EndpointConfig | None = None,
         scheduler: SchedulingPolicy | None = None,
         clock: Callable[[], float] | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.endpoint_id = endpoint_id
         self.forwarder = forwarder_channel
@@ -85,15 +90,43 @@ class FuncXAgent:
         self._stop = threading.Event()
         self._last_heartbeat = -float("inf")
         self._serializer = FuncXSerializer()
-        # counters
-        self.tasks_received = 0
-        self.tasks_dispatched = 0
-        self.results_forwarded = 0
-        self.tasks_reexecuted = 0
+        # counters live in the shared registry, labelled by endpoint
+        self.metrics = metrics or MetricsRegistry(clock=self._clock)
+        self._c_received = self.metrics.counter(
+            "agent.tasks_received", endpoint=endpoint_id)
+        self._c_dispatched = self.metrics.counter(
+            "agent.tasks_dispatched", endpoint=endpoint_id)
+        self._c_results = self.metrics.counter(
+            "agent.results_forwarded", endpoint=endpoint_id)
+        self._c_reexecuted = self.metrics.counter(
+            "agent.tasks_reexecuted", endpoint=endpoint_id)
+        self.metrics.gauge("agent.pending_tasks",
+                           endpoint=endpoint_id).set_function(self.pending_count)
+        # Lifetime counter: each (re-)registration starts a new incarnation
+        # whose heartbeats carry the tag, letting the forwarder discard
+        # beats from lifetimes it has already superseded.
+        self.incarnation = 0
         # Fault injection: extra seconds added to the effective heartbeat
         # period (clock-skewed heartbeats; a large skew silences the agent
         # until the forwarder declares it lost).
         self.heartbeat_skew = 0.0
+
+    # -- registry-backed counters (compat with the former int attributes) ----
+    @property
+    def tasks_received(self) -> int:
+        return int(self._c_received.value)
+
+    @property
+    def tasks_dispatched(self) -> int:
+        return int(self._c_dispatched.value)
+
+    @property
+    def results_forwarded(self) -> int:
+        return int(self._c_results.value)
+
+    @property
+    def tasks_reexecuted(self) -> int:
+        return int(self._c_reexecuted.value)
 
     @property
     def name(self) -> str:
@@ -106,6 +139,7 @@ class FuncXAgent:
         """(Re-)register with the forwarder — also the recovery path:
         "when the funcX agent recovers, it repeats the registration
         process ... and continue[s] receiving tasks" (§4.3)."""
+        self.incarnation += 1
         self.forwarder.send(
             Registration(
                 sender=self.name,
@@ -113,6 +147,7 @@ class FuncXAgent:
                 capacity=self.total_capacity(),
                 container_types=(),
                 metadata={"endpoint_id": self.endpoint_id},
+                incarnation=self.incarnation,
             )
         )
         self._last_heartbeat = self._clock()
@@ -139,10 +174,13 @@ class FuncXAgent:
                 for task_id, (mid, message, _a) in self._assigned.items()
                 if mid == manager_id
             ]
+            now = self._clock()
             for task_id, message in orphaned:
                 del self._assigned[task_id]
+                if message.trace is not None:
+                    message.trace.begin("agent", self.name, at=now, reexecution=True)
                 self._pending.appendleft(message)
-                self.tasks_reexecuted += 1
+                self._c_reexecuted.inc()
         self.heartbeats.forget(manager_id)
 
     def suspend_manager(self, manager_id: str) -> None:
@@ -202,9 +240,11 @@ class FuncXAgent:
         for message in self.forwarder.recv_all_ready():
             count += 1
             if isinstance(message, TaskMessage):
+                if message.trace is not None:
+                    message.trace.begin("agent", self.name, at=self._clock())
                 with self._lock:
                     self._pending.append(message)
-                self.tasks_received += 1
+                self._c_received.inc()
             elif isinstance(message, CommandMessage) and message.command == "shutdown":
                 self._stop.set()
         return count
@@ -255,7 +295,7 @@ class FuncXAgent:
             if view is not None and view.outstanding > 0:
                 view.outstanding -= 1
         self.forwarder.send(message)
-        self.results_forwarded += 1
+        self._c_results.inc()
 
     # -- failure handling -------------------------------------------------------
     def _watchdog(self) -> None:
@@ -281,9 +321,12 @@ class FuncXAgent:
         self.heartbeats.forget(manager_id)
         for task_id, message, attempts in lost:
             if attempts <= self.config.max_retries_on_loss:
+                if message.trace is not None:
+                    message.trace.begin("agent", self.name, at=self._clock(),
+                                        reexecution=True)
                 with self._lock:
                     self._pending.appendleft(message)
-                self.tasks_reexecuted += 1
+                self._c_reexecuted.inc()
             else:
                 self._fail_task(message, f"manager {manager_id} lost; retries exhausted")
 
@@ -299,6 +342,7 @@ class FuncXAgent:
                 execution_time=0.0,
                 worker_id="",
                 completed_at=self._clock(),
+                trace=message.trace,
             )
         )
 
@@ -331,7 +375,10 @@ class FuncXAgent:
             if not channel.send(message):
                 # manager channel just went down; watchdog will requeue
                 continue
-            self.tasks_dispatched += 1
+            if message.trace is not None:
+                message.trace.end("agent", at=self._clock(),
+                                  manager=chosen.manager_id)
+            self._c_dispatched.inc()
             dispatched += 1
         return dispatched
 
@@ -348,6 +395,7 @@ class FuncXAgent:
                     sender=self.name,
                     timestamp=now,
                     outstanding_tasks=self.outstanding_count(),
+                    incarnation=self.incarnation,
                 )
             )
         except Exception:

@@ -15,6 +15,7 @@ from typing import Callable
 from repro.endpoint.agent import FuncXAgent
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.manager import Manager
+from repro.metrics.registry import MetricsRegistry
 from repro.providers.base import ExecutionProvider
 from repro.transport.channel import ChannelEnd, Network
 
@@ -51,6 +52,7 @@ class Endpoint:
         provider: ExecutionProvider | None = None,
         manager_latency: float = 0.0,
         clock: Callable[[], float] | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.endpoint_id = endpoint_id
         self.config = config or EndpointConfig()
@@ -58,11 +60,13 @@ class Endpoint:
         self.provider = provider
         self.manager_latency = manager_latency
         self._clock = clock or time.monotonic
+        self.metrics = metrics or MetricsRegistry(clock=self._clock)
         self.agent = FuncXAgent(
             endpoint_id=endpoint_id,
             forwarder_channel=forwarder_channel,
             config=self.config,
             clock=self._clock,
+            metrics=self.metrics,
         )
         self.managers: dict[str, Manager] = {}
         self._node_seq = itertools.count(1)
@@ -82,6 +86,7 @@ class Endpoint:
             channel=channel.left,
             config=self.config,
             clock=self._clock,
+            metrics=self.metrics,
         )
         self.agent.attach_manager(manager_id, channel.right)
         with self._lock:

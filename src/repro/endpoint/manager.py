@@ -33,6 +33,7 @@ from repro.containers.spec import ContainerSpec, ContainerTechnology
 from repro.containers.warming import WarmPool
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.worker import Worker
+from repro.metrics.registry import MetricsRegistry
 from repro.transport.channel import ChannelEnd
 from repro.transport.messages import (
     Advertisement,
@@ -60,6 +61,9 @@ class Manager:
     sleeper:
         Injectable delay function used to apply (scaled) container
         cold-start times on the live fabric.
+    metrics:
+        The deployment's shared metrics registry (a private one is
+        created when not provided).
     """
 
     def __init__(
@@ -70,6 +74,7 @@ class Manager:
         runtime: ContainerRuntime | None = None,
         clock: Callable[[], float] | None = None,
         sleeper: Callable[[float], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.manager_id = manager_id
         self.channel = channel
@@ -88,13 +93,25 @@ class Manager:
         self._stop = threading.Event()
         self._last_heartbeat = -float("inf")
         self._last_advertised: tuple[int, tuple[str, ...]] | None = None
-        self.tasks_completed = 0
-        self.cold_starts = 0
+        self.metrics = metrics or MetricsRegistry(clock=self._clock)
+        self._c_completed = self.metrics.counter(
+            "manager.tasks_completed", manager=manager_id)
+        self._c_cold_starts = self.metrics.counter(
+            "manager.cold_starts", manager=manager_id)
         # Fault injection: extra seconds added to the effective heartbeat
         # period (clock-skewed heartbeats toward the agent's watchdog).
         self.heartbeat_skew = 0.0
 
         self._deploy_initial_workers()
+
+    # -- registry-backed counters (compat with the former int attributes) ----
+    @property
+    def tasks_completed(self) -> int:
+        return int(self._c_completed.value)
+
+    @property
+    def cold_starts(self) -> int:
+        return int(self._c_cold_starts.value)
 
     # ------------------------------------------------------------------
     # setup
@@ -170,7 +187,11 @@ class Manager:
         for message in self.channel.recv_all_ready():
             events += 1
             if isinstance(message, TaskMessage):
-                self._pending.append(message)
+                if message.trace is not None:
+                    message.trace.begin("manager", self.manager_id,
+                                        at=self._clock())
+                with self._lock:
+                    self._pending.append(message)
             elif isinstance(message, CommandMessage):
                 self._on_command(message)
         events += self._collect_results()
@@ -186,7 +207,7 @@ class Manager:
             except _queue.Empty:
                 break
             count += 1
-            self.tasks_completed += 1
+            self._c_completed.inc()
             with self._lock:
                 self._idle.add(worker_id)
             self.channel.send(result)
@@ -195,14 +216,25 @@ class Manager:
 
     def _dispatch_pending(self) -> int:
         dispatched = 0
-        while self._pending:
-            message = self._pending[0]
+        while True:
+            # Peek/pop under the manager lock: the pending deque is shared
+            # with the agent-facing receive path, and a torn peek-vs-pop
+            # would dispatch one message twice or skip one entirely.
+            with self._lock:
+                if not self._pending:
+                    break
+                message = self._pending[0]
             worker = self._worker_for(message.container_image)
             if worker is None:
                 break
-            self._pending.popleft()
             with self._lock:
+                if not self._pending or self._pending[0] is not message:
+                    continue  # raced: re-evaluate from the top
+                self._pending.popleft()
                 self._idle.discard(worker.worker_id)
+            if message.trace is not None:
+                message.trace.end("manager", at=self._clock(),
+                                  worker=worker.worker_id)
             worker.inbox.put(message)
             dispatched += 1
         return dispatched
@@ -239,7 +271,7 @@ class Manager:
             spec = self._spec_for_key(key)
             concurrent = 0  # live nodes deploy serially on the manager thread
             instance = self.runtime.instantiate(spec, now=now, concurrent=concurrent)
-            self.cold_starts += 1
+            self._c_cold_starts.inc()
             delay = instance.cold_start_time * self.config.scale_cold_start
             if delay > 0:
                 self._sleep(delay)
@@ -263,11 +295,12 @@ class Manager:
         worker plus a prefetch allowance; without it, one task per round
         trip (the §5.5.2 baseline).
         """
-        idle = self.idle_count
+        with self._lock:
+            idle = len(self._idle)
+            queued = len(self._pending)
         if not self.config.internal_batching:
-            return min(1, idle) if not self._pending else 0
+            return min(1, idle) if not queued else 0
         prefetch = self.config.prefetch_capacity
-        queued = len(self._pending)
         return max(0, idle + prefetch - queued)
 
     def _advertise(self, force: bool = False) -> None:

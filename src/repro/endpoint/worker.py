@@ -68,6 +68,9 @@ def execute_task_message(
         result_buffer = serializer.serialize(wrapper, routing_tag=message.task_id)
         success = False
     end = clock()
+    if message.trace is not None:
+        message.trace.record("worker", worker_id, start=start, end=end,
+                             success=success)
     return ResultMessage(
         sender=worker_id,
         task_id=message.task_id,
@@ -76,6 +79,7 @@ def execute_task_message(
         execution_time=end - start,
         worker_id=worker_id,
         completed_at=end,
+        trace=message.trace,
     )
 
 

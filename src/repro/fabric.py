@@ -21,6 +21,7 @@ from the service, §5.1).
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from dataclasses import dataclass
@@ -31,6 +32,7 @@ from repro.core.forwarder import Forwarder
 from repro.core.service import FuncXService, ServiceConfig
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.endpoint import Endpoint
+from repro.metrics.registry import MetricsRegistry
 from repro.providers.base import ExecutionProvider
 from repro.transport.channel import Network
 
@@ -82,14 +84,14 @@ class LocalDeployment:
         self.timings = timings or DeploymentTimings()
         config = service_config or ServiceConfig()
         if self.timings.service_overhead > 0:
-            config = ServiceConfig(
-                payload_limit=config.payload_limit,
-                result_ttl=config.result_ttl,
-                request_overhead=self.timings.service_overhead,
-                default_max_retries=config.default_max_retries,
-            )
+            config = dataclasses.replace(
+                config, request_overhead=self.timings.service_overhead)
         self.auth = AuthService()
-        self.service = FuncXService(auth=self.auth, config=config)
+        # One registry shared by every component of the deployment — the
+        # process-wide view the ``repro metrics`` CLI exports.
+        self.metrics = MetricsRegistry()
+        self.service = FuncXService(auth=self.auth, config=config,
+                                    metrics=self.metrics)
         self.network = Network(seed=seed)
         self._seed = seed
         self._handles: dict[str, _EndpointHandle] = {}
@@ -152,6 +154,7 @@ class LocalDeployment:
             nodes=nodes,
             provider=provider,
             manager_latency=self.timings.manager_latency,
+            metrics=self.metrics,
         )
         handle = _EndpointHandle(endpoint=endpoint, forwarder=forwarder)
         with self._lock:

@@ -1,5 +1,13 @@
-"""Measurement utilities: latency statistics, stage timers, timelines."""
+"""Measurement utilities: latency statistics, stage timers, timelines,
+and the process-wide metrics registry."""
 
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_records,
+)
 from repro.metrics.stats import LatencyRecorder, SummaryStats, summarize
 from repro.metrics.timeline import Timeline
 from repro.metrics.timers import StageTimer, Stopwatch
@@ -11,4 +19,9 @@ __all__ = [
     "Timeline",
     "Stopwatch",
     "StageTimer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_records",
 ]

@@ -1,0 +1,25 @@
+"""End-to-end observability: trace contexts, spans, and the trace store.
+
+The tracing half of the observability fabric lives here; the metrics
+half is :class:`repro.metrics.MetricsRegistry`.  See
+``docs/OBSERVABILITY.md`` for the span model and its mapping onto the
+paper's figure-4 latency decomposition.
+"""
+
+from repro.metrics.registry import MetricsRegistry
+from repro.observability.trace import (
+    STAGES,
+    Span,
+    TraceContext,
+    TraceStore,
+    aggregate_breakdowns,
+)
+
+__all__ = [
+    "STAGES",
+    "Span",
+    "TraceContext",
+    "TraceStore",
+    "MetricsRegistry",
+    "aggregate_breakdowns",
+]

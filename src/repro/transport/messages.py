@@ -9,7 +9,10 @@ is the property the serialization design (section 4.6) exists to provide.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observability.trace import TraceContext
 
 
 @dataclass(frozen=True)
@@ -36,6 +39,10 @@ class TaskMessage(Message):
     container_image:
         Container the function must run in, or ``None`` for the bare
         worker Python environment.
+    trace:
+        The task's :class:`~repro.observability.trace.TraceContext`,
+        propagated service → forwarder → agent → manager → worker so
+        every stage records its span; ``None`` when tracing is disabled.
     """
 
     task_id: str = ""
@@ -44,11 +51,17 @@ class TaskMessage(Message):
     payload_buffer: bytes = b""
     container_image: str | None = None
     submitted_at: float = 0.0
+    trace: "TraceContext | None" = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
 class ResultMessage(Message):
-    """A completed task's outcome heading back to the service."""
+    """A completed task's outcome heading back to the service.
+
+    ``trace`` carries the task's trace context back up the stack so the
+    forwarder can stamp the result-return span and the service can
+    finalize the trace.
+    """
 
     task_id: str = ""
     success: bool = True
@@ -56,14 +69,22 @@ class ResultMessage(Message):
     execution_time: float = 0.0
     worker_id: str = ""
     completed_at: float = 0.0
+    trace: "TraceContext | None" = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
 class Heartbeat(Message):
-    """Periodic liveness signal (agent→forwarder, manager→agent)."""
+    """Periodic liveness signal (agent→forwarder, manager→agent).
+
+    ``incarnation`` tags the beat with the sender's lifetime counter so a
+    receiver can discard beats from a lifetime that predates the latest
+    registration (a late beat from a dead incarnation must not revive the
+    component).  ``0`` means the sender does not track incarnations.
+    """
 
     timestamp: float = 0.0
     outstanding_tasks: int = 0
+    incarnation: int = 0
 
 
 @dataclass(frozen=True)
@@ -72,12 +93,16 @@ class Registration(Message):
 
     Managers register with the agent once all their workers connect
     (section 4.3); agents register with the service to obtain a forwarder.
+    ``incarnation`` counts the sender's registrations — each re-register
+    after a crash/recovery starts a new lifetime whose heartbeats carry
+    the same tag.
     """
 
     component_type: str = ""  # "endpoint" | "manager" | "worker"
     capacity: int = 0
     container_types: tuple[str, ...] = ()
     metadata: dict[str, Any] = field(default_factory=dict)
+    incarnation: int = 0
 
 
 @dataclass(frozen=True)
