@@ -1,0 +1,53 @@
+"""repro.analysis: a repo-specific static analyzer for the fabric.
+
+The chaos harness (PR 1) and dispatch hardening (PR 2) kept re-finding
+the same two bug classes by hand: shared state touched outside its lock
+and nondeterminism leaking past the injectable clock/RNG boundary, which
+silently breaks byte-for-byte chaos replay.  This package makes both
+classes unmergeable with four AST-based checks (stdlib :mod:`ast` only):
+
+``guarded-by``
+    Attributes annotated ``# guarded-by: self._lock`` (or declared in a
+    per-class ``_GUARDED`` registry) may only be touched inside a
+    ``with self._lock:`` scope of that class.
+``determinism``
+    Direct ``time.time()`` / ``time.monotonic()`` / ``time.sleep()`` /
+    ``random.*`` / ``datetime.now()`` calls are forbidden in
+    ``repro.core``, ``repro.endpoint``, ``repro.transport``,
+    ``repro.store`` and ``repro.chaos`` — those modules must route
+    through the injectable clock/RNG.
+``wire-compat``
+    Every ``transport.messages`` dataclass field must be a
+    serializer-safe type, and every field added after the seed must
+    carry a default so old artifacts keep replaying.
+``blocking-under-lock``
+    No sleep, channel send/recv, or queue operation while holding a
+    lock.
+``clock-domain``
+    Values from clocks marked ``# clock-domain: monotonic`` and
+    ``# clock-domain: wall`` must never meet in the same arithmetic.
+
+See ``docs/ANALYSIS.md`` for the annotation syntax, baseline workflow
+(``repro lint --update-baseline``) and how to add a check.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.runner import (
+    ALL_CHECKS,
+    AnalysisReport,
+    analyze_paths,
+    analyze_source,
+    run_analysis,
+)
+
+__all__ = [
+    "ALL_CHECKS",
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "analyze_paths",
+    "analyze_source",
+    "run_analysis",
+]

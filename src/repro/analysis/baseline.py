@@ -1,0 +1,147 @@
+"""Baseline: grandfathered findings that do not fail the build.
+
+The committed ``analysis-baseline.json`` records the fingerprint of each
+pre-existing finding (see :meth:`Finding.fingerprint` — line numbers are
+deliberately not part of the identity, so unrelated edits that shift
+code around do not invalidate entries).  ``repro lint`` then reports:
+
+* **new** findings — present in the run, absent from the baseline;
+* **suppressed** findings — matched by a baseline entry;
+* **stale** entries — baseline entries no longer matched by any finding
+  (the debt was paid; ``--update-baseline`` prunes them).
+
+A fingerprint may legitimately match several findings (two identical
+offending lines in the same function); each entry carries the count it
+was recorded with, and extra occurrences beyond that count surface as
+new findings rather than riding along silently.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, sort_findings
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding (identity + human context)."""
+
+    fingerprint: str
+    check: str
+    path: str
+    symbol: str
+    line_text: str
+    count: int = 1
+
+    def to_record(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "check": self.check,
+            "path": self.path,
+            "symbol": self.symbol,
+            "line_text": self.line_text,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "BaselineEntry":
+        return cls(
+            fingerprint=record["fingerprint"],
+            check=record["check"],
+            path=record["path"],
+            symbol=record.get("symbol", ""),
+            line_text=record.get("line_text", ""),
+            count=int(record.get("count", 1)),
+        )
+
+    @classmethod
+    def from_finding(cls, finding: Finding, count: int = 1) -> "BaselineEntry":
+        return cls(
+            fingerprint=finding.fingerprint(),
+            check=finding.check,
+            path=finding.path,
+            symbol=finding.symbol,
+            line_text=finding.line_text,
+            count=count,
+        )
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings, keyed by fingerprint."""
+
+    entries: dict[str, BaselineEntry] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        counts: Counter[str] = Counter()
+        samples: dict[str, Finding] = {}
+        for finding in findings:
+            fp = finding.fingerprint()
+            counts[fp] += 1
+            samples.setdefault(fp, finding)
+        entries = {
+            fp: BaselineEntry.from_finding(samples[fp], count=counts[fp])
+            for fp in counts
+        }
+        return cls(entries=entries)
+
+    # -- persistence -----------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries = {
+            record["fingerprint"]: BaselineEntry.from_record(record)
+            for record in data.get("entries", [])
+        }
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        records = sorted(
+            (entry.to_record() for entry in self.entries.values()),
+            key=lambda r: (r["path"], r["check"], r["symbol"], r["fingerprint"]),
+        )
+        payload = {"version": BASELINE_VERSION, "entries": records}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # -- matching --------------------------------------------------------
+    def apply(self, findings: list[Finding]) -> tuple[
+            list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split ``findings`` into (new, suppressed) and report stale entries.
+
+        Occurrences of a fingerprint beyond its recorded ``count`` are
+        treated as new; an entry matched by zero findings is stale.
+        """
+        budget = {fp: entry.count for fp, entry in self.entries.items()}
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in sort_findings(findings):
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            self.entries[fp]
+            for fp, remaining in budget.items()
+            if remaining == self.entries[fp].count  # never matched at all
+        ]
+        stale.sort(key=lambda e: (e.path, e.check, e.fingerprint))
+        return new, suppressed, stale

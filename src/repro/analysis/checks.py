@@ -1,0 +1,482 @@
+"""The four fabric checks (plus the clock-domain companion).
+
+Each check is a function ``(SourceFile) -> Iterator[Finding]``; the
+runner composes them and applies per-line waivers and the baseline.
+Check ids are stable — they appear in baselines and waiver comments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.lockscope import (
+    ClassLockInfo,
+    iter_classes,
+    visit_with_lock_state,
+)
+from repro.analysis.source import SourceFile, dotted_name, enclosing_symbol
+
+GUARDED_BY = "guarded-by"
+DETERMINISM = "determinism"
+WIRE_COMPAT = "wire-compat"
+BLOCKING_UNDER_LOCK = "blocking-under-lock"
+CLOCK_DOMAIN = "clock-domain"
+
+#: Packages whose modules must route time/randomness through the
+#: injectable clock/RNG boundary (repro.workloads and benchmarks are
+#: exempt: they model user code, not fabric).
+DETERMINISM_SCOPE = (
+    "repro.core",
+    "repro.endpoint",
+    "repro.transport",
+    "repro.store",
+    "repro.chaos",
+)
+
+WIRE_MODULE = "repro.transport.messages"
+
+
+def _finding(source: SourceFile, check: str, node: ast.AST, message: str,
+             hint: str) -> Finding:
+    lineno = getattr(node, "lineno", 1)
+    return Finding(
+        check=check,
+        path=source.path,
+        line=lineno,
+        col=getattr(node, "col_offset", 0),
+        symbol=enclosing_symbol(source.tree, lineno),
+        message=message,
+        hint=hint,
+        line_text=source.line_text(lineno),
+    )
+
+
+# ======================================================================
+# 1. guarded-by
+# ======================================================================
+def check_guarded_by(source: SourceFile) -> Iterator[Finding]:
+    """Guarded attributes may only be touched under their declared lock.
+
+    Scope is the declaring class: ``self.<attr>`` accesses in any method
+    (or closure defined inside one) must sit inside a ``with
+    self.<lock>:`` block, a held-marker method, or ``__init__`` (the
+    object is not yet shared during construction).
+    """
+    for info in iter_classes(source):
+        if not info.guards:
+            continue
+        for method in _direct_methods(info.node):
+            if method.name == "__init__":
+                continue
+            yield from _scan_method_guards(source, info, method)
+
+
+def _direct_methods(node: ast.ClassDef) -> list[ast.FunctionDef]:
+    return [s for s in node.body
+            if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def _scan_method_guards(source: SourceFile, info: ClassLockInfo,
+                        method: ast.FunctionDef) -> Iterator[Finding]:
+    findings: list[Finding] = []
+
+    def on_node(node: ast.AST, held: frozenset[str]) -> None:
+        if not (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in info.guards):
+            return
+        lock = info.guards[node.attr]
+        if lock in held:
+            return
+        qual = f"{info.qualname}.{method.name}"
+        findings.append(Finding(
+            check=GUARDED_BY,
+            path=source.path,
+            line=node.lineno,
+            col=node.col_offset,
+            symbol=qual,
+            message=(f"self.{node.attr} is guarded by self.{lock} but accessed "
+                     f"without holding it"),
+            hint=(f"wrap the access in `with self.{lock}:` (or mark the method "
+                  f"`# guarded-by: self.{lock}` if every caller already holds it)"),
+            line_text=source.line_text(node.lineno),
+        ))
+
+    initial = info.held_markers.get(method, frozenset())
+    visit_with_lock_state(
+        method, initial, info.lock_names, on_node,
+        nested_initial=lambda d: info.held_markers.get(d, frozenset()),
+    )
+    yield from findings
+
+
+# ======================================================================
+# 2. determinism boundary
+# ======================================================================
+_TIME_FORBIDDEN = {
+    "time", "monotonic", "sleep", "perf_counter", "process_time",
+    "thread_time", "monotonic_ns", "time_ns", "perf_counter_ns",
+}
+_RNG_CONSTRUCTORS = {"Random", "SystemRandom"}
+_DATETIME_FORBIDDEN = {
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_DETERMINISM_HINT = (
+    "route through the injectable clock/RNG (self._clock(), self._sleep(...), "
+    "a seeded random.Random instance); a bare reference as a constructor "
+    "default (`clock or time.monotonic`) is the allowed boundary"
+)
+
+
+def in_determinism_scope(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".")
+               for p in DETERMINISM_SCOPE)
+
+
+def check_determinism(source: SourceFile) -> Iterator[Finding]:
+    """No direct wall-clock/global-RNG *calls* inside the fabric packages.
+
+    References (``clock or time.monotonic``) are fine — that is exactly
+    how the boundary defaults are declared; only calls execute outside
+    the injectable path and diverge between a run and its chaos replay.
+    """
+    if not in_determinism_scope(source.module):
+        return
+    aliases = _import_aliases(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        canonical = _canonical_call(node.func, aliases)
+        if canonical is None:
+            continue
+        message = _determinism_violation(canonical)
+        if message is not None:
+            yield _finding(source, DETERMINISM, node, message, _DETERMINISM_HINT)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name → canonical dotted origin, for time/random/datetime."""
+    interesting = {"time", "random", "datetime"}
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in interesting:
+                    aliases[alias.asname or root] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            if root in interesting and node.level == 0:
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+    return aliases
+
+
+def _canonical_call(func: ast.expr, aliases: dict[str, str]) -> str | None:
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    first, _, rest = dotted.partition(".")
+    origin = aliases.get(first)
+    if origin is None:
+        return None
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _determinism_violation(canonical: str) -> str | None:
+    parts = canonical.split(".")
+    if parts[0] == "time" and len(parts) == 2 and parts[1] in _TIME_FORBIDDEN:
+        return (f"direct call to time.{parts[1]}() bypasses the injectable "
+                f"clock and breaks chaos replay")
+    if parts[0] == "random" and len(parts) == 2:
+        if parts[1] in _RNG_CONSTRUCTORS:
+            return None  # constructing a seeded RNG *is* the boundary
+        return (f"random.{parts[1]}() uses the global RNG; seed a "
+                f"random.Random(seed) at the boundary instead")
+    if canonical in _DATETIME_FORBIDDEN or (
+            parts[0] == "datetime"
+            and parts[-1] in {"now", "utcnow", "today"}):
+        return (f"{canonical}() reads the wall clock; timestamps must come "
+                f"from the injectable clock")
+    return None
+
+
+# ======================================================================
+# 3. wire-compat
+# ======================================================================
+_WIRE_SAFE_NAMES = {
+    "str", "bytes", "bool", "int", "float", "None", "Any", "bytearray",
+}
+#: Non-primitive types the serializer is pinned to round-trip (the PR 2
+#: hypothesis suites cover TraceContext payloads explicitly).
+_WIRE_SAFE_EXTRA = {"TraceContext"}
+_WIRE_SAFE_CONTAINERS = {
+    "tuple", "Tuple", "dict", "Dict", "list", "List", "frozenset",
+    "FrozenSet", "set", "Set", "Optional", "Union",
+}
+#: Fields that predate the wire-compat rule and may stay default-free.
+_SEED_REQUIRED_FIELDS = {("Message", "sender")}
+
+_WIRE_TYPE_HINT = (
+    "wire messages must round-trip the serializer: use str/bytes/bool/int/"
+    "float/None, containers of those, or a registered wire-safe type "
+    "(TraceContext); move richer objects into serialized buffers"
+)
+_WIRE_DEFAULT_HINT = (
+    "fields added after the seed need a default so messages recorded by "
+    "older versions (chaos artifacts, queued tasks) still construct"
+)
+
+
+def check_wire_compat(source: SourceFile) -> Iterator[Finding]:
+    """Wire-message dataclasses stay replayable across versions."""
+    if source.module != WIRE_MODULE:
+        return
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            if _is_classvar(stmt.annotation):
+                continue
+            field_name = stmt.target.id
+            if not _wire_safe_annotation(stmt.annotation):
+                yield _finding(
+                    source, WIRE_COMPAT, stmt,
+                    f"{node.name}.{field_name} has a non-serializer-safe "
+                    f"type annotation "
+                    f"({ast.unparse(stmt.annotation)})",
+                    _WIRE_TYPE_HINT,
+                )
+            if stmt.value is None and (node.name, field_name) not in _SEED_REQUIRED_FIELDS:
+                yield _finding(
+                    source, WIRE_COMPAT, stmt,
+                    f"{node.name}.{field_name} was added without a default",
+                    _WIRE_DEFAULT_HINT,
+                )
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target) or ""
+        if name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    name = dotted_name(target) or ""
+    return name.split(".")[-1] == "ClassVar"
+
+
+def _wire_safe_annotation(annotation: ast.expr) -> bool:
+    if isinstance(annotation, ast.Constant):
+        if annotation.value is None or annotation.value is Ellipsis:
+            return True
+        if isinstance(annotation.value, str):  # quoted forward reference
+            try:
+                parsed = ast.parse(annotation.value, mode="eval")
+            except SyntaxError:
+                return False
+            return _wire_safe_annotation(parsed.body)
+        return False
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        name = (dotted_name(annotation) or "").split(".")[-1]
+        return (name in _WIRE_SAFE_NAMES or name in _WIRE_SAFE_EXTRA
+                or name in _WIRE_SAFE_CONTAINERS)
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return (_wire_safe_annotation(annotation.left)
+                and _wire_safe_annotation(annotation.right))
+    if isinstance(annotation, ast.Subscript):
+        if not _wire_safe_annotation(annotation.value):
+            return False
+        elems = (annotation.slice.elts
+                 if isinstance(annotation.slice, ast.Tuple)
+                 else [annotation.slice])
+        return all(_wire_safe_annotation(e) for e in elems)
+    return False
+
+
+# ======================================================================
+# 4. blocking-under-lock
+# ======================================================================
+_CHANNEL_OPS = {"send", "recv", "recv_all_ready"}
+_QUEUE_OPS = {
+    "put", "put_many", "put_nowait", "get_nowait", "lease", "lease_many",
+    "ack", "nack", "nack_all", "requeue_expired",
+}
+_BLOCKING_HINT = (
+    "take a snapshot under the lock, release it, then perform the blocking "
+    "call on the copied state (see Forwarder._requeue_outstanding for the "
+    "pattern)"
+)
+
+
+def check_blocking_under_lock(source: SourceFile) -> Iterator[Finding]:
+    """No sleep, channel send/recv, or queue operation under a lock.
+
+    Lock scopes come from the same inference as ``guarded-by``; calls on
+    the lock object itself (``self._lock.wait()`` releases it) are fine.
+    ``dict.get`` is deliberately not treated as a queue op — only the
+    unambiguous queue verbs are.
+    """
+    for info in iter_classes(source):
+        for method in _direct_methods(info.node):
+            initial = info.held_markers.get(method, frozenset())
+            yield from _scan_blocking(source, info.qualname, method, initial,
+                                      info.lock_names, info)
+    for func in _module_functions(source.tree):
+        yield from _scan_blocking(source, func.name, func, frozenset(),
+                                  frozenset(), None)
+
+
+def _module_functions(tree: ast.Module) -> list[ast.FunctionDef]:
+    return [s for s in tree.body
+            if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def _scan_blocking(source: SourceFile, qualname: str, func: ast.FunctionDef,
+                   initial: frozenset[str], known_locks: frozenset[str],
+                   info: ClassLockInfo | None) -> Iterator[Finding]:
+    findings: list[Finding] = []
+
+    def on_node(node: ast.AST, held: frozenset[str]) -> None:
+        if not held or not isinstance(node, ast.Call):
+            return
+        label = _blocking_call(node, known_locks)
+        if label is None:
+            return
+        locks = ", ".join(sorted(f"self.{l}" for l in held))
+        symbol = qualname if qualname.endswith(func.name) else f"{qualname}.{func.name}"
+        findings.append(Finding(
+            check=BLOCKING_UNDER_LOCK,
+            path=source.path,
+            line=node.lineno,
+            col=node.col_offset,
+            symbol=symbol,
+            message=f"{label} while holding {locks}",
+            hint=_BLOCKING_HINT,
+            line_text=source.line_text(node.lineno),
+        ))
+
+    nested = (lambda d: info.held_markers.get(d, frozenset())) if info else None
+    visit_with_lock_state(func, initial, known_locks, on_node,
+                          nested_initial=nested)
+    yield from findings
+
+
+def _blocking_call(node: ast.Call, known_locks: frozenset[str]) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return "sleep()" if func.id == "sleep" else None
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = dotted_name(func.value)
+    if receiver is not None:
+        last = receiver.split(".")[-1]
+        lowered = last.lower()
+        if "lock" in lowered or "cond" in lowered or last in known_locks:
+            return None  # Condition.wait/notify release or need the lock
+    attr = func.attr
+    if attr == "sleep" or (isinstance(func.value, ast.Name)
+                           and func.value.id in ("time", "_time")
+                           and attr == "sleep"):
+        return f"{receiver or '<expr>'}.sleep()"
+    if attr in _CHANNEL_OPS:
+        return f"channel operation {receiver or '<expr>'}.{attr}()"
+    if attr in _QUEUE_OPS:
+        return f"queue operation {receiver or '<expr>'}.{attr}()"
+    if attr == "wait":
+        return f"blocking wait {receiver or '<expr>'}.wait()"
+    return None
+
+
+# ======================================================================
+# 5. clock-domain
+# ======================================================================
+_CLOCK_DOMAIN_HINT = (
+    "deadlines must be computed within one clock domain; convert at the "
+    "boundary (or re-mark the source with `# clock-domain: ...` if the "
+    "declaration is wrong)"
+)
+
+
+def check_clock_domain(source: SourceFile) -> Iterator[Finding]:
+    """Arithmetic must never mix monotonic- and wall-domain clocks.
+
+    Domains are declared with ``# clock-domain: monotonic|wall`` trailing
+    comments on clock (or derived-deadline) assignments.  The check flags
+    any ``+``/``-`` expression or comparison whose operands draw from
+    different declared domains.
+    """
+    if not source.clock_domains:
+        return
+    domains = _declared_domains(source)
+    if not domains:
+        return
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            sides = [_subtree_domains(node.left, domains),
+                     _subtree_domains(node.right, domains)]
+        elif isinstance(node, ast.Compare):
+            sides = [_subtree_domains(node.left, domains)]
+            sides.extend(_subtree_domains(c, domains) for c in node.comparators)
+        else:
+            continue
+        seen = [s for s in sides if s]
+        merged = set().union(*seen) if seen else set()
+        if len(merged) > 1 and any(len(s) < len(merged) for s in seen):
+            yield _finding(
+                source, CLOCK_DOMAIN, node,
+                f"expression mixes clock domains {sorted(merged)}",
+                _CLOCK_DOMAIN_HINT,
+            )
+
+
+def _declared_domains(source: SourceFile) -> dict[tuple[str, str], str]:
+    """(kind, name) → domain, from marker comments on assignments."""
+    declared: dict[tuple[str, str], str] = {}
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        domain = source.clock_domains.get(node.lineno)
+        if domain is None:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                declared[("attr", target.attr)] = domain
+            elif isinstance(target, ast.Name):
+                declared[("name", target.id)] = domain
+    return declared
+
+
+def _subtree_domains(node: ast.expr, declared: dict[tuple[str, str], str]) -> set[str]:
+    found: set[str] = set()
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"):
+            domain = declared.get(("attr", sub.attr))
+        elif isinstance(sub, ast.Name):
+            domain = declared.get(("name", sub.id))
+        else:
+            continue
+        if domain is not None:
+            found.add(domain)
+    return found

@@ -1,0 +1,53 @@
+"""Findings: what a check reports and how it is identified over time.
+
+A finding names the file, line, check id and offending symbol, carries a
+human fix hint, and exposes a *fingerprint* — ``(check, path, symbol,
+normalized line text)`` — that survives unrelated edits moving the line
+around.  Baselines match on fingerprints, not line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation reported by a check."""
+
+    check: str       # check id, e.g. "guarded-by"
+    path: str        # repo-relative posix path
+    line: int        # 1-based line number
+    col: int         # 0-based column
+    symbol: str      # enclosing qualified symbol, e.g. "Manager._dispatch_pending"
+    message: str     # what is wrong
+    hint: str        # how to fix it
+    line_text: str   # stripped source of the offending line (fingerprint input)
+
+    # -- identity --------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line numbers excluded)."""
+        key = "\x1f".join((self.check, self.path, self.symbol, self.line_text))
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    # -- rendering -------------------------------------------------------
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.check}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["fingerprint"] = self.fingerprint()
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_record(), sort_keys=True)
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: by path, then line, then check id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.check))

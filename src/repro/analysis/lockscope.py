@@ -1,0 +1,179 @@
+"""Lock-scope inference shared by guarded-by and blocking-under-lock.
+
+For every class the inference collects:
+
+* **guards** — which attributes are protected by which lock, declared
+  either with a trailing ``# guarded-by: self._lock`` comment on the
+  attribute's ``__init__`` assignment or through a class-level
+  ``_GUARDED = {"_attr": "_lock"}`` registry;
+* **held markers** — methods whose ``def`` line carries a
+  ``# guarded-by: self._lock`` comment, meaning every caller already
+  holds that lock (e.g. ``ReliableQueue._emit``);
+* **lock scopes** — for each statement, the set of locks lexically held
+  there.  A lock is held inside ``with self._lock:`` bodies, including
+  nested withs and multi-item withs; early returns are irrelevant to
+  lexical containment, and nested ``def``/``lambda`` bodies reset the
+  held set because closures run after the ``with`` exits.
+
+Lock recognition is name-based: a ``with`` context expression counts as
+a lock when its final attribute contains ``lock`` or ``cond``, or is a
+declared guard lock of the class (covers a ``threading.Condition``
+named ``_lock`` as well as any lock a guard declaration names).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.analysis.source import SourceFile, dotted_name
+
+GUARDED_REGISTRY_NAME = "_GUARDED"
+
+
+@dataclass
+class ClassLockInfo:
+    """Lock/guard facts for one class definition."""
+
+    node: ast.ClassDef
+    qualname: str
+    guards: dict[str, str] = field(default_factory=dict)       # attr -> lock attr
+    held_markers: dict[ast.AST, frozenset[str]] = field(default_factory=dict)
+
+    @property
+    def lock_names(self) -> frozenset[str]:
+        return frozenset(self.guards.values())
+
+
+def iter_classes(source: SourceFile) -> Iterator[ClassLockInfo]:
+    """Every class in the module with its guard declarations resolved."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[ClassLockInfo]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                qname = f"{prefix}.{child.name}" if prefix else child.name
+                yield _class_info(source, child, qname)
+                yield from walk(child, qname)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = f"{prefix}.{child.name}" if prefix else child.name
+                yield from walk(child, inner)
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(source.tree, "")
+
+
+def _class_info(source: SourceFile, node: ast.ClassDef, qualname: str) -> ClassLockInfo:
+    info = ClassLockInfo(node=node, qualname=qualname)
+    # 1. class-level registry: _GUARDED = {"_attr": "_lock", ...}
+    for stmt in node.body:
+        if (isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == GUARDED_REGISTRY_NAME
+                and isinstance(stmt.value, ast.Dict)):
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    info.guards[key.value] = value.value
+    # 2. comment declarations on self.<attr> assignments, and held markers
+    #    on def lines, anywhere in the class body.
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            lock = source.guard_comments.get(sub.lineno)
+            if lock is not None:
+                info.held_markers[sub] = frozenset({lock})
+        elif isinstance(sub, (ast.Assign, ast.AnnAssign)):
+            lock = source.guard_comments.get(sub.lineno)
+            if lock is None:
+                continue
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    info.guards[target.attr] = lock
+    return info
+
+
+# ----------------------------------------------------------------------
+# traversal with held-lock state
+# ----------------------------------------------------------------------
+def _lock_in_context(expr: ast.expr, known_locks: frozenset[str]) -> str | None:
+    """The lock name a ``with`` item acquires, or ``None``.
+
+    Accepts ``self._lock``, a bare ``lock`` variable, and
+    ``self._lock.acquire_timeout(...)``-style calls on a lock.
+    """
+    target = expr
+    if isinstance(target, ast.Call):
+        target = target.func
+        if isinstance(target, ast.Attribute):
+            target = target.value  # with self._lock.something(): -> self._lock
+    name = dotted_name(target)
+    if name is None:
+        return None
+    last = name.split(".")[-1]
+    lowered = last.lower()
+    if "lock" in lowered or "cond" in lowered or last in known_locks:
+        return last
+    return None
+
+
+def visit_with_lock_state(
+    func: ast.AST,
+    initial_held: frozenset[str],
+    known_locks: frozenset[str],
+    callback: Callable[[ast.AST, frozenset[str]], None],
+    nested_initial: Callable[[ast.AST], frozenset[str]] | None = None,
+) -> None:
+    """Invoke ``callback(node, held_locks)`` for every node in ``func``.
+
+    ``func`` is a function definition whose body starts with
+    ``initial_held`` locks held (non-empty for held-marker methods).
+    Nested function/lambda bodies restart from ``nested_initial(def)``
+    (default: no locks) because closures execute after the enclosing
+    ``with`` block has exited.
+    """
+
+    def visit(node: ast.AST, held: frozenset[str]) -> None:
+        callback(node, held)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            fresh = nested_initial(node) if nested_initial else frozenset()
+            # decorators/defaults evaluate in the enclosing scope
+            for expr in _definition_time_exprs(node):
+                visit(expr, held)
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                visit(stmt, fresh)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in node.items:
+                visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    visit(item.optional_vars, held)
+                lock = _lock_in_context(item.context_expr, known_locks)
+                if lock is not None:
+                    inner.add(lock)
+            for stmt in node.body:
+                visit(stmt, frozenset(inner))
+        else:
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+    body = getattr(func, "body", [])
+    if not isinstance(body, list):
+        body = [body]
+    for stmt in body:
+        visit(stmt, initial_held)
+
+
+def _definition_time_exprs(node: ast.AST) -> list[ast.expr]:
+    exprs: list[ast.expr] = list(getattr(node, "decorator_list", []))
+    args = getattr(node, "args", None)
+    if args is not None:
+        exprs.extend(d for d in args.defaults if d is not None)
+        exprs.extend(d for d in args.kw_defaults if d is not None)
+    return exprs

@@ -1,0 +1,120 @@
+"""Run the checks over files and fold in waivers and the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.checks import (
+    check_blocking_under_lock,
+    check_clock_domain,
+    check_determinism,
+    check_guarded_by,
+    check_wire_compat,
+)
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.source import SourceFile, load_source, module_name_for
+
+Check = Callable[[SourceFile], Iterator[Finding]]
+
+#: Check-id → implementation; order is report order for same-line findings.
+ALL_CHECKS: dict[str, Check] = {
+    "guarded-by": check_guarded_by,
+    "determinism": check_determinism,
+    "wire-compat": check_wire_compat,
+    "blocking-under-lock": check_blocking_under_lock,
+    "clock-domain": check_clock_domain,
+}
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    findings: list[Finding] = field(default_factory=list)   # new (not baselined)
+    suppressed: list[Finding] = field(default_factory=list)  # matched by baseline
+    stale: list[BaselineEntry] = field(default_factory=list)
+    files_analyzed: int = 0
+    errors: list[str] = field(default_factory=list)          # unparseable files
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def all_findings(self) -> list[Finding]:
+        return sort_findings(self.findings + self.suppressed)
+
+    def to_record(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_analyzed": self.files_analyzed,
+            "findings": [f.to_record() for f in self.findings],
+            "suppressed": [f.to_record() for f in self.suppressed],
+            "stale": [e.to_record() for e in self.stale],
+            "errors": list(self.errors),
+        }
+
+
+def analyze_source(source: SourceFile,
+                   checks: dict[str, Check] | None = None) -> list[Finding]:
+    """All non-waived findings for one parsed file."""
+    active = checks if checks is not None else ALL_CHECKS
+    findings: list[Finding] = []
+    for check_id, check in active.items():
+        for finding in check(source):
+            if not source.is_ignored(finding.line, check_id):
+                findings.append(finding)
+    return sort_findings(findings)
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """Python files under ``root`` (a file or directory), sorted, skipping
+    caches and hidden directories."""
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if any(part.startswith(".") or part == "__pycache__"
+               for part in path.parts):
+            continue
+        yield path
+
+
+def analyze_paths(paths: list[Path], repo_root: Path | None = None,
+                  checks: dict[str, Check] | None = None) -> AnalysisReport:
+    """Analyze every Python file under ``paths`` (no baseline applied)."""
+    repo_root = repo_root or Path.cwd()
+    report = AnalysisReport()
+    for root in paths:
+        for file_path in iter_python_files(root):
+            try:
+                rel = file_path.resolve().relative_to(repo_root.resolve())
+                rel_path = rel.as_posix()
+            except ValueError:
+                rel_path = file_path.as_posix()
+            module = module_name_for(rel_path) or file_path.stem
+            try:
+                source = load_source(file_path, rel_path, module)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                report.errors.append(f"{rel_path}: {exc}")
+                continue
+            report.files_analyzed += 1
+            report.findings.extend(analyze_source(source, checks))
+    report.findings = sort_findings(report.findings)
+    return report
+
+
+def run_analysis(paths: list[Path], repo_root: Path | None = None,
+                 baseline: Baseline | None = None,
+                 checks: dict[str, Check] | None = None) -> AnalysisReport:
+    """Analyze ``paths`` and split findings against ``baseline``."""
+    report = analyze_paths(paths, repo_root=repo_root, checks=checks)
+    if baseline is not None and len(baseline):
+        new, suppressed, stale = baseline.apply(report.findings)
+        report.findings = new
+        report.suppressed = suppressed
+        report.stale = stale
+    return report

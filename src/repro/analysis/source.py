@@ -1,0 +1,172 @@
+"""The analyzer's view of one Python source file.
+
+:class:`SourceFile` bundles the parsed AST with the comment markers the
+checks consume.  Comments are extracted with :mod:`tokenize` (never by
+string-scanning raw lines) so a ``#`` inside a string literal can never
+masquerade as an annotation.
+
+Recognized markers (all trailing comments):
+
+``# guarded-by: self._lock``
+    On an attribute assignment (``self._pending = ...``): declares the
+    attribute guarded by that lock.  On a ``def`` line: declares that
+    callers invoke the function with the lock already held.
+``# clock-domain: monotonic`` / ``# clock-domain: wall``
+    Declares which time domain the assigned clock belongs to.
+``# lint: ignore`` / ``# lint: ignore[check-id, ...]``
+    Waives findings on that line (all checks, or the listed ones).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?:self\.)?([A-Za-z_]\w*)")
+_CLOCK_DOMAIN_RE = re.compile(r"#\s*clock-domain:\s*(monotonic|wall)\b")
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([^\]]*)\])?")
+
+
+@dataclass
+class SourceFile:
+    """A parsed module plus its analyzer annotations."""
+
+    path: str                      # repo-relative posix path (report key)
+    module: str                    # dotted module name, e.g. "repro.core.service"
+    text: str
+    tree: ast.Module
+    comments: dict[int, str] = field(default_factory=dict)      # line -> comment
+    ignores: dict[int, frozenset[str]] = field(default_factory=dict)
+    guard_comments: dict[int, str] = field(default_factory=dict)  # line -> lock name
+    clock_domains: dict[int, str] = field(default_factory=dict)   # line -> domain
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        lines = self.lines
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return ""
+
+    def is_ignored(self, lineno: int, check: str) -> bool:
+        waived = self.ignores.get(lineno)
+        if waived is None:
+            return False
+        return "*" in waived or check in waived
+
+
+def parse_source(text: str, path: str, module: str) -> SourceFile:
+    """Parse ``text`` into a :class:`SourceFile` (raises ``SyntaxError``)."""
+    tree = ast.parse(text, filename=path)
+    source = SourceFile(path=path, module=module, text=text, tree=tree)
+    _collect_comments(source)
+    return source
+
+
+def load_source(file_path: Path, rel_path: str, module: str) -> SourceFile:
+    text = file_path.read_text(encoding="utf-8")
+    return parse_source(text, path=rel_path, module=module)
+
+
+def module_name_for(rel_path: str) -> str | None:
+    """Dotted module for a repo-relative path (``src`` layout aware).
+
+    ``src/repro/core/service.py`` → ``repro.core.service``; paths outside
+    a recognizable package root fall back to the stem chain.
+    """
+    parts = list(Path(rel_path).with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else None
+
+
+def _collect_comments(source: SourceFile) -> None:
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source.text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            lineno = token.start[0]
+            comment = token.string
+            source.comments[lineno] = comment
+            guard = _GUARDED_BY_RE.search(comment)
+            if guard:
+                source.guard_comments[lineno] = guard.group(1)
+            domain = _CLOCK_DOMAIN_RE.search(comment)
+            if domain:
+                source.clock_domains[lineno] = domain.group(1)
+            ignore = _IGNORE_RE.search(comment)
+            if ignore:
+                listed = ignore.group(1)
+                if listed is None:
+                    source.ignores[lineno] = frozenset({"*"})
+                else:
+                    checks = frozenset(
+                        item.strip() for item in listed.split(",") if item.strip()
+                    )
+                    source.ignores[lineno] = checks or frozenset({"*"})
+    except tokenize.TokenError:
+        # A file that parses but fails tokenization (rare) simply loses
+        # its comment annotations; the AST checks still run.
+        pass
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.expr) -> str | None:
+    """``self._lock`` / ``queue.ack`` → the dotted path, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def qualified_symbols(tree: ast.Module) -> dict[int, str]:
+    """Map every function/class definition line to its qualified name."""
+    table: dict[int, str] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = f"{prefix}.{child.name}" if prefix else child.name
+                table[child.lineno] = name
+                visit(child, name)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return table
+
+
+def enclosing_symbol(tree: ast.Module, lineno: int) -> str:
+    """Qualified name of the innermost def/class containing ``lineno``."""
+    best = "<module>"
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        nonlocal best
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                qname = f"{prefix}.{child.name}" if prefix else child.name
+                end = getattr(child, "end_lineno", child.lineno)
+                if child.lineno <= lineno <= end:
+                    best = qname
+                walk(child, qname)
+            else:
+                walk(child, prefix)
+
+    walk(tree, "")
+    return best

@@ -79,7 +79,7 @@ class AuthService:
 
     def __init__(self, token_lifetime: float = 3600.0, clock: Callable[[], float] | None = None):
         self.token_lifetime = token_lifetime
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self._identities: dict[str, Identity] = {}
         self._tokens: dict[str, AccessToken] = {}
         self._refresh: dict[str, str] = {}  # refresh token -> access token

@@ -1,6 +1,7 @@
 """The fault scheduler: applies a :class:`FaultPlan` to a live world.
 
-Steps fire at ``plan_start + step.at`` on the wall clock; before each
+Steps fire at ``plan_start + step.at`` on the pacing clock (monotonic by
+default, injectable for deterministic tests); before each
 application the world's invariant registry is pointed at the step so any
 violation the fault provokes is attributed to it in the report.
 """
@@ -10,6 +11,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.chaos.plan import FaultPlan, FaultStep
 
@@ -45,26 +47,31 @@ class ChaosScheduler:
     so the test can submit tasks while faults land.
     """
 
-    def __init__(self, world: "ChaosWorld"):  # noqa: F821 - forward ref
+    def __init__(
+        self,
+        world: "ChaosWorld",  # noqa: F821 - forward ref
+        clock: Callable[[], float] | None = None,
+    ):
         self.world = world
         self._thread: threading.Thread | None = None
         self._abort = threading.Event()
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self.last_result: ScheduleResult | None = None
 
     # ------------------------------------------------------------------
     def run(self, plan: FaultPlan) -> ScheduleResult:
-        """Apply every step of ``plan`` in order, pacing on the wall clock."""
+        """Apply every step of ``plan`` in order, pacing on the clock."""
         result = ScheduleResult(plan=plan)
         registry = self.world.registry
-        start = time.monotonic()
+        start = self._clock()
         for step in plan.steps:  # already sorted by FaultPlan
             if self._abort.is_set():
                 break
-            delay = (start + step.at) - time.monotonic()
+            delay = (start + step.at) - self._clock()
             if delay > 0 and self._abort.wait(delay):
                 break
             registry.set_step(step)
-            applied = AppliedStep(step=step, applied_at=time.monotonic() - start)
+            applied = AppliedStep(step=step, applied_at=self._clock() - start)
             try:
                 self.world.apply_step(step)
             except Exception as exc:

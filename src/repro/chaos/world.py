@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.chaos.invariants import Invariant, InvariantRegistry, InvariantViolation
 from repro.chaos.plan import FaultPlan, FaultStep
@@ -85,9 +85,13 @@ class ChaosWorld:
     """
 
     def __init__(self, seed: int = 0, *, max_retries: int = 8,
-                 invariants: list[Invariant] | None = None):
+                 invariants: list[Invariant] | None = None,
+                 clock: Callable[[], float] | None = None,
+                 sleeper: Callable[[float], None] | None = None):
         self.seed = seed
         self.max_retries = max_retries
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
+        self._sleep = sleeper or time.sleep
         self.registry = InvariantRegistry(invariants)
         self.deployment = LocalDeployment(
             seed=seed,
@@ -159,11 +163,11 @@ class ChaosWorld:
         forwarder.start()
         endpoint.start()
         endpoint.wait_ready()
-        deadline = time.monotonic() + 10.0
-        while time.monotonic() < deadline:
+        deadline = self._clock() + 10.0
+        while self._clock() < deadline:
             if self.deployment.service.endpoints.get(endpoint_id).connected:
                 break
-            time.sleep(0.005)
+            self._sleep(0.005)
         channel.drop_probability = drop_probability
 
         self.hooks[name] = _EndpointHooks(

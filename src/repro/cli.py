@@ -9,6 +9,7 @@ Offline-friendly subcommands::
     python -m repro.cli platforms            # list platform models
     python -m repro.cli trace <task-id>      # per-stage latency breakdown
     python -m repro.cli metrics              # render an exported registry
+    python -m repro.cli lint                 # fabric static analyzer
 
 ``demo --trace-out traces.jsonl --metrics-out metrics.jsonl`` exports the
 observability artifacts the ``trace``/``metrics`` subcommands consume.
@@ -162,6 +163,59 @@ def _cmd_casestudies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import Baseline, run_analysis
+    from repro.analysis.baseline import BASELINE_VERSION
+
+    repo_root = Path(args.root).resolve()
+    paths = ([Path(p) for p in args.paths] if args.paths
+             else [repo_root / "src"])
+    baseline_path = Path(args.baseline) if args.baseline else (
+        repo_root / "analysis-baseline.json")
+
+    if args.no_baseline:
+        baseline = None
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    report = run_analysis(paths, repo_root=repo_root, baseline=baseline)
+
+    if args.update_baseline:
+        refreshed = Baseline.from_findings(report.all_findings())
+        refreshed.save(baseline_path)
+        print(f"baseline updated: {len(refreshed)} entr"
+              f"{'y' if len(refreshed) == 1 else 'ies'} -> {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_record(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+
+    for error in report.errors:
+        print(f"error: {error}")
+    for finding in report.findings:
+        print(finding.format())
+    parts = [f"{report.files_analyzed} files analyzed",
+             f"{len(report.findings)} violation(s)"]
+    if report.suppressed:
+        parts.append(f"{len(report.suppressed)} baselined")
+    if report.stale:
+        parts.append(f"{len(report.stale)} stale baseline entr"
+                     f"{'y' if len(report.stale) == 1 else 'ies'}")
+    print("; ".join(parts))
+    for entry in report.stale:
+        print(f"  stale: [{entry.check}] {entry.path} {entry.symbol}: "
+              f"{entry.line_text!r} (run --update-baseline to prune)")
+    return 0 if report.ok else 1
+
+
 def _cmd_platforms(args: argparse.Namespace) -> int:
     from repro.sim.platform import PLATFORMS
 
@@ -227,6 +281,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     plats = sub.add_parser("platforms", help="list platform models")
     plats.set_defaults(func=_cmd_platforms)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the fabric static analyzer (guarded-by, determinism, "
+             "wire-compat, blocking-under-lock, clock-domain)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to analyze (default: src/)")
+    lint.add_argument("--root", default=".",
+                      help="repository root for relative paths and the "
+                           "default baseline location (default: .)")
+    lint.add_argument("--baseline", default="",
+                      help="baseline file (default: <root>/analysis-baseline.json)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring the baseline")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to grandfather current findings")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="output format (default: text)")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -14,6 +14,7 @@ and arguments, attaches the bearer token, and deserializes results
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Iterable
 
 from repro.auth.scopes import Scope
@@ -46,10 +47,14 @@ class FuncXClient:
         service: FuncXService,
         identity: Identity,
         scopes: Iterable[Scope] | None = None,
+        clock: Callable[[], float] | None = None,
+        sleeper: Callable[[float], None] | None = None,
     ):
         self.service = service
         self._auth_client = AuthClient(service.auth, identity, scopes=scopes)
         self.serializer = FuncXSerializer()
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
+        self._sleep = sleeper or time.sleep
 
     @property
     def identity(self) -> Identity:
@@ -236,12 +241,10 @@ class FuncXClient:
     # ------------------------------------------------------------------
     def wait_for(self, task_id: str, timeout: float = 30.0, poll: float = 0.01) -> Any:
         """Poll until the task completes; returns the deserialized result."""
-        import time as _time
-
-        deadline = _time.monotonic() + timeout
-        while _time.monotonic() < deadline:
+        deadline = self._clock() + timeout
+        while self._clock() < deadline:
             try:
                 return self.get_result(task_id, timeout=min(0.5, timeout))
             except TaskPending:
-                _time.sleep(poll)
+                self._sleep(poll)
         raise TaskPending(task_id, self.get_status(task_id).value)

@@ -16,6 +16,7 @@ stepped manually under test control.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Callable
 
@@ -63,19 +64,21 @@ class Forwarder:
         max_dispatch_per_step: int = 1024,
         lease_timeout: float | None = None,
         clock: Callable[[], float] | None = None,
+        sleeper: Callable[[float], None] | None = None,
     ):
         self.service = service
         self.endpoint_id = endpoint_id
         self.channel = channel_end
-        self._clock = clock or service.now
+        self._clock = clock or service.now  # clock-domain: monotonic
+        self._sleep = sleeper or time.sleep
         self.heartbeats = HeartbeatTracker(
             period=heartbeat_period, grace_periods=heartbeat_grace, clock=self._clock
         )
         self.max_dispatch_per_step = max_dispatch_per_step
         self.lease_timeout = lease_timeout
-        self._agent_connected = False
-        self._agent_name: str | None = None
-        self._open_leases: dict[str, Lease] = {}  # task_id -> queue lease
+        self._agent_connected = False     # guarded-by: self._lock
+        self._agent_name: str | None = None  # guarded-by: self._lock
+        self._open_leases: dict[str, Lease] = {}  # guarded-by: self._lock
         self._lock = threading.RLock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -139,7 +142,8 @@ class Forwarder:
     # ------------------------------------------------------------------
     @property
     def agent_connected(self) -> bool:
-        return self._agent_connected
+        with self._lock:
+            return self._agent_connected
 
     @property
     def outstanding(self) -> int:
@@ -159,7 +163,7 @@ class Forwarder:
         self._check_agent_liveness()
         if self.lease_timeout is not None:
             events += self._reclaim_expired_leases()
-        if self._agent_connected:
+        if self.agent_connected:
             events += self._dispatch_tasks()
         return events
 
@@ -210,9 +214,10 @@ class Forwarder:
                        incarnation=message.incarnation,
                        registered=self._registered_incarnation)
             return
-        was_connected = self._agent_connected
-        self._agent_name = message.sender
-        self._agent_connected = True
+        with self._lock:
+            was_connected = self._agent_connected
+            self._agent_name = message.sender
+            self._agent_connected = True
         self.incarnation += 1
         self._registered_incarnation = message.incarnation
         self.heartbeats.beat(message.sender)
@@ -225,7 +230,9 @@ class Forwarder:
                        via="registration")
 
     def _on_heartbeat(self, message: Heartbeat) -> None:
-        if (message.sender == self._agent_name
+        with self._lock:
+            agent_name = self._agent_name
+        if (message.sender == agent_name
                 and message.incarnation
                 and message.incarnation < self._registered_incarnation):
             # A late beat from a dead incarnation must not feed the
@@ -238,9 +245,10 @@ class Forwarder:
                        registered=self._registered_incarnation)
             return
         self.heartbeats.beat(message.sender)
-        if message.sender == self._agent_name:
-            was_connected = self._agent_connected
-            self._agent_connected = True
+        if message.sender == agent_name:
+            with self._lock:
+                was_connected = self._agent_connected
+                self._agent_connected = True
             self.service.endpoint_heartbeat(self.endpoint_id)
             self.service.endpoints.set_connected(self.endpoint_id, True, self._clock())
             self._emit("liveness.beat", component=message.sender,
@@ -301,16 +309,20 @@ class Forwarder:
 
     # -- liveness ---------------------------------------------------------------
     def _check_agent_liveness(self) -> None:
-        if not self._agent_connected or self._agent_name is None:
+        with self._lock:
+            connected = self._agent_connected
+            agent_name = self._agent_name
+        if not connected or agent_name is None:
             return
-        if self.heartbeats.is_alive(self._agent_name):
+        if self.heartbeats.is_alive(agent_name):
             return
         # Agent lost: return outstanding tasks to the task queue ("the
         # forwarder ... returns outstanding tasks back into the task
         # queue", §4.1) and mark the endpoint disconnected.
-        self._agent_connected = False
+        with self._lock:
+            self._agent_connected = False
         self.service.endpoints.set_connected(self.endpoint_id, False)
-        self._emit("liveness.transition", component=self._agent_name,
+        self._emit("liveness.transition", component=agent_name,
                    alive=False, incarnation=self.incarnation,
                    via="heartbeat-timeout")
         self._requeue_outstanding("agent heartbeat lost")
@@ -436,7 +448,6 @@ class Forwarder:
 
         def loop() -> None:
             import logging
-            import time as _time
 
             while not self._stop.is_set():
                 try:
@@ -447,7 +458,7 @@ class Forwarder:
                     )
                     events = 0
                 if events == 0:
-                    _time.sleep(poll_interval)
+                    self._sleep(poll_interval)
 
         self._thread = threading.Thread(
             target=loop, name=f"forwarder-{self.endpoint_id[:8]}", daemon=True

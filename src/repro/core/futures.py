@@ -9,6 +9,7 @@ resolves when the service publishes the task's terminal state.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, ClassVar
 
 from repro.errors import TaskCancelled, TaskExecutionFailed, TaskPending
@@ -138,13 +139,13 @@ class FuncXFuture:
         return f"FuncXFuture({self.task_id}, {state})"
 
 
-def wait_all(futures: list[FuncXFuture], timeout: float | None = None) -> bool:
+def wait_all(futures: list[FuncXFuture], timeout: float | None = None,
+             clock: Callable[[], float] | None = None) -> bool:
     """Block until every future resolves; returns False on timeout."""
-    import time
-
-    deadline = None if timeout is None else time.monotonic() + timeout
+    now = clock or time.monotonic  # clock-domain: monotonic
+    deadline = None if timeout is None else now() + timeout
     for future in futures:
-        remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+        remaining = None if deadline is None else max(0.0, deadline - now())
         if not future.wait(remaining):
             return False
     return True

@@ -93,7 +93,7 @@ class FuncXService:
     ):
         self.auth = auth or AuthService()
         self.config = config or ServiceConfig()
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self._sleep = sleeper or time.sleep
         self.functions = FunctionRegistry(auth=self.auth)
         self.endpoints = EndpointRegistry()
@@ -101,9 +101,9 @@ class FuncXService:
         self.pubsub = PubSub()
         self.memoizer = Memoizer()
         self._lock = threading.RLock()
-        self._tasks: dict[str, Task] = {}
-        self._task_queues: dict[str, ReliableQueue] = {}
-        self._result_queues: dict[str, ReliableQueue] = {}
+        self._tasks: dict[str, Task] = {}                      # guarded-by: self._lock
+        self._task_queues: dict[str, ReliableQueue] = {}       # guarded-by: self._lock
+        self._result_queues: dict[str, ReliableQueue] = {}     # guarded-by: self._lock
         # observability fabric: per-task traces + registry-backed counters
         self.metrics = metrics or MetricsRegistry(clock=self._clock)
         self.traces = TraceStore(clock=self._clock, enabled=self.config.tracing,

@@ -58,6 +58,16 @@ class FuncXAgent:
         created when not provided).
     """
 
+    # Shared mutable state: touched by the agent loop, manager receive
+    # paths, and chaos hooks.  Enforced by `repro lint` (guarded-by).
+    _GUARDED = {
+        "_manager_channels": "_lock",
+        "_views": "_lock",
+        "_suspended": "_lock",
+        "_pending": "_lock",
+        "_assigned": "_lock",
+    }
+
     def __init__(
         self,
         endpoint_id: str,
@@ -66,11 +76,13 @@ class FuncXAgent:
         scheduler: SchedulingPolicy | None = None,
         clock: Callable[[], float] | None = None,
         metrics: MetricsRegistry | None = None,
+        sleeper: Callable[[float], None] | None = None,
     ):
         self.endpoint_id = endpoint_id
         self.forwarder = forwarder_channel
         self.config = config or EndpointConfig()
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
+        self._sleep = sleeper or time.sleep
         self.scheduler = scheduler or scheduler_by_name(
             self.config.scheduler_policy, seed=self.config.seed
         )
@@ -417,7 +429,7 @@ class FuncXAgent:
                 except Exception:
                     events = 0
                 if events == 0:
-                    time.sleep(poll_interval)
+                    self._sleep(poll_interval)
 
         self._thread = threading.Thread(
             target=loop, name=f"agent-{self.endpoint_id[:8]}", daemon=True

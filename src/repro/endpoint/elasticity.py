@@ -61,7 +61,7 @@ class ElasticityController:
             idle_grace=5.0,
         )
         self.evaluation_period = evaluation_period
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self._block_to_manager: dict[str, str] = {}
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()

@@ -53,13 +53,15 @@ class Endpoint:
         manager_latency: float = 0.0,
         clock: Callable[[], float] | None = None,
         metrics: MetricsRegistry | None = None,
+        sleeper: Callable[[float], None] | None = None,
     ):
         self.endpoint_id = endpoint_id
         self.config = config or EndpointConfig()
         self.network = network or Network(clock=clock)
         self.provider = provider
         self.manager_latency = manager_latency
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
+        self._sleep = sleeper or time.sleep
         self.metrics = metrics or MetricsRegistry(clock=self._clock)
         self.agent = FuncXAgent(
             endpoint_id=endpoint_id,
@@ -67,6 +69,7 @@ class Endpoint:
             config=self.config,
             clock=self._clock,
             metrics=self.metrics,
+            sleeper=sleeper,
         )
         self.managers: dict[str, Manager] = {}
         self._node_seq = itertools.count(1)
@@ -118,12 +121,12 @@ class Endpoint:
 
     def wait_ready(self, timeout: float = 10.0) -> bool:
         """Block until every manager has registered capacity with the agent."""
-        deadline = time.monotonic() + timeout
+        deadline = self._clock() + timeout
         expected = len(self.managers)
-        while time.monotonic() < deadline:
+        while self._clock() < deadline:
             if len(self.agent.manager_ids()) >= expected and self.agent.total_capacity() > 0:
                 return True
-            time.sleep(0.005)
+            self._sleep(0.005)
         return False
 
     # ------------------------------------------------------------------

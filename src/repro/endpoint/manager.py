@@ -80,15 +80,15 @@ class Manager:
         self.channel = channel
         self.config = config
         self.runtime = runtime or ContainerRuntime(system=config.system, seed=config.seed)
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self._sleep = sleeper or time.sleep
         self.warm_pool = WarmPool(ttl=config.warm_ttl)
 
         self._results: "_queue.Queue[tuple[str, ResultMessage]]" = _queue.Queue()
         self._workers: dict[str, Worker] = {}
-        self._idle: set[str] = set()
         self._lock = threading.RLock()
-        self._pending: deque[TaskMessage] = deque()
+        self._idle: set[str] = set()                 # guarded-by: self._lock
+        self._pending: deque[TaskMessage] = deque()  # guarded-by: self._lock
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._last_heartbeat = -float("inf")
@@ -129,7 +129,8 @@ class Manager:
                 clock=self._clock,
             )
             self._workers[worker_id] = worker
-            self._idle.add(worker_id)
+            with self._lock:
+                self._idle.add(worker_id)
 
     def register(self) -> None:
         """Register with the agent once all workers are connected (§4.3)."""
@@ -363,7 +364,7 @@ class Manager:
         def loop() -> None:
             while not self._stop.is_set():
                 if self.step() == 0:
-                    time.sleep(poll_interval)
+                    self._sleep(poll_interval)
 
         self._thread = threading.Thread(
             target=loop, name=f"manager-{self.manager_id}", daemon=True

@@ -114,7 +114,7 @@ class Worker:
         self.inbox = inbox
         self.results = results
         self.container = container
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self.serializer = FuncXSerializer()
         self._function_cache: dict[str, tuple[int, Callable[..., Any]]] = {}
         self._thread: threading.Thread | None = None

@@ -204,7 +204,7 @@ class MetricsRegistry:
     """
 
     def __init__(self, clock: Callable[[], float] | None = None):
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self._lock = threading.Lock()
         self._metrics: dict[tuple[str, str, LabelKey], Any] = {}
 

@@ -47,7 +47,7 @@ class TaskEventLog:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self._lock = threading.Lock()
         self._events: list[TaskEvent] = []
         self._dropped = 0

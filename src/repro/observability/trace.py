@@ -232,7 +232,7 @@ class TraceStore:
                  enabled: bool = True, capacity: int = 100_000):
         import time as _time
 
-        self._clock = clock or _time.monotonic
+        self._clock = clock or _time.monotonic  # clock-domain: monotonic
         self.enabled = enabled
         self.capacity = capacity
         self._traces: "OrderedDict[str, TraceContext]" = OrderedDict()

@@ -29,7 +29,7 @@ class KVStore:
     """
 
     def __init__(self, clock: Callable[[], float] | None = None):
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self._lock = threading.RLock()
         self._data: dict[str, Any] = {}
         self._hashes: dict[str, dict[str, Any]] = {}

@@ -51,6 +51,18 @@ class ReliableQueue:
         forwarder explicitly nacks on disconnect instead).
     """
 
+    # All queue state moves together under the condition's lock — the
+    # conservation invariant (enqueued = acked + in_flight + ready) only
+    # holds if no counter is ever torn from the containers.  Enforced by
+    # `repro lint` (guarded-by).
+    _GUARDED = {
+        "_items": "_lock",
+        "_leases": "_lock",
+        "total_enqueued": "_lock",
+        "total_acked": "_lock",
+        "total_redelivered": "_lock",
+    }
+
     def __init__(
         self,
         name: str = "queue",
@@ -58,7 +70,7 @@ class ReliableQueue:
         default_lease_timeout: float | None = None,
     ):
         self.name = name
-        self._clock = clock or time.monotonic
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
         self._lock = threading.Condition()
         self._items: deque[tuple[Any, float, int]] = deque()  # (item, enq_at, deliveries)
         self._leases: dict[int, Lease] = {}
@@ -75,7 +87,7 @@ class ReliableQueue:
         self.probe: Callable[[str, dict[str, Any]], None] | None = None
 
     # -- observation ---------------------------------------------------------
-    def _emit(self, event: str, **fields: Any) -> None:
+    def _emit(self, event: str, **fields: Any) -> None:  # guarded-by: self._lock
         """Emit ``event`` with a conservation snapshot (caller holds lock)."""
         probe = self.probe
         if probe is None:
@@ -285,7 +297,7 @@ class ReliableQueue:
             return [now - enq for (_, enq, _) in self._items]
 
     # -- internals ---------------------------------------------------------------
-    def _wait_for_item(self, timeout: float | None) -> bool:
+    def _wait_for_item(self, timeout: float | None) -> bool:  # guarded-by: self._lock
         """Wait until an item is available; caller holds the lock."""
         if self._items:
             return True

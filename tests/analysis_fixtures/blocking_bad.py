@@ -1,0 +1,27 @@
+# module: fixtures.blocking
+# Known-bad corpus for the blocking-under-lock check: channel, queue,
+# sleep, and event-wait calls inside a lock scope.
+import threading
+import time
+
+
+class Pump:
+    def __init__(self, channel, queue):
+        self._lock = threading.Lock()
+        self.channel = channel
+        self.queue = queue
+        self.ready = threading.Event()
+
+    def drain(self):
+        with self._lock:
+            self.channel.send("x")  # EXPECT: blocking-under-lock
+            message = self.channel.recv()  # EXPECT: blocking-under-lock
+            self.queue.put(message)  # EXPECT: blocking-under-lock
+            time.sleep(0.1)  # EXPECT: blocking-under-lock
+            self.ready.wait()  # EXPECT: blocking-under-lock
+        return message
+
+    def rebalance(self, leases):
+        with self._lock:
+            for lease in leases:
+                self.queue.nack(lease)  # EXPECT: blocking-under-lock

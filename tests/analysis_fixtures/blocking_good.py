@@ -1,0 +1,32 @@
+# module: fixtures.blocking
+# Known-good corpus for the blocking-under-lock check: the
+# snapshot-then-release pattern, condition waits on the lock itself,
+# and the dict.get / str.join names that must not be mistaken for
+# queue/channel operations.
+import threading
+import time
+
+
+class Pump:
+    def __init__(self, channel, config):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._buffer = []
+        self.channel = channel
+        self.config = config
+
+    def drain(self):
+        with self._lock:
+            pending = list(self._buffer)
+            self._buffer.clear()
+            retries = self.config.get("retries", 0)
+            label = ", ".join(str(p) for p in pending)
+        for item in pending:
+            self.channel.send(item)
+        time.sleep(0)
+        return retries, label
+
+    def wait_for_work(self):
+        with self._cond:
+            self._cond.wait(timeout=0.1)
+            self._cond.notify_all()

@@ -1,0 +1,17 @@
+# module: fixtures.clockdomain
+# Known-bad corpus for the clock-domain check: arithmetic and
+# comparisons mixing declared monotonic- and wall-domain sources.
+import time
+
+
+class Pacer:
+    def __init__(self, clock=None, wall=None):
+        self._mono = clock or time.monotonic  # clock-domain: monotonic
+        self._wall = wall  # clock-domain: wall
+
+    def skew(self):
+        return self._wall() - self._mono()  # EXPECT: clock-domain
+
+    def overdue(self, timeout):
+        deadline = self._mono() + timeout  # clock-domain: monotonic
+        return self._wall() > deadline  # EXPECT: clock-domain

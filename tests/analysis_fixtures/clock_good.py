@@ -1,0 +1,20 @@
+# module: fixtures.clockdomain
+# Known-good corpus for the clock-domain check: deadline arithmetic
+# confined to a single declared domain.
+import time
+
+
+class Pacer:
+    def __init__(self, clock=None, wall=None):
+        self._mono = clock or time.monotonic  # clock-domain: monotonic
+        self._wall = wall  # clock-domain: wall
+
+    def elapsed(self, start):
+        return self._mono() - start
+
+    def overdue(self, timeout):
+        deadline = self._mono() + timeout  # clock-domain: monotonic
+        return self._mono() > deadline
+
+    def wall_stamp(self, offset):
+        return self._wall() + offset

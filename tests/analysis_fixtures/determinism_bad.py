@@ -1,0 +1,38 @@
+# module: repro.core.fixture
+# Known-bad corpus for the determinism check: direct time/RNG/datetime
+# calls in a fabric module.  Parsed, never imported.
+import random
+import time as _time
+from datetime import datetime
+from time import monotonic as mono
+
+
+def stamp():
+    return _time.time()  # EXPECT: determinism
+
+
+def pause():
+    _time.sleep(0.1)  # EXPECT: determinism
+
+
+def jitter():
+    return random.random()  # EXPECT: determinism
+
+
+def pick(items):
+    return random.choice(items)  # EXPECT: determinism
+
+
+def when():
+    return datetime.now()  # EXPECT: determinism
+
+
+def tick():
+    return mono()  # EXPECT: determinism
+
+
+def deep():
+    # imports at function scope are tracked too
+    import time
+
+    return time.perf_counter()  # EXPECT: determinism

@@ -1,0 +1,10 @@
+# module: repro.workloads.fixture
+# Workloads model user code and are exempt from the determinism
+# boundary: none of these calls may be reported.
+import random
+import time
+
+
+def user_function():
+    time.sleep(random.random() * 0.01)
+    return time.time()

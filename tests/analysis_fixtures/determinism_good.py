@@ -1,0 +1,24 @@
+# module: repro.core.fixture
+# Known-good corpus for the determinism check: the injectable-boundary
+# conventions this repo uses.  No findings expected.
+import random
+import time
+
+
+class Poller:
+    def __init__(self, clock=None, sleeper=None, seed=0):
+        # bare references as defaults ARE the boundary (not calls)
+        self._clock = clock or time.monotonic
+        self._sleep = sleeper or time.sleep
+        # constructing a seeded RNG is the allowed entry point
+        self._rng = random.Random(seed)
+
+    def poll(self):
+        start = self._clock()
+        self._sleep(0.01)
+        return self._clock() - start, self._rng.random()
+
+
+def wall_timestamp():
+    # explicit, reviewed waiver: artifact filenames want wall time
+    return time.time()  # lint: ignore[determinism]

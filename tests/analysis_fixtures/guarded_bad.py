@@ -1,0 +1,30 @@
+# module: fixtures.guarded
+# Known-bad corpus for the guarded-by check: every line marked EXPECT
+# must be reported, nothing else.  This file is parsed, never imported.
+import threading
+from collections import deque
+
+
+class Dispatcher:
+    _GUARDED = {"_assigned": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._assigned = {}
+        self._pending = deque()  # guarded-by: self._lock
+
+    def backlog(self):
+        return len(self._pending)  # EXPECT: guarded-by
+
+    def assign(self, task_id, worker):
+        self._assigned[task_id] = worker  # EXPECT: guarded-by
+
+    def flush(self):
+        with self._lock:
+            export = lambda: list(self._pending)  # EXPECT: guarded-by
+        return export
+
+    def requeue(self, task_id):
+        with self._lock:
+            worker = self._assigned.pop(task_id, None)
+        self._pending.append((task_id, worker))  # EXPECT: guarded-by

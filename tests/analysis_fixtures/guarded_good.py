@@ -1,0 +1,39 @@
+# module: fixtures.guarded
+# Known-good corpus for the guarded-by check: no findings expected.
+# Exercises with-scopes (early returns, nesting), held-marker methods,
+# __init__ exemption, and snapshot-then-release.
+import threading
+from collections import deque
+
+
+class Dispatcher:
+    _GUARDED = {"_assigned": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._assigned = {}
+        self._pending = deque()  # guarded-by: self._lock
+
+    def backlog(self):
+        with self._lock:
+            if not self._pending:
+                return 0
+            return len(self._pending)
+
+    def reassign(self, task_id, worker):
+        with self._lock:
+            with self._lock:
+                self._assigned[task_id] = worker
+
+    def _count_locked(self):  # guarded-by: self._lock
+        return len(self._assigned) + len(self._pending)
+
+    def snapshot(self):
+        with self._lock:
+            pending = list(self._pending)
+        return pending
+
+    def drain(self):
+        with self._lock:
+            items, self._pending = list(self._pending), deque()
+        return items

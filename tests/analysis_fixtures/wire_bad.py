@@ -1,0 +1,15 @@
+# module: repro.transport.messages
+# Known-bad corpus for the wire-compat check.  Parsed, never imported
+# (the field-ordering error would fail at class creation, which is fine:
+# the analyzer must catch it before any code runs).
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class BadMessage:
+    sender: str = ""
+    handler: object = None  # EXPECT: wire-compat
+    callbacks: list[Callable] = field(default_factory=list)  # EXPECT: wire-compat
+    deadline: float  # EXPECT: wire-compat
+    payload: Any = None
