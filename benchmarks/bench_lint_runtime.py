@@ -1,0 +1,71 @@
+"""Lint runtime gate: the full-src analyzer must stay fast enough to
+run on every commit.
+
+PR 4 added a CFG + dataflow engine (lease-ack, span-lifecycle) and a
+cross-file lock-order graph to ``repro lint``; flow-sensitive analyses
+are where linters usually get slow.  This gate times ``run_analysis``
+over all of ``src/`` — best of several runs, so a cold filesystem cache
+only hits the first — and asserts the wall time stays under the budget
+that keeps lint viable as a tier-1 pre-commit step.
+
+Artifact: ``BENCH_lint_runtime.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.harness import ExperimentReport, quick_mode
+from repro.analysis import run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_JSON = REPO_ROOT / "BENCH_lint_runtime.json"
+
+RUNS = 3
+RUNS_QUICK = 2
+
+#: Gate threshold: a full-src lint must finish in under 3 seconds.
+MAX_SECONDS = 3.0
+
+
+def test_lint_runtime_gate():
+    runs = RUNS_QUICK if quick_mode() else RUNS
+    src = REPO_ROOT / "src"
+    times: list[float] = []
+    report_obj = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        report_obj = run_analysis([src], repo_root=REPO_ROOT)
+        times.append(time.perf_counter() - start)
+    assert report_obj is not None
+    assert not report_obj.errors, report_obj.errors
+
+    best = min(times)
+    RESULT_JSON.write_text(json.dumps({
+        "runs": runs,
+        "seconds_per_run": times,
+        "best_seconds": best,
+        "max_seconds": MAX_SECONDS,
+        "files_analyzed": report_obj.files_analyzed,
+        "findings": len(report_obj.findings),
+        "quick": quick_mode(),
+    }, indent=2, sort_keys=True) + "\n")
+
+    report = ExperimentReport(
+        "lint_runtime",
+        "full-src static-analysis wall-time gate (all checks)",
+    )
+    report.rows(
+        ["files", "best of", "wall time (s)", "gate (s)"],
+        [[report_obj.files_analyzed, runs, best, MAX_SECONDS]],
+    )
+    report.note("includes the CFG/dataflow checks (lease-ack, "
+                "span-lifecycle) and the cross-file lock-order graph")
+    report.finish()
+
+    assert best < MAX_SECONDS, (
+        f"full-src lint took {best:.2f}s (gate: <{MAX_SECONDS:.1f}s, "
+        f"{report_obj.files_analyzed} files)"
+    )

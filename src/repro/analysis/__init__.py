@@ -4,7 +4,9 @@ The chaos harness (PR 1) and dispatch hardening (PR 2) kept re-finding
 the same two bug classes by hand: shared state touched outside its lock
 and nondeterminism leaking past the injectable clock/RNG boundary, which
 silently breaks byte-for-byte chaos replay.  This package makes both
-classes unmergeable with four AST-based checks (stdlib :mod:`ast` only):
+classes unmergeable with AST-based checks (stdlib :mod:`ast` only); PR 4
+added a statement-level CFG + forward-dataflow engine (:mod:`cfg`,
+:mod:`dataflow`) for the flow-sensitive checks:
 
 ``guarded-by``
     Attributes annotated ``# guarded-by: self._lock`` (or declared in a
@@ -26,6 +28,17 @@ classes unmergeable with four AST-based checks (stdlib :mod:`ast` only):
 ``clock-domain``
     Values from clocks marked ``# clock-domain: monotonic`` and
     ``# clock-domain: wall`` must never meet in the same arithmetic.
+``lease-ack``
+    Every ``ReliableQueue.lease``/``lease_many`` value reaches
+    ``ack``/``nack`` on every path (escape to field/return/call waives).
+``span-lifecycle``
+    Every ``TraceContext`` span begun is finished on every path (or
+    somewhere in the owning class for cross-method pairs).
+``lock-order``
+    Cross-file: the global lock-acquisition-order graph (lexical nesting
+    plus call-through edges) must stay acyclic.  Its runtime twin is
+    :mod:`repro.analysis.sanitizer` (``SanitizedLock``), opt-in via
+    ``LocalDeployment(sanitize_locks=True)``.
 
 See ``docs/ANALYSIS.md`` for the annotation syntax, baseline workflow
 (``repro lint --update-baseline``) and how to add a check.
@@ -33,21 +46,30 @@ See ``docs/ANALYSIS.md`` for the annotation syntax, baseline workflow
 
 from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.findings import Finding
+from repro.analysis.lockorder import LockOrderGraph, extract_lock_graph
 from repro.analysis.runner import (
     ALL_CHECKS,
+    GLOBAL_CHECKS,
     AnalysisReport,
     analyze_paths,
     analyze_source,
     run_analysis,
 )
+from repro.analysis.sanitizer import LockOrderRecorder, SanitizedLock, sanitize_lock
 
 __all__ = [
     "ALL_CHECKS",
+    "GLOBAL_CHECKS",
     "AnalysisReport",
     "Baseline",
     "BaselineEntry",
     "Finding",
+    "LockOrderGraph",
+    "LockOrderRecorder",
+    "SanitizedLock",
     "analyze_paths",
     "analyze_source",
+    "extract_lock_graph",
     "run_analysis",
+    "sanitize_lock",
 ]

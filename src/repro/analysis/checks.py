@@ -1,15 +1,21 @@
-"""The four fabric checks (plus the clock-domain companion).
+"""The fabric checks: five lexical, two flow-sensitive.
 
-Each check is a function ``(SourceFile) -> Iterator[Finding]``; the
-runner composes them and applies per-line waivers and the baseline.
-Check ids are stable — they appear in baselines and waiver comments.
+Each per-file check is a function ``(SourceFile) -> Iterator[Finding]``;
+the runner composes them and applies per-line waivers and the baseline.
+The flow-sensitive checks (lease-ack, span-lifecycle) run a forward
+dataflow over the CFGs built by :mod:`repro.analysis.cfg`; the global
+lock-order check lives in :mod:`repro.analysis.lockorder` because it
+needs every source file at once.  Check ids are stable — they appear in
+baselines and waiver comments.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
+from repro.analysis.cfg import build_cfg, header_parts
+from repro.analysis.dataflow import Facts, ForwardAnalysis, run_forward
 from repro.analysis.findings import Finding
 from repro.analysis.lockscope import (
     ClassLockInfo,
@@ -23,6 +29,8 @@ DETERMINISM = "determinism"
 WIRE_COMPAT = "wire-compat"
 BLOCKING_UNDER_LOCK = "blocking-under-lock"
 CLOCK_DOMAIN = "clock-domain"
+LEASE_ACK = "lease-ack"
+SPAN_LIFECYCLE = "span-lifecycle"
 
 #: Packages whose modules must route time/randomness through the
 #: injectable clock/RNG boundary (repro.workloads and benchmarks are
@@ -480,3 +488,349 @@ def _subtree_domains(node: ast.expr, declared: dict[tuple[str, str], str]) -> se
         if domain is not None:
             found.add(domain)
     return found
+
+
+# ======================================================================
+# 6. lease-ack discipline (flow-sensitive)
+# ======================================================================
+_OPEN = "open"
+_DONE = "done"
+_LEASE_METHODS = {"lease", "lease_many", "lease_batch"}
+_LEASE_WRAPPERS = {"deque", "list", "sorted", "tuple", "reversed"}
+
+_LEASE_HINT = (
+    "every path to exit must ack/nack the lease (or hand it off: storing "
+    "it in a field, returning it, or passing it to another call are "
+    "explicit waivers); for deliberate drops add `# lint: ignore[lease-ack]` "
+    "on the acquisition line"
+)
+
+
+def check_lease_ack(source: SourceFile) -> Iterator[Finding]:
+    """Every lease obtained from ``ReliableQueue.lease``/``lease_many``
+    must reach ``ack``/``nack`` on *every* path to function exit.
+
+    The at-least-once queue re-delivers an expired lease eventually, but
+    a leaked lease stalls its task for a full ``lease_timeout`` — the
+    "lost task / stuck executor" incident class.  Disposal is any of:
+    an ``ack``/``nack`` call, passing the lease to *any* call (handoff),
+    returning or yielding it, or storing it into a field or container
+    (escape — the caller or a reclaim loop now owns it).  ``if lease is
+    None:`` / ``if not leases:`` branches and drained loop collections
+    are understood flow-sensitively.
+    """
+    for func in _all_functions(source.tree):
+        yield from _scan_lease_flow(source, func)
+
+
+def _all_functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    return [n for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def _is_lease_call(expr: ast.expr) -> Optional[ast.Call]:
+    """Return the acquiring Call if ``expr`` produces lease value(s)."""
+    if not isinstance(expr, ast.Call):
+        return None
+    func = expr.func
+    if isinstance(func, ast.Attribute) and func.attr in _LEASE_METHODS:
+        return expr
+    if (isinstance(func, ast.Name) and func.id in _LEASE_WRAPPERS
+            and len(expr.args) == 1):
+        return _is_lease_call(expr.args[0])
+    return None
+
+
+def _names_in(expr: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+class _LeaseAnalysis(ForwardAnalysis):
+    """Facts: var -> {(origin_line, "open"|"done")}."""
+
+    def transfer(self, stmt: ast.AST, facts: Facts) -> Facts:
+        facts = dict(facts)
+        self._dispose_events(stmt, facts)
+        if isinstance(stmt, ast.Assign):
+            self._bind(stmt.targets, stmt.value, facts)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind([stmt.target], stmt.value, facts)
+        elif isinstance(stmt, ast.AugAssign):
+            pass  # dispose_events already handled the RHS call, if any
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind([item.optional_vars], item.context_expr, facts)
+        return facts
+
+    def _bind(self, targets: List[ast.expr], value: ast.expr,
+              facts: Facts) -> None:
+        acquiring = _is_lease_call(value)
+        inherited: FrozenSet[Tuple] = frozenset()
+        if acquiring is None:
+            for name in _names_in(value):
+                inherited |= facts.get(name, frozenset())
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if acquiring is not None:
+                    facts[target.id] = frozenset({(acquiring.lineno, _OPEN)})
+                elif inherited:
+                    facts[target.id] = inherited
+            elif isinstance(target, ast.Tuple):
+                # Tuple unpack of lease values: track each element name.
+                pairs = (frozenset({(acquiring.lineno, _OPEN)})
+                         if acquiring is not None else inherited)
+                if pairs:
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            facts[elt.id] = pairs
+            else:
+                # Escape: storing into a field / subscript disposes the
+                # stored lease(s).
+                if acquiring is not None:
+                    continue
+                self._dispose_names(_names_in(value), facts)
+
+    def _dispose_events(self, stmt: ast.AST, facts: Facts) -> None:
+        disposed: Set[str] = set()
+        for part in header_parts(stmt):
+            for node in ast.walk(part):
+                disposed |= self._disposals_in(node, facts)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if not isinstance(target, (ast.Name, ast.Tuple)):
+                    disposed |= _names_in(stmt.value) & facts.keys()
+        self._dispose_names(disposed, facts)
+
+    @staticmethod
+    def _disposals_in(node: ast.AST, facts: Facts) -> Set[str]:
+        disposed: Set[str] = set()
+        if isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                disposed |= _names_in(arg) & facts.keys()
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                disposed |= _names_in(node.value) & facts.keys()
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                disposed |= _names_in(gen.iter) & facts.keys()
+        return disposed
+
+    def _dispose_names(self, names: Set[str], facts: Facts) -> None:
+        if not names:
+            return
+        origins: Set[int] = set()
+        for name in names:
+            origins |= {origin for origin, _ in facts.get(name, frozenset())}
+        if not origins:
+            return
+        # Disposal acts on the lease itself, so it reaches every alias
+        # sharing the origin — not just the variable named at the site.
+        for var, pairs in list(facts.items()):
+            facts[var] = frozenset(
+                (origin, _DONE if origin in origins else state)
+                for origin, state in pairs)
+
+    def refine(self, cond: Optional[ast.expr], branch: Optional[bool],
+               facts: Facts) -> Facts:
+        if cond is None or branch is None:
+            return facts
+        if isinstance(cond, (ast.For, ast.AsyncFor)):
+            return self._refine_for(cond, branch, facts)
+        var, empty_when = self._emptiness_test(cond)
+        if var is None or var not in facts:
+            return facts
+        if branch == empty_when:
+            facts = dict(facts)
+            facts[var] = frozenset((o, _DONE) for o, _ in facts[var])
+        return facts
+
+    def _refine_for(self, stmt: ast.AST, branch: bool, facts: Facts) -> Facts:
+        pairs: FrozenSet[Tuple] = frozenset()
+        acquiring = _is_lease_call(stmt.iter)
+        iter_names = _names_in(stmt.iter) & facts.keys()
+        if acquiring is not None:
+            # `for lease in queue.lease_many(n):` — each element is a
+            # fresh lease bound to the loop variable.
+            pairs = frozenset({(acquiring.lineno, _OPEN)})
+        elif iter_names:
+            facts = dict(facts)
+            for name in iter_names:
+                pairs |= facts[name]
+                # Iterating the collection transfers ownership of its
+                # elements to the loop variable.
+                facts[name] = frozenset((o, _DONE) for o, _ in facts[name])
+        else:
+            return facts
+        if branch and isinstance(stmt.target, ast.Name):
+            facts = dict(facts)
+            facts[stmt.target.id] = pairs
+        return facts
+
+    @staticmethod
+    def _emptiness_test(cond: ast.expr) -> Tuple[Optional[str], Optional[bool]]:
+        """Recognize None/emptiness tests: returns (var, branch-on-which-
+        the-value-is-absent)."""
+        if isinstance(cond, ast.Name):
+            return cond.id, False          # `if lease:` — false branch: absent
+        if (isinstance(cond, ast.UnaryOp) and isinstance(cond.op, ast.Not)
+                and isinstance(cond.operand, ast.Name)):
+            return cond.operand.id, True   # `if not leases:` — true: absent
+        if (isinstance(cond, ast.Compare) and len(cond.ops) == 1
+                and isinstance(cond.left, ast.Name)
+                and isinstance(cond.comparators[0], ast.Constant)
+                and cond.comparators[0].value is None):
+            if isinstance(cond.ops[0], ast.Is):
+                return cond.left.id, True   # `if lease is None:`
+            if isinstance(cond.ops[0], ast.IsNot):
+                return cond.left.id, False  # `if lease is not None:`
+        return None, None
+
+
+def _scan_lease_flow(source: SourceFile, func: ast.FunctionDef) -> Iterator[Finding]:
+    if not any(_is_lease_call(n) for n in ast.walk(func)
+               if isinstance(n, ast.Call)):
+        return
+    cfg = build_cfg(func)
+    in_facts = run_forward(cfg, _LeaseAnalysis())
+    exit_facts = in_facts.get(cfg.exit, {})
+    leaked: Dict[int, Set[str]] = {}
+    for var, pairs in exit_facts.items():
+        for origin, state in pairs:
+            if state == _OPEN:
+                leaked.setdefault(origin, set()).add(var)
+    for origin in sorted(leaked):
+        synthetic = ast.Pass()
+        synthetic.lineno = origin
+        synthetic.col_offset = 0
+        names = ", ".join(sorted(leaked[origin]))
+        yield _finding(
+            source, LEASE_ACK, synthetic,
+            f"lease(s) acquired here (held in {names}) may reach the exit "
+            f"of {func.name}() without ack/nack on some path",
+            _LEASE_HINT,
+        )
+
+
+# ======================================================================
+# 7. span lifecycle (flow-sensitive)
+# ======================================================================
+_SPAN_HINT = (
+    "every begun span must be finished on all paths — call .end(name) "
+    "before each return/raise (a finally block is the usual shape), or "
+    "use .record(name, ...) for one-shot stages; cross-method pairs are "
+    "fine as long as the class ends what it begins"
+)
+
+
+def check_span_lifecycle(source: SourceFile) -> Iterator[Finding]:
+    """Every ``TraceContext`` span begun must be finished.
+
+    Within one function that both begins and ends a span name, the end
+    must be reachable on *every* path (flow-sensitive).  A span begun in
+    one method and ended in another is the fabric's normal shape (the
+    agent begins "agent" on dispatch, ends it on completion) — those are
+    checked at class scope: a name begun somewhere in the class must
+    have an ``.end(name)`` somewhere in the same class (module scope for
+    free functions).  ``record(...)`` is one-shot and always safe.
+    """
+    module_ends = _span_calls(source.tree, "end")
+    class_ends: Dict[ast.ClassDef, Set[str]] = {}
+    owner_of: Dict[ast.FunctionDef, ast.ClassDef] = {}
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ClassDef):
+            class_ends[node] = _span_calls(node, "end")
+            for func in _direct_methods(node):
+                owner_of[func] = node
+    for func in _all_functions(source.tree):
+        begins = _span_call_sites(func, "begin")
+        if not begins:
+            continue
+        ends_here = _span_calls(func, "end")
+        owner = owner_of.get(func)
+        outer_ends = class_ends.get(owner, set()) if owner else module_ends
+        flow_names = {name for name in begins if name in ends_here}
+        if flow_names:
+            yield from _scan_span_flow(source, func, flow_names)
+        for name, sites in begins.items():
+            if name in ends_here or name in outer_ends:
+                continue
+            scope = owner.name if owner else source.module
+            for site in sites:
+                yield _finding(
+                    source, SPAN_LIFECYCLE, site,
+                    f'span "{name}" is begun here but never finished '
+                    f"anywhere in {scope}",
+                    _SPAN_HINT,
+                )
+
+
+def _span_name(node: ast.Call, attr: str) -> Optional[str]:
+    if (isinstance(node.func, ast.Attribute) and node.func.attr == attr
+            and node.args and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)):
+        return node.args[0].value
+    return None
+
+
+def _span_calls(scope: ast.AST, attr: str) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            name = _span_name(node, attr)
+            if name is not None:
+                names.add(name)
+    return names
+
+
+def _span_call_sites(scope: ast.AST, attr: str) -> Dict[str, List[ast.Call]]:
+    sites: Dict[str, List[ast.Call]] = {}
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            name = _span_name(node, attr)
+            if name is not None:
+                sites.setdefault(name, []).append(node)
+    return sites
+
+
+class _SpanAnalysis(ForwardAnalysis):
+    """Facts: span name -> {(begin_line, "open"|"done")}."""
+
+    def __init__(self, names: Set[str]) -> None:
+        self._names = names
+
+    def transfer(self, stmt: ast.AST, facts: Facts) -> Facts:
+        facts = dict(facts)
+        for part in header_parts(stmt):
+            for node in ast.walk(part):
+                if not isinstance(node, ast.Call):
+                    continue
+                begun = _span_name(node, "begin")
+                if begun in self._names:
+                    facts[begun] = frozenset({(node.lineno, _OPEN)})
+                ended = _span_name(node, "end")
+                if ended in self._names and ended in facts:
+                    facts[ended] = frozenset(
+                        (o, _DONE) for o, _ in facts[ended])
+        return facts
+
+
+def _scan_span_flow(source: SourceFile, func: ast.FunctionDef,
+                    names: Set[str]) -> Iterator[Finding]:
+    cfg = build_cfg(func)
+    in_facts = run_forward(cfg, _SpanAnalysis(names))
+    exit_facts = in_facts.get(cfg.exit, {})
+    for name in sorted(names):
+        open_lines = sorted({o for o, state in exit_facts.get(name, frozenset())
+                             if state == _OPEN})
+        for line in open_lines:
+            synthetic = ast.Pass()
+            synthetic.lineno = line
+            synthetic.col_offset = 0
+            yield _finding(
+                source, SPAN_LIFECYCLE, synthetic,
+                f'span "{name}" begun here is not finished on every path '
+                f"through {func.name}()",
+                _SPAN_HINT,
+            )

@@ -1,0 +1,92 @@
+"""Forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+Facts are immutable mappings ``key -> frozenset[value]``; the join is
+key-wise set union, which makes every analysis here a *may* analysis
+over (origin, state) pairs — a key whose set contains only one state is
+simultaneously a *must* fact.  Analyses subclass :class:`ForwardAnalysis`
+and implement:
+
+* ``transfer(stmt, facts)`` — the effect of executing a statement;
+* ``refine(cond, branch, facts)`` — optional sharpening of facts along
+  a labelled branch edge (e.g. ``if lease is None`` on the true edge
+  means there is no lease to dispose);
+* ``initial()`` — facts at function entry.
+
+Exceptional edges propagate the facts holding *before* the raising
+statement (the exception may fire at any point inside it), everything
+else propagates post-transfer facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from .cfg import CFG, Edge, STMT
+
+Facts = Dict[str, FrozenSet[Tuple]]
+
+
+def join_facts(a: Facts, b: Facts) -> Facts:
+    if not a:
+        return dict(b)
+    if not b:
+        return dict(a)
+    out = dict(a)
+    for key, values in b.items():
+        existing = out.get(key)
+        out[key] = values if existing is None else existing | values
+    return out
+
+
+def facts_equal(a: Facts, b: Facts) -> bool:
+    return a == b
+
+
+class ForwardAnalysis:
+    """Base class; subclasses define the lattice transfer functions."""
+
+    def initial(self) -> Facts:
+        return {}
+
+    def transfer(self, stmt: ast.AST, facts: Facts) -> Facts:
+        raise NotImplementedError
+
+    def refine(self, cond: Optional[ast.expr], branch: Optional[bool],
+               facts: Facts) -> Facts:
+        return facts
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis) -> Dict[int, Facts]:
+    """Run ``analysis`` to fixpoint; returns the *incoming* facts at
+    every node (facts at ``cfg.exit`` are the function-exit facts)."""
+    in_facts: Dict[int, Facts] = {cfg.entry: analysis.initial()}
+    out_facts: Dict[int, Facts] = {}
+
+    succs: Dict[int, list] = {}
+    for edge in cfg.edges:
+        succs.setdefault(edge.src, []).append(edge)
+
+    worklist = [cfg.entry]
+    iterations = 0
+    limit = max(64, len(cfg.nodes) * len(cfg.nodes) * 4)
+    while worklist and iterations < limit:
+        iterations += 1
+        index = worklist.pop()
+        node = cfg.nodes[index]
+        incoming = in_facts.get(index, {})
+        if node.kind == STMT and node.stmt is not None:
+            outgoing = analysis.transfer(node.stmt, incoming)
+        else:
+            outgoing = incoming
+        out_facts[index] = outgoing
+        for edge in succs.get(index, ()):
+            flowing = incoming if edge.exceptional else outgoing
+            if edge.cond is not None or edge.branch is not None:
+                flowing = analysis.refine(edge.cond, edge.branch, flowing)
+            previous = in_facts.get(edge.dst)
+            merged = flowing if previous is None else join_facts(previous, flowing)
+            if previous is None or not facts_equal(previous, merged):
+                in_facts[edge.dst] = merged
+                worklist.append(edge.dst)
+    return in_facts

@@ -13,7 +13,11 @@ For every class the inference collects:
   there.  A lock is held inside ``with self._lock:`` bodies, including
   nested withs and multi-item withs; early returns are irrelevant to
   lexical containment, and nested ``def``/``lambda`` bodies reset the
-  held set because closures run after the ``with`` exits.
+  held set because closures run after the ``with`` exits.  List/set/dict
+  comprehensions evaluate in place and keep the held set; a *generator
+  expression* keeps it only for its outermost iterable (evaluated
+  eagerly) — the element expression and later clauses run at consumption
+  time and reset, like a lambda.
 
 Lock recognition is name-based: a ``with`` context expression counts as
 a lock when its final attribute contains ``lock`` or ``cond``, or is a
@@ -159,6 +163,24 @@ def visit_with_lock_state(
                     inner.add(lock)
             for stmt in node.body:
                 visit(stmt, frozenset(inner))
+        elif isinstance(node, ast.GeneratorExp):
+            # Unlike list/set/dict comprehensions (which evaluate in
+            # place, under the lock), a generator expression only
+            # evaluates its *outermost iterable* eagerly; the element
+            # expression and every later clause run when the generator
+            # is consumed — typically after the with-block has exited.
+            first = node.generators[0]
+            visit(first.iter, held)
+            lazy: frozenset[str] = frozenset()
+            visit(first.target, lazy)
+            for cond in first.ifs:
+                visit(cond, lazy)
+            for gen in node.generators[1:]:
+                visit(gen.target, lazy)
+                visit(gen.iter, lazy)
+                for cond in gen.ifs:
+                    visit(cond, lazy)
+            visit(node.elt, lazy)
         else:
             for child in ast.iter_child_nodes(node):
                 visit(child, held)

@@ -12,12 +12,16 @@ from repro.analysis.checks import (
     check_clock_domain,
     check_determinism,
     check_guarded_by,
+    check_lease_ack,
+    check_span_lifecycle,
     check_wire_compat,
 )
 from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.lockorder import check_lock_order
 from repro.analysis.source import SourceFile, load_source, module_name_for
 
 Check = Callable[[SourceFile], Iterator[Finding]]
+GlobalCheck = Callable[[list[SourceFile]], Iterator[Finding]]
 
 #: Check-id → implementation; order is report order for same-line findings.
 ALL_CHECKS: dict[str, Check] = {
@@ -26,6 +30,14 @@ ALL_CHECKS: dict[str, Check] = {
     "wire-compat": check_wire_compat,
     "blocking-under-lock": check_blocking_under_lock,
     "clock-domain": check_clock_domain,
+    "lease-ack": check_lease_ack,
+    "span-lifecycle": check_span_lifecycle,
+}
+
+#: Checks that need the whole tree at once (cross-file graphs).  They
+#: run after the per-file pass; waivers still apply per finding line.
+GLOBAL_CHECKS: dict[str, GlobalCheck] = {
+    "lock-order": check_lock_order,
 }
 
 
@@ -59,14 +71,32 @@ class AnalysisReport:
 
 def analyze_source(source: SourceFile,
                    checks: dict[str, Check] | None = None) -> list[Finding]:
-    """All non-waived findings for one parsed file."""
+    """All non-waived findings for one parsed file (global checks run
+    over the single file, so fixtures exercise them too)."""
     active = checks if checks is not None else ALL_CHECKS
     findings: list[Finding] = []
     for check_id, check in active.items():
         for finding in check(source):
             if not source.is_ignored(finding.line, check_id):
                 findings.append(finding)
+    if checks is None:
+        findings.extend(_run_global_checks([source]))
     return sort_findings(findings)
+
+
+def _run_global_checks(sources: list[SourceFile],
+                       global_checks: dict[str, GlobalCheck] | None = None
+                       ) -> list[Finding]:
+    active = global_checks if global_checks is not None else GLOBAL_CHECKS
+    by_path = {source.path: source for source in sources}
+    findings: list[Finding] = []
+    for check_id, check in active.items():
+        for finding in check(sources):
+            source = by_path.get(finding.path)
+            if source is not None and source.is_ignored(finding.line, check_id):
+                continue
+            findings.append(finding)
+    return findings
 
 
 def iter_python_files(root: Path) -> Iterator[Path]:
@@ -88,6 +118,7 @@ def analyze_paths(paths: list[Path], repo_root: Path | None = None,
     """Analyze every Python file under ``paths`` (no baseline applied)."""
     repo_root = repo_root or Path.cwd()
     report = AnalysisReport()
+    sources: list[SourceFile] = []
     for root in paths:
         for file_path in iter_python_files(root):
             try:
@@ -102,7 +133,12 @@ def analyze_paths(paths: list[Path], repo_root: Path | None = None,
                 report.errors.append(f"{rel_path}: {exc}")
                 continue
             report.files_analyzed += 1
-            report.findings.extend(analyze_source(source, checks))
+            sources.append(source)
+            report.findings.extend(analyze_source(source, checks or ALL_CHECKS))
+    if checks is None:
+        # Global (cross-file) checks run once over the whole tree so the
+        # lock-order graph sees every edge, not one file at a time.
+        report.findings.extend(_run_global_checks(sources))
     report.findings = sort_findings(report.findings)
     return report
 

@@ -1,0 +1,292 @@
+"""Runtime lock-order sanitizer: the dynamic half of the lock-order check.
+
+The static extractor (:mod:`repro.analysis.lockorder`) sees every
+*lexical* acquisition; this module observes the *actual* ones.  A
+:class:`SanitizedLock` wraps a ``threading.Lock``/``RLock``/``Condition``
+and reports each acquire/release to a :class:`LockOrderRecorder`, which
+
+* keeps a per-thread acquisition stack,
+* records instance-level order edges (held -> newly acquired) with the
+  acquiring thread and a monotonic timestamp as witness,
+* detects cycles **live** on every new edge (a cycle means two threads
+  have demonstrably acquired the same locks in opposite orders),
+* flags lock-hold-time outliers against a configurable threshold, and
+* exports acquisition/contention counters and wait/hold histograms
+  through the shared :class:`repro.metrics.registry.MetricsRegistry`.
+
+Edges are recorded per *instance* (two ``ReliableQueue`` locks are
+different nodes, so a real A-then-B / B-then-A inversion between two
+queues is caught) but exported per *class* via :meth:`class_graph`, in
+the same ``ClassName.attr`` node vocabulary the static graph uses —
+``runtime_graph.is_subgraph_of(static_graph)`` is the chaos-suite
+acceptance gate.  Class-level self-edges are dropped on export to match
+the static side, which cannot tell instances apart.
+
+Opt in with ``LocalDeployment(sanitize_locks=True)`` or
+``ChaosWorld(..., sanitize_locks=True)``; see docs/CHAOS.md.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.lockorder import LockOrderGraph, Witness
+
+DEFAULT_HOLD_OUTLIER_SECONDS = 0.25
+#: Wait longer than this counts as contention (a free lock acquires in
+#: nanoseconds; anything visible means another thread held it).
+CONTENTION_WAIT_SECONDS = 0.001
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """A runtime-observed lock-order cycle (potential deadlock)."""
+
+    nodes: Tuple[str, ...]
+    edges: Tuple[Tuple[str, str], ...]
+    thread: str
+
+    def format(self) -> str:
+        path = " -> ".join(self.nodes + (self.nodes[0],))
+        return f"lock-order cycle observed at runtime ({self.thread}): {path}"
+
+
+@dataclass(frozen=True)
+class HoldOutlier:
+    lock: str
+    seconds: float
+    thread: str
+
+
+@dataclass
+class _EdgeInfo:
+    count: int = 0
+    threads: set = field(default_factory=set)
+    first_line: int = 0
+
+
+class LockOrderRecorder:
+    """Collects acquisition stacks and order edges from SanitizedLocks."""
+
+    def __init__(self, metrics=None, clock=None,
+                 hold_outlier_seconds: float = DEFAULT_HOLD_OUTLIER_SECONDS) -> None:
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
+        self._metrics = metrics
+        self._hold_outlier_seconds = hold_outlier_seconds
+        self._tls = threading.local()
+        self._mutex = threading.Lock()  # guards the edge/cycle tables
+        self._instance_edges: Dict[Tuple[str, str], _EdgeInfo] = {}
+        self._class_edges: Dict[Tuple[str, str], _EdgeInfo] = {}
+        self._instance_counter = 0
+        self.cycles: List[CycleReport] = []
+        self.outliers: List[HoldOutlier] = []
+        self.acquisitions = 0
+        if metrics is not None:
+            self._c_acquired = metrics.counter("sanitizer.lock_acquisitions")
+            self._c_contended = metrics.counter("sanitizer.lock_contention")
+            self._c_cycles = metrics.counter("sanitizer.lock_order_cycles")
+            self._c_outliers = metrics.counter("sanitizer.lock_hold_outliers")
+            self._h_wait = metrics.histogram("sanitizer.lock_wait_seconds")
+            self._h_hold = metrics.histogram("sanitizer.lock_hold_seconds")
+        else:
+            self._c_acquired = self._c_contended = None
+            self._c_cycles = self._c_outliers = None
+            self._h_wait = self._h_hold = None
+
+    # -- wiring ---------------------------------------------------------------
+    def next_instance_id(self) -> int:
+        with self._mutex:
+            self._instance_counter += 1
+            return self._instance_counter
+
+    def _stack(self) -> List[Tuple["SanitizedLock", float]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    # -- events ---------------------------------------------------------------
+    def on_acquired(self, lock: "SanitizedLock", waited: float) -> None:
+        stack = self._stack()
+        thread = threading.current_thread().name
+        with self._mutex:
+            self.acquisitions += 1
+            for held, _t0 in stack:
+                if held.instance_name == lock.instance_name:
+                    continue  # RLock re-entry: not an order edge
+                self._add_edge(held, lock, thread)
+        stack.append((lock, self._clock()))
+        if self._c_acquired is not None:
+            self._c_acquired.inc()
+            self._h_wait.observe(waited)
+            if waited >= CONTENTION_WAIT_SECONDS:
+                self._c_contended.inc()
+
+    def on_released(self, lock: "SanitizedLock") -> None:
+        stack = self._stack()
+        acquired_at: Optional[float] = None
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] is lock:
+                acquired_at = stack[i][1]
+                del stack[i]
+                break
+        if acquired_at is None:
+            return
+        held_for = self._clock() - acquired_at
+        if self._h_hold is not None:
+            self._h_hold.observe(held_for)
+        if held_for >= self._hold_outlier_seconds:
+            outlier = HoldOutlier(lock=lock.class_name, seconds=held_for,
+                                  thread=threading.current_thread().name)
+            with self._mutex:
+                self.outliers.append(outlier)
+            if self._c_outliers is not None:
+                self._c_outliers.inc()
+
+    def _add_edge(self, held: "SanitizedLock", acquired: "SanitizedLock",
+                  thread: str) -> None:
+        # caller holds self._mutex
+        ikey = (held.instance_name, acquired.instance_name)
+        fresh = ikey not in self._instance_edges
+        info = self._instance_edges.setdefault(ikey, _EdgeInfo())
+        info.count += 1
+        info.threads.add(thread)
+        ckey = (held.class_name, acquired.class_name)
+        cinfo = self._class_edges.setdefault(ckey, _EdgeInfo())
+        cinfo.count += 1
+        cinfo.threads.add(thread)
+        if fresh:
+            cycle = self._find_cycle(ikey)
+            if cycle is not None:
+                self.cycles.append(CycleReport(
+                    nodes=tuple(cycle),
+                    edges=tuple(zip(cycle, cycle[1:] + [cycle[0]])),
+                    thread=thread,
+                ))
+                if self._c_cycles is not None:
+                    self._c_cycles.inc()
+
+    def _find_cycle(self, new_edge: Tuple[str, str]) -> Optional[List[str]]:
+        """A path acquired -> ... -> held closes a cycle through the new
+        held -> acquired edge.  Caller holds self._mutex."""
+        src, dst = new_edge
+        # DFS from dst looking for src.
+        stack: List[Tuple[str, List[str]]] = [(dst, [src, dst])]
+        succs: Dict[str, List[str]] = {}
+        for a, b in self._instance_edges:
+            succs.setdefault(a, []).append(b)
+        seen = {dst}
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(succs.get(node, ())):
+                if nxt == src:
+                    return path
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- export ---------------------------------------------------------------
+    def class_graph(self) -> LockOrderGraph:
+        """The observed order edges, collapsed to ``ClassName.attr``
+        nodes (self-edges dropped) for comparison with the static graph."""
+        graph = LockOrderGraph()
+        with self._mutex:
+            for (src, dst), info in sorted(self._class_edges.items()):
+                if src == dst:
+                    continue
+                graph.add_edge(src, dst, Witness(
+                    path="<runtime>",
+                    line=0,
+                    symbol=",".join(sorted(info.threads)),
+                    detail=f"observed {info.count}x at runtime",
+                ))
+        return graph
+
+    def instance_edges(self) -> Dict[Tuple[str, str], int]:
+        with self._mutex:
+            return {key: info.count
+                    for key, info in sorted(self._instance_edges.items())}
+
+
+class SanitizedLock:
+    """Drop-in wrapper for a Lock/RLock/Condition that reports to a
+    :class:`LockOrderRecorder`.
+
+    Proxies the full Condition protocol: ``wait`` releases the lock (the
+    wrapper pops it from the held stack for the duration so no spurious
+    order edges are recorded against locks acquired by other threads
+    while we sleep), ``notify``/``notify_all`` pass straight through.
+    """
+
+    def __init__(self, inner, class_name: str,
+                 recorder: LockOrderRecorder) -> None:
+        self._inner = inner
+        self.class_name = class_name
+        self.instance_name = f"{class_name}#{recorder.next_instance_id()}"
+        self._recorder = recorder
+
+    # -- lock protocol --------------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        t0 = self._recorder._clock()
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._recorder.on_acquired(self, self._recorder._clock() - t0)
+        return got
+
+    def release(self) -> None:
+        self._recorder.on_released(self)
+        self._inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        return locked() if locked is not None else False
+
+    # -- condition protocol ---------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._recorder.on_released(self)
+        try:
+            return self._inner.wait(timeout)
+        finally:
+            self._recorder.on_acquired(self, 0.0)
+
+    def wait_for(self, predicate, timeout: Optional[float] = None):
+        self._recorder.on_released(self)
+        try:
+            return self._inner.wait_for(predicate, timeout)
+        finally:
+            self._recorder.on_acquired(self, 0.0)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+
+def sanitize_lock(obj, recorder: LockOrderRecorder, attr: str = "_lock",
+                  class_name: Optional[str] = None) -> SanitizedLock:
+    """Replace ``obj.<attr>`` with a SanitizedLock (idempotent).
+
+    Must be called before the object's threads start: the swap is not
+    atomic with respect to concurrent acquirers of the old lock.
+    """
+    inner = getattr(obj, attr)
+    if isinstance(inner, SanitizedLock):
+        return inner
+    name = class_name or f"{type(obj).__name__}.{attr}"
+    wrapped = SanitizedLock(inner, class_name=name, recorder=recorder)
+    setattr(obj, attr, wrapped)
+    return wrapped

@@ -82,12 +82,17 @@ class ChaosWorld:
         Service-side retry budget per task.
     invariants:
         Override the default invariant set (``None`` = all built-ins).
+    sanitize_locks:
+        Run the deployment with the runtime lock-order sanitizer
+        (:mod:`repro.analysis.sanitizer`); the recorder is reachable as
+        ``world.deployment.lock_recorder``.
     """
 
     def __init__(self, seed: int = 0, *, max_retries: int = 8,
                  invariants: list[Invariant] | None = None,
                  clock: Callable[[], float] | None = None,
-                 sleeper: Callable[[float], None] | None = None):
+                 sleeper: Callable[[float], None] | None = None,
+                 sanitize_locks: bool = False):
         self.seed = seed
         self.max_retries = max_retries
         self._clock = clock or time.monotonic  # clock-domain: monotonic
@@ -96,6 +101,7 @@ class ChaosWorld:
         self.deployment = LocalDeployment(
             seed=seed,
             service_config=ServiceConfig(default_max_retries=max_retries),
+            sanitize_locks=sanitize_locks,
         )
         service = self.deployment.service
         service.probe = self.registry.probe("service")

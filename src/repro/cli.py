@@ -164,15 +164,37 @@ def _cmd_casestudies(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    """Exit codes: 0 = clean, 1 = findings, 2 = usage or internal error."""
+    import inspect
     import json
     from pathlib import Path
 
     from repro.analysis import Baseline, run_analysis
     from repro.analysis.baseline import BASELINE_VERSION
+    from repro.analysis.runner import ALL_CHECKS, GLOBAL_CHECKS
+
+    if args.explain:
+        known = {**ALL_CHECKS, **GLOBAL_CHECKS}
+        check = known.get(args.explain)
+        if check is None:
+            print(f"unknown check {args.explain!r}; available: "
+                  f"{', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+        print(f"[{args.explain}]")
+        print(inspect.getdoc(check))
+        return 0
 
     repo_root = Path(args.root).resolve()
-    paths = ([Path(p) for p in args.paths] if args.paths
-             else [repo_root / "src"])
+    paths = [Path(p) for p in args.paths]
+    for pattern in args.path_globs or []:
+        matched = sorted(repo_root.glob(pattern))
+        if not matched:
+            print(f"--paths pattern {pattern!r} matched nothing under "
+                  f"{repo_root}", file=sys.stderr)
+            return 2
+        paths.extend(matched)
+    if not paths:
+        paths = [repo_root / "src"]
     baseline_path = Path(args.baseline) if args.baseline else (
         repo_root / "analysis-baseline.json")
 
@@ -285,9 +307,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="run the fabric static analyzer (guarded-by, determinism, "
-             "wire-compat, blocking-under-lock, clock-domain)")
+             "wire-compat, blocking-under-lock, clock-domain, lease-ack, "
+             "span-lifecycle, lock-order)",
+        description="Exit codes: 0 = clean, 1 = findings reported, "
+                    "2 = usage or internal error (bad baseline, unknown "
+                    "check, glob matched nothing).")
     lint.add_argument("paths", nargs="*",
                       help="files or directories to analyze (default: src/)")
+    lint.add_argument("--paths", dest="path_globs", action="append",
+                      metavar="GLOB", default=[],
+                      help="glob (relative to --root) selecting files to "
+                           "analyze; repeatable; a pattern matching nothing "
+                           "is an error (exit 2)")
+    lint.add_argument("--explain", metavar="CHECK", default="",
+                      help="print what CHECK enforces and exit (exit 2 if "
+                           "unknown)")
     lint.add_argument("--root", default=".",
                       help="repository root for relative paths and the "
                            "default baseline location (default: .)")

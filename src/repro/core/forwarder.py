@@ -359,16 +359,25 @@ class Forwarder:
         pending = deque(queue.lease_many(self.max_dispatch_per_step,
                                          lease_timeout=self.lease_timeout))
         dispatched = 0
+        lease = None
         try:
             while pending:
                 lease = pending.popleft()
                 dispatched += self._dispatch_one(queue, lease)
         except Exception:
-            # An unexpected failure mid-batch: return every unprocessed
-            # lease to the queue so the tasks redeliver next step instead
-            # of hanging open against a crashed dispatch loop.
-            for lease in pending:
-                queue.nack(lease.lease_id)
+            # An unexpected failure mid-batch: the in-flight lease was
+            # popped but may have escaped _dispatch_one undisposed (e.g.
+            # mark_dispatched raced a forget_task), so nack it unless it
+            # already reached _open_leases, then return every unprocessed
+            # lease so the tasks redeliver next step instead of hanging
+            # open against a crashed dispatch loop.
+            if lease is not None:
+                with self._lock:
+                    registered = self._open_leases.get(lease.item) is lease
+                if not registered:
+                    queue.nack(lease.lease_id)
+            for unprocessed in pending:
+                queue.nack(unprocessed.lease_id)
             raise
         return dispatched
 

@@ -72,6 +72,9 @@ class Endpoint:
             sleeper=sleeper,
         )
         self.managers: dict[str, Manager] = {}
+        # Called with each new Manager before it starts (scale_out
+        # included) — the deployment uses this to sanitize its lock.
+        self.on_manager_created: Callable[[Manager], None] | None = None
         self._node_seq = itertools.count(1)
         self._lock = threading.RLock()
         self._started = False
@@ -92,6 +95,8 @@ class Endpoint:
             metrics=self.metrics,
         )
         self.agent.attach_manager(manager_id, channel.right)
+        if self.on_manager_created is not None:
+            self.on_manager_created(manager)
         with self._lock:
             self.managers[manager_id] = manager
         if self._started:

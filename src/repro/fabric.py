@@ -26,6 +26,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.analysis.sanitizer import LockOrderRecorder, sanitize_lock
 from repro.auth.service import AuthService, Identity
 from repro.core.client import FuncXClient
 from repro.core.forwarder import Forwarder
@@ -73,6 +74,10 @@ class LocalDeployment:
     service_config:
         Web-service tunables; ``request_overhead`` is overridden by
         ``timings.service_overhead`` when that is non-zero.
+    sanitize_locks:
+        Wrap the fabric's locks in :class:`repro.analysis.sanitizer.
+        SanitizedLock` so lock-order edges, contention, and hold-time
+        outliers are recorded at runtime (``self.lock_recorder``).
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class LocalDeployment:
         timings: DeploymentTimings | None = None,
         service_config: ServiceConfig | None = None,
         seed: int | None = None,
+        sanitize_locks: bool = False,
     ):
         self.timings = timings or DeploymentTimings()
         config = service_config or ServiceConfig()
@@ -98,6 +104,15 @@ class LocalDeployment:
         self._identities: dict[str, Identity] = {}
         self._lock = threading.RLock()
         self._closed = False
+        # Runtime lock-order sanitizer (opt-in).  Tracing, metrics, and
+        # invariant-registry locks stay unwrapped on purpose: they are
+        # leaf locks acquired from inside every component, and wrapping
+        # them would add runtime edges the static graph cannot model.
+        self.lock_recorder: LockOrderRecorder | None = None
+        if sanitize_locks:
+            self.lock_recorder = LockOrderRecorder(metrics=self.metrics)
+            sanitize_lock(self.service, self.lock_recorder,
+                          class_name="FuncXService._lock")
 
     # ------------------------------------------------------------------
     # identities & clients
@@ -157,6 +172,21 @@ class LocalDeployment:
             metrics=self.metrics,
         )
         handle = _EndpointHandle(endpoint=endpoint, forwarder=forwarder)
+        if self.lock_recorder is not None:
+            # Wrap before any thread starts — the swap is not atomic.
+            recorder = self.lock_recorder
+            sanitize_lock(forwarder, recorder, class_name="Forwarder._lock")
+            sanitize_lock(endpoint, recorder, class_name="Endpoint._lock")
+            sanitize_lock(endpoint.agent, recorder,
+                          class_name="FuncXAgent._lock")
+            for manager in endpoint.managers.values():
+                sanitize_lock(manager, recorder, class_name="Manager._lock")
+            endpoint.on_manager_created = lambda m: sanitize_lock(
+                m, recorder, class_name="Manager._lock")
+            sanitize_lock(self.service.task_queue(endpoint_id), recorder,
+                          class_name="ReliableQueue._lock")
+            sanitize_lock(self.service.result_queue(endpoint_id), recorder,
+                          class_name="ReliableQueue._lock")
         with self._lock:
             self._handles[endpoint_id] = handle
         if start:

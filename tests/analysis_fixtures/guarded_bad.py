@@ -28,3 +28,9 @@ class Dispatcher:
         with self._lock:
             worker = self._assigned.pop(task_id, None)
         self._pending.append((task_id, worker))  # EXPECT: guarded-by
+
+    def reset(self):
+        del self._assigned  # EXPECT: guarded-by
+
+    def bump(self, task_id):
+        self._assigned[task_id] += 1  # EXPECT: guarded-by

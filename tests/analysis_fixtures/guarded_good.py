@@ -37,3 +37,11 @@ class Dispatcher:
         with self._lock:
             items, self._pending = list(self._pending), deque()
         return items
+
+    def reset(self):
+        with self._lock:
+            del self._assigned
+
+    def bump(self, task_id):
+        with self._lock:
+            self._assigned[task_id] += 1

@@ -1,0 +1,39 @@
+# module: fixtures.lease
+# Known-bad corpus for the lease-ack check: leases that can reach the
+# function exit un-acked — early returns, raise paths, and loops that
+# consume a batch without disposing the elements.  Findings anchor on
+# the acquisition line.
+from collections import deque
+
+
+class Dispatcher:
+    def drop_on_early_return(self, queue, flag):
+        lease = queue.lease(0.1)  # EXPECT: lease-ack
+        if lease is None:
+            return 0
+        if flag:
+            return 1  # leaks the lease on this path
+        queue.ack(lease.lease_id)
+        return 1
+
+    def leak_on_raise(self, queue):
+        lease = queue.lease(0.1)  # EXPECT: lease-ack
+        if lease is None:
+            return
+        if lease.deliveries > 3:
+            raise RuntimeError("poison task")  # lease never disposed
+        queue.ack(lease.lease_id)
+
+    def count_without_ack(self, queue):
+        total = 0
+        for lease in queue.lease_many(8):  # EXPECT: lease-ack
+            total += 1  # element never acked, nacked, or handed off
+        return total
+
+    def batch_leaks_in_flight(self, queue):
+        pending = deque(queue.lease_many(8))  # EXPECT: lease-ack
+        while pending:
+            lease = pending.popleft()
+            if lease.deliveries > 3:
+                break  # drained flag never set; rest of batch leaks
+            queue.ack(lease.lease_id)

@@ -1,0 +1,44 @@
+# module: fixtures.lease
+# Known-good corpus for the lease-ack check: ack/nack on every path,
+# drained batch loops, and the three escape waivers (store into a
+# field/container, return the lease, pass it to another call).
+from collections import deque
+
+
+class Dispatcher:
+    def __init__(self):
+        self._open = {}
+
+    def ack_or_nack_every_path(self, queue, flag):
+        lease = queue.lease(0.1)
+        if lease is None:
+            return 0
+        if flag:
+            queue.nack(lease.lease_id)
+            return 0
+        queue.ack(lease.lease_id)
+        return 1
+
+    def drain_batch(self, queue):
+        pending = deque(queue.lease_many(8))
+        while pending:
+            lease = pending.popleft()
+            queue.ack(lease.lease_id)
+        return True
+
+    def escape_to_field(self, queue):
+        lease = queue.lease(0.1)
+        if lease is not None:
+            self._open[lease.item] = lease  # caller's reclaim loop owns it now
+
+    def escape_by_return(self, queue):
+        lease = queue.lease(0.1)
+        return lease
+
+    def escape_by_handoff(self, queue, agent):
+        for lease in queue.lease_many(4):
+            agent.dispatch(queue, lease)  # callee owns disposal
+
+    def deliberate_drop(self, queue):
+        lease = queue.lease(0.1)  # lint: ignore[lease-ack]
+        del lease  # waived: intentionally dropped for the test double

@@ -1,0 +1,36 @@
+# module: fixtures.lockorder
+# Known-good corpus for the lock-order check: every code path acquires
+# the two locks in the same global order (Outer before Inner), including
+# the multi-item `with a, b:` form, which acquires left-to-right.
+import threading
+
+
+class Outer:
+    def __init__(self, inner: Inner):
+        self._lock = threading.Lock()
+        self.inner = inner
+
+    def nested(self):
+        with self._lock:
+            with self.inner._pool_lock:
+                return self.inner.size
+
+    def multi_item(self):
+        # `with a, b:` acquires a then b — same order as nested().
+        with self._lock, self.inner._pool_lock:
+            return self.inner.size
+
+    def reentrant(self):
+        with self._lock:
+            with self._lock:  # same lock: RLock re-entry, not an edge
+                return True
+
+
+class Inner:
+    def __init__(self):
+        self._pool_lock = threading.Lock()
+        self.size = 0
+
+    def grow(self):
+        with self._pool_lock:
+            self.size += 1

@@ -1,0 +1,22 @@
+# module: fixtures.lockscope
+# Pins lockscope.py edge cases, bad side: a deferred generator
+# expression escapes the lock scope (its element expression runs at
+# consumption time, after release — same closure hazard as a lambda),
+# and guarded access in an async method still needs the lock.
+import threading
+
+
+class Table:
+    _GUARDED = {"_rows": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}
+
+    def deferred_genexp(self, keys):
+        with self._lock:
+            rows = (self._rows[k] for k in keys)  # EXPECT: guarded-by
+        return list(rows)  # consumed after the lock is released
+
+    async def async_unlocked(self):
+        return len(self._rows)  # EXPECT: guarded-by

@@ -1,0 +1,33 @@
+# module: fixtures.lockscope
+# Pins lockscope.py edge cases, good side: multi-item `with a, b:`
+# accumulates both locks left-to-right, `async with` guards like the
+# sync form, eager list comprehensions evaluate in place (under the
+# lock), and a generator expression's *outermost iterable* is evaluated
+# eagerly so touching the guarded attribute there is fine.
+import threading
+
+
+class Table:
+    _GUARDED = {"_rows": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self._rows = {}
+
+    def multi_item_with(self):
+        with self._lock, self._aux:
+            return len(self._rows)
+
+    async def async_with(self):
+        async with self._lock:
+            return len(self._rows)
+
+    def eager_comprehension(self):
+        with self._lock:
+            return [self._rows[k] for k in self._rows]
+
+    def eager_genexp_iterable(self):
+        with self._lock:
+            total = sum(1 for _ in self._rows)
+        return total

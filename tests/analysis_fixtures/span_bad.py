@@ -1,0 +1,17 @@
+# module: fixtures.span
+# Known-bad corpus for the span-lifecycle check: a span begun but not
+# finished on every path through the function, and a span name that is
+# never ended anywhere in its class.
+
+
+class Pipeline:
+    def step(self, message, flag):
+        message.trace.begin("manager", "manager")  # EXPECT: span-lifecycle
+        if flag:
+            return None  # leaves the "manager" span open
+        message.trace.end("manager")
+        return message
+
+    def orphan_stage(self, message):
+        message.trace.begin("stage", "manager")  # EXPECT: span-lifecycle
+        return message  # no .end("stage") anywhere in Pipeline

@@ -1,0 +1,38 @@
+# module: fixtures.span
+# Known-good corpus for the span-lifecycle check: finally-closed spans,
+# the cross-method begin/end pairing the agent and manager use, and
+# one-shot record() stages.
+
+
+class Pipeline:
+    def step(self, message):
+        message.trace.begin("manager", "manager")
+        try:
+            self._work(message)
+        finally:
+            message.trace.end("manager")
+        return message
+
+    def branch_closes_both_ways(self, message, flag):
+        message.trace.begin("dispatch", "manager")
+        if flag:
+            message.trace.end("dispatch", dropped=True)
+            return None
+        message.trace.end("dispatch")
+        return message
+
+    def open_crossing_methods(self, message):
+        # The fabric's normal shape: dispatch begins, completion ends.
+        message.trace.begin("agent", "agent")
+        return message
+
+    def close_crossing_methods(self, message):
+        message.trace.end("agent")
+        return message
+
+    def one_shot(self, message):
+        message.trace.record("worker", "worker", start=0.0, end=1.0)
+        return message
+
+    def _work(self, message):
+        return message

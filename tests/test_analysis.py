@@ -20,6 +20,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import Baseline, analyze_source, run_analysis
+from repro.analysis.runner import ALL_CHECKS, GLOBAL_CHECKS
 from repro.analysis.source import parse_source
 from repro.cli import main as cli_main
 
@@ -71,7 +72,12 @@ def test_corpus_covers_every_check_both_ways():
         "wire-compat": "wire_good.py",
         "blocking-under-lock": "blocking_good.py",
         "clock-domain": "clock_good.py",
+        "lease-ack": "lease_good.py",
+        "span-lifecycle": "span_good.py",
+        "lock-order": "lockorder_good.py",
     }
+    assert set(good_files_by_check) == set(ALL_CHECKS) | set(GLOBAL_CHECKS), (
+        "every registered check needs fixture coverage; update this map")
     for path in FIXTURES.glob("*_bad.py"):
         source = _load_fixture(path.name)
         bad_checks.update(check for check, _ in _expected_markers(source))
@@ -103,6 +109,99 @@ def test_reintroduced_unlocked_pending_access_is_flagged():
     clean = parse_source(text, path="src/repro/endpoint/manager.py",
                          module="repro.endpoint.manager")
     assert [f for f in analyze_source(clean) if f.check == "guarded-by"] == []
+
+
+def test_reintroduced_leaked_lease_in_forwarder_is_flagged():
+    """Restoring the pre-PR-4 ``_dispatch_tasks`` exception handler —
+    which nacked only the leases still in ``pending`` and let the popped
+    in-flight lease leak on an unexpected error — must produce a
+    lease-ack finding anchored at the ``lease_many`` acquisition."""
+    path = REPO_ROOT / "src/repro/core/forwarder.py"
+    text = path.read_text(encoding="utf-8")
+    fixed = """        dispatched = 0
+        lease = None
+        try:
+            while pending:
+                lease = pending.popleft()
+                dispatched += self._dispatch_one(queue, lease)
+        except Exception:"""
+    assert fixed in text, "forwarder.py changed; update this regression test"
+    start = text.index(fixed)
+    end = text.index("        return dispatched", start)
+    old_handler = """        dispatched = 0
+        try:
+            while pending:
+                lease = pending.popleft()
+                dispatched += self._dispatch_one(queue, lease)
+        except Exception:
+            for lease in pending:
+                queue.nack(lease.lease_id)
+            raise
+"""
+    broken = text[:start] + old_handler + text[end:]
+    source = parse_source(broken, path="src/repro/core/forwarder.py",
+                          module="repro.core.forwarder")
+    findings = [f for f in analyze_source(source) if f.check == "lease-ack"]
+    assert findings, "leaked in-flight lease was not flagged"
+    lease_line = next(i for i, line in enumerate(broken.splitlines(), start=1)
+                      if "queue.lease_many(self.max_dispatch_per_step" in line)
+    assert any(f.line == lease_line for f in findings), (
+        f"finding not anchored at the lease_many acquisition "
+        f"(line {lease_line}): {[f.line for f in findings]}")
+
+    clean = parse_source(text, path="src/repro/core/forwarder.py",
+                         module="repro.core.forwarder")
+    assert [f for f in analyze_source(clean) if f.check == "lease-ack"] == []
+
+
+def test_reintroduced_lock_order_cycle_is_flagged():
+    """Appending a pair of classes that acquire each other's locks in
+    opposite orders to a src file must produce a lock-order cycle
+    finding against the full source tree."""
+    from repro.analysis.lockorder import check_lock_order
+    from repro.analysis.runner import iter_python_files
+    from repro.analysis.source import load_source, module_name_for
+
+    inversion = '''
+
+class _ReproGrip:
+    def __init__(self, peer: _ReproPeer):
+        self._grip_lock = threading.RLock()
+        self.peer = peer
+
+    def poke(self):
+        with self._grip_lock:
+            with self.peer._peer_lock:
+                pass
+
+
+class _ReproPeer:
+    def __init__(self):
+        self._peer_lock = threading.RLock()
+        self.grip = None
+
+    def adopt(self, grip: _ReproGrip):
+        self.grip = grip
+
+    def poke(self):
+        with self._peer_lock:
+            with self.grip._grip_lock:
+                pass
+'''
+    sources = []
+    for file_path in iter_python_files(REPO_ROOT / "src"):
+        rel = str(file_path.relative_to(REPO_ROOT))
+        if rel.endswith("core/forwarder.py"):
+            text = file_path.read_text(encoding="utf-8") + inversion
+            sources.append(parse_source(text, path=rel,
+                                        module="repro.core.forwarder"))
+        else:
+            sources.append(load_source(file_path, rel,
+                                       module_name_for(file_path)))
+    findings = [f for f in check_lock_order(sources)]
+    assert len(findings) == 1, [f.message for f in findings]
+    assert "_ReproGrip._grip_lock" in findings[0].message
+    assert "_ReproPeer._peer_lock" in findings[0].message
 
 
 def test_reintroduced_raw_time_call_in_core_is_flagged():
@@ -296,3 +395,36 @@ def test_cli_lint_explicit_paths(tmp_path, capsys):
     root = _make_mini_repo(tmp_path)
     clean = root / "src" / "repro" / "core" / "__init__.py"
     assert cli_main(["lint", "--root", str(root), str(clean)]) == 0
+
+
+def test_cli_lint_paths_glob(tmp_path, capsys):
+    root = _make_mini_repo(tmp_path)
+    assert cli_main(["lint", "--root", str(root),
+                     "--paths", "src/repro/core/mod.py"]) == 1
+    assert "[determinism]" in capsys.readouterr().out
+    assert cli_main(["lint", "--root", str(root),
+                     "--paths", "src/**/__init__.py"]) == 0
+
+
+def test_cli_lint_paths_glob_matching_nothing_is_usage_error(tmp_path, capsys):
+    root = _make_mini_repo(tmp_path)
+    assert cli_main(["lint", "--root", str(root),
+                     "--paths", "no/such/*.py"]) == 2
+    assert "matched nothing" in capsys.readouterr().err
+
+
+def test_cli_lint_explain(capsys):
+    assert cli_main(["lint", "--explain", "lease-ack"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("[lease-ack]")
+    assert "ack" in out and "nack" in out
+
+    assert cli_main(["lint", "--explain", "no-such-check"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown check" in err and "lock-order" in err
+
+
+def test_cli_lint_explain_covers_every_check(capsys):
+    for check in sorted(set(ALL_CHECKS) | set(GLOBAL_CHECKS)):
+        assert cli_main(["lint", "--explain", check]) == 0
+        assert capsys.readouterr().out.startswith(f"[{check}]")

@@ -156,6 +156,51 @@ class TestHeartbeatSkew:
         assert report.ok, report.describe()
 
 
+class TestSanitizedChaosRun:
+    """The runtime lock-order sanitizer rides a full fault-plan run: every
+    lock-acquisition-order edge actually observed must already be known
+    to the static lock-order graph (no cycles, no surprise nesting)."""
+
+    def test_runtime_lock_graph_is_subgraph_of_static(self, chaos_world):
+        from pathlib import Path
+
+        from repro.analysis.lockorder import extract_lock_graph
+        from repro.analysis.runner import iter_python_files
+        from repro.analysis.source import load_source, module_name_for
+
+        world = chaos_world(seed=29, sanitize_locks=True)
+        ep = world.add_endpoint("ep", nodes=2, workers_per_node=2)
+        plan = FaultPlan(name="sanitized-run", seed=29, steps=(
+            FaultStep.make(0.10, "set_drop", "ep", probability=0.15),
+            FaultStep.make(0.25, "disconnect_endpoint", "ep"),
+            FaultStep.make(0.55, "reconnect_endpoint", "ep"),
+            FaultStep.make(0.65, "set_drop", "ep", probability=0.0),
+        ))
+        client = world.client()
+        fid = client.register_function(double)
+        world.start_plan(plan)
+        futures = [client.submit(fid, ep, i) for i in range(30)]
+        world.finish_plan()
+        assert world.drain(timeout=30)
+        assert [f.result(timeout=30) for f in futures] == [i * 2 for i in range(30)]
+        assert world.check_final().ok
+
+        recorder = world.deployment.lock_recorder
+        assert recorder is not None
+        assert recorder.acquisitions > 0
+        assert recorder.cycles == [], [c.format() for c in recorder.cycles]
+
+        repo_root = Path(__file__).resolve().parent.parent
+        sources = [load_source(p, str(p.relative_to(repo_root)),
+                               module_name_for(p))
+                   for p in iter_python_files(repo_root / "src")]
+        static = extract_lock_graph(sources)
+        runtime = recorder.class_graph()
+        assert runtime.is_subgraph_of(static), (
+            f"runtime lock-order edges unknown to the static graph: "
+            f"{runtime.missing_from(static)}")
+
+
 class TestArtifactReplay:
     def test_failure_artifact_rebuilds_world_and_plan(self, chaos_world, tmp_path):
         plan = generate_plan("replayable", seed=17, duration=0.5,

@@ -1,0 +1,235 @@
+"""Unit tests for the static lock-order graph (repro.analysis.lockorder)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lockorder import (
+    LockOrderGraph,
+    Witness,
+    check_lock_order,
+    extract_lock_graph,
+)
+from repro.analysis.runner import iter_python_files
+from repro.analysis.source import load_source, module_name_for, parse_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _sources(*texts: str):
+    return [parse_source(text, path=f"mod{i}.py", module=f"fixtures.mod{i}")
+            for i, text in enumerate(texts)]
+
+
+def _graph(*texts: str) -> LockOrderGraph:
+    return extract_lock_graph(_sources(*texts))
+
+
+NESTED = """
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def run(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+"""
+
+MULTI_ITEM = """
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def run(self):
+        with self._a_lock, self._b_lock:
+            pass
+"""
+
+
+class TestEdgeExtraction:
+    def test_nested_with_produces_ordered_edge(self):
+        graph = _graph(NESTED)
+        assert graph.has_edge("Pair._a_lock", "Pair._b_lock")
+        assert not graph.has_edge("Pair._b_lock", "Pair._a_lock")
+
+    def test_multi_item_with_orders_left_to_right(self):
+        graph = _graph(MULTI_ITEM)
+        assert graph.has_edge("Pair._a_lock", "Pair._b_lock")
+        assert not graph.has_edge("Pair._b_lock", "Pair._a_lock")
+
+    def test_reentrant_same_lock_is_not_an_edge(self):
+        graph = _graph("""
+import threading
+
+
+class Solo:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def run(self):
+        with self._lock:
+            with self._lock:
+                pass
+""")
+        assert graph.edges == {}
+
+    def test_witness_records_file_line_and_symbol(self):
+        graph = _graph(NESTED)
+        witnesses = graph.edges[("Pair._a_lock", "Pair._b_lock")]
+        formatted = witnesses[0].format()
+        assert "mod0.py:" in formatted and "Pair.run" in formatted
+        assert "acquires" in formatted
+
+    def test_call_through_edge_via_typed_attribute(self):
+        graph = _graph("""
+import threading
+
+
+class Inner:
+    def __init__(self):
+        self._inner_lock = threading.Lock()
+
+    def poke(self):
+        with self._inner_lock:
+            pass
+
+
+class Outer:
+    def __init__(self):
+        self._outer_lock = threading.Lock()
+        self.inner = Inner()
+
+    def run(self):
+        with self._outer_lock:
+            self.inner.poke()
+""")
+        assert graph.has_edge("Outer._outer_lock", "Inner._inner_lock")
+
+    def test_call_through_edges_cross_files(self):
+        inner = """
+import threading
+
+
+class Inner:
+    def __init__(self):
+        self._inner_lock = threading.Lock()
+
+    def poke(self):
+        with self._inner_lock:
+            pass
+"""
+        outer = """
+import threading
+
+
+class Outer:
+    def __init__(self, inner: Inner):
+        self._outer_lock = threading.Lock()
+        self.inner = inner
+
+    def run(self):
+        with self._outer_lock:
+            self.inner.poke()
+"""
+        graph = extract_lock_graph(_sources(inner, outer))
+        assert graph.has_edge("Outer._outer_lock", "Inner._inner_lock")
+
+
+class TestGraphHelpers:
+    def _w(self):
+        return Witness(path="p.py", line=1, symbol="S.m", detail="d")
+
+    def test_self_edges_are_dropped(self):
+        graph = LockOrderGraph()
+        graph.add_edge("A.l", "A.l", self._w())
+        assert graph.edges == {}
+
+    def test_subgraph_and_missing(self):
+        small = LockOrderGraph()
+        small.add_edge("A.l", "B.l", self._w())
+        big = LockOrderGraph()
+        big.add_edge("A.l", "B.l", self._w())
+        big.add_edge("B.l", "C.l", self._w())
+        assert small.is_subgraph_of(big)
+        assert not big.is_subgraph_of(small)
+        assert big.missing_from(small) == [("B.l", "C.l")]
+
+    def test_cycles_one_per_scc(self):
+        graph = LockOrderGraph()
+        graph.add_edge("A.l", "B.l", self._w())
+        graph.add_edge("B.l", "A.l", self._w())
+        graph.add_edge("B.l", "C.l", self._w())  # acyclic appendix
+        cycles = graph.cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {("A.l", "B.l"), ("B.l", "A.l")}
+
+
+ABBA_LEFT = """
+import threading
+
+
+class Left:
+    def __init__(self, right: Right):
+        self._left_lock = threading.Lock()
+        self.right = right
+
+    def poke(self):
+        with self._left_lock:
+            with self.right._right_lock:
+                pass
+"""
+
+ABBA_RIGHT = """
+import threading
+
+
+class Right:
+    def __init__(self):
+        self._right_lock = threading.Lock()
+        self.left = None
+
+    def attach(self, left: Left):
+        self.left = left
+
+    def poke(self):
+        with self._right_lock:
+            with self.left._left_lock:
+                pass
+"""
+
+
+class TestCycleFindings:
+    def test_abba_cycle_reported_with_both_witnesses(self):
+        findings = list(check_lock_order(_sources(ABBA_LEFT, ABBA_RIGHT)))
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.check == "lock-order"
+        assert "lock-order cycle" in finding.message
+        # both legs of the inversion are named with their witness sites
+        assert "Left.poke" in finding.message
+        assert "Right.poke" in finding.message
+        assert "mod0.py:" in finding.message and "mod1.py:" in finding.message
+
+    def test_consistent_order_is_clean(self):
+        consistent = ABBA_RIGHT.replace(
+            "with self._right_lock:\n            with self.left._left_lock:",
+            "with self.left._left_lock:\n            with self._right_lock:")
+        assert consistent != ABBA_RIGHT
+        assert list(check_lock_order(_sources(ABBA_LEFT, consistent))) == []
+
+
+class TestFullSourceTree:
+    def test_src_lock_graph_is_acyclic(self):
+        sources = [load_source(p, str(p.relative_to(REPO_ROOT)), module_name_for(p))
+                   for p in iter_python_files(REPO_ROOT / "src")]
+        graph = extract_lock_graph(sources)
+        assert graph.cycles() == []

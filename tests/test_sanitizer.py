@@ -1,0 +1,227 @@
+"""Unit and integration tests for the runtime lock-order sanitizer."""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.analysis.lockorder import LockOrderGraph, Witness, extract_lock_graph
+from repro.analysis.runner import iter_python_files
+from repro.analysis.sanitizer import (
+    LockOrderRecorder,
+    SanitizedLock,
+    sanitize_lock,
+)
+from repro.analysis.source import load_source, module_name_for
+from repro.fabric import LocalDeployment
+from repro.metrics.registry import MetricsRegistry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.step = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def _locks(recorder, *names):
+    return [SanitizedLock(threading.Lock(), name, recorder) for name in names]
+
+
+class TestEdgeRecording:
+    def test_nested_acquisition_records_instance_and_class_edge(self):
+        recorder = LockOrderRecorder()
+        a, b = _locks(recorder, "A._lock", "B._lock")
+        with a:
+            with b:
+                pass
+        assert recorder.instance_edges() == {
+            (a.instance_name, b.instance_name): 1}
+        graph = recorder.class_graph()
+        assert graph.has_edge("A._lock", "B._lock")
+        assert not graph.has_edge("B._lock", "A._lock")
+
+    def test_reentrant_same_instance_is_not_an_edge(self):
+        recorder = LockOrderRecorder()
+        inner = threading.RLock()
+        lock = SanitizedLock(inner, "A._lock", recorder)
+        with lock:
+            with lock:
+                pass
+        assert recorder.instance_edges() == {}
+
+    def test_two_instances_of_one_class_collapse_in_class_graph(self):
+        recorder = LockOrderRecorder()
+        q1, q2 = _locks(recorder, "Q._lock", "Q._lock")
+        with q1:
+            with q2:
+                pass
+        # instance edge exists, class-level self-edge is dropped on export
+        assert len(recorder.instance_edges()) == 1
+        assert recorder.class_graph().edges == {}
+
+    def test_abba_nesting_detects_cycle_live(self):
+        recorder = LockOrderRecorder()
+        a, b = _locks(recorder, "A._lock", "B._lock")
+        with a:
+            with b:
+                pass
+        assert recorder.cycles == []
+        with b:
+            with a:
+                pass
+        assert len(recorder.cycles) == 1
+        cycle = recorder.cycles[0]
+        assert set(cycle.nodes) == {a.instance_name, b.instance_name}
+        assert "lock-order cycle observed at runtime" in cycle.format()
+
+    def test_consistent_order_never_reports_a_cycle(self):
+        recorder = LockOrderRecorder()
+        a, b = _locks(recorder, "A._lock", "B._lock")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert recorder.cycles == []
+
+
+class TestMetricsExport:
+    def test_acquisition_and_contention_counters(self):
+        metrics = MetricsRegistry()
+        clock = FakeClock()
+        clock.step = 0.01  # every clock() call advances 10ms -> "contended"
+        recorder = LockOrderRecorder(metrics=metrics, clock=clock)
+        (a,) = _locks(recorder, "A._lock")
+        with a:
+            pass
+        assert metrics.counter("sanitizer.lock_acquisitions").value == 1
+        assert metrics.counter("sanitizer.lock_contention").value == 1
+        assert recorder.acquisitions == 1
+
+    def test_hold_time_outlier_flagged(self):
+        metrics = MetricsRegistry()
+        clock = FakeClock()
+        recorder = LockOrderRecorder(metrics=metrics, clock=clock,
+                                     hold_outlier_seconds=0.25)
+        (a,) = _locks(recorder, "A._lock")
+        a.acquire()
+        clock.now += 10.0
+        a.release()
+        assert len(recorder.outliers) == 1
+        assert recorder.outliers[0].lock == "A._lock"
+        assert recorder.outliers[0].seconds >= 10.0
+        assert metrics.counter("sanitizer.lock_hold_outliers").value == 1
+
+    def test_cycle_counter_increments(self):
+        metrics = MetricsRegistry()
+        recorder = LockOrderRecorder(metrics=metrics)
+        a, b = _locks(recorder, "A._lock", "B._lock")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert metrics.counter("sanitizer.lock_order_cycles").value == 1
+
+
+class TestConditionProtocol:
+    def test_wait_notify_roundtrip(self):
+        recorder = LockOrderRecorder()
+        cond = SanitizedLock(threading.Condition(), "Q._lock", recorder)
+        ready = []
+
+        def consumer():
+            with cond:
+                while not ready:
+                    cond.wait(timeout=5.0)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        with cond:
+            ready.append(1)
+            cond.notify_all()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert recorder.cycles == []
+
+    def test_wait_releases_held_stack(self):
+        # While a thread sleeps in cond.wait() it does NOT hold the lock;
+        # edges recorded by other threads during that window must not
+        # originate from the waiter's stale stack entry.
+        recorder = LockOrderRecorder()
+        cond = SanitizedLock(threading.Condition(), "Q._lock", recorder)
+        other = SanitizedLock(threading.Lock(), "R._lock", recorder)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def waiter():
+            with cond:
+                entered.set()
+                cond.wait_for(release.is_set, timeout=5.0)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        # main thread takes both locks in Q -> R order while the waiter
+        # sleeps; if the waiter's stack still claimed Q this would be
+        # impossible (Q is actually free only inside wait)
+        with cond:
+            with other:
+                release.set()
+            cond.notify_all()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        graph = recorder.class_graph()
+        assert graph.has_edge("Q._lock", "R._lock")
+        assert not graph.has_edge("R._lock", "Q._lock")
+        assert recorder.cycles == []
+
+
+class TestSanitizeHelper:
+    def test_wraps_and_is_idempotent(self):
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+        recorder = LockOrderRecorder()
+        holder = Holder()
+        wrapped = sanitize_lock(holder, recorder)
+        assert isinstance(holder._lock, SanitizedLock)
+        assert wrapped.class_name == "Holder._lock"
+        assert sanitize_lock(holder, recorder) is wrapped
+
+
+class TestDeploymentIntegration:
+    def test_sanitized_deployment_runs_and_stays_within_static_graph(self):
+        def add(x, y):
+            return x + y
+
+        with LocalDeployment(sanitize_locks=True) as deployment:
+            client = deployment.client()
+            ep = deployment.create_endpoint("sanitized", nodes=1)
+            fid = client.register_function(add)
+            future = client.submit(fid, ep, 2, 3)
+            assert future.result(timeout=30) == 5
+            recorder = deployment.lock_recorder
+            assert recorder is not None
+            assert recorder.acquisitions > 0
+            assert recorder.cycles == []
+            runtime = recorder.class_graph()
+
+        sources = [load_source(p, str(p.relative_to(REPO_ROOT)),
+                               module_name_for(p))
+                   for p in iter_python_files(REPO_ROOT / "src")]
+        static = extract_lock_graph(sources)
+        assert runtime.is_subgraph_of(static), (
+            f"runtime lock-order edges unknown to the static graph: "
+            f"{runtime.missing_from(static)}")
+
+    def test_unsanitized_deployment_has_no_recorder(self):
+        with LocalDeployment() as deployment:
+            assert deployment.lock_recorder is None
