@@ -1,0 +1,103 @@
+"""End-to-end throughput gate: batching must beat per-message dispatch.
+
+Drives a full live deployment (service → forwarder → agent → manager →
+worker) over a channel with 1 ms injected one-way latency and a serial
+per-transfer occupancy, comparing the batched, event-driven fabric
+against the per-message, polling one it replaced:
+
+* **throughput** — a wave of trivial tasks; individual sends serialize
+  on the occupied link while a coalesced batch envelope pays the
+  transfer cost once, so batching must deliver ≥2x tasks/s;
+* **latency** — sequential single-task round trips; the per-message
+  fabric's fixed 2 ms poll interval quantizes p50, the wakeup-driven
+  fabric must shave at least one poll quantum off it.
+
+Artifacts: ``BENCH_e2e_throughput.json`` at the repo root and the usual
+``benchmarks/results`` text report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.harness import ExperimentReport, quick_mode
+from repro.perf import LEGACY_POLL_INTERVAL, compare_modes
+
+RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_e2e_throughput.json"
+
+#: Interleaved A/B pairs; best-of per mode filters scheduler noise.
+PAIRS = 3
+PAIRS_QUICK = 2
+TASKS = 128
+TASKS_QUICK = 64
+SAMPLES = 30
+SAMPLES_QUICK = 15
+
+#: One-way service↔endpoint latency (s) — the "1 ms injected latency"
+#: operating point of the gate.
+CHANNEL_LATENCY = 0.001
+#: Serial per-transfer link occupancy (s): what coalescing amortizes.
+TRANSFER_COST = 0.001
+
+#: Gate thresholds.
+MIN_SPEEDUP = 2.0
+MIN_P50_IMPROVEMENT = LEGACY_POLL_INTERVAL  # shave ≥ one poll quantum
+
+
+def test_e2e_throughput_gate():
+    quick = quick_mode()
+    comparison = compare_modes(
+        tasks=TASKS_QUICK if quick else TASKS,
+        samples=SAMPLES_QUICK if quick else SAMPLES,
+        latency=CHANNEL_LATENCY,
+        transfer_cost=TRANSFER_COST,
+        pairs=PAIRS_QUICK if quick else PAIRS,
+    )
+    speedup = comparison["speedup"]
+    p50_gain = comparison["p50_improvement_s"]
+
+    RESULT_JSON.write_text(json.dumps({
+        **comparison,
+        "gates": {
+            "min_speedup": MIN_SPEEDUP,
+            "min_p50_improvement_s": MIN_P50_IMPROVEMENT,
+        },
+        "quick": quick,
+    }, indent=2, sort_keys=True) + "\n")
+
+    throughput = comparison["throughput"]
+    latency = comparison["latency"]
+    report = ExperimentReport(
+        "e2e_throughput",
+        "batched vs per-message dispatch at 1 ms channel latency",
+    )
+    report.rows(
+        ["mode", "tasks/s", "wave (s)", "p50 (ms)", "p99 (ms)"],
+        [[mode,
+          throughput[mode]["tasks_per_second"],
+          throughput[mode]["seconds"],
+          latency[mode]["p50_s"] * 1e3,
+          latency[mode]["p99_s"] * 1e3]
+         for mode in ("per-message", "batched")],
+    )
+    report.line("")
+    report.line(f"throughput speedup: {speedup:.2f}x (gate: >={MIN_SPEEDUP:.1f}x)")
+    report.line(f"p50 improvement: {p50_gain * 1e3:.2f} ms "
+                f"(gate: >= one {LEGACY_POLL_INTERVAL * 1e3:.0f} ms poll quantum)")
+    report.note("interleaved A/B waves, best-of per mode; per-message sends "
+                "serialize on the occupied link while one batch envelope "
+                "pays the transfer cost once")
+    report.finish()
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batching delivers only {speedup:.2f}x tasks/s "
+        f"({throughput['batched']['tasks_per_second']:.0f} vs "
+        f"{throughput['per-message']['tasks_per_second']:.0f})"
+    )
+    assert p50_gain >= MIN_P50_IMPROVEMENT, (
+        f"event-driven p50 ({latency['batched']['p50_s'] * 1e3:.2f} ms) is "
+        f"still quantized by the poll interval — only "
+        f"{p50_gain * 1e3:.2f} ms better than polling "
+        f"({latency['per-message']['p50_s'] * 1e3:.2f} ms)"
+    )

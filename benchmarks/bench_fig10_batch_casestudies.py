@@ -9,9 +9,11 @@ functions barely benefit.
 
 Reproduction: the live fabric runs real sleep-based stand-ins whose
 durations are the case-study means *scaled down 100x* (XPCS's 50 s
-becomes 0.5 s) so the sweep completes in bench time; the per-request
-overhead being amortized (dispatch, channels, worker messaging) is the
-real thing, so the crossover shape is preserved.
+becomes 0.5 s) so the sweep completes in bench time, over a channel
+with injected client↔site latency (the paper's per-request overhead is
+a WAN round trip to the cloud service, not a local function call); the
+overhead being amortized (round trips, dispatch, worker messaging) is
+the real thing, so the crossover shape is preserved.
 """
 
 from __future__ import annotations
@@ -20,11 +22,17 @@ import time
 
 from benchmarks.harness import ExperimentReport, quick_mode
 from repro import EndpointConfig, LocalDeployment
+from repro.fabric import DeploymentTimings
 from repro.workloads import CASE_STUDIES
 
 SCALE = 0.01
 BATCH_SIZES = [1, 4, 16, 64, 256]
 CASES = ["metadata", "ml_inference", "ssx", "xpcs"]  # the paper's subset
+
+#: One-way service↔endpoint latency (s): a scaled-down stand-in for the
+#: paper's client→cloud→HPC round trip that each unbatched request pays.
+WAN_LATENCY = 0.005
+WAN_TRANSFER_COST = 0.001
 
 
 def make_case_sleeper(duration: float):
@@ -41,7 +49,11 @@ def make_case_sleeper(duration: float):
 def measure_case(duration: float, batch_sizes: list[int]) -> dict[int, float]:
     """Average latency per request (ms) for each batch size."""
     out = {}
-    with LocalDeployment() as dep:
+    timings = DeploymentTimings(
+        service_endpoint_latency=WAN_LATENCY,
+        service_endpoint_transfer_cost=WAN_TRANSFER_COST,
+    )
+    with LocalDeployment(timings=timings) as dep:
         client = dep.client()
         ep = dep.create_endpoint(
             "fig10-ep", nodes=1,

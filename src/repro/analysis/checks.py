@@ -222,8 +222,9 @@ _WIRE_SAFE_NAMES = {
     "str", "bytes", "bool", "int", "float", "None", "Any", "bytearray",
 }
 #: Non-primitive types the serializer is pinned to round-trip (the PR 2
-#: hypothesis suites cover TraceContext payloads explicitly).
-_WIRE_SAFE_EXTRA = {"TraceContext"}
+#: hypothesis suites cover TraceContext payloads explicitly; the batch
+#: envelopes nest the task/result dataclasses the same suites round-trip).
+_WIRE_SAFE_EXTRA = {"TraceContext", "TaskMessage", "ResultMessage"}
 _WIRE_SAFE_CONTAINERS = {
     "tuple", "Tuple", "dict", "Dict", "list", "List", "frozenset",
     "FrozenSet", "set", "Set", "Optional", "Union",

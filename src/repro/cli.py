@@ -10,6 +10,7 @@ Offline-friendly subcommands::
     python -m repro.cli trace <task-id>      # per-stage latency breakdown
     python -m repro.cli metrics              # render an exported registry
     python -m repro.cli lint                 # fabric static analyzer
+    python -m repro.cli bench --quick        # batched vs per-message A/B
 
 ``demo --trace-out traces.jsonl --metrics-out metrics.jsonl`` exports the
 observability artifacts the ``trace``/``metrics`` subcommands consume.
@@ -238,6 +239,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """A/B the batched, event-driven fabric against per-message polling."""
+    from repro.perf import LEGACY_POLL_INTERVAL, compare_modes
+
+    if args.quick:
+        tasks, samples, pairs = 16, 6, 1
+    else:
+        tasks, samples, pairs = args.tasks, args.samples, args.pairs
+    comparison = compare_modes(
+        tasks=tasks, samples=samples, latency=args.latency,
+        transfer_cost=args.transfer_cost, pairs=pairs)
+    throughput = comparison["throughput"]
+    latency = comparison["latency"]
+    print(f"{'mode':<12s} {'tasks/s':>9s} {'p50(ms)':>9s} {'p99(ms)':>9s}")
+    for mode in ("per-message", "batched"):
+        print(f"{mode:<12s} {throughput[mode]['tasks_per_second']:9,.0f} "
+              f"{latency[mode]['p50_s'] * 1e3:9.2f} "
+              f"{latency[mode]['p99_s'] * 1e3:9.2f}")
+    print(f"speedup: {comparison['speedup']:.2f}x  "
+          f"p50 improvement: {comparison['p50_improvement_s'] * 1e3:.2f}ms "
+          f"(legacy poll quantum {LEGACY_POLL_INTERVAL * 1e3:.0f}ms)")
+    print("full gate: PYTHONPATH=src:. python -m pytest "
+          "benchmarks/bench_e2e_throughput.py")
+    return 0
+
+
 def _cmd_platforms(args: argparse.Namespace) -> int:
     from repro.sim.platform import PLATFORMS
 
@@ -303,6 +330,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     plats = sub.add_parser("platforms", help="list platform models")
     plats.set_defaults(func=_cmd_platforms)
+
+    bench = sub.add_parser(
+        "bench",
+        help="A/B the batched, event-driven dispatch fabric against "
+             "per-message polling on a live deployment")
+    bench.add_argument("--quick", action="store_true",
+                       help="scaled-down run finishing in a few seconds")
+    bench.add_argument("--tasks", type=int, default=96,
+                       help="tasks per throughput wave (default: 96)")
+    bench.add_argument("--samples", type=int, default=20,
+                       help="sequential round trips for latency percentiles "
+                            "(default: 20)")
+    bench.add_argument("--pairs", type=int, default=2,
+                       help="interleaved A/B repetitions, best-of per mode "
+                            "(default: 2)")
+    bench.add_argument("--latency", type=float, default=0.001,
+                       help="one-way channel latency in seconds (default: 1 ms)")
+    bench.add_argument("--transfer-cost", dest="transfer_cost", type=float,
+                       default=0.001,
+                       help="serial per-transfer link occupancy in seconds "
+                            "(default: 1 ms); what coalescing amortizes")
+    bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser(
         "lint",

@@ -22,10 +22,19 @@ from typing import Any, Callable
 
 from repro.core.service import FuncXService
 from repro.errors import TaskNotFound
+from repro.metrics.registry import COUNT_BUCKETS
 from repro.store.queues import Lease, ReliableQueue
 from repro.transport.channel import ChannelEnd
 from repro.transport.heartbeat import HeartbeatTracker
-from repro.transport.messages import Heartbeat, Registration, ResultMessage, TaskMessage
+from repro.transport.messages import (
+    Heartbeat,
+    Registration,
+    ResultBatchMessage,
+    ResultMessage,
+    TaskBatchMessage,
+    TaskMessage,
+)
+from repro.transport.wakeup import Wakeup
 
 
 class Forwarder:
@@ -52,6 +61,16 @@ class Forwarder:
         the forwarder re-dispatches any task whose result hasn't arrived
         in time.  Duplicated execution is safe: the service keeps the
         first completion (at-least-once semantics).  ``None`` disables.
+    batching:
+        Coalesce each ``lease_many`` batch into one
+        :class:`TaskBatchMessage` with function-buffer deduplication
+        (each distinct body ships once per batch, then is cached
+        per-agent-incarnation).  Disabling reproduces the per-message
+        seed behavior.
+    event_driven:
+        Block the :meth:`start` loop on a :class:`Wakeup` fed by channel
+        deliveries and task-queue puts instead of sleep-polling; the
+        poll interval becomes a liveness fallback only.
     """
 
     def __init__(
@@ -63,6 +82,8 @@ class Forwarder:
         heartbeat_grace: int = 3,
         max_dispatch_per_step: int = 1024,
         lease_timeout: float | None = None,
+        batching: bool = True,
+        event_driven: bool = True,
         clock: Callable[[], float] | None = None,
         sleeper: Callable[[float], None] | None = None,
     ):
@@ -74,11 +95,19 @@ class Forwarder:
         self.heartbeats = HeartbeatTracker(
             period=heartbeat_period, grace_periods=heartbeat_grace, clock=self._clock
         )
+        self._heartbeat_period = heartbeat_period
         self.max_dispatch_per_step = max_dispatch_per_step
         self.lease_timeout = lease_timeout
+        self.batching = batching
+        self.event_driven = event_driven
+        self._wakeup = Wakeup(clock=self._clock)
         self._agent_connected = False     # guarded-by: self._lock
         self._agent_name: str | None = None  # guarded-by: self._lock
         self._open_leases: dict[str, Lease] = {}  # guarded-by: self._lock
+        # function_id -> buffer digest already shipped to the connected
+        # agent incarnation; cleared on every (re-)registration so a new
+        # agent lifetime always receives bodies afresh.
+        self._shipped_buffers: dict[str, int] = {}  # guarded-by: self._lock
         self._lock = threading.RLock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -96,6 +125,12 @@ class Forwarder:
             "forwarder.orphan_leases", endpoint=endpoint_id)
         self._c_stale_beats = metrics.counter(
             "forwarder.stale_beats", endpoint=endpoint_id)
+        self._c_coalesced = metrics.counter(
+            "channel.coalesced_messages", component="forwarder",
+            endpoint=endpoint_id)
+        self._h_batch_size = metrics.histogram(
+            "dispatch.batch_size", buckets=COUNT_BUCKETS,
+            component="forwarder", endpoint=endpoint_id)
         metrics.gauge("forwarder.outstanding_leases",
                       endpoint=endpoint_id).set_function(lambda: self.outstanding)
         # Agent-liveness incarnation: bumped on every (re-)registration so
@@ -200,6 +235,9 @@ class Forwarder:
                 self._on_agent_registered(message)
             elif isinstance(message, Heartbeat):
                 self._on_heartbeat(message)
+            elif isinstance(message, ResultBatchMessage):
+                for result in message.results:
+                    self._on_result(result)
             elif isinstance(message, ResultMessage):
                 self._on_result(message)
         return count
@@ -218,6 +256,9 @@ class Forwarder:
             was_connected = self._agent_connected
             self._agent_name = message.sender
             self._agent_connected = True
+            # New agent lifetime: its buffer table started empty, so the
+            # per-incarnation dedup cache must start empty too.
+            self._shipped_buffers.clear()
         self.incarnation += 1
         self._registered_incarnation = message.incarnation
         self.heartbeats.beat(message.sender)
@@ -358,12 +399,20 @@ class Forwarder:
         queue = self.service.task_queue(self.endpoint_id)
         pending = deque(queue.lease_many(self.max_dispatch_per_step,
                                          lease_timeout=self.lease_timeout))
+        if not pending:
+            return 0
+        if self.batching:
+            return self._dispatch_batch(queue, pending)
+        # Per-batch function-buffer memo: N tasks sharing a function hit
+        # the service store once per step, not once per task, even on the
+        # per-message fallback path.
+        memo: dict[str, bytes] = {}
         dispatched = 0
         lease = None
         try:
             while pending:
                 lease = pending.popleft()
-                dispatched += self._dispatch_one(queue, lease)
+                dispatched += self._dispatch_one(queue, lease, memo)
         except Exception:
             # An unexpected failure mid-batch: the in-flight lease was
             # popped but may have escaped _dispatch_one undisposed (e.g.
@@ -381,7 +430,134 @@ class Forwarder:
             raise
         return dispatched
 
-    def _dispatch_one(self, queue: ReliableQueue, lease: Lease) -> int:
+    def _dispatch_batch(self, queue: ReliableQueue,
+                        pending: "deque[Lease]") -> int:
+        """Coalesce one ``lease_many`` batch into a single envelope.
+
+        Every lease in ``pending`` is disposed on every path: acked by
+        ``_prepare_task`` (orphan/terminal), nacked on send failure or a
+        mid-batch exception, or registered in ``_open_leases`` by
+        ``_commit_batch``.
+        """
+        memo: dict[str, bytes] = {}
+        ship: dict[str, bytes] = {}
+        prepared: list[tuple[Lease, TaskMessage, Any, Any]] = []
+        lease: Lease | None = None
+        try:
+            while pending:
+                lease = pending.popleft()
+                entry = self._prepare_task(queue, lease, memo, ship)
+                if entry is not None:
+                    prepared.append(entry)
+                lease = None
+            if not prepared:
+                return 0
+            batch = TaskBatchMessage(
+                sender=f"forwarder:{self.endpoint_id}",
+                tasks=tuple(message for _, message, _t, _k in prepared),
+                function_buffers=dict(ship),
+                incarnation=self._registered_incarnation,
+            )
+            if not self.channel.send(batch):
+                # Transfer dropped (peer down mid-step).  Nothing was
+                # marked dispatched, so the leases just go back.
+                for entry in prepared:
+                    queue.nack(entry[0].lease_id)
+                return 0
+            return self._commit_batch(queue, prepared, ship)
+        except Exception:
+            if lease is not None:
+                queue.nack(lease.lease_id)
+            for unprocessed in pending:
+                queue.nack(unprocessed.lease_id)
+            for entry in prepared:
+                held = entry[0]
+                with self._lock:
+                    registered = self._open_leases.get(held.item) is held
+                if not registered:
+                    queue.nack(held.lease_id)
+            raise
+
+    def _prepare_task(self, queue: ReliableQueue, lease: Lease,
+                      memo: dict[str, bytes], ship: dict[str, bytes]):
+        """Resolve one lease into a stripped task message for the batch.
+
+        Returns ``(lease, message, trace, task)`` or ``None`` when the
+        lease was disposed here (orphaned or terminal task).  The task's
+        function body is added to ``ship`` unless this agent incarnation
+        already holds it; redeliveries always ship the body so a cache
+        divergence (an envelope lost after the cache recorded it) heals
+        on the retry.
+        """
+        task_id: str = lease.item
+        try:
+            task = self.service.task_by_id(task_id)
+        except TaskNotFound:
+            queue.ack(lease.lease_id)
+            self._c_orphans.inc()
+            self._emit("forwarder.orphan_lease", task_id=task_id)
+            return None
+        if task.state.terminal:
+            queue.ack(lease.lease_id)  # cancelled/failed while queued
+            return None
+        function_id = task.function_id
+        buffer = memo.get(function_id)
+        if buffer is None:
+            buffer = self.service.function_buffer(function_id)
+            memo[function_id] = buffer
+        if function_id not in ship:
+            digest = hash(buffer)
+            with self._lock:
+                cached = self._shipped_buffers.get(function_id) == digest
+            if not cached or lease.deliveries > 1:
+                ship[function_id] = buffer
+        trace = self.service.traces.context_for(task_id)
+        message = TaskMessage(
+            sender=f"forwarder:{self.endpoint_id}",
+            task_id=task.task_id,
+            function_id=function_id,
+            function_buffer=b"",  # shipped once per batch, cached after
+            payload_buffer=task.payload_buffer,
+            container_image=self._site_container(task.container_image),
+            submitted_at=task.state_times.get("received", self._clock()),
+            trace=trace,
+        )
+        return lease, message, trace, task
+
+    def _commit_batch(self, queue: ReliableQueue, prepared: list,
+                      ship: dict[str, bytes]) -> int:
+        """Post-send bookkeeping for a delivered batch envelope."""
+        now = self._clock()
+        dispatched = 0
+        for lease, message, trace, task in prepared:
+            try:
+                self.service.mark_dispatched(message.task_id)
+            except TaskNotFound:
+                # forget_task raced the send; the agent will produce an
+                # orphan result the service ignores.
+                queue.ack(lease.lease_id)
+                self._c_orphans.inc()
+                self._emit("forwarder.orphan_lease", task_id=message.task_id)
+                continue
+            with self._lock:
+                self._open_leases[message.task_id] = lease
+            if trace is not None:
+                trace.record("forwarder.dispatch",
+                             f"forwarder:{self.endpoint_id[:8]}",
+                             start=lease.enqueued_at, end=now,
+                             attempt=task.attempts)
+            self._c_forwarded.inc()
+            dispatched += 1
+        with self._lock:
+            for function_id, buffer in ship.items():
+                self._shipped_buffers[function_id] = hash(buffer)
+        self._h_batch_size.observe(float(len(prepared)))
+        if len(prepared) > 1:
+            self._c_coalesced.inc(len(prepared))
+        return dispatched
+
+    def _dispatch_one(self, queue: ReliableQueue, lease: Lease,
+                      memo: dict[str, bytes] | None = None) -> int:
         """Send one leased task; returns 1 if dispatched, 0 otherwise."""
         task_id: str = lease.item
         try:
@@ -397,12 +573,17 @@ class Forwarder:
         if task.state.terminal:
             queue.ack(lease.lease_id)  # cancelled/failed while queued
             return 0
+        buffer = memo.get(task.function_id) if memo is not None else None
+        if buffer is None:
+            buffer = self.service.function_buffer(task.function_id)
+            if memo is not None:
+                memo[task.function_id] = buffer
         trace = self.service.traces.context_for(task_id)
         message = TaskMessage(
             sender=f"forwarder:{self.endpoint_id}",
             task_id=task.task_id,
             function_id=task.function_id,
-            function_buffer=self.service.function_buffer(task.function_id),
+            function_buffer=buffer,
             payload_buffer=task.payload_buffer,
             container_image=self._site_container(task.container_image),
             submitted_at=task.state_times.get("received", self._clock()),
@@ -424,6 +605,7 @@ class Forwarder:
                          start=lease.enqueued_at, end=self._clock(),
                          attempt=task.attempts)
         self._c_forwarded.inc()
+        self._h_batch_size.observe(1.0)
         return 1
 
     def _site_container(self, container_image: str | None) -> str | None:
@@ -450,10 +632,28 @@ class Forwarder:
     # ------------------------------------------------------------------
     # threaded operation (live fabric)
     # ------------------------------------------------------------------
-    def start(self, poll_interval: float = 0.002) -> None:
+    def start(self, poll_interval: float | None = None) -> None:
+        """Run the forwarder loop on a thread.
+
+        Event-driven (the default): the loop blocks on a wakeup fed by
+        agent-channel deliveries and task-queue puts, and
+        ``poll_interval`` (default: half the heartbeat period) is only
+        the liveness/lease-reclaim fallback.  With ``event_driven``
+        disabled the loop sleep-polls at ``poll_interval`` (default
+        2 ms), the seed behavior.
+        """
         if self._thread is not None:
             raise RuntimeError("forwarder already started")
+        if poll_interval is None:
+            poll_interval = (max(0.001, 0.5 * self._heartbeat_period)
+                             if self.event_driven else 0.002)
+        fallback = poll_interval
         self._stop.clear()
+        if self.event_driven:
+            # Wire the wakeup sources: messages ripening on the agent
+            # channel and tasks landing in the endpoint's queue.
+            self.channel.wakeup = self._wakeup.set_at
+            self.service.task_queue(self.endpoint_id).wakeup = self._wakeup.set
 
         def loop() -> None:
             import logging
@@ -467,7 +667,10 @@ class Forwarder:
                     )
                     events = 0
                 if events == 0:
-                    self._sleep(poll_interval)
+                    if self.event_driven:
+                        self._wakeup.wait(fallback)
+                    else:
+                        self._sleep(fallback)
 
         self._thread = threading.Thread(
             target=loop, name=f"forwarder-{self.endpoint_id[:8]}", daemon=True
@@ -478,5 +681,6 @@ class Forwarder:
         if self._thread is None:
             return
         self._stop.set()
+        self._wakeup.set()  # unblock an idle event-driven loop promptly
         self._thread.join(timeout)
         self._thread = None

@@ -21,11 +21,12 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from dataclasses import replace
 from typing import Callable
 
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.scheduling import ManagerView, SchedulingPolicy, scheduler_by_name
-from repro.metrics.registry import MetricsRegistry
+from repro.metrics.registry import COUNT_BUCKETS, MetricsRegistry
 from repro.serialize import FuncXSerializer
 from repro.serialize.traceback import RemoteExceptionWrapper
 from repro.transport.channel import ChannelEnd
@@ -35,9 +36,12 @@ from repro.transport.messages import (
     CommandMessage,
     Heartbeat,
     Registration,
+    ResultBatchMessage,
     ResultMessage,
+    TaskBatchMessage,
     TaskMessage,
 )
+from repro.transport.wakeup import Wakeup
 
 
 class FuncXAgent:
@@ -66,7 +70,13 @@ class FuncXAgent:
         "_suspended": "_lock",
         "_pending": "_lock",
         "_assigned": "_lock",
+        "_buffers": "_lock",
+        "_manager_shipped": "_lock",
     }
+
+    #: Per-step bound on messages drained from any one channel so a
+    #: flooded link cannot starve heartbeats and the watchdog.
+    MAX_DRAIN = 256
 
     def __init__(
         self,
@@ -97,7 +107,16 @@ class FuncXAgent:
         self._pending: deque[TaskMessage] = deque()
         # task_id -> (manager_id, message, agent-side attempt count)
         self._assigned: dict[str, tuple[str, TaskMessage, int]] = {}
+        # Function-buffer table: bodies arrive once per batch (or attached
+        # to legacy per-message tasks) and are reattached on dispatch.
+        self._buffers: dict[str, bytes] = {}
+        # Per-manager record of which buffer version (digest) each manager
+        # already holds; reset when the manager (re-)registers.
+        self._manager_shipped: dict[str, dict[str, int]] = {}
         self._lock = threading.RLock()
+        self._wakeup = Wakeup(clock=self._clock)
+        if self.config.event_driven:
+            forwarder_channel.wakeup = self._wakeup.set_at
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._last_heartbeat = -float("inf")
@@ -112,6 +131,16 @@ class FuncXAgent:
             "agent.results_forwarded", endpoint=endpoint_id)
         self._c_reexecuted = self.metrics.counter(
             "agent.tasks_reexecuted", endpoint=endpoint_id)
+        self._c_buffer_miss = self.metrics.counter(
+            "agent.buffer_misses", endpoint=endpoint_id)
+        self._c_coalesced = self.metrics.counter(
+            "channel.coalesced_messages", component="agent", endpoint=endpoint_id)
+        self._h_dispatch_batch = self.metrics.histogram(
+            "dispatch.batch_size", buckets=COUNT_BUCKETS,
+            component="agent", endpoint=endpoint_id)
+        self._h_result_batch = self.metrics.histogram(
+            "result.batch_size", buckets=COUNT_BUCKETS,
+            component="agent", endpoint=endpoint_id)
         self.metrics.gauge("agent.pending_tasks",
                            endpoint=endpoint_id).set_function(self.pending_count)
         # Lifetime counter: each (re-)registration starts a new incarnation
@@ -166,6 +195,8 @@ class FuncXAgent:
 
     def attach_manager(self, manager_id: str, channel: ChannelEnd) -> None:
         """Attach the agent side of a manager's channel."""
+        if self.config.event_driven:
+            channel.wakeup = self._wakeup.set_at
         with self._lock:
             self._manager_channels[manager_id] = channel
 
@@ -181,6 +212,7 @@ class FuncXAgent:
             self._manager_channels.pop(manager_id, None)
             self._views.pop(manager_id, None)
             self._suspended.discard(manager_id)
+            self._manager_shipped.pop(manager_id, None)
             orphaned = [
                 (task_id, message)
                 for task_id, (mid, message, _a) in self._assigned.items()
@@ -249,24 +281,44 @@ class FuncXAgent:
 
     def _drain_forwarder(self) -> int:
         count = 0
-        for message in self.forwarder.recv_all_ready():
+        for message in self.forwarder.recv_all_ready(self.MAX_DRAIN):
             count += 1
-            if isinstance(message, TaskMessage):
-                if message.trace is not None:
-                    message.trace.begin("agent", self.name, at=self._clock())
-                with self._lock:
-                    self._pending.append(message)
-                self._c_received.inc()
+            if isinstance(message, TaskBatchMessage):
+                if message.function_buffers:
+                    with self._lock:
+                        self._buffers.update(message.function_buffers)
+                for task in message.tasks:
+                    self._admit_task(task)
+            elif isinstance(message, TaskMessage):
+                self._admit_task(message)
             elif isinstance(message, CommandMessage) and message.command == "shutdown":
                 self._stop.set()
         return count
 
+    def _admit_task(self, message: TaskMessage) -> None:
+        with self._lock:
+            if message.function_buffer:
+                self._buffers[message.function_id] = message.function_buffer
+            known = message.function_id in self._buffers
+        if not known:
+            # Stripped task whose body never arrived (its envelope was
+            # dropped or reordered past it); drop it — the forwarder's
+            # lease timeout redelivers it with the body force-shipped.
+            self._c_buffer_miss.inc()
+            return
+        if message.trace is not None:
+            message.trace.begin("agent", self.name, at=self._clock())
+        with self._lock:
+            self._pending.append(message)
+        self._c_received.inc()
+
     def _drain_managers(self) -> int:
         count = 0
+        results: list[ResultMessage] = []
         with self._lock:
             channels = list(self._manager_channels.items())
         for manager_id, channel in channels:
-            for message in channel.recv_all_ready():
+            for message in channel.recv_all_ready(self.MAX_DRAIN):
                 count += 1
                 if isinstance(message, Registration):
                     self._on_manager_registered(manager_id, message)
@@ -274,8 +326,15 @@ class FuncXAgent:
                     self._on_advertisement(manager_id, message)
                 elif isinstance(message, Heartbeat):
                     self.heartbeats.beat(manager_id)
+                elif isinstance(message, ResultBatchMessage):
+                    for result in message.results:
+                        self._record_result(manager_id, result)
+                        results.append(result)
                 elif isinstance(message, ResultMessage):
-                    self._on_result(manager_id, message)
+                    self._record_result(manager_id, message)
+                    results.append(message)
+        if results:
+            self._forward_results(results)
         return count
 
     def _on_manager_registered(self, manager_id: str, message: Registration) -> None:
@@ -285,6 +344,8 @@ class FuncXAgent:
                 capacity=message.capacity,
                 deployed_containers=frozenset(message.container_types),
             )
+            # A (re-)registered manager starts with an empty buffer cache.
+            self._manager_shipped[manager_id] = {}
         self.heartbeats.beat(manager_id)
 
     def _on_advertisement(self, manager_id: str, message: Advertisement) -> None:
@@ -300,14 +361,25 @@ class FuncXAgent:
             view.outstanding = 0
         self.heartbeats.beat(manager_id)
 
-    def _on_result(self, manager_id: str, message: ResultMessage) -> None:
+    def _record_result(self, manager_id: str, message: ResultMessage) -> None:
+        """Bookkeeping for one completed task (forwarding happens later)."""
         with self._lock:
             self._assigned.pop(message.task_id, None)
             view = self._views.get(manager_id)
             if view is not None and view.outstanding > 0:
                 view.outstanding -= 1
-        self.forwarder.send(message)
-        self._c_results.inc()
+
+    def _forward_results(self, results: list[ResultMessage]) -> None:
+        """Ship a step's worth of results upstream as one transfer."""
+        if self.config.message_batching and len(results) > 1:
+            self.forwarder.send(
+                ResultBatchMessage(sender=self.name, results=tuple(results)))
+            self._c_coalesced.inc(len(results))
+        else:
+            for result in results:
+                self.forwarder.send(result)
+        self._h_result_batch.observe(float(len(results)))
+        self._c_results.inc(len(results))
 
     # -- failure handling -------------------------------------------------------
     def _watchdog(self) -> None:
@@ -323,6 +395,7 @@ class FuncXAgent:
     def _on_manager_lost(self, manager_id: str) -> None:
         with self._lock:
             self._views.pop(manager_id, None)
+            self._manager_shipped.pop(manager_id, None)
             lost = [
                 (task_id, message, attempts)
                 for task_id, (mid, message, attempts) in self._assigned.items()
@@ -360,6 +433,17 @@ class FuncXAgent:
 
     # -- dispatch -------------------------------------------------------------
     def _dispatch(self) -> int:
+        """Route pending tasks to managers.
+
+        Phase 1 runs the scheduling policy per task (taking the lock per
+        iteration so receive paths interleave).  With message batching on,
+        sends are deferred and phase 2 ships each manager's share as one
+        :class:`TaskBatchMessage`; otherwise each task is sent as it is
+        scheduled (the seed behavior).
+        """
+        batching = self.config.message_batching
+        assignments: dict[str, list[TaskMessage]] = {}
+        channels: dict[str, ChannelEnd] = {}
         dispatched = 0
         while True:
             with self._lock:
@@ -384,15 +468,81 @@ class FuncXAgent:
                 attempts = self._assigned.get(message.task_id, ("", message, 0))[2]
                 self._assigned[message.task_id] = (chosen.manager_id, message, attempts + 1)
                 chosen.outstanding += 1
-            if not channel.send(message):
+            if batching:
+                assignments.setdefault(chosen.manager_id, []).append(message)
+                channels[chosen.manager_id] = channel
+                continue
+            if not channel.send(self._with_buffer(message)):
                 # manager channel just went down; watchdog will requeue
                 continue
             if message.trace is not None:
                 message.trace.end("agent", at=self._clock(),
                                   manager=chosen.manager_id)
             self._c_dispatched.inc()
+            self._h_dispatch_batch.observe(1.0)
             dispatched += 1
+        for manager_id, messages in assignments.items():
+            dispatched += self._send_task_batch(
+                manager_id, channels[manager_id], messages)
         return dispatched
+
+    def _with_buffer(self, message: TaskMessage) -> TaskMessage:
+        """Reattach the function body to a stripped task (legacy path)."""
+        if message.function_buffer:
+            return message
+        with self._lock:
+            buffer = self._buffers.get(message.function_id, b"")
+        return replace(message, function_buffer=buffer)
+
+    def _send_task_batch(
+        self,
+        manager_id: str,
+        channel: ChannelEnd,
+        messages: list[TaskMessage],
+    ) -> int:
+        """Ship one manager's scheduled tasks as a single coalesced transfer.
+
+        Each distinct function buffer is included at most once, and only
+        when this manager has not already been shipped the same version
+        (digest tracked per manager registration).
+        """
+        outgoing: list[TaskMessage] = []
+        needed: dict[str, bytes] = {}
+        with self._lock:
+            shipped = self._manager_shipped.setdefault(manager_id, {})
+            for message in messages:
+                buffer = self._buffers.get(message.function_id)
+                if buffer is None and message.function_buffer:
+                    buffer = message.function_buffer
+                    self._buffers[message.function_id] = buffer
+                if buffer is not None and message.function_id not in needed:
+                    if shipped.get(message.function_id) != hash(buffer):
+                        needed[message.function_id] = buffer
+                if message.function_buffer:
+                    message = replace(message, function_buffer=b"")
+                outgoing.append(message)
+        batch = TaskBatchMessage(
+            sender=self.name,
+            tasks=tuple(outgoing),
+            function_buffers=needed,
+            incarnation=self.incarnation,
+        )
+        if not channel.send(batch):
+            # manager channel just went down; watchdog will requeue
+            return 0
+        with self._lock:
+            shipped = self._manager_shipped.setdefault(manager_id, {})
+            for function_id, buffer in needed.items():
+                shipped[function_id] = hash(buffer)
+        now = self._clock()
+        for message in outgoing:
+            if message.trace is not None:
+                message.trace.end("agent", at=now, manager=manager_id)
+        self._c_dispatched.inc(len(outgoing))
+        self._h_dispatch_batch.observe(float(len(outgoing)))
+        if len(outgoing) > 1:
+            self._c_coalesced.inc(len(outgoing))
+        return len(outgoing)
 
     # -- heartbeats to the forwarder ----------------------------------------------
     def _maybe_heartbeat(self) -> None:
@@ -416,9 +566,23 @@ class FuncXAgent:
     # ------------------------------------------------------------------
     # threaded operation
     # ------------------------------------------------------------------
-    def start(self, poll_interval: float = 0.002) -> None:
+    def start(self, poll_interval: float | None = None) -> None:
+        """Run the agent loop in a thread.
+
+        Event-driven agents block on the wakeup (channel deliveries from
+        the forwarder and managers latch it) and use ``poll_interval``
+        only as a heartbeat/watchdog liveness fallback, defaulting to
+        half the heartbeat period.
+        """
         if self._thread is not None:
             raise RuntimeError("agent already started")
+        event_driven = self.config.event_driven
+        if poll_interval is None:
+            poll_interval = (
+                max(0.001, 0.5 * self.config.heartbeat_period)
+                if event_driven else 0.002
+            )
+        fallback = poll_interval
         self._stop.clear()
         self.register_with_forwarder()
 
@@ -429,7 +593,10 @@ class FuncXAgent:
                 except Exception:
                     events = 0
                 if events == 0:
-                    self._sleep(poll_interval)
+                    if event_driven:
+                        self._wakeup.wait(fallback)
+                    else:
+                        self._sleep(fallback)
 
         self._thread = threading.Thread(
             target=loop, name=f"agent-{self.endpoint_id[:8]}", daemon=True
@@ -438,6 +605,7 @@ class FuncXAgent:
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
+        self._wakeup.set()
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None

@@ -36,6 +36,16 @@ class EndpointConfig:
     internal_batching:
         Whether managers lease many tasks per request (§4.7 "internal
         batching"); disabling reproduces the §5.5.2 baseline.
+    message_batching:
+        Whether the forwarder/agent/manager coalesce tasks and results
+        into batch envelopes with function-buffer deduplication (one
+        channel transfer per step instead of one per message).
+        Disabling reproduces the per-message seed behavior.
+    event_driven:
+        Whether the forwarder/agent/manager loops block on wakeups
+        (channel deliveries, queue puts, worker completions) instead of
+        sleep-polling; the poll interval becomes a liveness/heartbeat
+        fallback only.
     scheduler_policy:
         Agent manager-selection policy: "randomized" (paper), or the
         ablation policies "round_robin" / "first_fit".
@@ -54,6 +64,8 @@ class EndpointConfig:
     heartbeat_grace: int = 3
     prefetch_capacity: int = 4
     internal_batching: bool = True
+    message_batching: bool = True
+    event_driven: bool = True
     scheduler_policy: str = "randomized"
     scale_cold_start: float = 1.0
     max_retries_on_loss: int = 1

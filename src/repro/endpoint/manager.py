@@ -26,6 +26,7 @@ import queue as _queue
 import threading
 import time
 from collections import deque
+from dataclasses import replace
 from typing import Callable
 
 from repro.containers.runtime import ContainerRuntime
@@ -33,16 +34,38 @@ from repro.containers.spec import ContainerSpec, ContainerTechnology
 from repro.containers.warming import WarmPool
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.worker import Worker
-from repro.metrics.registry import MetricsRegistry
+from repro.metrics.registry import COUNT_BUCKETS, MetricsRegistry
+from repro.serialize import FuncXSerializer
+from repro.serialize.traceback import RemoteExceptionWrapper
 from repro.transport.channel import ChannelEnd
 from repro.transport.messages import (
     Advertisement,
     CommandMessage,
     Heartbeat,
     Registration,
+    ResultBatchMessage,
     ResultMessage,
+    TaskBatchMessage,
     TaskMessage,
 )
+from repro.transport.wakeup import Wakeup
+
+
+class _NotifyingQueue(_queue.Queue):
+    """Worker-results queue that pokes the manager's wakeup on put.
+
+    Workers complete tasks on their own threads; without the poke an
+    event-driven manager would sleep through completions until its
+    heartbeat fallback fired.
+    """
+
+    def __init__(self, notify: Callable[[], None]):
+        super().__init__()
+        self._notify = notify
+
+    def put(self, item, block: bool = True, timeout: float | None = None) -> None:
+        super().put(item, block, timeout)
+        self._notify()
 
 
 class Manager:
@@ -66,6 +89,10 @@ class Manager:
         created when not provided).
     """
 
+    #: Per-step bound on messages drained from the agent channel so a
+    #: flooded link cannot starve heartbeats or result collection.
+    MAX_DRAIN = 256
+
     def __init__(
         self,
         manager_id: str,
@@ -84,11 +111,18 @@ class Manager:
         self._sleep = sleeper or time.sleep
         self.warm_pool = WarmPool(ttl=config.warm_ttl)
 
-        self._results: "_queue.Queue[tuple[str, ResultMessage]]" = _queue.Queue()
+        self._wakeup = Wakeup(clock=self._clock)
+        if config.event_driven:
+            channel.wakeup = self._wakeup.set_at
+        self._results: "_queue.Queue[tuple[str, ResultMessage]]" = _NotifyingQueue(
+            self._wakeup.set)
         self._workers: dict[str, Worker] = {}
         self._lock = threading.RLock()
         self._idle: set[str] = set()                 # guarded-by: self._lock
         self._pending: deque[TaskMessage] = deque()  # guarded-by: self._lock
+        # Function-buffer table: bodies arrive once per batch envelope and
+        # are reattached before a task reaches a worker's inbox.
+        self._buffers: dict[str, bytes] = {}         # guarded-by: self._lock
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._last_heartbeat = -float("inf")
@@ -98,6 +132,14 @@ class Manager:
             "manager.tasks_completed", manager=manager_id)
         self._c_cold_starts = self.metrics.counter(
             "manager.cold_starts", manager=manager_id)
+        self._c_buffer_miss = self.metrics.counter(
+            "manager.buffer_misses", manager=manager_id)
+        self._c_coalesced = self.metrics.counter(
+            "channel.coalesced_messages", component="manager", manager=manager_id)
+        self._h_result_batch = self.metrics.histogram(
+            "result.batch_size", buckets=COUNT_BUCKETS,
+            component="manager", manager=manager_id)
+        self._serializer = FuncXSerializer()
         # Fault injection: extra seconds added to the effective heartbeat
         # period (clock-skewed heartbeats toward the agent's watchdog).
         self.heartbeat_skew = 0.0
@@ -185,14 +227,16 @@ class Manager:
     def step(self) -> int:
         """One iteration: drain agent traffic, collect results, dispatch."""
         events = 0
-        for message in self.channel.recv_all_ready():
+        for message in self.channel.recv_all_ready(self.MAX_DRAIN):
             events += 1
-            if isinstance(message, TaskMessage):
-                if message.trace is not None:
-                    message.trace.begin("manager", self.manager_id,
-                                        at=self._clock())
-                with self._lock:
-                    self._pending.append(message)
+            if isinstance(message, TaskBatchMessage):
+                if message.function_buffers:
+                    with self._lock:
+                        self._buffers.update(message.function_buffers)
+                for task in message.tasks:
+                    self._admit_task(task)
+            elif isinstance(message, TaskMessage):
+                self._admit_task(message)
             elif isinstance(message, CommandMessage):
                 self._on_command(message)
         events += self._collect_results()
@@ -200,20 +244,39 @@ class Manager:
         self._maybe_heartbeat()
         return events
 
+    def _admit_task(self, message: TaskMessage) -> None:
+        if message.trace is not None:
+            message.trace.begin("manager", self.manager_id, at=self._clock())
+        with self._lock:
+            if message.function_buffer:
+                self._buffers[message.function_id] = message.function_buffer
+            self._pending.append(message)
+
     def _collect_results(self) -> int:
-        count = 0
+        collected: list[ResultMessage] = []
         while True:
             try:
                 worker_id, result = self._results.get_nowait()
             except _queue.Empty:
                 break
-            count += 1
             self._c_completed.inc()
             with self._lock:
                 self._idle.add(worker_id)
-            self.channel.send(result)
-            self._advertise()  # capacity freed: advertise immediately
-        return count
+            collected.append(result)
+        if not collected:
+            return 0
+        if self.config.message_batching and len(collected) > 1:
+            # One coalesced transfer for the whole step's completions.
+            self.channel.send(
+                ResultBatchMessage(sender=self.manager_id,
+                                   results=tuple(collected)))
+            self._c_coalesced.inc(len(collected))
+        else:
+            for result in collected:
+                self.channel.send(result)
+        self._h_result_batch.observe(float(len(collected)))
+        self._advertise()  # capacity freed: advertise immediately
+        return len(collected)
 
     def _dispatch_pending(self) -> int:
         dispatched = 0
@@ -225,6 +288,15 @@ class Manager:
                 if not self._pending:
                     break
                 message = self._pending[0]
+                buffer = b""
+                if not message.function_buffer:
+                    buffer = self._buffers.get(message.function_id, b"")
+                    if not buffer:
+                        self._pending.popleft()
+            if not message.function_buffer and not buffer:
+                self._fail_unresolvable(message)
+                dispatched += 1
+                continue
             worker = self._worker_for(message.container_image)
             if worker is None:
                 break
@@ -233,12 +305,40 @@ class Manager:
                     continue  # raced: re-evaluate from the top
                 self._pending.popleft()
                 self._idle.discard(worker.worker_id)
+            if buffer:
+                message = replace(message, function_buffer=buffer)
             if message.trace is not None:
                 message.trace.end("manager", at=self._clock(),
                                   worker=worker.worker_id)
             worker.inbox.put(message)
             dispatched += 1
         return dispatched
+
+    def _fail_unresolvable(self, message: TaskMessage) -> None:
+        """A stripped task whose function body never reached this node.
+
+        Reported as a failure result so the task is not silently lost;
+        the client (or agent retry machinery) can resubmit.
+        """
+        self._c_buffer_miss.inc()
+        wrapper = RemoteExceptionWrapper(RuntimeError(
+            f"function body {message.function_id} unavailable on "
+            f"{self.manager_id}"))
+        buffer = self._serializer.serialize(wrapper, routing_tag=message.task_id)
+        if message.trace is not None:
+            message.trace.end("manager", at=self._clock(), error="buffer_miss")
+        self.channel.send(
+            ResultMessage(
+                sender=self.manager_id,
+                task_id=message.task_id,
+                success=False,
+                result_buffer=buffer,
+                execution_time=0.0,
+                worker_id="",
+                completed_at=self._clock(),
+                trace=message.trace,
+            )
+        )
 
     def _worker_for(self, container_image: str | None) -> Worker | None:
         """An idle worker deployed in a suitable container (§4.5).
@@ -327,11 +427,28 @@ class Manager:
         if now - self._last_heartbeat < period:
             return
         self._last_heartbeat = now
-        self.channel.send(
-            Heartbeat(sender=self.manager_id, timestamp=now, outstanding_tasks=self.outstanding)
-        )
+        beat = Heartbeat(
+            sender=self.manager_id, timestamp=now,
+            outstanding_tasks=self.outstanding)
         self.warm_pool.evict_expired(now)
-        self._advertise(force=True)
+        if not self.config.message_batching:
+            self.channel.send(beat)
+            self._advertise(force=True)
+            return
+        # Piggyback the periodic advertisement on the heartbeat: one
+        # coalesced transfer instead of two back-to-back messages.
+        capacity = self.advertised_capacity()
+        containers = self.deployed_containers()
+        self._last_advertised = (capacity, containers)
+        advert = Advertisement(
+            sender=self.manager_id,
+            manager_id=self.manager_id,
+            idle_workers=self.idle_count,
+            prefetch_capacity=max(0, capacity - self.idle_count),
+            deployed_containers=containers,
+        )
+        self.channel.send_many((beat, advert))
+        self._c_coalesced.inc(2)
 
     def _on_command(self, message: CommandMessage) -> None:
         if message.command == "shutdown":
@@ -353,9 +470,23 @@ class Manager:
     # ------------------------------------------------------------------
     # threaded operation
     # ------------------------------------------------------------------
-    def start(self, poll_interval: float = 0.002) -> None:
+    def start(self, poll_interval: float | None = None) -> None:
+        """Run the manager loop in a thread.
+
+        Event-driven managers block on the wakeup (channel deliveries and
+        worker completions latch it) and use ``poll_interval`` only as a
+        heartbeat liveness fallback, defaulting to half the heartbeat
+        period.
+        """
         if self._thread is not None:
             raise RuntimeError("manager already started")
+        event_driven = self.config.event_driven
+        if poll_interval is None:
+            poll_interval = (
+                max(0.001, 0.5 * self.config.heartbeat_period)
+                if event_driven else 0.002
+            )
+        fallback = poll_interval
         self._stop.clear()
         for worker in self._workers.values():
             worker.start()
@@ -364,7 +495,10 @@ class Manager:
         def loop() -> None:
             while not self._stop.is_set():
                 if self.step() == 0:
-                    self._sleep(poll_interval)
+                    if event_driven:
+                        self._wakeup.wait(fallback)
+                    else:
+                        self._sleep(fallback)
 
         self._thread = threading.Thread(
             target=loop, name=f"manager-{self.manager_id}", daemon=True
@@ -373,6 +507,7 @@ class Manager:
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
+        self._wakeup.set()
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
@@ -383,6 +518,7 @@ class Manager:
         """Abrupt failure (for the §5.4 experiments): drop the channel and
         stop processing without draining anything."""
         self._stop.set()
+        self._wakeup.set()
         self.channel.disconnect()
         if self._thread is not None:
             self._thread.join(1.0)

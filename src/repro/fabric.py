@@ -46,15 +46,24 @@ class DeploymentTimings:
     ----------
     service_endpoint_latency:
         One-way service↔endpoint (forwarder↔agent) channel latency, s.
+    service_endpoint_transfer_cost:
+        Per-transfer serial occupancy of the service↔endpoint link, s —
+        models per-message framing/syscall overhead.  Individual sends
+        serialize on the link; a coalesced batch pays it once, which is
+        what message batching amortizes.
     manager_latency:
         One-way agent↔manager latency, s.
+    manager_transfer_cost:
+        Per-transfer serial occupancy of agent↔manager links, s.
     service_overhead:
         Synchronous per-request web-service processing time, s (the ts
         component: auth + store round trips).
     """
 
     service_endpoint_latency: float = 0.0
+    service_endpoint_transfer_cost: float = 0.0
     manager_latency: float = 0.0
+    manager_transfer_cost: float = 0.0
     service_overhead: float = 0.0
 
 
@@ -151,7 +160,8 @@ class LocalDeployment:
             metadata={"nodes": nodes},
         )
         channel = self.network.create_channel(
-            f"svc<->{name}", latency=self.timings.service_endpoint_latency
+            f"svc<->{name}", latency=self.timings.service_endpoint_latency,
+            transfer_cost=self.timings.service_endpoint_transfer_cost,
         )
         config = config or EndpointConfig()
         forwarder = Forwarder(
@@ -160,6 +170,8 @@ class LocalDeployment:
             channel_end=channel.left,
             heartbeat_period=config.heartbeat_period,
             heartbeat_grace=config.heartbeat_grace,
+            batching=config.message_batching,
+            event_driven=config.event_driven,
         )
         endpoint = Endpoint(
             endpoint_id=endpoint_id,
@@ -169,6 +181,7 @@ class LocalDeployment:
             nodes=nodes,
             provider=provider,
             manager_latency=self.timings.manager_latency,
+            manager_transfer_cost=self.timings.manager_transfer_cost,
             metrics=self.metrics,
         )
         handle = _EndpointHandle(endpoint=endpoint, forwarder=forwarder)

@@ -30,6 +30,12 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Buckets for count-valued histograms (batch sizes): powers of two up
+#: to the forwarder's per-step dispatch bound.
+COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
 #: Bounded per-histogram sample reservoir used for percentile summaries.
 RESERVOIR_SIZE = 4096
 

@@ -85,6 +85,16 @@ class ReliableQueue:
         # after every mutation, carrying a conservation snapshot.  Handlers
         # run under the queue lock and must not call back into the queue.
         self.probe: Callable[[str, dict[str, Any]], None] | None = None
+        # Wakeup hook: fired (outside the queue lock) whenever items
+        # become available — put/nack/expiry.  Event-driven consumers
+        # point this at Wakeup.set so they block instead of sleep-polling.
+        self.wakeup: Callable[[], None] | None = None
+
+    def _fire_wakeup(self) -> None:
+        """Notify the event-driven consumer; never called under the lock."""
+        wakeup = self.wakeup
+        if wakeup is not None:
+            wakeup()
 
     # -- observation ---------------------------------------------------------
     def _emit(self, event: str, **fields: Any) -> None:  # guarded-by: self._lock
@@ -136,6 +146,7 @@ class ReliableQueue:
             self.total_enqueued += 1
             self._emit("queue.put")
             self._lock.notify()
+        self._fire_wakeup()
 
     def put_many(self, items: Iterable[Any]) -> int:
         """Enqueue a batch; returns the number enqueued."""
@@ -151,6 +162,8 @@ class ReliableQueue:
             if count:
                 self._emit("queue.put_many", count=count)
                 self._lock.notify(count)
+        if count:
+            self._fire_wakeup()
         return count
 
     # -- consumer side ---------------------------------------------------------
@@ -241,7 +254,8 @@ class ReliableQueue:
             self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
             self._emit("queue.nack")
             self._lock.notify()
-            return True
+        self._fire_wakeup()
+        return True
 
     def nack_all(self) -> int:
         """Requeue every outstanding lease (endpoint-disconnect path).
@@ -257,7 +271,9 @@ class ReliableQueue:
             if count:
                 self._emit("queue.nack_all", count=count)
                 self._lock.notify(count)
-            return count
+        if count:
+            self._fire_wakeup()
+        return count
 
     def requeue_expired(self) -> int:
         """Requeue every lease past its visibility deadline."""
@@ -272,7 +288,9 @@ class ReliableQueue:
             if expired:
                 self._emit("queue.requeue_expired", count=len(expired))
                 self._lock.notify(len(expired))
-            return len(expired)
+        if expired:
+            self._fire_wakeup()
+        return len(expired)
 
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:

@@ -42,8 +42,19 @@ class ChannelEnd:
         self._seq = itertools.count()
         self._connected = True
         self._closed = False
+        # Serial-link model: the instant this end's *incoming* link is
+        # free again.  Each transfer occupies the link for the channel's
+        # ``transfer_cost`` seconds, so N individual sends serialize while
+        # one coalesced batch pays the cost once (the per-message framing/
+        # syscall overhead real message fabrics amortize with batching).
+        self._busy_until = 0.0  # guarded-by: self._lock
         self.sent_count = 0
         self.received_count = 0
+        # Wakeup hook: called with the delivery time of each arriving
+        # transfer, *after* the inbox lock is released.  Event-driven
+        # receivers point this at Wakeup.set_at so they block on arrival
+        # instead of sleep-polling.
+        self.wakeup: Callable[[float], None] | None = None
 
     # -- wiring -----------------------------------------------------------
     def _bind(self, peer: "ChannelEnd", channel: "Channel") -> None:
@@ -75,14 +86,79 @@ class ChannelEnd:
             channel.emit("channel.dropped", end=self.name, reason="peer-down")
             return False
         latency = channel.sample_latency()
-        self._peer._deliver(self._clock() + latency, message)
+        self._peer._deliver_batch(self._clock(), latency,
+                                  channel.transfer_cost, (message,))
         self.sent_count += 1
         return True
+
+    def send_many(self, messages: Any) -> int:
+        """Send several messages as *one* transfer.
+
+        All messages share a single latency sample and a single
+        transfer-cost occupancy of the link, and are delivered together —
+        the coalescing primitive batch envelopes and piggybacked control
+        traffic (heartbeat + advertisement) ride on.  A random loss drops
+        the whole transfer, as it would a single framed batch.
+
+        Returns the number of messages handed to the network (all of
+        them, or 0).
+        """
+        messages = tuple(messages)
+        if not messages:
+            return 0
+        if self._closed:
+            raise ChannelClosed(f"channel end {self.name} is closed")
+        if not self._connected:
+            raise Disconnected(f"channel end {self.name} is disconnected")
+        assert self._peer is not None and self._channel is not None
+        channel = self._channel
+        if channel.rng.random() < channel.drop_probability:
+            channel.dropped_count += len(messages)
+            channel.emit("channel.dropped", end=self.name,
+                         reason="random-loss", count=len(messages))
+            return 0
+        if not self._peer._connected or self._peer._closed:
+            channel.dropped_count += len(messages)
+            channel.emit("channel.dropped", end=self.name,
+                         reason="peer-down", count=len(messages))
+            return 0
+        latency = channel.sample_latency()
+        self._peer._deliver_batch(self._clock(), latency,
+                                  channel.transfer_cost, messages)
+        self.sent_count += len(messages)
+        if len(messages) > 1:
+            channel.coalesced_count += len(messages)
+        return len(messages)
 
     def _deliver(self, deliver_at: float, message: Any) -> None:
         with self._lock:
             heapq.heappush(self._inbox, (deliver_at, next(self._seq), message))
             self._lock.notify()
+        wakeup = self.wakeup
+        if wakeup is not None:
+            wakeup(deliver_at)
+
+    def _deliver_batch(self, now: float, latency: float, cost: float,
+                       messages: tuple) -> None:
+        """Deliver one transfer: occupy the incoming link for ``cost``
+        seconds past any transfer already in progress, then add the
+        propagation ``latency``."""
+        with self._lock:
+            if cost > 0.0:
+                start = max(now, self._busy_until)
+                self._busy_until = start + cost
+                deliver_at = start + cost + latency
+            else:
+                deliver_at = now + latency
+            for message in messages:
+                heapq.heappush(self._inbox,
+                               (deliver_at, next(self._seq), message))
+            self._lock.notify_all()
+        # Fire the wakeup outside the inbox lock: the hook takes the
+        # receiver's wakeup lock and must stay a leaf acquisition.
+        wakeup = self.wakeup
+        if wakeup is not None:
+            wakeup(deliver_at)
 
     # -- receiving -------------------------------------------------------------
     def recv(self, timeout: float | None = 0.0) -> Any | None:
@@ -120,12 +196,19 @@ class ChannelEnd:
                         return None
                 self._lock.wait(wait)
 
-    def recv_all_ready(self) -> list[Any]:
-        """Drain every ripe message without blocking."""
+    def recv_all_ready(self, max_messages: int | None = None) -> list[Any]:
+        """Drain ripe messages without blocking.
+
+        ``max_messages`` bounds the drain so one flooded channel cannot
+        monopolize a component's step (heartbeat/liveness handling runs
+        between drains); ``None`` drains everything ripe.
+        """
         messages: list[Any] = []
         with self._lock:
             now = self._clock()
             while self._inbox and self._inbox[0][0] <= now:
+                if max_messages is not None and len(messages) >= max_messages:
+                    break
                 _, _, message = heapq.heappop(self._inbox)
                 messages.append(message)
             self.received_count += len(messages)
@@ -188,6 +271,13 @@ class Channel:
         sampling a latency per message.
     drop_probability:
         Probability an accepted message is lost in transit.
+    transfer_cost:
+        Seconds each *transfer* occupies the link (per-message framing /
+        syscall overhead).  Individual sends serialize behind each other;
+        a coalesced ``send_many`` or batch envelope pays it once — the
+        overhead the paper's batching (§4.7, §5.5.2) amortizes.  ``0``
+        (default) models an infinitely fast link, the pre-batching
+        behavior.
     seed:
         Seed for the channel's private RNG (reproducible drops/jitter).
     """
@@ -198,16 +288,22 @@ class Channel:
         clock: Callable[[], float] | None = None,
         latency: float | Callable[[], float] = 0.0,
         drop_probability: float = 0.0,
+        transfer_cost: float = 0.0,
         seed: int | None = None,
     ):
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
+        if transfer_cost < 0.0:
+            raise ValueError("transfer_cost must be non-negative")
         self.name = name
         clock = clock or time.monotonic
         self._latency = latency
         self.drop_probability = drop_probability
+        self.transfer_cost = transfer_cost
         self.rng = random.Random(seed)
         self.dropped_count = 0
+        # Messages that crossed the channel inside a coalesced transfer.
+        self.coalesced_count = 0
         # Observation hook: when set, invoked as ``probe(event, fields)``
         # for message-loss events (chaos invariant probes attach here).
         self.probe: Callable[[str, dict[str, Any]], None] | None = None
@@ -266,12 +362,14 @@ class Network:
         name: str,
         latency: float | Callable[[], float] | None = None,
         drop_probability: float = 0.0,
+        transfer_cost: float = 0.0,
     ) -> Channel:
         channel = Channel(
             name=name,
             clock=self._clock,
             latency=self._default_latency if latency is None else latency,
             drop_probability=drop_probability,
+            transfer_cost=transfer_cost,
             seed=next(self._seed_counter) if self._use_seed else None,
         )
         self.channels.append(channel)

@@ -73,6 +73,42 @@ class ResultMessage(Message):
 
 
 @dataclass(frozen=True)
+class TaskBatchMessage(Message):
+    """N tasks coalesced into one channel transfer (§4.7, §5.5.2).
+
+    ``tasks`` usually carry an empty ``function_buffer``: each distinct
+    function body is shipped at most once per batch in
+    ``function_buffers`` (keyed by ``function_id``) and cached by the
+    receiver for the rest of the sender's incarnation, so repeated
+    invocations of the same function pay the body transfer once.
+
+    Attributes
+    ----------
+    tasks:
+        The coalesced task messages, dispatch order preserved.
+    function_buffers:
+        ``function_id -> serialized body`` for every function whose body
+        the receiver is not already known to hold.
+    incarnation:
+        The sender's registration lifetime; receivers reset their buffer
+        tables when a new incarnation registers, so a stale cache can
+        never serve a body across a reconnect.
+    """
+
+    tasks: tuple[TaskMessage, ...] = ()
+    function_buffers: dict[str, bytes] = field(default_factory=dict)
+    incarnation: int = 0
+
+
+@dataclass(frozen=True)
+class ResultBatchMessage(Message):
+    """N results coalesced into one channel transfer (symmetric to
+    :class:`TaskBatchMessage` on the return path)."""
+
+    results: tuple[ResultMessage, ...] = ()
+
+
+@dataclass(frozen=True)
 class Heartbeat(Message):
     """Periodic liveness signal (agent→forwarder, manager→agent).
 

@@ -123,7 +123,7 @@ def test_reintroduced_leaked_lease_in_forwarder_is_flagged():
         try:
             while pending:
                 lease = pending.popleft()
-                dispatched += self._dispatch_one(queue, lease)
+                dispatched += self._dispatch_one(queue, lease, memo)
         except Exception:"""
     assert fixed in text, "forwarder.py changed; update this regression test"
     start = text.index(fixed)
@@ -132,7 +132,7 @@ def test_reintroduced_leaked_lease_in_forwarder_is_flagged():
         try:
             while pending:
                 lease = pending.popleft()
-                dispatched += self._dispatch_one(queue, lease)
+                dispatched += self._dispatch_one(queue, lease, memo)
         except Exception:
             for lease in pending:
                 queue.nack(lease.lease_id)

@@ -25,6 +25,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scale", "--platform", "summit"])
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert not args.quick
+        assert args.tasks == 96
+        assert args.latency == pytest.approx(0.001)
+        assert args.transfer_cost == pytest.approx(0.001)
+
 
 class TestCommands:
     def test_platforms(self, capsys):
@@ -53,3 +60,9 @@ class TestCommands:
         assert main(["demo", "--tasks", "8"]) == 0
         out = capsys.readouterr().out
         assert "double(21) -> 42" in out
+
+    def test_bench_quick(self, capsys):
+        assert main(["bench", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "per-message" in out and "batched" in out
+        assert "speedup:" in out and "p50 improvement:" in out

@@ -6,6 +6,8 @@ of a channel, so every scenario is deterministic.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.auth import AuthService
@@ -14,7 +16,27 @@ from repro.core.service import FuncXService
 from repro.core.tasks import TaskState
 from repro.serialize import FuncXSerializer
 from repro.transport.channel import Channel
-from repro.transport.messages import Heartbeat, Registration, ResultMessage, TaskMessage
+from repro.transport.messages import (
+    Heartbeat,
+    Registration,
+    ResultMessage,
+    TaskBatchMessage,
+    TaskMessage,
+)
+
+
+def unwrap_tasks(messages):
+    """Expand batch envelopes into per-task messages, bodies reattached."""
+    tasks = []
+    for message in messages:
+        if isinstance(message, TaskBatchMessage):
+            for task in message.tasks:
+                buffer = task.function_buffer or message.function_buffers.get(
+                    task.function_id, b"")
+                tasks.append(replace(task, function_buffer=buffer))
+        elif isinstance(message, TaskMessage):
+            tasks.append(message)
+    return tasks
 
 
 @pytest.fixture
@@ -77,17 +99,18 @@ class TestDispatch:
         world.forwarder.step()
         messages = world.agent.recv_all_ready()
         assert len(messages) == 1
-        msg = messages[0]
-        assert isinstance(msg, TaskMessage)
+        (msg,) = unwrap_tasks(messages)
         assert msg.task_id == task_id
-        assert msg.function_buffer  # function body travels with the task
+        assert msg.function_buffer  # function body travels in the envelope
         assert world.service.task_by_id(task_id).state is TaskState.DISPATCHED
 
     def test_dispatch_batch(self, world):
         ids = {submit(world, i) for i in range(10)}
         connect_agent(world)
         world.forwarder.step()
-        got = {m.task_id for m in world.agent.recv_all_ready()}
+        messages = world.agent.recv_all_ready()
+        assert len(messages) == 1  # ten tasks coalesced into one transfer
+        got = {m.task_id for m in unwrap_tasks(messages)}
         assert got == ids
         assert world.forwarder.tasks_forwarded == 10
 
@@ -173,7 +196,7 @@ class TestHeartbeatsAndLoss:
         world.forwarder.step()
         world.forwarder.step()
         redelivered = world.agent.recv_all_ready()
-        assert [m.task_id for m in redelivered if isinstance(m, TaskMessage)] == [task_id]
+        assert [m.task_id for m in unwrap_tasks(redelivered)] == [task_id]
         assert world.service.task_by_id(task_id).attempts == 2
 
     def test_retry_budget_failure_after_repeated_loss(self, world):
@@ -222,8 +245,7 @@ class TestSiteContainerConversion:
         world.service.submit(token, fid, world.endpoint_id, payload)
         connect_agent(world)
         world.forwarder.step()
-        (message,) = [m for m in world.agent.recv_all_ready()
-                      if isinstance(m, TaskMessage)]
+        (message,) = unwrap_tasks(world.agent.recv_all_ready())
         assert message.container_image == "shifter:dials/stills:1"
 
     def test_untouched_without_site_technology(self, world):
@@ -236,8 +258,7 @@ class TestSiteContainerConversion:
         world.service.submit(world.token, fid, world.endpoint_id, payload)
         connect_agent(world)
         world.forwarder.step()
-        (message,) = [m for m in world.agent.recv_all_ready()
-                      if isinstance(m, TaskMessage)]
+        (message,) = unwrap_tasks(world.agent.recv_all_ready())
         assert message.container_image == "docker:dials/stills:1"
 
     def test_bare_tasks_unaffected(self, world):
@@ -246,8 +267,7 @@ class TestSiteContainerConversion:
         task_id = submit(world)
         connect_agent(world)
         world.forwarder.step()
-        (message,) = [m for m in world.agent.recv_all_ready()
-                      if isinstance(m, TaskMessage)]
+        (message,) = unwrap_tasks(world.agent.recv_all_ready())
         assert message.container_image is None
 
 
@@ -257,11 +277,62 @@ class TestDispatchBatching:
         for i in range(8):
             submit(world, i)
         connect_agent(world)  # performs one step -> first wave of 3
-        first_wave = [m for m in world.agent.recv_all_ready()
-                      if isinstance(m, TaskMessage)]
+        first_wave = unwrap_tasks(world.agent.recv_all_ready())
         assert len(first_wave) == 3
         world.forwarder.step()
         world.forwarder.step()
-        rest = [m for m in world.agent.recv_all_ready()
-                if isinstance(m, TaskMessage)]
+        rest = unwrap_tasks(world.agent.recv_all_ready())
         assert len(rest) == 5
+
+
+class TestFunctionBufferCache:
+    """Batch dispatch ships each function body once and caches per agent."""
+
+    def test_buffer_shipped_once_per_batch(self, world):
+        for i in range(5):
+            submit(world, i)
+        connect_agent(world)
+        world.forwarder.step()
+        (envelope,) = [m for m in world.agent.recv_all_ready()
+                       if isinstance(m, TaskBatchMessage)]
+        assert len(envelope.tasks) == 5
+        assert list(envelope.function_buffers) == [world.function_id]
+        assert all(t.function_buffer == b"" for t in envelope.tasks)
+
+    def test_buffer_cached_across_batches(self, world):
+        submit(world)
+        connect_agent(world)
+        world.forwarder.step()
+        world.agent.recv_all_ready()
+        submit(world)
+        world.forwarder.step()
+        (envelope,) = [m for m in world.agent.recv_all_ready()
+                       if isinstance(m, TaskBatchMessage)]
+        assert envelope.function_buffers == {}  # agent already holds the body
+
+    def test_reregistration_invalidates_cache(self, world):
+        submit(world)
+        connect_agent(world)
+        world.forwarder.step()
+        world.agent.recv_all_ready()
+        connect_agent(world)  # the agent restarted and re-registered
+        submit(world)
+        world.forwarder.step()
+        envelopes = [m for m in world.agent.recv_all_ready()
+                     if isinstance(m, TaskBatchMessage)]
+        assert any(world.function_id in e.function_buffers for e in envelopes)
+
+    def test_redelivery_reships_buffer(self, world):
+        submit(world)
+        connect_agent(world)
+        world.forwarder.step()
+        world.agent.recv_all_ready()
+        world.clock.advance(4.0)
+        world.forwarder.step()  # loss detected, task requeued
+        world.agent.send(Registration(sender="agent:x", component_type="endpoint"))
+        world.forwarder.step()
+        world.forwarder.step()
+        (envelope,) = [m for m in world.agent.recv_all_ready()
+                       if isinstance(m, TaskBatchMessage)]
+        # deliveries > 1 forces the body back into the envelope
+        assert world.function_id in envelope.function_buffers

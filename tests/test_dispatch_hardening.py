@@ -108,7 +108,8 @@ class TestOrphanLeases:
         assert world.service.forget_task(victim)
         connect_agent(world)
         world.forwarder.step()
-        got = {m.task_id for m in world.agent.recv_all_ready()}
+        from test_core_forwarder import unwrap_tasks
+        got = {m.task_id for m in unwrap_tasks(world.agent.recv_all_ready())}
         assert got == {first, last}  # batch continued past the orphan
         assert world.forwarder.tasks_forwarded == 2
         assert world.forwarder.orphan_leases == 1

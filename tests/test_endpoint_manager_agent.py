@@ -8,6 +8,7 @@ test control.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -22,11 +23,38 @@ from repro.transport.messages import (
     CommandMessage,
     Heartbeat,
     Registration,
+    ResultBatchMessage,
     ResultMessage,
+    TaskBatchMessage,
     TaskMessage,
 )
 
 SERIALIZER = FuncXSerializer()
+
+
+def unwrap_tasks(messages):
+    """Expand batch envelopes into per-task messages, bodies reattached."""
+    tasks = []
+    for message in messages:
+        if isinstance(message, TaskBatchMessage):
+            for task in message.tasks:
+                buffer = task.function_buffer or message.function_buffers.get(
+                    task.function_id, b"")
+                tasks.append(replace(task, function_buffer=buffer))
+        elif isinstance(message, TaskMessage):
+            tasks.append(message)
+    return tasks
+
+
+def unwrap_results(messages):
+    """Expand result batch envelopes into individual result messages."""
+    results = []
+    for message in messages:
+        if isinstance(message, ResultBatchMessage):
+            results.extend(message.results)
+        elif isinstance(message, ResultMessage):
+            results.append(message)
+    return results
 
 
 def task_message(func, args=(), task_id="t1", container=None):
@@ -112,9 +140,7 @@ class TestManager:
 
         def drain():
             manager.step()
-            collected.extend(
-                m for m in agent_end.recv_all_ready() if isinstance(m, ResultMessage)
-            )
+            collected.extend(unwrap_results(agent_end.recv_all_ready()))
 
         assert pump(drain, lambda: len(collected) == 6)
         assert {m.task_id for m in collected} == {f"t{i}" for i in range(6)}
@@ -217,7 +243,10 @@ class TestAgent:
         forwarder_end.send(task_message(add_one, (1,), task_id="t1"))
         agent.step()
         delivered = manager_end.recv_all_ready()
-        assert len(delivered) == 1 and delivered[0].task_id == "t1"
+        assert len(delivered) == 1
+        (task,) = unwrap_tasks(delivered)
+        assert task.task_id == "t1"
+        assert task.function_buffer  # body travels with the envelope
         assert agent.outstanding_count() == 1
 
     def test_queues_when_no_capacity(self, agent_world):
@@ -263,7 +292,7 @@ class TestAgent:
             agent.step()
             time.sleep(0.02)
         redelivered = channel2.left.recv_all_ready()
-        tasks = [m for m in redelivered if isinstance(m, TaskMessage)]
+        tasks = unwrap_tasks(redelivered)
         assert [t.task_id for t in tasks] == ["t1"]
         assert agent.tasks_reexecuted == 1
 
