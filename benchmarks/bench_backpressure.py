@@ -1,0 +1,102 @@
+"""Backpressure gate: overload must plateau in flight, not grow.
+
+Drives a live deployment through a sustained 10:1 (120 tasks against a
+credit window of 12) producer/consumer mismatch and
+samples the forwarder's open-lease population while the burst drains.
+Three things must hold for the credit loop to count as working:
+
+* **bounded** — the sampled in-flight peak never exceeds the advertised
+  credit window (no-unbounded-memory: the only place the mismatch may
+  accumulate is the bounded, observable service-side queue, whose high
+  watermark is reported alongside);
+* **plateau** — the in-flight population in the second half of the run
+  is no higher than in the first half (it plateaus at the window instead
+  of growing with offered load);
+* **sustained** — throttling costs capacity, not throughput: the run
+  sustains a healthy fraction of the ideal ``workers / task_duration``
+  rate while credit-stalling the excess.
+
+Artifacts: ``BENCH_backpressure.json`` at the repo root and the usual
+``benchmarks/results`` text report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.harness import ExperimentReport, quick_mode
+from repro.perf import measure_backpressure
+
+RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_backpressure.json"
+
+TASKS = 120
+TASKS_QUICK = 60
+WORKERS = 2
+PREFETCH = 2
+TASK_DURATION = 0.02
+
+#: Gate thresholds.
+MIN_THROUGHPUT_FRACTION = 0.3   # of the ideal workers/duration rate
+MIN_SHED_FRACTION = 0.5         # of the burst must hit the service queue
+
+
+def test_backpressure_gate():
+    quick = quick_mode()
+    tasks = TASKS_QUICK if quick else TASKS
+    result = measure_backpressure(
+        tasks=tasks, workers=WORKERS, prefetch=PREFETCH,
+        task_duration=TASK_DURATION)
+
+    window = result["window"]
+    ideal = result["ideal_tasks_per_second"]
+    RESULT_JSON.write_text(json.dumps({
+        **result,
+        "gates": {
+            "max_peak_in_flight": window,
+            "min_tasks_per_second": MIN_THROUGHPUT_FRACTION * ideal,
+            "min_queue_high_watermark": int(MIN_SHED_FRACTION * tasks),
+        },
+        "quick": quick,
+    }, indent=2, sort_keys=True) + "\n")
+
+    report = ExperimentReport(
+        "backpressure",
+        f"{tasks}-task burst vs credit window {window} "
+        f"({result['mismatch']:.0f}:1 mismatch)",
+    )
+    report.rows(
+        ["metric", "value"],
+        [["window", window],
+         ["peak in-flight", result["peak_in_flight"]],
+         ["first/second half peak",
+          f"{result['first_half_peak']}/{result['second_half_peak']}"],
+         ["queue high watermark", result["queue_high_watermark"]],
+         ["credit stalls", result["credit_stalls"]],
+         ["tasks/s", f"{result['tasks_per_second']:.1f}"],
+         ["ideal tasks/s", f"{ideal:.1f}"]],
+    )
+    report.note("in-flight sampled from the forwarder's open-lease table "
+                "while the burst drains; the mismatch sheds into the "
+                "service queue instead of growing the in-flight population")
+    report.finish()
+
+    assert result["peak_in_flight"] <= window, (
+        f"in-flight peaked at {result['peak_in_flight']} — the credit "
+        f"window ({window}) did not bound the pipeline"
+    )
+    assert result["second_half_peak"] <= result["first_half_peak"], (
+        f"in-flight grew across the run "
+        f"({result['first_half_peak']} -> {result['second_half_peak']}) — "
+        "not a plateau"
+    )
+    assert result["queue_high_watermark"] >= MIN_SHED_FRACTION * tasks, (
+        f"only {result['queue_high_watermark']} of {tasks} tasks were shed "
+        "into the service queue — where did the rest go?"
+    )
+    assert result["credit_stalls"] > 0, \
+        "overload never hit the credit limit — the mismatch was not exercised"
+    assert result["tasks_per_second"] >= MIN_THROUGHPUT_FRACTION * ideal, (
+        f"sustained only {result['tasks_per_second']:.1f} tasks/s against an "
+        f"ideal {ideal:.1f} — backpressure is costing throughput"
+    )

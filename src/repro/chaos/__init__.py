@@ -4,6 +4,7 @@ See ``docs/CHAOS.md`` for the full guide.
 """
 
 from repro.chaos.invariants import (
+    BoundedInFlight,
     Invariant,
     InvariantRegistry,
     InvariantViolation,
@@ -16,6 +17,7 @@ from repro.chaos.world import ChaosReport, ChaosWorld
 __all__ = [
     "ACTIONS",
     "AppliedStep",
+    "BoundedInFlight",
     "ChaosReport",
     "ChaosScheduler",
     "ChaosWorld",

@@ -21,6 +21,10 @@ Built-in invariants (tentpole spec):
 * **no-task-lost** — at quiescence, every non-terminal task is still
   reachable by the redelivery machinery (queue, open lease, agent, or
   manager); a task in limbo while retries remain was permanently lost.
+* **bounded-in-flight** — credit-based backpressure holds: no dispatch
+  wave exceeds the endpoint's remaining credit (``flow.wave`` events),
+  and at quiescence the endpoint-side holdings (agent pending +
+  assigned) fit the advertised window plus lease-redelivery slack.
 """
 
 from __future__ import annotations
@@ -220,6 +224,61 @@ class NoTaskLost(Invariant):
             )
 
 
+class BoundedInFlight(Invariant):
+    """Credit-based flow control bounds the dispatch in-flight tables.
+
+    Event check: every ``flow.wave`` the forwarder emits must fit the
+    endpoint's remaining credit — ``size ≤ max(0, window - in_flight)``.
+    Waves dispatched while the window is unknown (``-1``, flow control
+    off or no credit report yet) are exempt.  Only dispatch instants are
+    checked: a window *shrinking* below the current in-flight count
+    (manager death) is a legal transient that drains, not a violation.
+
+    Quiescence check: the endpoint-side holdings (agent pending +
+    assigned) must fit the advertised window plus the queue's
+    redelivery count — lease-timeout redelivery can legally leave stale
+    duplicates parked at the agent, one per redelivery at worst.
+    """
+
+    name = "bounded-in-flight"
+
+    def on_event(self, source, event, fields, record):
+        if event != "flow.wave":
+            return
+        window = fields.get("window", -1)
+        if window is None or window < 0:
+            return
+        size = fields.get("size", 0)
+        in_flight = fields.get("in_flight", 0)
+        if size > max(0, window - in_flight):
+            record(
+                f"dispatch wave of {size} exceeds remaining credit "
+                f"(window={window}, in_flight={in_flight}): the forwarder "
+                "overshot the endpoint's advertised window",
+                dict(fields),
+            )
+
+    def check_final(self, world, record):
+        if world is None:
+            return
+        for hooks in world.hooks.values():
+            window = getattr(hooks.forwarder, "credit_window", -1)
+            if window is None or window < 0:
+                continue
+            agent = hooks.endpoint.agent
+            holdings = agent.pending_count() + agent.outstanding_count()
+            slack = hooks.queue.total_redelivered
+            if holdings > window + slack:
+                record(
+                    f"endpoint {hooks.name} holds {holdings} task(s) "
+                    f"(pending+assigned) at quiescence, above its credit "
+                    f"window {window} + redelivery slack {slack} — "
+                    "backpressure failed to bound the in-flight tables",
+                    {"endpoint_id": hooks.endpoint_id, "holdings": holdings,
+                     "window": window, "redelivered": slack},
+                )
+
+
 def default_invariants() -> list[Invariant]:
     return [
         QueueConservation(),
@@ -228,6 +287,7 @@ def default_invariants() -> list[Invariant]:
         MemoConsistency(),
         MonotoneLiveness(),
         NoTaskLost(),
+        BoundedInFlight(),
     ]
 
 

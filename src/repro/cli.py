@@ -11,6 +11,7 @@ Offline-friendly subcommands::
     python -m repro.cli metrics              # render an exported registry
     python -m repro.cli lint                 # fabric static analyzer
     python -m repro.cli bench --quick        # batched vs per-message A/B
+    python -m repro.cli bench --backpressure # credit-flow overload plateau
 
 ``demo --trace-out traces.jsonl --metrics-out metrics.jsonl`` exports the
 observability artifacts the ``trace``/``metrics`` subcommands consume.
@@ -243,6 +244,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """A/B the batched, event-driven fabric against per-message polling."""
     from repro.perf import LEGACY_POLL_INTERVAL, compare_modes
 
+    if args.backpressure:
+        return _bench_backpressure(quick=args.quick)
     if args.quick:
         tasks, samples, pairs = 16, 6, 1
     else:
@@ -263,6 +266,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print("full gate: PYTHONPATH=src:. python -m pytest "
           "benchmarks/bench_e2e_throughput.py")
     return 0
+
+
+def _bench_backpressure(quick: bool) -> int:
+    """Overload a credited endpoint; report the in-flight plateau."""
+    from repro.perf import measure_backpressure
+
+    if quick:
+        result = measure_backpressure(tasks=24, task_duration=0.01)
+    else:
+        result = measure_backpressure()
+    print(f"{'metric':<22s} {'value':>10s}")
+    print(f"{'credit window':<22s} {result['window']:>10d}")
+    print(f"{'peak in-flight':<22s} {result['peak_in_flight']:>10d}")
+    print(f"{'plateau (1st/2nd)':<22s} "
+          f"{result['first_half_peak']:>4d}/{result['second_half_peak']:<5d}")
+    print(f"{'queue high watermark':<22s} {result['queue_high_watermark']:>10d}")
+    print(f"{'credit stalls':<22s} {result['credit_stalls']:>10d}")
+    print(f"{'tasks/s':<22s} {result['tasks_per_second']:>10.1f}")
+    bounded = result["peak_in_flight"] <= result["window"]
+    print(f"bounded in flight: {'yes' if bounded else 'NO'} "
+          f"({result['mismatch']:.0f}:1 offered/window mismatch)")
+    print("full gate: PYTHONPATH=src:. python -m pytest "
+          "benchmarks/bench_backpressure.py")
+    return 0 if bounded else 1
 
 
 def _cmd_platforms(args: argparse.Namespace) -> int:
@@ -347,6 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 2)")
     bench.add_argument("--latency", type=float, default=0.001,
                        help="one-way channel latency in seconds (default: 1 ms)")
+    bench.add_argument("--backpressure", action="store_true",
+                       help="run the credit-flow overload benchmark instead "
+                            "of the batching A/B")
     bench.add_argument("--transfer-cost", dest="transfer_cost", type=float,
                        default=0.001,
                        help="serial per-transfer link occupancy in seconds "

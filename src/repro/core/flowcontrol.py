@@ -1,0 +1,256 @@
+"""Credit accounting and adaptive wave sizing for the dispatch fabric.
+
+Two cooperating mechanisms bound the in-flight population of the
+forwarder → agent → manager → worker pipeline (the funcX batching
+analysis, §5.5.2, and ROADMAP open item 1):
+
+* :class:`CreditLedger` — the manager-side source of truth for execution
+  credits.  Every worker slot is one credit: granted when the worker
+  deploys, consumed when a task is handed to the worker, released *by
+  the worker itself* the moment execution finishes (so capacity is
+  returned before the manager's collect pass runs, preserving the §4.7
+  transfer/compute overlap).  The ledger never goes negative and always
+  conserves ``granted == consumed + available``.
+
+* :class:`WavePolicy` — a Nagle-style hold-down for the forwarder's
+  dispatch waves.  On a serial link a transfer occupies the wire for
+  ``transfer_cost`` seconds regardless of batch size, so dispatching a
+  lone task the instant it arrives costs the same link time as a full
+  wave.  The policy holds a wave up to ``T = min(hold_cap,
+  hold_scale × transfer_cost)`` seconds or until ``N_fill =
+  clamp(ceil(λ̂·T), 1, budget)`` tasks accumulate, where ``λ̂`` is an
+  EWMA of the observed arrival rate.  With ``transfer_cost == 0`` the
+  hold collapses to zero and dispatch is immediate — zero-latency
+  deployments see no behavior change.
+
+The aggregate credit *window* (sum of per-manager windows, advertised
+upstream on heartbeats) is enforced by the forwarder against its own
+open-lease table, so enforcement is local and race-free: a lost or
+reordered heartbeat can only make the forwarder temporarily more
+conservative, never overshoot.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+
+class CreditLedger:
+    """Thread-safe execution-credit accounting (never negative, conserved).
+
+    ``granted`` credits exist in total; ``consumed`` are held by in-flight
+    tasks; ``available = granted - consumed`` may be handed out.  All four
+    transitions clamp rather than raise, so a duplicate release (e.g. a
+    redelivered task completing twice) cannot corrupt the books — it is
+    simply ignored beyond the outstanding amount.
+    """
+
+    # Credit counters move together: conservation (granted = consumed +
+    # available) only holds if they are never torn.  Enforced by
+    # `repro lint` (guarded-by).
+    _GUARDED = {
+        "_granted": "_lock",
+        "_consumed": "_lock",
+    }
+
+    def __init__(self, granted: int = 0):
+        if granted < 0:
+            raise ValueError("granted must be non-negative")
+        self._lock = threading.Lock()
+        self._granted = granted
+        self._consumed = 0
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def granted(self) -> int:
+        with self._lock:
+            return self._granted
+
+    @property
+    def consumed(self) -> int:
+        with self._lock:
+            return self._consumed
+
+    @property
+    def available(self) -> int:
+        with self._lock:
+            return self._granted - self._consumed
+
+    # -- transitions ---------------------------------------------------------
+    def grant(self, n: int = 1) -> int:
+        """Add ``n`` credits (a worker slot came online); returns granted."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        with self._lock:
+            self._granted += n
+            return n
+
+    def revoke(self, n: int = 1) -> int:
+        """Remove up to ``n`` *idle* credits (a worker slot went away).
+
+        Credits held by in-flight tasks cannot be revoked; the grant
+        shrinks by at most ``available``.  Returns the number revoked.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        with self._lock:
+            revoked = min(n, self._granted - self._consumed)
+            self._granted -= revoked
+            return revoked
+
+    def consume(self, n: int = 1) -> int:
+        """Take up to ``n`` available credits; returns the number taken."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        with self._lock:
+            taken = min(n, self._granted - self._consumed)
+            self._consumed += taken
+            return taken
+
+    def release(self, n: int = 1) -> int:
+        """Return up to ``n`` consumed credits; returns the number returned.
+
+        Releasing more than is outstanding (duplicate completion of a
+        redelivered task) is clamped, keeping ``consumed >= 0``.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        with self._lock:
+            returned = min(n, self._consumed)
+            self._consumed -= returned
+            return returned
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """Atomic ``(granted, consumed, available)`` — the conservation
+        triple; ``granted == consumed + available`` in every snapshot."""
+        with self._lock:
+            return (self._granted, self._consumed,
+                    self._granted - self._consumed)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        with self._lock:
+            return (f"CreditLedger(granted={self._granted}, "
+                    f"consumed={self._consumed})")
+
+
+@dataclass(frozen=True)
+class WaveDecision:
+    """Outcome of one :meth:`WavePolicy.decide` evaluation.
+
+    ``size`` tasks should be leased and dispatched now (0 = nothing).
+    When ``size == 0`` and ``hold_until`` is set, the caller should
+    schedule a wakeup for that instant (``Wakeup.set_at``) and retry —
+    the wave is being held to fill.  ``held_for`` reports how long a
+    dispatching wave was held (0 for immediate dispatch).
+    """
+
+    size: int
+    hold_until: float | None = None
+    held_for: float = 0.0
+
+
+class WavePolicy:
+    """Adaptive Nagle policy for dispatch-wave sizing.
+
+    Single-consumer: ``decide`` is only ever called from the owning
+    dispatch loop, so the policy keeps plain (unlocked) state.
+
+    Parameters
+    ----------
+    link_cost:
+        Callable returning the link's current per-transfer occupancy
+        (the serial-link ``transfer_cost``); 0 disables holding.
+    hold_scale:
+        Hold budget as a multiple of the transfer cost.  Holding longer
+        than a few transfer times cannot be amortized away, so the
+        default caps the added latency at ~4 transfer costs.
+    hold_cap:
+        Absolute ceiling on any hold (seconds) — the liveness bound.
+    rate_alpha:
+        EWMA smoothing factor for the observed arrival rate.
+    """
+
+    def __init__(
+        self,
+        link_cost: Callable[[], float],
+        hold_scale: float = 4.0,
+        hold_cap: float = 0.005,
+        rate_alpha: float = 0.3,
+    ):
+        if hold_scale < 0 or hold_cap < 0:
+            raise ValueError("hold parameters must be non-negative")
+        if not 0.0 < rate_alpha <= 1.0:
+            raise ValueError("rate_alpha must be in (0, 1]")
+        self._link_cost = link_cost
+        self.hold_scale = hold_scale
+        self.hold_cap = hold_cap
+        self.rate_alpha = rate_alpha
+        self._rate = 0.0                 # EWMA arrivals/second
+        self._last_enqueued: int | None = None
+        self._last_observed_at: float | None = None
+        self._hold_started_at: float | None = None
+
+    @property
+    def arrival_rate(self) -> float:
+        """The smoothed arrival-rate estimate λ̂ (tasks/second)."""
+        return self._rate
+
+    def hold_budget(self) -> float:
+        """Current hold ceiling T = min(hold_cap, hold_scale × cost)."""
+        cost = max(0.0, float(self._link_cost()))
+        return min(self.hold_cap, self.hold_scale * cost)
+
+    def _observe(self, enqueued_total: int, now: float) -> None:
+        """Fold the enqueue-counter delta into the EWMA arrival rate."""
+        if self._last_enqueued is None or self._last_observed_at is None:
+            self._last_enqueued = enqueued_total
+            self._last_observed_at = now
+            return
+        elapsed = now - self._last_observed_at
+        if elapsed <= 0:
+            return
+        arrived = max(0, enqueued_total - self._last_enqueued)
+        sample = arrived / elapsed
+        self._rate += self.rate_alpha * (sample - self._rate)
+        self._last_enqueued = enqueued_total
+        self._last_observed_at = now
+
+    def decide(self, depth: int, budget: int, enqueued_total: int,
+               now: float) -> WaveDecision:
+        """Size the next wave, or hold it to fill.
+
+        ``depth`` is the ready-queue depth, ``budget`` the dispatch cap
+        (credit window remainder ∧ per-step bound), ``enqueued_total``
+        the queue's monotone enqueue counter (arrival-rate observation).
+
+        Liveness: any hold is bounded by :meth:`hold_budget` (itself
+        capped by ``hold_cap``); a zero budget never starts a hold, so a
+        stalled consumer cannot park the policy — dispatch resumes the
+        moment credit returns.
+        """
+        self._observe(enqueued_total, now)
+        if depth <= 0 or budget <= 0:
+            self._hold_started_at = None
+            return WaveDecision(size=0)
+        hold = self.hold_budget()
+        wave = min(depth, budget)
+        if hold <= 0.0:
+            self._hold_started_at = None
+            return WaveDecision(size=wave)
+        fill = min(budget, max(1, math.ceil(self._rate * hold)))
+        if depth >= fill:
+            held = (now - self._hold_started_at
+                    if self._hold_started_at is not None else 0.0)
+            self._hold_started_at = None
+            return WaveDecision(size=wave, held_for=max(0.0, held))
+        if self._hold_started_at is None:
+            self._hold_started_at = now
+        deadline = self._hold_started_at + hold
+        if now >= deadline:
+            held = now - self._hold_started_at
+            self._hold_started_at = None
+            return WaveDecision(size=wave, held_for=max(0.0, held))
+        return WaveDecision(size=0, hold_until=deadline)

@@ -15,11 +15,13 @@ stepped manually under test control.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
 from typing import Any, Callable
 
+from repro.core.flowcontrol import WavePolicy
 from repro.core.service import FuncXService
 from repro.errors import TaskNotFound
 from repro.metrics.registry import COUNT_BUCKETS
@@ -35,6 +37,8 @@ from repro.transport.messages import (
     TaskMessage,
 )
 from repro.transport.wakeup import Wakeup
+
+_logger = logging.getLogger(__name__)
 
 
 class Forwarder:
@@ -71,6 +75,21 @@ class Forwarder:
         Block the :meth:`start` loop on a :class:`Wakeup` fed by channel
         deliveries and task-queue puts instead of sleep-polling; the
         poll interval becomes a liveness fallback only.
+    flow_control:
+        Enforce the endpoint's advertised credit window (piggybacked on
+        agent heartbeats): never hold more open leases than the window,
+        so overload sheds into the service-side queue — bounded and
+        observable — instead of ballooning agent/manager in-flight
+        tables.  An endpoint that never reports credit (window ``-1``)
+        is treated as unlimited, the pre-credit behavior.
+    adaptive_batching:
+        Size dispatch waves with the adaptive Nagle policy
+        (:class:`~repro.core.flowcontrol.WavePolicy`): hold a wave up to
+        T seconds or N tasks, T scaled from the link's transfer cost and
+        N from the observed arrival rate, with holds scheduled through
+        the existing :class:`Wakeup` (no new polling).  On a
+        zero-transfer-cost link the hold collapses to zero, reproducing
+        plain batching exactly.
     """
 
     def __init__(
@@ -84,6 +103,9 @@ class Forwarder:
         lease_timeout: float | None = None,
         batching: bool = True,
         event_driven: bool = True,
+        flow_control: bool = True,
+        adaptive_batching: bool = True,
+        wave_policy: WavePolicy | None = None,
         clock: Callable[[], float] | None = None,
         sleeper: Callable[[float], None] | None = None,
     ):
@@ -100,9 +122,18 @@ class Forwarder:
         self.lease_timeout = lease_timeout
         self.batching = batching
         self.event_driven = event_driven
+        self.flow_control = flow_control
+        self.adaptive_batching = adaptive_batching
+        self._wave_policy = wave_policy or WavePolicy(
+            link_cost=lambda: channel_end.transfer_cost)
         self._wakeup = Wakeup(clock=self._clock)
         self._agent_connected = False     # guarded-by: self._lock
         self._agent_name: str | None = None  # guarded-by: self._lock
+        # The endpoint's advertised credit window (from the latest agent
+        # heartbeat); -1 = unreported = unlimited.  Enforced locally
+        # against the open-lease table, so dispatch never overshoots
+        # even when heartbeats are dropped or reordered.
+        self._credit_window = -1          # guarded-by: self._lock
         self._open_leases: dict[str, Lease] = {}  # guarded-by: self._lock
         # function_id -> buffer digest already shipped to the connected
         # agent incarnation; cleared on every (re-)registration so a new
@@ -128,11 +159,25 @@ class Forwarder:
         self._c_coalesced = metrics.counter(
             "channel.coalesced_messages", component="forwarder",
             endpoint=endpoint_id)
+        self._c_credit_stalls = metrics.counter(
+            "forwarder.credit_stalls", endpoint=endpoint_id)
         self._h_batch_size = metrics.histogram(
             "dispatch.batch_size", buckets=COUNT_BUCKETS,
             component="forwarder", endpoint=endpoint_id)
+        self._h_wave_hold = metrics.histogram(
+            "dispatch.wave_hold_seconds",
+            component="forwarder", endpoint=endpoint_id)
         metrics.gauge("forwarder.outstanding_leases",
                       endpoint=endpoint_id).set_function(lambda: self.outstanding)
+        metrics.gauge("forwarder.credit_window",
+                      endpoint=endpoint_id).set_function(
+            lambda: self.credit_window)
+        task_queue = service.task_queue(endpoint_id)
+        metrics.gauge("queue.depth", queue=task_queue.name).set_function(
+            lambda: task_queue.depth)
+        metrics.gauge("queue.high_watermark",
+                      queue=task_queue.name).set_function(
+            lambda: task_queue.high_watermark)
         # Agent-liveness incarnation: bumped on every (re-)registration so
         # liveness transitions can be attributed to one agent lifetime.
         self.incarnation = 0
@@ -168,6 +213,16 @@ class Forwarder:
     @property
     def stale_beats(self) -> int:
         return int(self._c_stale_beats.value)
+
+    @property
+    def credit_stalls(self) -> int:
+        return int(self._c_credit_stalls.value)
+
+    @property
+    def credit_window(self) -> int:
+        """The endpoint's advertised credit window (-1 = unlimited)."""
+        with self._lock:
+            return self._credit_window
 
     def _emit(self, event: str, **fields: Any) -> None:
         probe = self.probe
@@ -290,6 +345,13 @@ class Forwarder:
             with self._lock:
                 was_connected = self._agent_connected
                 self._agent_connected = True
+                if self.flow_control and message.credit != self._credit_window:
+                    self._credit_window = message.credit
+                    window_changed = True
+                else:
+                    window_changed = False
+            if window_changed:
+                self._emit("flow.window", window=message.credit)
             self.service.endpoint_heartbeat(self.endpoint_id)
             self.service.endpoints.set_connected(self.endpoint_id, True, self._clock())
             self._emit("liveness.beat", component=message.sender,
@@ -385,6 +447,32 @@ class Forwarder:
                 self._emit("forwarder.dropped", task_id=task_id, reason=reason)
 
     # -- outbound -------------------------------------------------------------------
+    def _wave_budget(self, queue: ReliableQueue) -> tuple[int, int, int]:
+        """``(budget, window, in_flight)`` for the next dispatch wave.
+
+        The budget is the per-step bound capped by the remaining credit
+        (``window - in_flight``); a zero-credit truncation with backlog
+        waiting is counted, logged, and emitted so backlog growth under
+        a stalled endpoint is visible long before memory pressure.
+        """
+        budget = self.max_dispatch_per_step
+        with self._lock:
+            window = self._credit_window
+            in_flight = len(self._open_leases)
+        if self.flow_control and window >= 0:
+            budget = min(budget, max(0, window - in_flight))
+            if budget == 0:
+                depth = queue.depth
+                if depth > 0:
+                    self._c_credit_stalls.inc()
+                    _logger.debug(
+                        "forwarder %s: wave truncated by zero credit "
+                        "(window=%d in_flight=%d backlog=%d)",
+                        self.endpoint_id, window, in_flight, depth)
+                    self._emit("flow.credit_exhausted", window=window,
+                               in_flight=in_flight, depth=depth)
+        return budget, window, in_flight
+
     def _dispatch_tasks(self) -> int:
         """Dispatch leased tasks to the agent; every lease is disposed.
 
@@ -395,14 +483,36 @@ class Forwarder:
         entry — e.g. a task id whose record was purged — would strand
         every lease behind it until the visibility timeout, or forever
         when leases don't expire.
+
+        With flow control the wave is capped by the endpoint's remaining
+        credit; with adaptive batching the wave may additionally be held
+        (bounded, via ``Wakeup.set_at`` — no polling) to fill closer to
+        the arrival rate × hold-budget product before paying the link's
+        per-transfer cost.
         """
         queue = self.service.task_queue(self.endpoint_id)
-        pending = deque(queue.lease_many(self.max_dispatch_per_step,
+        budget, window, in_flight = self._wave_budget(queue)
+        if budget <= 0:
+            return 0
+        if self.adaptive_batching:
+            decision = self._wave_policy.decide(
+                depth=queue.depth, budget=budget,
+                enqueued_total=queue.total_enqueued, now=self._clock())
+            if decision.size <= 0:
+                if decision.hold_until is not None:
+                    # Wave held to fill; re-evaluate when the hold ripens.
+                    self._wakeup.set_at(decision.hold_until)
+                return 0
+            budget = min(budget, decision.size)
+            self._h_wave_hold.observe(decision.held_for)
+        pending = deque(queue.lease_many(budget,
                                          lease_timeout=self.lease_timeout))
         if not pending:
             return 0
         if self.batching:
-            return self._dispatch_batch(queue, pending)
+            dispatched = self._dispatch_batch(queue, pending)
+            self._note_wave(dispatched, in_flight, window)
+            return dispatched
         # Per-batch function-buffer memo: N tasks sharing a function hit
         # the service store once per step, not once per task, even on the
         # per-message fallback path.
@@ -428,7 +538,21 @@ class Forwarder:
             for unprocessed in pending:
                 queue.nack(unprocessed.lease_id)
             raise
+        self._note_wave(dispatched, in_flight, window)
         return dispatched
+
+    def _note_wave(self, size: int, in_flight: int, window: int) -> None:
+        """Emit the ``flow.wave`` probe for a committed dispatch wave.
+
+        ``size`` is the count actually sent (orphaned leases a wave acks
+        in passing are not in flight); ``in_flight``/``window`` are the
+        values the wave's budget was computed from, so the bounded-in-
+        flight invariant can re-check ``size <= window - in_flight``
+        exactly as the forwarder saw it.
+        """
+        if size > 0:
+            self._emit("flow.wave", size=size, in_flight=in_flight,
+                       window=window)
 
     def _dispatch_batch(self, queue: ReliableQueue,
                         pending: "deque[Lease]") -> int:

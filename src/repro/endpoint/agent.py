@@ -143,6 +143,14 @@ class FuncXAgent:
             component="agent", endpoint=endpoint_id)
         self.metrics.gauge("agent.pending_tasks",
                            endpoint=endpoint_id).set_function(self.pending_count)
+        self.metrics.gauge("agent.credit_window",
+                           endpoint=endpoint_id).set_function(
+            lambda: max(0, self.credit_window()))
+        # The credit window carried by the most recent heartbeat; a
+        # change (manager membership / suspension) triggers an immediate
+        # beat so the forwarder's window tracks capacity without waiting
+        # out a full heartbeat period.
+        self._last_credit_sent: int | None = None
         # Lifetime counter: each (re-)registration starts a new incarnation
         # whose heartbeats carry the tag, letting the forwarder discard
         # beats from lifetimes it has already superseded.
@@ -192,6 +200,9 @@ class FuncXAgent:
             )
         )
         self._last_heartbeat = self._clock()
+        # Force a fresh credit report right after (re-)registration: the
+        # forwarder may hold a stale window from a previous lifetime.
+        self._last_credit_sent = None
 
     def attach_manager(self, manager_id: str, channel: ChannelEnd) -> None:
         """Attach the agent side of a manager's channel."""
@@ -249,6 +260,44 @@ class FuncXAgent:
     def total_capacity(self) -> int:
         with self._lock:
             return sum(v.capacity for v in self._views.values())
+
+    def credit_window(self) -> int:
+        """Aggregate credit window over live, unsuspended managers.
+
+        This is the endpoint-wide in-flight bound the agent forwards
+        upstream on its heartbeats: the forwarder keeps at most this
+        many tasks leased against the endpoint.  ``-1`` (unlimited) when
+        flow control is disabled.  The value is *absolute*, not a
+        running remainder, so a lost or reordered heartbeat can never
+        corrupt the books — the next beat re-states the truth.
+
+        The window is the sum of the live managers' windows *plus an
+        agent-side buffer* of ``pipeline_depth`` node-windows (the
+        agent's own pending queue is a bounded holder too).  The buffer
+        keeps the forwarder→agent pipe full across the link round trip
+        — capping in-flight at exactly worker capacity would throttle
+        throughput to ``capacity / RTT`` on a long link even with every
+        worker idle (a bandwidth-delay allowance, the same role §4.7
+        gives manager prefetch one hop down).  It also covers elastic
+        scale-from-zero: with no live manager the window is the buffer
+        alone rather than zero, so demand still lands agent-side where
+        an elasticity controller can observe it, bounded, ready for the
+        first manager that registers.
+        """
+        if not self.config.flow_control:
+            return -1
+        prefetch = (self.config.prefetch_capacity
+                    if self.config.internal_batching else 1)
+        node_window = self.config.workers_per_node + prefetch
+        agent_buffer = self.config.pipeline_depth * node_window
+        with self._lock:
+            views = [
+                (mid, v.window)
+                for mid, v in self._views.items()
+                if mid not in self._suspended
+            ]
+        return agent_buffer + sum(window for mid, window in views
+                                  if self.heartbeats.is_alive(mid))
 
     def pending_count(self) -> int:
         with self._lock:
@@ -343,6 +392,10 @@ class FuncXAgent:
                 manager_id=manager_id,
                 capacity=message.capacity,
                 deployed_containers=frozenset(message.container_types),
+                # Conservative placeholder: the registration carries only
+                # the worker count; the advertisement that follows it
+                # carries the real window (workers + prefetch).
+                window=max(0, message.capacity),
             )
             # A (re-)registered manager starts with an empty buffer cache.
             self._manager_shipped[manager_id] = {}
@@ -359,6 +412,8 @@ class FuncXAgent:
             view.capacity = 0 if manager_id in self._suspended else message.total_request
             view.deployed_containers = frozenset(message.deployed_containers)
             view.outstanding = 0
+            if message.credit_window >= 0:
+                view.window = message.credit_window
         self.heartbeats.beat(manager_id)
 
     def _record_result(self, manager_id: str, message: ResultMessage) -> None:
@@ -548,9 +603,21 @@ class FuncXAgent:
     def _maybe_heartbeat(self) -> None:
         now = self._clock()
         period = max(0.0, self.config.heartbeat_period + self.heartbeat_skew)
-        if now - self._last_heartbeat < period:
+        credit = self.credit_window()
+        due = now - self._last_heartbeat >= period
+        # Dirty-beat: a changed credit window (manager registered, lost,
+        # or suspended) is announced immediately instead of waiting out
+        # the period — otherwise a cold-starting endpoint would sit at
+        # window 0 for a full period before the forwarder may dispatch.
+        # Skewed agents stay silent: the skew fault injection must delay
+        # *all* beats, credit updates included.
+        dirty = (self.config.flow_control
+                 and credit != self._last_credit_sent
+                 and self.heartbeat_skew == 0)
+        if not due and not dirty:
             return
         self._last_heartbeat = now
+        self._last_credit_sent = credit
         try:
             self.forwarder.send(
                 Heartbeat(
@@ -558,6 +625,7 @@ class FuncXAgent:
                     timestamp=now,
                     outstanding_tasks=self.outstanding_count(),
                     incarnation=self.incarnation,
+                    credit=credit,
                 )
             )
         except Exception:

@@ -46,6 +46,30 @@ class EndpointConfig:
         (channel deliveries, queue puts, worker completions) instead of
         sleep-polling; the poll interval becomes a liveness/heartbeat
         fallback only.
+    adaptive_batching:
+        Whether the forwarder's dispatch waves are sized by the adaptive
+        Nagle policy (hold a wave up to T seconds or N tasks, T/N
+        derived from the link's transfer cost and the observed arrival
+        rate — see docs/PERFORMANCE.md).  Disabling reproduces the
+        lease-whatever-is-there wave sizing of the plain batching path.
+    flow_control:
+        Whether credit-based backpressure is active end to end: workers
+        grant credits to their manager, managers advertise credit
+        windows, the agent forwards the aggregate window on its
+        heartbeat, and the forwarder never holds more open leases than
+        the advertised window.  Disabling reproduces the unbounded
+        in-flight behavior (backlog pools at the agent/manager instead
+        of the service-side queue).
+    pipeline_depth:
+        Agent-side pipeline buffer, in units of one node's credit
+        window, added to the advertised aggregate.  Keeps the
+        forwarder→agent link full across its round trip: capping
+        in-flight at exactly worker capacity would throttle throughput
+        to ``capacity / RTT`` on a long link even with every worker
+        idle.  Also what keeps demand observable for elastic
+        scale-from-zero (with no live manager the window is the buffer
+        alone).  0 means strict worker capacity — and a dead stop at
+        zero managers.
     scheduler_policy:
         Agent manager-selection policy: "randomized" (paper), or the
         ablation policies "round_robin" / "first_fit".
@@ -66,6 +90,9 @@ class EndpointConfig:
     internal_batching: bool = True
     message_batching: bool = True
     event_driven: bool = True
+    adaptive_batching: bool = True
+    flow_control: bool = True
+    pipeline_depth: int = 2
     scheduler_policy: str = "randomized"
     scale_cold_start: float = 1.0
     max_retries_on_loss: int = 1
@@ -81,5 +108,7 @@ class EndpointConfig:
             raise ValueError("heartbeat_period must be positive")
         if self.prefetch_capacity < 0:
             raise ValueError("prefetch_capacity must be non-negative")
+        if self.pipeline_depth < 0:
+            raise ValueError("pipeline_depth must be non-negative")
         if self.scale_cold_start < 0:
             raise ValueError("scale_cold_start must be non-negative")

@@ -32,6 +32,7 @@ from typing import Callable
 from repro.containers.runtime import ContainerRuntime
 from repro.containers.spec import ContainerSpec, ContainerTechnology
 from repro.containers.warming import WarmPool
+from repro.core.flowcontrol import CreditLedger
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.worker import Worker
 from repro.metrics.registry import COUNT_BUCKETS, MetricsRegistry
@@ -143,8 +144,18 @@ class Manager:
         # Fault injection: extra seconds added to the effective heartbeat
         # period (clock-skewed heartbeats toward the agent's watchdog).
         self.heartbeat_skew = 0.0
+        # Execution credits: one per worker slot, granted at deploy,
+        # consumed on dispatch-to-worker, released by the worker itself
+        # on completion (the credit loop's manager-side ledger).
+        self.credits = CreditLedger()
 
         self._deploy_initial_workers()
+        self.metrics.gauge(
+            "manager.credit_available", manager=manager_id
+        ).set_function(lambda: self.credits.available)
+        self.metrics.gauge(
+            "manager.credit_window", manager=manager_id
+        ).set_function(lambda: max(0, self.credit_window()))
 
     # -- registry-backed counters (compat with the former int attributes) ----
     @property
@@ -169,8 +180,10 @@ class Manager:
                 results=self._results,
                 container=container,
                 clock=self._clock,
+                credits=self.credits,
             )
             self._workers[worker_id] = worker
+            self.credits.grant(1)  # the slot's execution credit
             with self._lock:
                 self._idle.add(worker_id)
 
@@ -305,6 +318,7 @@ class Manager:
                     continue  # raced: re-evaluate from the top
                 self._pending.popleft()
                 self._idle.discard(worker.worker_id)
+            self.credits.consume(1)  # the slot's credit rides the task
             if buffer:
                 message = replace(message, function_buffer=buffer)
             if message.trace is not None:
@@ -399,10 +413,31 @@ class Manager:
         with self._lock:
             idle = len(self._idle)
             queued = len(self._pending)
+        if self.config.flow_control:
+            # The credit ledger leads the idle set: workers release their
+            # credit the instant execution finishes, before the collect
+            # pass re-marks them idle, so freed capacity advertises one
+            # hop earlier.
+            idle = max(idle, self.credits.available)
         if not self.config.internal_batching:
             return min(1, idle) if not queued else 0
         prefetch = self.config.prefetch_capacity
         return max(0, idle + prefetch - queued)
+
+    def credit_window(self) -> int:
+        """The static credit window this node advertises upstream.
+
+        The window is the total task population the node is willing to
+        hold at once — every worker slot plus the prefetch allowance
+        (one without internal batching, matching the one-task-per-round-
+        trip §5.5.2 baseline).  ``-1`` when flow control is disabled
+        (window unreported = unlimited to the receiver).
+        """
+        if not self.config.flow_control:
+            return -1
+        extra = (self.config.prefetch_capacity
+                 if self.config.internal_batching else 1)
+        return len(self._workers) + extra
 
     def _advertise(self, force: bool = False) -> None:
         capacity = self.advertised_capacity()
@@ -418,6 +453,7 @@ class Manager:
                 idle_workers=self.idle_count,
                 prefetch_capacity=max(0, capacity - self.idle_count),
                 deployed_containers=containers,
+                credit_window=self.credit_window(),
             )
         )
 
@@ -446,6 +482,7 @@ class Manager:
             idle_workers=self.idle_count,
             prefetch_capacity=max(0, capacity - self.idle_count),
             deployed_containers=containers,
+            credit_window=self.credit_window(),
         )
         self.channel.send_many((beat, advert))
         self._c_coalesced.inc(2)
@@ -464,6 +501,7 @@ class Manager:
                     idle_workers=0,
                     prefetch_capacity=0,
                     deployed_containers=self.deployed_containers(),
+                    credit_window=0 if self.config.flow_control else -1,
                 )
             )
 

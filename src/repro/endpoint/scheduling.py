@@ -26,6 +26,10 @@ class ManagerView:
     capacity: int                      # idle workers + prefetch allowance
     deployed_containers: frozenset[str] = frozenset()
     outstanding: int = 0               # tasks the agent sent, unacknowledged
+    # The manager's *static* credit window (workers + prefetch): its share
+    # of the endpoint-wide credit the agent advertises upstream.  Unlike
+    # ``capacity`` it does not shrink as tasks are dispatched.
+    window: int = 0
 
     @property
     def available(self) -> int:

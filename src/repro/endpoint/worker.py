@@ -20,6 +20,7 @@ from typing import Any, Callable
 
 from repro.containers.runtime import ContainerInstance
 from repro.core.batch import MAP_TAG, apply_batch
+from repro.core.flowcontrol import CreditLedger
 from repro.serialize import FuncXSerializer
 from repro.serialize.traceback import RemoteExceptionWrapper
 from repro.transport.messages import ResultMessage, TaskMessage
@@ -98,6 +99,12 @@ class Worker:
         its own id so the manager can mark it idle.
     container:
         The container instance this worker persists within.
+    credits:
+        Optional manager :class:`CreditLedger` the worker returns its
+        execution credit to the instant a task finishes — before the
+        result even reaches the manager's collect pass, so freed
+        capacity propagates upstream as early as possible (§4.7
+        transfer/compute overlap).
     """
 
     STOP = object()
@@ -109,11 +116,13 @@ class Worker:
         results: "_queue.Queue[tuple[str, ResultMessage]]",
         container: ContainerInstance,
         clock: Callable[[], float] | None = None,
+        credits: CreditLedger | None = None,
     ):
         self.worker_id = worker_id
         self.inbox = inbox
         self.results = results
         self.container = container
+        self.credits = credits
         self._clock = clock or time.monotonic  # clock-domain: monotonic
         self.serializer = FuncXSerializer()
         self._function_cache: dict[str, tuple[int, Callable[..., Any]]] = {}
@@ -159,4 +168,8 @@ class Worker:
             self.tasks_executed += 1
             self.container.executions += 1
             self.busy = False
+            if self.credits is not None:
+                # The worker itself grants its slot's credit back to the
+                # manager on completion (the credit loop's return edge).
+                self.credits.release(1)
             self.results.put((self.worker_id, result))

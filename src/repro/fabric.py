@@ -172,6 +172,8 @@ class LocalDeployment:
             heartbeat_grace=config.heartbeat_grace,
             batching=config.message_batching,
             event_driven=config.event_driven,
+            flow_control=config.flow_control,
+            adaptive_batching=config.adaptive_batching,
         )
         endpoint = Endpoint(
             endpoint_id=endpoint_id,

@@ -39,6 +39,13 @@ def _identity(x):
     return x
 
 
+def _sleep_for(seconds):
+    import time as _time
+
+    _time.sleep(seconds)
+    return seconds
+
+
 def _mode_name(batched: bool) -> str:
     return "batched" if batched else "per-message"
 
@@ -141,6 +148,93 @@ def measure_latency(
         p99=_percentile(durations, 0.99),
         mean=sum(durations) / len(durations),
     )
+
+
+def measure_backpressure(
+    *,
+    tasks: int = 120,
+    workers: int = 2,
+    prefetch: int = 2,
+    task_duration: float = 0.02,
+    latency: float = 0.0,
+    transfer_cost: float = 0.0,
+    sample_interval: float = 0.002,
+) -> dict:
+    """Sustained overload against a credited endpoint; returns a dict.
+
+    Submits a burst of ``tasks`` sleeper calls against a single node
+    whose credit window is ``workers + prefetch`` for the manager plus
+    the agent's two-node-window pipeline buffer — with the defaults, a
+    120-task burst against a window of 12, a 10:1 offered/consumable
+    mismatch.  While the burst drains, the forwarder's open-lease
+    population is sampled every ``sample_interval`` seconds.
+
+    The returned dict carries everything the no-unbounded-memory gate
+    needs: the credit window, the sampled in-flight peak (bounded by the
+    window), per-half peaks (the plateau check — in-flight must not grow
+    between the first and second half of the run), the service queue's
+    high watermark (where the mismatch went instead), the zero-credit
+    stall count, and sustained tasks/s.
+    """
+    # Manager window plus the agent's pipeline buffer of
+    # ``pipeline_depth`` (default 2) further node windows.
+    window = 3 * (workers + prefetch)
+    config = EndpointConfig(
+        workers_per_node=workers,
+        prefetch_capacity=prefetch,
+        heartbeat_period=0.05,
+    )
+    with LocalDeployment(timings=_timings(latency, transfer_cost)) as deployment:
+        client = deployment.client()
+        ep = deployment.create_endpoint("overload", nodes=1, config=config)
+        forwarder = deployment.forwarder(ep)
+        queue = deployment.service.task_queue(ep)
+        fid = client.register_function(_sleep_for, public=True)
+        client.submit(fid, ep, 0.0).result(timeout=30)  # warm-up
+        deadline = time.monotonic() + 10.0
+        while forwarder.credit_window != window:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"credit window never reached {window} "
+                    f"(at {forwarder.credit_window})")
+            time.sleep(0.002)
+
+        start = time.perf_counter()
+        futures = [client.submit(fid, ep, task_duration) for _ in range(tasks)]
+        in_flight: list[int] = []
+        while not all(f.done() for f in futures):
+            in_flight.append(forwarder.outstanding)
+            time.sleep(sample_interval)
+        for future in futures:
+            future.result(timeout=60)
+        elapsed = time.perf_counter() - start
+
+        half = max(1, len(in_flight) // 2)
+        first_half, second_half = in_flight[:half], in_flight[half:]
+        return {
+            "params": {
+                "tasks": tasks,
+                "workers": workers,
+                "prefetch": prefetch,
+                "task_duration_s": task_duration,
+                "channel_latency_s": latency,
+                "transfer_cost_s": transfer_cost,
+                "sample_interval_s": sample_interval,
+            },
+            "window": window,
+            "mismatch": tasks / window,
+            "seconds": elapsed,
+            "tasks_per_second": tasks / elapsed if elapsed > 0 else 0.0,
+            "ideal_tasks_per_second": workers / task_duration,
+            "in_flight_samples": len(in_flight),
+            "peak_in_flight": max(in_flight, default=0),
+            "first_half_peak": max(first_half, default=0),
+            "second_half_peak": max(second_half, default=0),
+            "mean_in_flight": (sum(in_flight) / len(in_flight)
+                               if in_flight else 0.0),
+            "queue_high_watermark": queue.high_watermark,
+            "credit_stalls": forwarder.credit_stalls,
+        }
 
 
 def compare_modes(

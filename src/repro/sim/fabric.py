@@ -148,6 +148,15 @@ class SimFabric:
         When False the advertisement requests exactly ``prefetch`` tasks
         per cycle — the §5.5.5 experiment, whose x-axis is the per-node
         prefetch count itself.
+    adaptive_batching:
+        Nagle-style wave hold-down, the same policy the live forwarder
+        runs: when the pending backlog is below the fill target
+        (dispatch chunk ∧ aggregate manager credit) the agent defers the
+        wave by ``hold_scale × agent_dispatch_overhead`` so trickling
+        arrivals coalesce into fuller, fewer dispatch events.  Off by
+        default so the published figure experiments replay unchanged.
+    hold_scale:
+        The hold budget as a multiple of the per-task dispatch overhead.
     memoize:
         Enable the service-side memoization cache.
     memo_prewarmed:
@@ -170,6 +179,8 @@ class SimFabric:
         prefetch: int = 0,
         internal_batching: bool = True,
         advertise_idle: bool = True,
+        adaptive_batching: bool = False,
+        hold_scale: float = 4.0,
         memoize: bool = False,
         memo_prewarmed: bool = True,
         heartbeat_period: float = 1.0,
@@ -183,6 +194,11 @@ class SimFabric:
         self.prefetch = prefetch
         self.internal_batching = internal_batching
         self.advertise_idle = advertise_idle
+        self.adaptive_batching = adaptive_batching
+        self.hold_scale = hold_scale
+        self._flush_at: float | None = None
+        self.waves_dispatched = 0
+        self.waves_held = 0
         self.memoize = memoize
         self.memo_prewarmed = memo_prewarmed
         self.heartbeat_period = heartbeat_period
@@ -316,9 +332,35 @@ class SimFabric:
     # ------------------------------------------------------------------
     # agent dispatch pipeline
     # ------------------------------------------------------------------
+    def _aggregate_credit(self) -> int:
+        """Endpoint-wide credit: the in-flight budget across live nodes."""
+        return sum(m.credit for m in self.managers if m.alive)
+
     def _try_dispatch(self) -> None:
         if self._agent_busy or not self.endpoint_alive or not self.pending:
             return
+        if self.adaptive_batching:
+            if self._flush_at is not None:
+                return  # a held wave is already scheduled to flush
+            hold = self.hold_scale * self.platform.agent_dispatch_overhead
+            fill = min(self.DISPATCH_CHUNK, max(1, self._aggregate_credit()))
+            if hold > 0 and len(self.pending) < fill:
+                # Underfilled wave: hold it (bounded) so trickling
+                # arrivals coalesce into one dispatch event.
+                self._flush_at = self.loop.now + hold
+                self.waves_held += 1
+                self.loop.schedule(hold, self._flush_wave)
+                return
+        self._dispatch_wave()
+
+    def _flush_wave(self) -> None:
+        """A hold expired: dispatch whatever filled in, no re-holding."""
+        self._flush_at = None
+        if self._agent_busy or not self.endpoint_alive or not self.pending:
+            return
+        self._dispatch_wave()
+
+    def _dispatch_wave(self) -> None:
         assignments: list[tuple[SimTask, _SimManager]] = []
         ready = self._ready
         while self.pending and len(assignments) < self.DISPATCH_CHUNK and ready:
@@ -336,6 +378,7 @@ class SimFabric:
         if not assignments:
             return
         self._agent_busy = True
+        self.waves_dispatched += 1
         cost = len(assignments) * self.platform.agent_dispatch_overhead
         self.loop.schedule(cost, self._finish_dispatch, assignments)
 

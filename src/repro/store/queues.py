@@ -61,6 +61,7 @@ class ReliableQueue:
         "total_enqueued": "_lock",
         "total_acked": "_lock",
         "total_redelivered": "_lock",
+        "_high_watermark": "_lock",
     }
 
     def __init__(
@@ -81,6 +82,10 @@ class ReliableQueue:
         self.total_enqueued = 0
         self.total_acked = 0
         self.total_redelivered = 0
+        # Deepest the ready backlog has ever been: with credit-based
+        # backpressure shedding load into this queue, the watermark is
+        # the observable record of how far producers outran consumers.
+        self._high_watermark = 0
         # Observation hook: when set, invoked as ``probe(event, fields)``
         # after every mutation, carrying a conservation snapshot.  Handlers
         # run under the queue lock and must not call back into the queue.
@@ -95,6 +100,12 @@ class ReliableQueue:
         wakeup = self.wakeup
         if wakeup is not None:
             wakeup()
+
+    def _note_depth(self) -> None:  # guarded-by: self._lock
+        """Track the ready-backlog high watermark (caller holds lock)."""
+        depth = len(self._items)
+        if depth > self._high_watermark:
+            self._high_watermark = depth
 
     # -- observation ---------------------------------------------------------
     def _emit(self, event: str, **fields: Any) -> None:  # guarded-by: self._lock
@@ -144,6 +155,7 @@ class ReliableQueue:
                 raise RuntimeError(f"queue {self.name} is closed")
             self._items.append((item, self._clock(), 0))
             self.total_enqueued += 1
+            self._note_depth()
             self._emit("queue.put")
             self._lock.notify()
         self._fire_wakeup()
@@ -159,6 +171,7 @@ class ReliableQueue:
                 self._items.append((item, now, 0))
                 count += 1
             self.total_enqueued += count
+            self._note_depth()
             if count:
                 self._emit("queue.put_many", count=count)
                 self._lock.notify(count)
@@ -252,6 +265,7 @@ class ReliableQueue:
                 self._emit("queue.nack_rejected", lease_id=lease_id)
                 return False
             self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
+            self._note_depth()
             self._emit("queue.nack")
             self._lock.notify()
         self._fire_wakeup()
@@ -268,6 +282,7 @@ class ReliableQueue:
                 self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
             count = len(leases)
             self._leases.clear()
+            self._note_depth()
             if count:
                 self._emit("queue.nack_all", count=count)
                 self._lock.notify(count)
@@ -285,6 +300,7 @@ class ReliableQueue:
             for lease in sorted(expired, key=lambda l: l.enqueued_at, reverse=True):
                 del self._leases[lease.lease_id]
                 self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
+            self._note_depth()
             if expired:
                 self._emit("queue.requeue_expired", count=len(expired))
                 self._lock.notify(len(expired))
@@ -302,6 +318,18 @@ class ReliableQueue:
     def __len__(self) -> int:
         with self._lock:
             return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Ready (not-yet-leased) backlog depth."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def high_watermark(self) -> int:
+        """Deepest the ready backlog has ever been."""
+        with self._lock:
+            return self._high_watermark
 
     @property
     def in_flight(self) -> int:

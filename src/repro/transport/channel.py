@@ -56,6 +56,17 @@ class ChannelEnd:
         # instead of sleep-polling.
         self.wakeup: Callable[[float], None] | None = None
 
+    @property
+    def transfer_cost(self) -> float:
+        """The bound channel's per-transfer link occupancy (0 if unbound).
+
+        Senders sizing coalesced waves (the forwarder's adaptive Nagle
+        policy) read this to scale their hold budget to what a transfer
+        actually costs on this link.
+        """
+        channel = self._channel
+        return channel.transfer_cost if channel is not None else 0.0
+
     # -- wiring -----------------------------------------------------------
     def _bind(self, peer: "ChannelEnd", channel: "Channel") -> None:
         self._peer = peer

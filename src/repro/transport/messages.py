@@ -116,11 +116,18 @@ class Heartbeat(Message):
     receiver can discard beats from a lifetime that predates the latest
     registration (a late beat from a dead incarnation must not revive the
     component).  ``0`` means the sender does not track incarnations.
+
+    ``credit`` piggybacks the sender's aggregate credit window (the total
+    in-flight population its downstream pool can absorb) on the liveness
+    beat, so flow control costs no extra messages.  ``-1`` means the
+    sender does not report credit (legacy peers): the receiver treats the
+    window as unlimited.
     """
 
     timestamp: float = 0.0
     outstanding_tasks: int = 0
     incarnation: int = 0
+    credit: int = -1
 
 
 @dataclass(frozen=True)
@@ -148,12 +155,20 @@ class Advertisement(Message):
     ``prefetch_capacity`` implements "advertising with opportunistic
     prefetching" (section 4.7): the manager asks for more tasks than it has
     idle workers so network transfer overlaps computation.
+
+    ``credit_window`` is the manager's *static* credit window — the total
+    task population (workers + prefetch allowance) it is willing to hold
+    at once, independent of momentary idleness.  The agent sums windows
+    over live managers and forwards the aggregate upstream on its
+    heartbeat.  ``-1`` means the manager does not report a window
+    (legacy peers).
     """
 
     manager_id: str = ""
     idle_workers: int = 0
     prefetch_capacity: int = 0
     deployed_containers: tuple[str, ...] = ()
+    credit_window: int = -1
 
     @property
     def total_request(self) -> int:

@@ -144,7 +144,7 @@ def test_reintroduced_leaked_lease_in_forwarder_is_flagged():
     findings = [f for f in analyze_source(source) if f.check == "lease-ack"]
     assert findings, "leaked in-flight lease was not flagged"
     lease_line = next(i for i, line in enumerate(broken.splitlines(), start=1)
-                      if "queue.lease_many(self.max_dispatch_per_step" in line)
+                      if "queue.lease_many(budget" in line)
     assert any(f.line == lease_line for f in findings), (
         f"finding not anchored at the lease_many acquisition "
         f"(line {lease_line}): {[f.line for f in findings]}")

@@ -1,0 +1,452 @@
+"""Backpressure proof suite: credit flow + adaptive waves under overload.
+
+The tentpole claim (ISSUE 6): a 10:1 producer/consumer mismatch must shed
+load into the bounded, observable service-side queue instead of growing
+the in-flight population without bound.  This module proves it three ways:
+
+* a chaos overload run — sustained mismatch with message drops and
+  manager churn, checked by the ``bounded-in-flight`` invariant and by
+  sampling the forwarder's open-lease table directly;
+* hypothesis properties — credit accounting never goes negative and is
+  conserved across grant/consume/release/revoke (including duplicate
+  releases from lease-timeout redelivery and manager death), and the
+  wave policy's hold is always bounded so a stalled consumer can never
+  deadlock dispatch (liveness via injectable clocks);
+* live/sim parity — the same policy on a real :class:`LocalDeployment`
+  and in the DES, plus the flow-control-off configuration reproducing
+  the pre-credit behavior exactly.
+
+Selected with ``pytest -m chaos`` alongside the fault-plan runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DeploymentTimings, EndpointConfig, LocalDeployment
+from repro.chaos import FaultPlan, FaultStep
+from repro.core.flowcontrol import CreditLedger, WavePolicy
+from repro.sim import SimFabric
+from repro.sim.platform import THETA
+from repro.store.queues import ReliableQueue
+from repro.workloads.generators import uniform_rate_arrivals
+
+pytestmark = pytest.mark.chaos
+
+
+def double(x):
+    return x * 2
+
+
+def slow_tick(x):
+    import time as _time
+
+    _time.sleep(0.05)
+    return x * 2
+
+
+def short_tick(x):
+    import time as _time
+
+    _time.sleep(0.03)
+    return x + 1
+
+
+def wait_until(predicate, timeout=10.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def drain_sampling_peak(world_or_dep, service, endpoint_id, forwarder,
+                        timeout=30.0):
+    """Drain the endpoint while sampling the forwarder's in-flight peak."""
+    peak = 0
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        peak = max(peak, forwarder.outstanding)
+        if service.outstanding_tasks(endpoint_id) == 0:
+            return True, peak
+        time.sleep(0.002)
+    return False, peak
+
+
+class TestChaosOverload:
+    """10:1 mismatch with drops and manager churn: bounded and recoverable."""
+
+    def test_overload_is_bounded_sheds_to_queue_and_recovers(self, chaos_world):
+        world = chaos_world(seed=11)
+        # One node of 2 workers + default prefetch 4 gives a manager
+        # window of 6, plus the agent's pipeline buffer of two more
+        # node-windows => an advertised window of 18, fed by a burst of
+        # 60 submissions.
+        ep = world.add_endpoint("ep", nodes=1, workers_per_node=2)
+        forwarder = world.hooks["ep"].forwarder
+        queue = world.deployment.service.task_queue(ep)
+        assert wait_until(lambda: forwarder.credit_window == 18), \
+            "endpoint never advertised its credit window"
+
+        plan = FaultPlan(name="overload-churn", seed=11, steps=(
+            FaultStep.make(0.10, "set_drop", "ep", probability=0.10),
+            FaultStep.make(0.30, "kill_manager", "ep", index=0),
+            FaultStep.make(0.90, "restart_manager", "ep"),
+            FaultStep.make(1.20, "set_drop", "ep", probability=0.0),
+        ))
+        client = world.client()
+        fid = client.register_function(slow_tick)
+        world.start_plan(plan)
+        futures = [client.submit(fid, ep, i) for i in range(60)]
+
+        drained, peak = drain_sampling_peak(
+            world, world.deployment.service, ep, forwarder, timeout=30.0)
+        schedule = world.finish_plan()
+        assert schedule is not None and not schedule.errors
+        assert drained, "overload never drained"
+        assert [f.result(timeout=30) for f in futures] == \
+            [i * 2 for i in range(60)]
+
+        # Bounded in flight: the lease table never exceeded the window,
+        # even across the drop window and the manager kill/restart.
+        assert peak <= 18, f"in-flight peaked at {peak} > window 18"
+        # The mismatch was shed into the service-side queue, observably.
+        assert queue.high_watermark >= 30
+        # Zero-credit truncated waves were hit and counted.
+        assert forwarder.credit_stalls > 0
+
+        # Invariants (bounded-in-flight, queue conservation, ...) hold.
+        report = world.check_final()
+        assert report.ok, report.describe()
+        assert report.events_seen > 0
+
+        # Recovery to steady state: nothing in flight, window restored,
+        # every manager's credits fully returned.
+        assert forwarder.outstanding == 0
+        assert queue.depth == 0
+        assert wait_until(lambda: forwarder.credit_window == 18, timeout=5)
+
+        # Every credit comes home — possibly only after zombie duplicate
+        # executions (redelivered tasks whose results the service will
+        # reject) finish and release theirs.
+        def ledgers_settled():
+            return all(
+                manager.credits.consumed == 0
+                for manager in world.hooks["ep"].endpoint.managers.values())
+
+        assert wait_until(ledgers_settled, timeout=10), [
+            manager.credits.snapshot()
+            for manager in world.hooks["ep"].endpoint.managers.values()]
+        for manager in world.hooks["ep"].endpoint.managers.values():
+            granted, consumed, available = manager.credits.snapshot()
+            assert available == granted
+
+    def test_endpoint_churn_under_overload(self, chaos_world):
+        """Disconnect/reconnect the whole endpoint mid-overload."""
+        world = chaos_world(seed=29)
+        ep = world.add_endpoint("ep", nodes=1, workers_per_node=2)
+        forwarder = world.hooks["ep"].forwarder
+        assert wait_until(lambda: forwarder.credit_window == 18)
+
+        plan = FaultPlan(name="overload-disconnect", seed=29, steps=(
+            FaultStep.make(0.10, "set_drop", "ep", probability=0.10),
+            FaultStep.make(0.25, "disconnect_endpoint", "ep"),
+            FaultStep.make(0.80, "reconnect_endpoint", "ep"),
+            FaultStep.make(1.00, "set_drop", "ep", probability=0.0),
+        ))
+        client = world.client()
+        fid = client.register_function(slow_tick)
+        world.start_plan(plan)
+        futures = [client.submit(fid, ep, i) for i in range(40)]
+        drained, peak = drain_sampling_peak(
+            world, world.deployment.service, ep, forwarder, timeout=30.0)
+        world.finish_plan()
+        assert drained
+        assert [f.result(timeout=30) for f in futures] == \
+            [i * 2 for i in range(40)]
+        assert peak <= 18
+        report = world.check_final()
+        assert report.ok, report.describe()
+
+
+class TestCreditLedgerProperties:
+    """Hypothesis: the ledger never goes negative and always conserves."""
+
+    _ops = st.lists(
+        st.tuples(st.sampled_from(["grant", "consume", "release", "revoke"]),
+                  st.integers(min_value=0, max_value=8)),
+        max_size=60,
+    )
+
+    @given(ops=_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_conserved_and_never_negative(self, ops):
+        ledger = CreditLedger()
+        model_granted = 0
+        model_consumed = 0
+        for op, n in ops:
+            if op == "grant":
+                assert ledger.grant(n) == n
+                model_granted += n
+            elif op == "revoke":
+                revoked = ledger.revoke(n)
+                assert 0 <= revoked <= n
+                model_granted -= revoked
+            elif op == "consume":
+                taken = ledger.consume(n)
+                assert 0 <= taken <= n
+                model_consumed += taken
+            else:
+                returned = ledger.release(n)
+                assert 0 <= returned <= n
+                model_consumed -= returned
+            granted, consumed, available = ledger.snapshot()
+            assert granted >= 0 and consumed >= 0 and available >= 0
+            assert granted == consumed + available
+            assert granted == model_granted
+            assert consumed == model_consumed
+
+    def test_duplicate_release_from_redelivery_is_clamped(self):
+        # A lease times out, the task is redelivered, and *both* copies
+        # complete: the second release must be a no-op, not go negative.
+        ledger = CreditLedger(granted=2)
+        assert ledger.consume(1) == 1
+        assert ledger.release(1) == 1
+        assert ledger.release(1) == 0
+        assert ledger.snapshot() == (2, 0, 2)
+
+    def test_manager_death_revokes_only_idle_credits(self):
+        # Credits pinned by in-flight tasks survive a revoke sweep; the
+        # books balance once the stragglers complete.
+        ledger = CreditLedger()
+        ledger.grant(4)
+        assert ledger.consume(3) == 3
+        assert ledger.revoke(100) == 1
+        assert ledger.snapshot() == (3, 3, 0)
+        assert ledger.release(3) == 3
+        assert ledger.snapshot() == (3, 0, 3)
+
+    def test_negative_amounts_rejected(self):
+        ledger = CreditLedger()
+        for method in (ledger.grant, ledger.revoke,
+                       ledger.consume, ledger.release):
+            with pytest.raises(ValueError):
+                method(-1)
+        with pytest.raises(ValueError):
+            CreditLedger(granted=-1)
+
+
+class TestWavePolicyLiveness:
+    """The Nagle hold is bounded; a stalled consumer cannot deadlock it."""
+
+    def test_zero_link_cost_dispatches_immediately(self):
+        policy = WavePolicy(link_cost=lambda: 0.0)
+        decision = policy.decide(depth=1, budget=8, enqueued_total=1, now=0.0)
+        assert decision.size == 1
+        assert decision.hold_until is None
+
+    def test_zero_budget_never_starts_a_hold(self):
+        # Stalled workers => zero credit.  The policy must not park a
+        # hold deadline; the instant credit returns, dispatch proceeds.
+        policy = WavePolicy(link_cost=lambda: 0.001)
+        stalled = policy.decide(depth=5, budget=0, enqueued_total=5, now=0.0)
+        assert stalled.size == 0
+        assert stalled.hold_until is None
+        resumed = policy.decide(depth=5, budget=2, enqueued_total=5, now=0.001)
+        assert resumed.size == 2
+
+    def test_hold_deadline_forces_dispatch(self):
+        policy = WavePolicy(link_cost=lambda: 0.002)
+        # Teach the EWMA a high arrival rate so fill > depth.
+        policy.decide(depth=0, budget=8, enqueued_total=0, now=0.0)
+        policy.decide(depth=0, budget=8, enqueued_total=1000, now=0.001)
+        held = policy.decide(depth=1, budget=64, enqueued_total=1000, now=0.002)
+        assert held.size == 0
+        assert held.hold_until is not None
+        assert held.hold_until <= 0.002 + policy.hold_cap + 1e-12
+        fired = policy.decide(depth=1, budget=64, enqueued_total=1000,
+                              now=held.hold_until)
+        assert fired.size == 1
+        assert fired.held_for == pytest.approx(policy.hold_budget())
+
+    @given(
+        steps=st.lists(
+            st.tuples(st.integers(1, 32),      # depth
+                      st.integers(1, 16),      # budget
+                      st.integers(0, 50)),     # arrivals since last step
+            min_size=1, max_size=40),
+        cost=st.floats(min_value=0.0001, max_value=0.01),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_hold_resolves_within_the_cap(self, steps, cost):
+        policy = WavePolicy(link_cost=lambda: cost)
+        now = 0.0
+        enqueued = 0
+        for depth, budget, arrivals in steps:
+            enqueued += arrivals
+            decision = policy.decide(depth=depth, budget=budget,
+                                     enqueued_total=enqueued, now=now)
+            if decision.size == 0:
+                # A held wave always names a deadline within the cap,
+                # and at that deadline it must dispatch.
+                assert decision.hold_until is not None
+                assert decision.hold_until <= now + policy.hold_cap + 1e-9
+                fired = policy.decide(depth=depth, budget=budget,
+                                      enqueued_total=enqueued,
+                                      now=decision.hold_until)
+                assert 0 < fired.size <= min(depth, budget)
+                now = decision.hold_until
+            else:
+                assert decision.size <= min(depth, budget)
+            now += 0.0005
+
+
+class TestQueueDepthWatermark:
+    def test_depth_tracks_and_watermark_is_monotone(self):
+        q = ReliableQueue()
+        assert q.depth == 0 and q.high_watermark == 0
+        for i in range(5):
+            q.put(i)
+        assert q.depth == 5 and q.high_watermark == 5
+        leases = [q.lease(lease_timeout=10.0) for _ in range(3)]
+        assert q.depth == 2
+        assert q.high_watermark == 5          # watermark never recedes
+        q.nack(leases[0].lease_id)
+        assert q.depth == 3
+        q.put_many(range(10, 14))
+        assert q.depth == 7
+        assert q.high_watermark == 7
+
+
+class TestLiveCreditFlow:
+    """Credit propagation and shedding on a real deployment."""
+
+    def test_window_propagates_via_dirty_heartbeat(self):
+        # A 5 s heartbeat period would leave the forwarder blind for the
+        # whole test — the credit-dirty beat must report the window long
+        # before the first periodic beat is due.
+        config = EndpointConfig(workers_per_node=2, prefetch_capacity=1,
+                                heartbeat_period=5.0)
+        with LocalDeployment() as dep:
+            ep = dep.create_endpoint("cluster", nodes=2, config=config)
+            forwarder = dep.forwarder(ep)
+            # 2 nodes x (2 workers + 1 prefetch) + 2-deep agent buffer = 12.
+            assert wait_until(lambda: forwarder.credit_window == 12,
+                              timeout=2.0), \
+                f"window={forwarder.credit_window} (dirty beat never fired)"
+            assert dep.endpoint(ep).agent.credit_window() == 12
+
+    def test_mismatch_sheds_into_service_queue(self):
+        # Window of 3 (one worker, no prefetch, plus the two-node-window
+        # agent buffer) against a burst of 8: five tasks wait
+        # server-side, visibly.
+        config = EndpointConfig(workers_per_node=1, prefetch_capacity=0,
+                                heartbeat_period=0.05)
+        with LocalDeployment() as dep:
+            ep = dep.create_endpoint("tiny", nodes=1, config=config)
+            forwarder = dep.forwarder(ep)
+            queue = dep.service.task_queue(ep)
+            assert wait_until(lambda: forwarder.credit_window == 3)
+            client = dep.client()
+            fid = client.register_function(short_tick)
+            futures = [client.submit(fid, ep, i) for i in range(8)]
+            drained, peak = drain_sampling_peak(
+                dep, dep.service, ep, forwarder, timeout=20.0)
+            assert drained
+            assert [f.result(timeout=10) for f in futures] == \
+                [i + 1 for i in range(8)]
+            assert peak <= 3
+            assert queue.high_watermark >= 4
+            assert forwarder.credit_stalls > 0
+
+    def test_scale_from_zero_window_keeps_demand_observable(self):
+        # An endpoint with no managers yet advertises one node's worth
+        # of window, not zero: a zero window would stop dispatch
+        # entirely, and an elasticity controller watching agent-side
+        # load could then never see the demand it should scale out for.
+        config = EndpointConfig(workers_per_node=2, prefetch_capacity=1,
+                                heartbeat_period=0.05)
+        with LocalDeployment() as dep:
+            ep = dep.create_endpoint("elastic", nodes=0, config=config)
+            forwarder = dep.forwarder(ep)
+            agent = dep.endpoint(ep).agent
+            assert agent.credit_window() == 6
+            assert wait_until(lambda: forwarder.credit_window == 6)
+            client = dep.client()
+            fid = client.register_function(double)
+            for i in range(8):
+                client.submit(fid, ep, i)
+            # Demand becomes visible agent-side, but stays bounded by
+            # the pipeline buffer.
+            assert wait_until(
+                lambda: agent.pending_count() + agent.outstanding_count() > 0)
+            assert agent.pending_count() + agent.outstanding_count() <= 6
+            assert forwarder.outstanding <= 6
+
+    def test_flow_control_off_reproduces_uncredited_dispatch(self):
+        # PR 5 compatibility: with both gates off the forwarder never
+        # learns a window, never stalls, and dispatches the whole burst.
+        config = EndpointConfig(workers_per_node=2, heartbeat_period=0.05,
+                                flow_control=False, adaptive_batching=False)
+        with LocalDeployment() as dep:
+            ep = dep.create_endpoint("legacy", nodes=1, config=config)
+            forwarder = dep.forwarder(ep)
+            client = dep.client()
+            fid = client.register_function(double)
+            futures = [client.submit(fid, ep, i) for i in range(20)]
+            assert [f.result(timeout=10) for f in futures] == \
+                [i * 2 for i in range(20)]
+            assert forwarder.credit_window == -1
+            assert forwarder.credit_stalls == 0
+
+    def test_adaptive_batching_keeps_serial_link_throughput(self):
+        # A costed serial link is exactly where nagling should win (or
+        # at least never lose): the burst still completes promptly.
+        timings = DeploymentTimings(service_endpoint_transfer_cost=0.0005)
+        config = EndpointConfig(workers_per_node=4, heartbeat_period=0.05)
+        with LocalDeployment(timings=timings) as dep:
+            ep = dep.create_endpoint("wan", nodes=1, config=config)
+            client = dep.client()
+            fid = client.register_function(double)
+            futures = [client.submit(fid, ep, i) for i in range(30)]
+            assert [f.result(timeout=15) for f in futures] == \
+                [i * 2 for i in range(30)]
+
+
+class TestSimAdaptiveParity:
+    """The DES exercises the same hold-down policy (opt-in)."""
+
+    def test_adaptive_sim_coalesces_trickling_arrivals(self):
+        def build(adaptive):
+            fab = SimFabric(THETA, managers=2, workers_per_manager=4,
+                            prefetch=4, adaptive_batching=adaptive)
+            fab.submit_stream(uniform_rate_arrivals(
+                rate=2000, total=200, duration=0.001))
+            return fab
+
+        plain = build(adaptive=False)
+        plain_report = plain.run()
+        adaptive = build(adaptive=True)
+        adaptive_report = adaptive.run()
+
+        assert plain_report.tasks_completed == 200
+        assert adaptive_report.tasks_completed == 200
+        # The hold-down actually engaged and produced fewer, fuller waves.
+        assert adaptive.waves_held > 0
+        assert adaptive.waves_dispatched < plain.waves_dispatched
+        # Coalescing trades a bounded hold for batching, not throughput:
+        # the run may not finish meaningfully later than the eager one.
+        assert adaptive_report.completion_time <= \
+            plain_report.completion_time * 1.2 + 0.05
+
+    def test_adaptive_off_by_default(self):
+        fab = SimFabric(THETA, managers=1)
+        assert fab.adaptive_batching is False
+        fab.submit_batch(10, duration=0.0)
+        fab.run()
+        assert fab.waves_held == 0

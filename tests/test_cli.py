@@ -28,6 +28,7 @@ class TestParser:
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench"])
         assert not args.quick
+        assert not args.backpressure
         assert args.tasks == 96
         assert args.latency == pytest.approx(0.001)
         assert args.transfer_cost == pytest.approx(0.001)
@@ -66,3 +67,10 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "per-message" in out and "batched" in out
         assert "speedup:" in out and "p50 improvement:" in out
+
+    def test_bench_backpressure_quick(self, capsys):
+        assert main(["bench", "--quick", "--backpressure"]) == 0
+        out = capsys.readouterr().out
+        assert "credit window" in out
+        assert "bounded in flight: yes" in out
+        assert "credit stalls" in out
