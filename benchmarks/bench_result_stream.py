@@ -1,0 +1,107 @@
+"""Result-stream gate: push delivery must beat the polling floor.
+
+Runs the same identity workload over a 1 ms-latency fabric through the
+two result paths and compares client-observed latency:
+
+* **push** — a ``FuncXExecutor`` resolving futures off the service's
+  result subscription stream (batched ``ResultBatchMessage`` delivery,
+  credit-windowed);
+* **poll** — the paper-era client looping ``get_result(timeout=0)`` /
+  ``sleep(poll_interval)``; its observed latency is quantized up to the
+  next poll tick, so the poll interval is a hard floor.
+
+Two things must hold for push delivery to count as working:
+
+* **below the floor** — push p50 is strictly below the poll interval,
+  a latency the polling client cannot reach by construction;
+* **beats polling** — push p50 is strictly below poll p50 on the same
+  fabric (same link latency, same workers, same function).
+
+A conservation check rides along: every result the throughput wave
+resolved must have been delivered by the stream (no polling fallback
+snuck in), and delivery batches must actually coalesce (mean batch
+size above 1 proves waves of completions ride one message).
+
+Artifacts: ``BENCH_result_stream.json`` at the repo root and the usual
+``benchmarks/results`` text report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.harness import ExperimentReport, quick_mode
+from repro.perf import measure_result_stream
+
+RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_result_stream.json"
+
+TASKS = 64
+TASKS_QUICK = 16
+SAMPLES = 30
+SAMPLES_QUICK = 8
+LATENCY = 0.001
+POLL_INTERVAL = 0.01
+
+
+def test_result_stream_gate():
+    quick = quick_mode()
+    result = measure_result_stream(
+        tasks=TASKS_QUICK if quick else TASKS,
+        samples=SAMPLES_QUICK if quick else SAMPLES,
+        latency=LATENCY,
+        poll_interval=POLL_INTERVAL,
+    )
+
+    push_p50 = result["push"]["p50_s"]
+    poll_p50 = result["poll"]["p50_s"]
+    RESULT_JSON.write_text(json.dumps({
+        **result,
+        "gates": {
+            "max_push_p50_s": POLL_INTERVAL,
+            "push_p50_below_poll_p50": True,
+        },
+        "quick": quick,
+    }, indent=2, sort_keys=True) + "\n")
+
+    report = ExperimentReport(
+        "result_stream",
+        f"push vs poll result delivery over a {LATENCY * 1e3:.0f} ms link "
+        f"(poll interval {POLL_INTERVAL * 1e3:.0f} ms)",
+    )
+    report.rows(
+        ["metric", "push", "poll"],
+        [["p50 (ms)", push_p50 * 1e3, poll_p50 * 1e3],
+         ["p99 (ms)", result["push"]["p99_s"] * 1e3,
+          result["poll"]["p99_s"] * 1e3],
+         ["mean (ms)", result["push"]["mean_s"] * 1e3,
+          result["poll"]["mean_s"] * 1e3]],
+    )
+    report.rows(
+        ["stream stat", "value"],
+        [["wave tasks/s", f"{result['throughput']['tasks_per_second']:.1f}"],
+         ["results delivered", result["stream"]["results_delivered"]],
+         ["delivery batches", result["stream"]["batches_delivered"]],
+         ["mean batch size", result["stream"]["mean_batch_size"]],
+         ["p50 speedup", f"{result['p50_speedup']:.1f}x"]],
+    )
+    report.note("the polling client cannot observe a result sooner than its "
+                "poll interval; the stream pushes it one link latency after "
+                "completion")
+    report.finish()
+
+    assert push_p50 < POLL_INTERVAL, (
+        f"push p50 {push_p50 * 1e3:.2f} ms is not below the polling floor "
+        f"({POLL_INTERVAL * 1e3:.0f} ms) — the stream is not actually pushing"
+    )
+    assert push_p50 < poll_p50, (
+        f"push p50 {push_p50 * 1e3:.2f} ms did not beat poll p50 "
+        f"{poll_p50 * 1e3:.2f} ms on the same fabric"
+    )
+    assert result["stream"]["results_delivered"] >= result["params"]["tasks"], (
+        "fewer stream deliveries than wave tasks — futures resolved through "
+        "some other path"
+    )
+    assert result["stream"]["mean_batch_size"] > 1.0, (
+        "delivery batches never coalesced — each result rode its own message"
+    )

@@ -26,6 +26,7 @@ Quickstart::
 
 from repro.accounting import UsageLedger
 from repro.core.client import FuncXClient
+from repro.core.executor import FuncXExecutor
 from repro.core.futures import FuncXFuture
 from repro.core.service import FuncXService, ServiceConfig
 from repro.core.tasks import Task, TaskState
@@ -43,6 +44,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "FuncXClient",
+    "FuncXExecutor",
     "FuncXFuture",
     "FuncXService",
     "ServiceConfig",

@@ -12,6 +12,7 @@ Offline-friendly subcommands::
     python -m repro.cli lint                 # fabric static analyzer
     python -m repro.cli bench --quick        # batched vs per-message A/B
     python -m repro.cli bench --backpressure # credit-flow overload plateau
+    python -m repro.cli bench --result-stream  # push vs poll result delivery
 
 ``demo --trace-out traces.jsonl --metrics-out metrics.jsonl`` exports the
 observability artifacts the ``trace``/``metrics`` subcommands consume.
@@ -47,6 +48,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         mapped = client.map(fid, range(args.tasks), ep, batch_size=16)
         values = mapped.result(timeout=60)
         print(f"map over {args.tasks} inputs -> first 5: {values[:5]}")
+        # Executor-grade SDK: batched submits, push-streamed results.
+        with client.executor(ep) as executor:
+            futures = [executor.submit(fid, i) for i in range(5)]
+            streamed = [f.result(timeout=30) for f in futures]
+        print(f"executor (push stream) double(0..4) -> {streamed}")
         if args.trace_out:
             count = deployment.service.traces.dump_jsonl(args.trace_out)
             print(f"wrote {count} traces to {args.trace_out} "
@@ -246,6 +252,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.backpressure:
         return _bench_backpressure(quick=args.quick)
+    if args.result_stream:
+        return _bench_result_stream(quick=args.quick)
     if args.quick:
         tasks, samples, pairs = 16, 6, 1
     else:
@@ -290,6 +298,34 @@ def _bench_backpressure(quick: bool) -> int:
     print("full gate: PYTHONPATH=src:. python -m pytest "
           "benchmarks/bench_backpressure.py")
     return 0 if bounded else 1
+
+
+def _bench_result_stream(quick: bool) -> int:
+    """Push-based result delivery vs the polling client."""
+    from repro.perf import measure_result_stream
+
+    if quick:
+        result = measure_result_stream(tasks=16, samples=8)
+    else:
+        result = measure_result_stream()
+    poll_floor = result["params"]["poll_interval_s"]
+    print(f"{'path':<8s} {'p50(ms)':>9s} {'p99(ms)':>9s} {'mean(ms)':>9s}")
+    for mode in ("poll", "push"):
+        stats = result[mode]
+        print(f"{mode:<8s} {stats['p50_s'] * 1e3:9.2f} "
+              f"{stats['p99_s'] * 1e3:9.2f} {stats['mean_s'] * 1e3:9.2f}")
+    stream = result["stream"]
+    print(f"push wave: {result['throughput']['tasks_per_second']:,.0f} tasks/s "
+          f"({stream['results_delivered']} results in "
+          f"{stream['batches_delivered']} batches, "
+          f"mean {stream['mean_batch_size']:.1f}/batch)")
+    below_floor = result["push"]["p50_s"] < poll_floor
+    print(f"push p50 below the {poll_floor * 1e3:.0f}ms poll floor: "
+          f"{'yes' if below_floor else 'NO'} "
+          f"({result['p50_speedup']:.1f}x faster than polling)")
+    print("full gate: PYTHONPATH=src:. python -m pytest "
+          "benchmarks/bench_result_stream.py")
+    return 0 if below_floor else 1
 
 
 def _cmd_platforms(args: argparse.Namespace) -> int:
@@ -377,6 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--backpressure", action="store_true",
                        help="run the credit-flow overload benchmark instead "
                             "of the batching A/B")
+    bench.add_argument("--result-stream", dest="result_stream",
+                       action="store_true",
+                       help="run the push-vs-poll result delivery benchmark "
+                            "instead of the batching A/B")
     bench.add_argument("--transfer-cost", dest="transfer_cost", type=float,
                        default=0.001,
                        help="serial per-transfer link occupancy in seconds "

@@ -15,7 +15,7 @@ and arguments, attaches the bearer token, and deserializes results
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.auth.scopes import Scope
 from repro.auth.service import AuthClient, Identity
@@ -26,6 +26,9 @@ from repro.core.tasks import TaskState
 from repro.errors import TaskPending
 from repro.serialize import FuncXSerializer
 from repro.serialize.traceback import RemoteExceptionWrapper
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executor import FuncXExecutor
 
 
 class FuncXClient:
@@ -204,8 +207,17 @@ class FuncXClient:
             value.reraise()
         return value
 
+    def cancel(self, task_id: str) -> bool:
+        """Propagate a cancellation to the service.
+
+        Returns ``True`` when this call cancelled the task, ``False``
+        when it had already finished (first outcome wins).
+        """
+        return self.service.cancel_task(self._token(), task_id)
+
     def _future_for(self, task_id: str) -> FuncXFuture:
         future = FuncXFuture(task_id)
+        future.bind_canceller(self.cancel)
 
         def resolve(_topic: str, _message: Any) -> None:
             if future.done():
@@ -219,32 +231,64 @@ class FuncXClient:
                     pass
 
         token = self.service.pubsub.subscribe(f"task.{task_id}", resolve)
-        future.add_done_callback(lambda _f: self.service.pubsub.unsubscribe(token))
-        # The task may have completed before we subscribed (memo hits do).
-        task = self.service.task_by_id(task_id)
-        if task.state.terminal and not future.done():
-            try:
-                future.set_result(self._fetch_value(task_id))
-            except RuntimeError:
-                pass
-            except Exception as exc:
+        try:
+            future.add_done_callback(
+                lambda _f: self.service.pubsub.unsubscribe(token))
+            # The task may have completed before we subscribed (memo hits
+            # do).
+            task = self.service.task_by_id(task_id)
+            if task.state.terminal and not future.done():
                 try:
-                    future.set_exception(exc)
+                    future.set_result(self._fetch_value(task_id))
                 except RuntimeError:
                     pass
+                except Exception as exc:
+                    try:
+                        future.set_exception(exc)
+                    except RuntimeError:
+                        pass
+        except BaseException:
+            # Nothing above may leak the subscription: if the future never
+            # resolved, no done-callback will ever unsubscribe it.
+            if not future.done():
+                self.service.pubsub.unsubscribe(token)
+            raise
         return future
 
     def _fetch_value(self, task_id: str) -> Any:
         buffer = self.service.get_result(self._token(), task_id, timeout=0.0)
         return self.serializer.deserialize(buffer)
 
+    def executor(self, endpoint_id: str, **kwargs: Any) -> "FuncXExecutor":
+        """A :class:`~repro.core.executor.FuncXExecutor` bound to this
+        client and ``endpoint_id`` (push-based results, batched submits)."""
+        from repro.core.executor import FuncXExecutor
+
+        return FuncXExecutor(self, endpoint_id, **kwargs)
+
     # ------------------------------------------------------------------
     def wait_for(self, task_id: str, timeout: float = 30.0, poll: float = 0.01) -> Any:
-        """Poll until the task completes; returns the deserialized result."""
+        """Poll until the task completes; returns the deserialized result.
+
+        The per-iteration block is clamped to the *remaining* budget so
+        the call returns within ``timeout`` of being made, and one final
+        non-blocking check runs after the deadline — a task completing
+        exactly at the deadline yields its result, not ``TaskPending``.
+        """
         deadline = self._clock() + timeout
-        while self._clock() < deadline:
+        while True:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                break
             try:
-                return self.get_result(task_id, timeout=min(0.5, timeout))
+                return self.get_result(task_id, timeout=min(0.5, remaining))
             except TaskPending:
-                self._sleep(poll)
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._sleep(min(poll, remaining))
+        try:
+            return self.get_result(task_id, timeout=0.0)
+        except TaskPending:
+            pass
         raise TaskPending(task_id, self.get_status(task_id).value)

@@ -8,11 +8,18 @@ resolves when the service publishes the task's terminal state.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Any, Callable, ClassVar
 
 from repro.errors import TaskCancelled, TaskExecutionFailed, TaskPending
+
+logger = logging.getLogger(__name__)
+
+#: Serializes bumps of :attr:`FuncXFuture.callback_errors` (delivery
+#: happens on many threads at once).
+_CALLBACK_ERROR_LOCK = threading.Lock()
 
 
 class FuncXFuture:
@@ -28,6 +35,16 @@ class FuncXFuture:
     #: so an external checker can assert no future resolves twice.
     observer: ClassVar[Callable[[str, dict[str, Any]], None] | None] = None
 
+    #: Process-wide count of exceptions swallowed from user done-callbacks
+    #: (:func:`concurrent.futures` semantics: a bad callback is logged,
+    #: never propagated into the delivering thread).
+    callback_errors: ClassVar[int] = 0
+
+    #: Optional hook invoked as ``hook(future, exc)`` whenever a user
+    #: callback raises; deployments point this at a metrics counter.
+    callback_error_hook: ClassVar[
+        Callable[["FuncXFuture", BaseException], None] | None] = None
+
     def _emit(self, event: str) -> None:
         observer = type(self).observer
         if observer is not None:
@@ -39,8 +56,32 @@ class FuncXFuture:
         self._value: Any = None
         self._exception: BaseException | None = None
         self._cancelled = False
+        self._canceller: Callable[[str], Any] | None = None
         self._callbacks: list[Callable[["FuncXFuture"], None]] = []
         self._lock = threading.Lock()
+
+    def _run_callbacks(
+        self, callbacks: list[Callable[["FuncXFuture"], None]]
+    ) -> None:
+        """Invoke done-callbacks, isolating their exceptions.
+
+        The delivering thread is forwarder/service plumbing — a user
+        callback that raises must not unwind it.
+        """
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception as exc:
+                with _CALLBACK_ERROR_LOCK:
+                    FuncXFuture.callback_errors += 1
+                logger.exception(
+                    "exception in done-callback for task %s", self.task_id)
+                hook = type(self).callback_error_hook
+                if hook is not None:
+                    try:
+                        hook(self, exc)
+                    except Exception:  # a broken hook must not cascade
+                        logger.exception("callback_error_hook itself failed")
 
     # -- producer side (service/client plumbing) ----------------------------
     def set_result(self, value: Any) -> None:
@@ -52,8 +93,7 @@ class FuncXFuture:
             self._event.set()
             callbacks = list(self._callbacks)
         self._emit("future.delivered")
-        for callback in callbacks:
-            callback(self)
+        self._run_callbacks(callbacks)
 
     def set_exception(self, exc: BaseException) -> None:
         self._emit("future.deliver_attempt")
@@ -64,19 +104,55 @@ class FuncXFuture:
             self._event.set()
             callbacks = list(self._callbacks)
         self._emit("future.delivered")
-        for callback in callbacks:
-            callback(self)
+        self._run_callbacks(callbacks)
 
-    def cancel(self) -> None:
+    def bind_canceller(self, canceller: Callable[[str], Any]) -> None:
+        """Attach the hook :meth:`cancel` uses to propagate upstream.
+
+        Kept out of ``__init__`` so bare futures stay constructible
+        anywhere; the SDK binds ``service.cancel_task`` (via the client)
+        or the executor's pending-wave remover.
+        """
+        with self._lock:
+            self._canceller = canceller
+
+    def cancel(self) -> bool:
+        """Cancel the task; returns ``True`` if this call resolved it.
+
+        Cancellation is propagated upstream through the bound canceller
+        (the service marks the task CANCELLED and suppresses its eventual
+        result), then the future resolves locally with
+        :class:`TaskCancelled`.  Returns ``False`` when the future
+        already resolved — the result won the race, matching
+        :meth:`concurrent.futures.Future.cancel` semantics.
+        """
         with self._lock:
             if self._event.is_set():
-                return
+                return False
+            canceller = self._canceller
+        if canceller is not None:
+            try:
+                canceller(self.task_id)
+            except Exception:
+                # Best-effort: an unreachable service must not keep the
+                # local handle alive.
+                logger.exception(
+                    "cancel propagation failed for task %s", self.task_id)
+        with self._lock:
+            if self._event.is_set():
+                # The pubsub notification for our own cancellation can
+                # resolve the future before we re-acquire the lock; that
+                # is still *this* call's cancel, not a lost race.
+                if isinstance(self._exception, TaskCancelled):
+                    self._cancelled = True
+                    return True
+                return False  # the result raced the cancel and won
             self._cancelled = True
             self._exception = TaskCancelled(f"task {self.task_id} cancelled")
             self._event.set()
             callbacks = list(self._callbacks)
-        for callback in callbacks:
-            callback(self)
+        self._run_callbacks(callbacks)
+        return True
 
     # -- consumer side --------------------------------------------------------
     def done(self) -> bool:
@@ -132,7 +208,7 @@ class FuncXFuture:
             else:
                 self._callbacks.append(callback)
         if fire:
-            callback(self)
+            self._run_callbacks([callback])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done() else "pending"

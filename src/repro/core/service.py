@@ -21,8 +21,9 @@ from repro.auth.scopes import Scope
 from repro.auth.service import AuthService, Identity
 from repro.core.memoization import Memoizer
 from repro.core.registry import EndpointRecord, EndpointRegistry, FunctionRegistry
+from repro.core.stream import DEFAULT_SPILL_THRESHOLD, ResultStreamServer
 from repro.core.tasks import Task, TaskState
-from repro.errors import PayloadTooLarge, TaskNotFound, TaskPending
+from repro.errors import PayloadTooLarge, TaskCancelled, TaskNotFound, TaskPending
 from repro.metrics.registry import MetricsRegistry
 from repro.observability.trace import TraceStore
 from repro.store.kvstore import KVStore
@@ -54,6 +55,10 @@ class ServiceConfig:
         through the whole fabric (the figure-4 latency decomposition).
     trace_capacity:
         Retention bound on stored traces (oldest finalized evicted first).
+    stream_spill_threshold:
+        Result payloads at or above this size (bytes) are delivered on
+        the push stream as staged ``DataRef`` records instead of in-band
+        buffers (see :mod:`repro.core.stream`).
     """
 
     payload_limit: int = 512 * 1024
@@ -62,6 +67,7 @@ class ServiceConfig:
     default_max_retries: int = 1
     tracing: bool = True
     trace_capacity: int = 100_000
+    stream_spill_threshold: int = DEFAULT_SPILL_THRESHOLD
 
 
 class FuncXService:
@@ -113,6 +119,12 @@ class FuncXService:
         self._c_memo = self.metrics.counter("service.memo_completions")
         self._c_duplicate_results = self.metrics.counter("service.duplicate_results")
         self._c_forgotten = self.metrics.counter("service.tasks_forgotten")
+        self._c_cancelled = self.metrics.counter("service.tasks_cancelled")
+        self._c_post_cancel = self.metrics.counter("service.post_cancel_results")
+        # Push-based result delivery (client subscriptions).
+        self.result_stream = ResultStreamServer(
+            self, clock=self._clock,
+            spill_threshold=self.config.stream_spill_threshold)
         self.metrics.gauge("service.tasks_live").set_function(
             lambda: sum(1 for t in self.iter_tasks() if not t.state.terminal))
         # Observation hook: ``probe(event, fields)`` for task lifecycle
@@ -135,6 +147,14 @@ class FuncXService:
     @property
     def duplicate_results(self) -> int:
         return int(self._c_duplicate_results.value)
+
+    @property
+    def tasks_cancelled(self) -> int:
+        return int(self._c_cancelled.value)
+
+    @property
+    def post_cancel_results(self) -> int:
+        return int(self._c_post_cancel.value)
 
     # ------------------------------------------------------------------
     # helpers
@@ -359,6 +379,8 @@ class FuncXService:
                 self.pubsub.unsubscribe(sub)
         if not task.state.terminal:
             raise TaskPending(task_id, task.state.value)
+        if task.state is TaskState.CANCELLED:
+            raise TaskCancelled(task.exception_text or f"task {task_id} cancelled")
         if task.state is TaskState.SUCCESS:
             assert task.result_buffer is not None
             self.store.expire(f"result:{task_id}", self.config.result_ttl)
@@ -416,6 +438,13 @@ class FuncXService:
         recorded outcome, metadata, or memo store — first result wins.
         """
         task = self._get_task(task_id)
+        if task.state is TaskState.CANCELLED:
+            # The client cancelled while the task was in flight; the
+            # worker's result arrives late and is suppressed (counted
+            # apart from redelivery duplicates — different pathology).
+            self._c_post_cancel.inc()
+            self._emit("task.post_cancel_result", task_id=task_id, success=success)
+            return False
         if task.state.terminal:
             self._c_duplicate_results.inc()
             self._emit("task.duplicate_result", task_id=task_id, success=success)
@@ -433,6 +462,39 @@ class FuncXService:
             execution_time=execution_time,
             now=now,
         )
+        return True
+
+    def cancel_task(self, token: str, task_id: str) -> bool:
+        """Cancel a not-yet-finished task (the journal SDK's addition).
+
+        Returns ``True`` when this call moved the task to CANCELLED,
+        ``False`` when it already reached a terminal state (the result
+        won the race — first outcome wins, as everywhere else).
+
+        A QUEUED task's queue entry becomes an orphan the forwarder acks
+        at dispatch time (its terminal-state check).  A DISPATCHED or
+        RUNNING task cannot be recalled from the worker: it is marked
+        cancelled now and its eventual result is suppressed and counted
+        (``service.post_cancel_results``).
+        """
+        self.auth.authorize(token, Scope.EXECUTE)
+        self._spend_overhead()
+        task = self._get_task(task_id)
+        if task.state.terminal:
+            return False
+        now = self._clock()
+        task.advance(TaskState.CANCELLED, now)
+        task.exception_text = f"task {task_id} cancelled by client"
+        self._c_cancelled.inc()
+        trace = self.traces.finalize(task_id, at=now)
+        if trace is not None:
+            total = trace.total()
+            if total is not None:
+                self.metrics.histogram("task.total_seconds").observe(total)
+        self._emit("task.cancelled", task_id=task_id, state=task.state.value)
+        self.store.hset("tasks", task_id, task.to_record())
+        self.pubsub.publish(f"task.{task_id}", task.state.value)
+        self.result_stream.on_task_terminal(task)
         return True
 
     def requeue_task(self, task_id: str, reason: str = "", enqueue: bool = True) -> bool:
@@ -481,6 +543,10 @@ class FuncXService:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop service-owned background machinery (the result stream)."""
+        self.result_stream.close()
+
     def purge(self) -> int:
         """Run the periodic store purge; returns evicted entries."""
         return self.store.purge_expired()
@@ -571,3 +637,4 @@ class FuncXService:
         self.store.hset("tasks", task.task_id, task.to_record())
         self.store.set(f"result:{task.task_id}", result_buffer, ttl=None)
         self.pubsub.publish(f"task.{task.task_id}", task.state.value)
+        self.result_stream.on_task_terminal(task)

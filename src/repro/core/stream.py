@@ -1,0 +1,468 @@
+"""Push-based result delivery: the service-side subscription channel.
+
+The paper-era SDK retrieves results by polling ``GET /tasks/<id>`` — the
+journal follow-up (funcX: Federated Function *as a Service* for Science)
+replaced that with a subscription stream the ``FuncXExecutor`` resolves
+futures from.  This module is the service side of that stream:
+
+* A client opens a :class:`ResultSubscription` and *watches* task ids.
+  When a watched task reaches a terminal state the id is enqueued on the
+  subscription's own :class:`~repro.store.queues.ReliableQueue` — the
+  same lease/ack machinery the dispatch path uses, so delivery is
+  at-least-once and a dropped batch is redelivered without bookkeeping
+  of its own.
+* A single delivery thread (woken by queue puts, acks, and attaches via
+  the shared :class:`~repro.transport.wakeup.Wakeup`) coalesces every
+  subscriber's ready results into one
+  :class:`~repro.transport.messages.ResultBatchMessage` per pass.
+* Each subscription carries a :class:`~repro.core.flowcontrol.
+  CreditLedger` window: a credit is consumed per delivered-unacked
+  result and released on the client's ack, so a slow or stalled client
+  bounds its own delivered-unacked population at the window while the
+  backlog sheds into the subscription queue (observable, bounded by the
+  number of watched tasks) instead of ballooning delivery buffers.
+* Results at or above ``spill_threshold`` bytes are spilled to a
+  ``repro.staging`` store and delivered as a ``DataRef`` record, so one
+  huge payload cannot head-of-line-block a batch; the spilled object is
+  deleted when the batch is acked.
+
+Consumers are plain callables (in-process stand-ins for a client's
+WebSocket); one that raises is detached and its batch is nacked for
+redelivery after a reconnect — exactly the disconnect path.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+import uuid
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.flowcontrol import CreditLedger
+from repro.core.tasks import TaskState
+from repro.errors import TaskNotFound
+from repro.metrics.registry import COUNT_BUCKETS
+from repro.staging.transfer import DataStore, register_store, unregister_store
+from repro.store.queues import Lease, ReliableQueue
+from repro.transport.messages import ResultBatchMessage, ResultMessage
+from repro.transport.wakeup import Wakeup
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.service import FuncXService
+    from repro.core.tasks import Task
+
+logger = logging.getLogger(__name__)
+
+#: Result payloads at or above this size (bytes) ship as staged DataRefs
+#: instead of in-band buffers.
+DEFAULT_SPILL_THRESHOLD = 64 * 1024
+
+#: Default per-subscriber credit window (delivered-unacked results).
+DEFAULT_WINDOW = 64
+
+#: Hard cap on results coalesced into one ResultBatchMessage.
+MAX_BATCH = 256
+
+Consumer = Callable[[ResultBatchMessage], None]
+
+
+class ResultSubscription:
+    """One client's result stream: watched tasks, ready queue, credits."""
+
+    def __init__(
+        self,
+        server: "ResultStreamServer",
+        subscriber_id: str,
+        window: int,
+        clock: Callable[[], float],
+    ):
+        self.subscriber_id = subscriber_id
+        self.window = window
+        self._server = server
+        #: Delivered-unacked budget; consumed per result on delivery,
+        #: released on ack (or nack/recover).
+        self.credits = CreditLedger(granted=window)
+        #: Ready-to-deliver task ids; at-least-once via lease/ack.
+        self.queue = ReliableQueue(
+            name=f"stream:{subscriber_id}", clock=clock)
+        self._lock = threading.Lock()
+        self._watched: set[str] = set()              # guarded-by: self._lock
+        self._enqueued: set[str] = set()             # guarded-by: self._lock
+        self._consumer: Consumer | None = None       # guarded-by: self._lock
+        self._unacked: dict[str, list[Lease]] = {}   # guarded-by: self._lock
+        self._closed = False                         # guarded-by: self._lock
+
+    # -- client side ---------------------------------------------------------
+    def watch(self, task_id: str) -> None:
+        """Register interest in ``task_id``; delivery follows completion.
+
+        Watching an already-terminal task (memo hits complete before the
+        watch lands) enqueues it immediately.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    f"subscription {self.subscriber_id} is closed")
+            self._watched.add(task_id)
+        self._server.register_interest(self, task_id)
+
+    def attach(self, consumer: Consumer) -> None:
+        """Connect the client's delivery callback (or reconnect it)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    f"subscription {self.subscriber_id} is closed")
+            self._consumer = consumer
+        self._server.kick()
+
+    def detach(self) -> None:
+        """Disconnect the consumer; delivery pauses, backlog accumulates."""
+        with self._lock:
+            self._consumer = None
+
+    @property
+    def consumer(self) -> Consumer | None:
+        with self._lock:
+            return self._consumer
+
+    def ack(self, delivery_id: str) -> int:
+        """Acknowledge a delivered batch; returns results retired.
+
+        Retires the queue leases, releases the batch's credits (opening
+        the window for the next wave) and deletes any payloads spilled
+        for the batch.
+        """
+        with self._lock:
+            leases = self._unacked.pop(delivery_id, None)
+        if leases is None:
+            return 0
+        for lease in leases:
+            self.queue.ack(lease.lease_id)
+            self._server.drop_spill(self.subscriber_id, lease.item)
+        self.credits.release(len(leases))
+        self._server.kick()
+        return len(leases)
+
+    def recover(self) -> int:
+        """Requeue every delivered-unacked batch (reconnect path).
+
+        A client that lost batches in flight calls this after
+        re-attaching; the results redeliver under fresh delivery ids.
+        Returns the number of results requeued.
+        """
+        with self._lock:
+            unacked = list(self._unacked.values())
+            self._unacked.clear()
+        count = 0
+        for leases in unacked:
+            for lease in leases:
+                self.queue.nack(lease.lease_id)
+                count += 1
+            self.credits.release(len(leases))
+        if count:
+            self._server.kick()
+        return count
+
+    # -- server side ---------------------------------------------------------
+    def task_ready(self, task_id: str) -> None:
+        """A watched task reached a terminal state; enqueue once."""
+        with self._lock:
+            if self._closed or task_id not in self._watched:
+                return
+            if task_id in self._enqueued:
+                return
+            self._enqueued.add(task_id)
+        self.queue.put(task_id)
+
+    def note_delivered(self, delivery_id: str, leases: list[Lease]) -> None:
+        """Record an in-flight batch awaiting the client's ack."""
+        with self._lock:
+            self._unacked[delivery_id] = leases
+
+    def recover_delivery(self, delivery_id: str) -> int:
+        """Requeue one delivered batch (consumer raised mid-delivery)."""
+        with self._lock:
+            leases = self._unacked.pop(delivery_id, None)
+        if leases is None:
+            return 0
+        for lease in leases:
+            self.queue.nack(lease.lease_id)
+        self.credits.release(len(leases))
+        return len(leases)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def unacked_results(self) -> int:
+        """Delivered-unacked results (bounded by ``window``)."""
+        with self._lock:
+            return sum(len(leases) for leases in self._unacked.values())
+
+    @property
+    def backlog(self) -> int:
+        """Ready-but-undelivered results shed into the queue."""
+        return self.queue.depth
+
+    @property
+    def watched(self) -> int:
+        with self._lock:
+            return len(self._watched)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._consumer = None
+            self._unacked.clear()
+        self.queue.close()
+        self._server.forget(self)
+
+
+class ResultStreamServer:
+    """Streams ResultBatchMessages to subscribed clients, credit-bounded.
+
+    Owned by the :class:`~repro.core.service.FuncXService`; the service
+    notifies :meth:`on_task_terminal` from its completion path.  The
+    delivery thread starts lazily with the first subscription and is
+    shut down by :meth:`close` (wired into the deployment's shutdown).
+    """
+
+    def __init__(
+        self,
+        service: "FuncXService",
+        clock: Callable[[], float] | None = None,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+        poll_fallback: float = 0.05,
+    ):
+        self.service = service
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
+        self.spill_threshold = spill_threshold
+        self._poll_fallback = poll_fallback
+        self._wakeup = Wakeup(clock=self._clock)
+        self._lock = threading.Lock()
+        self._subs: dict[str, ResultSubscription] = {}  # guarded-by: self._lock
+        self._interest: dict[str, set[str]] = {}        # guarded-by: self._lock
+        self._thread: threading.Thread | None = None    # guarded-by: self._lock
+        self._closed = False                            # guarded-by: self._lock
+        self._stop = threading.Event()
+        # Spill store for oversized payloads; uniquely named so parallel
+        # deployments in one process never collide in the global registry.
+        self.spill = DataStore(f"result-spill-{uuid.uuid4().hex[:8]}")
+        register_store(self.spill)
+        metrics = service.metrics
+        self._h_batch = metrics.histogram(
+            "stream.batch_size", buckets=COUNT_BUCKETS)
+        self._h_delivery = metrics.histogram("stream.delivery_seconds")
+        self._c_delivered = metrics.counter("stream.results_delivered")
+        self._c_batches = metrics.counter("stream.batches_delivered")
+        self._c_spilled = metrics.counter("stream.results_spilled")
+        self._c_redelivered = metrics.counter("stream.redeliveries")
+        self._c_consumer_errors = metrics.counter("stream.consumer_errors")
+        self._c_credit_stalls = metrics.counter("stream.credit_stalls")
+        metrics.gauge("stream.subscriptions").set_function(
+            self.subscription_count)
+
+    # -- subscriptions -------------------------------------------------------
+    def subscribe(
+        self,
+        window: int = DEFAULT_WINDOW,
+        subscriber_id: str | None = None,
+        auto_deliver: bool = True,
+    ) -> ResultSubscription:
+        """Open a subscription with a ``window``-result credit budget.
+
+        ``auto_deliver=False`` skips the delivery thread; the caller
+        drives :meth:`step` explicitly (deterministic tests).
+        """
+        if window < 1:
+            raise ValueError("window must be positive")
+        sub = ResultSubscription(
+            self, subscriber_id or uuid.uuid4().hex[:12], window, self._clock)
+        sub.queue.wakeup = self._wakeup.set
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("result stream is closed")
+            self._subs[sub.subscriber_id] = sub
+        if auto_deliver:
+            self._ensure_thread()
+        return sub
+
+    def forget(self, sub: ResultSubscription) -> None:
+        """Drop a closed subscription and its interest entries."""
+        with self._lock:
+            self._subs.pop(sub.subscriber_id, None)
+            for watchers in self._interest.values():
+                watchers.discard(sub.subscriber_id)
+
+    def register_interest(self, sub: ResultSubscription, task_id: str) -> None:
+        """Bind ``task_id`` to ``sub``; fast-path already-terminal tasks."""
+        with self._lock:
+            self._interest.setdefault(task_id, set()).add(sub.subscriber_id)
+        try:
+            task = self.service.task_by_id(task_id)
+        except TaskNotFound:
+            return
+        if task.state.terminal:
+            sub.task_ready(task_id)
+
+    def subscription_count(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def kick(self) -> None:
+        """Wake the delivery thread (ack freed credits, new consumer)."""
+        self._wakeup.set()
+
+    # -- service side --------------------------------------------------------
+    def on_task_terminal(self, task: "Task") -> None:
+        """Completion-path hook: fan the terminal task to its watchers."""
+        with self._lock:
+            watcher_ids = self._interest.pop(task.task_id, None)
+            if not watcher_ids:
+                return
+            watchers = [
+                self._subs[sid] for sid in watcher_ids if sid in self._subs
+            ]
+        for sub in watchers:
+            sub.task_ready(task.task_id)
+
+    # -- delivery ------------------------------------------------------------
+    def step(self) -> int:
+        """One delivery pass over every subscription; returns results sent."""
+        with self._lock:
+            subs = list(self._subs.values())
+        total = 0
+        for sub in subs:
+            total += self._deliver(sub)
+        return total
+
+    def _deliver(self, sub: ResultSubscription) -> int:
+        consumer = sub.consumer
+        if consumer is None:
+            return 0
+        budget = min(sub.credits.available, MAX_BATCH)
+        if budget <= 0:
+            if sub.backlog > 0:
+                self._c_credit_stalls.inc()
+            return 0
+        leases = sub.queue.lease_many(budget)
+        if not leases:
+            return 0
+        now = self._clock()
+        results: list[ResultMessage] = []
+        kept: list[Lease] = []
+        for lease in leases:
+            message = self._result_message(sub, lease, now)
+            if message is None:
+                # Task record vanished (forgotten); nothing to deliver.
+                sub.queue.ack(lease.lease_id)
+                continue
+            if lease.deliveries > 1:
+                self._c_redelivered.inc()
+            results.append(message)
+            kept.append(lease)
+        if not results:
+            return 0
+        sub.credits.consume(len(kept))
+        delivery_id = uuid.uuid4().hex
+        batch = ResultBatchMessage(
+            sender="result-stream",
+            results=tuple(results),
+            delivery_id=delivery_id,
+            subscriber_id=sub.subscriber_id,
+        )
+        sub.note_delivered(delivery_id, kept)
+        self._h_batch.observe(float(len(results)))
+        try:
+            consumer(batch)
+        except Exception:
+            # Treat an erroring consumer as disconnected: detach it and
+            # requeue the batch for redelivery after a reconnect.
+            self._c_consumer_errors.inc()
+            logger.exception(
+                "result-stream consumer failed; detaching subscriber %s",
+                sub.subscriber_id)
+            sub.detach()
+            sub.recover_delivery(delivery_id)
+            return 0
+        self._c_batches.inc()
+        self._c_delivered.inc(len(results))
+        for message in results:
+            elapsed = max(0.0, now - message.completed_at)
+            self._h_delivery.observe(elapsed)
+            trace = self.service.traces.context_for(message.task_id)
+            if trace is not None:
+                trace.record_late(
+                    "result_stream", "service",
+                    start=message.completed_at, end=now,
+                    subscriber=sub.subscriber_id)
+        return len(results)
+
+    def _result_message(
+        self, sub: ResultSubscription, lease: Lease, now: float
+    ) -> ResultMessage | None:
+        task_id = lease.item
+        try:
+            task = self.service.task_by_id(task_id)
+        except TaskNotFound:
+            return None
+        if not task.state.terminal:  # defensive; only terminal ids enqueue
+            return None
+        buffer = task.result_buffer or b""
+        ref: dict | None = None
+        if len(buffer) >= self.spill_threshold:
+            data_ref = self.spill.put(
+                buffer, key=f"{sub.subscriber_id}:{task_id}")
+            ref = data_ref.as_argument()
+            buffer = b""
+            self._c_spilled.inc()
+        return ResultMessage(
+            sender="result-stream",
+            task_id=task_id,
+            success=task.state is TaskState.SUCCESS,
+            result_buffer=buffer,
+            execution_time=float(task.metadata.get("execution_time", 0.0)),
+            completed_at=task.state_times.get(task.state.value, now),
+            result_ref=ref,
+            cancelled=task.state is TaskState.CANCELLED,
+            exception_text=task.exception_text or "",
+        )
+
+    def drop_spill(self, subscriber_id: str, task_id: str) -> None:
+        """Delete a spilled payload once its batch is acked."""
+        self.spill.delete(f"{subscriber_id}:{task_id}")
+
+    # -- delivery thread -----------------------------------------------------
+    def _ensure_thread(self) -> None:
+        with self._lock:
+            if self._thread is not None or self._closed:
+                return
+            thread = threading.Thread(
+                target=self._loop, name="result-stream", daemon=True)
+            self._thread = thread
+        thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if self.step() == 0:
+                self._wakeup.wait(self._poll_fallback)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+            subs = list(self._subs.values())
+            self._subs.clear()
+            self._interest.clear()
+        self._stop.set()
+        self._wakeup.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        for sub in subs:
+            sub.queue.close()
+        unregister_store(self.spill.name)

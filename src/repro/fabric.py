@@ -248,6 +248,7 @@ class LocalDeployment:
         for handle in handles:
             handle.endpoint.stop()
             handle.forwarder.stop()
+        self.service.close()
         self.network.close_all()
 
     def __enter__(self) -> "LocalDeployment":

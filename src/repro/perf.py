@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 
 from repro.endpoint.config import EndpointConfig
+from repro.errors import TaskPending
 from repro.fabric import DeploymentTimings, LocalDeployment
 
 #: The legacy fixed poll interval (s) of the forwarder/agent/manager
@@ -235,6 +236,108 @@ def measure_backpressure(
             "queue_high_watermark": queue.high_watermark,
             "credit_stalls": forwarder.credit_stalls,
         }
+
+
+def measure_result_stream(
+    *,
+    tasks: int = 64,
+    samples: int = 30,
+    latency: float = 0.001,
+    poll_interval: float = 0.01,
+    workers: int = 4,
+) -> dict:
+    """Push-based result delivery vs the polling client, as a dict.
+
+    Two result paths over the same 1 ms-latency fabric:
+
+    * **push** — a :class:`~repro.core.executor.FuncXExecutor`:
+      submissions coalesce into ``submit_batch`` waves and futures
+      resolve from the service's result subscription stream the moment
+      a batch is pushed.
+    * **poll** — the paper-era REST client: submit, then loop
+      ``get_result(timeout=0)`` / ``sleep(poll_interval)``.  Observed
+      latency is quantized up to the next poll tick, so its floor is
+      the poll interval itself.
+
+    The latency comparison is sequential single tasks (p50/p99);
+    throughput is one ``tasks``-wave through the executor, with the
+    stream's delivery-batch stats reported alongside.
+    """
+    with LocalDeployment(timings=_timings(latency, 0.0)) as deployment:
+        client = deployment.client()
+        ep = deployment.create_endpoint(
+            "stream", nodes=1, config=_config(True, workers))
+        fid = client.register_function(_identity, public=True)
+
+        # --- push mode: executor + subscription stream -----------------
+        with client.executor(ep, batch_interval=0.0) as executor:
+            executor.submit(fid, -1).result(timeout=30)  # warm-up
+            push_durations: list[float] = []
+            for i in range(samples):
+                start = time.perf_counter()
+                executor.submit(fid, i).result(timeout=30)
+                push_durations.append(time.perf_counter() - start)
+            wave_start = time.perf_counter()
+            futures = [executor.submit(fid, i) for i in range(tasks)]
+            for future in futures:
+                future.result(timeout=120)
+            wave_elapsed = time.perf_counter() - wave_start
+
+        # --- poll mode: the paper-era polling client -------------------
+        poll_durations: list[float] = []
+        for i in range(samples):
+            start = time.perf_counter()
+            task_id = client.run(fid, ep, i)
+            while True:
+                try:
+                    client.get_result(task_id, timeout=0.0)
+                    break
+                except TaskPending:
+                    time.sleep(poll_interval)
+            poll_durations.append(time.perf_counter() - start)
+
+        batch_stats = deployment.metrics.histogram(
+            "stream.batch_size").summary()
+        delivered = deployment.metrics.counter(
+            "stream.results_delivered").value
+        batches = deployment.metrics.counter(
+            "stream.batches_delivered").value
+
+    push_durations.sort()
+    poll_durations.sort()
+    return {
+        "params": {
+            "tasks": tasks,
+            "samples": samples,
+            "channel_latency_s": latency,
+            "poll_interval_s": poll_interval,
+            "workers": workers,
+        },
+        "push": {
+            "p50_s": _percentile(push_durations, 0.50),
+            "p99_s": _percentile(push_durations, 0.99),
+            "mean_s": sum(push_durations) / len(push_durations),
+        },
+        "poll": {
+            "p50_s": _percentile(poll_durations, 0.50),
+            "p99_s": _percentile(poll_durations, 0.99),
+            "mean_s": sum(poll_durations) / len(poll_durations),
+        },
+        "throughput": {
+            "tasks": tasks,
+            "seconds": wave_elapsed,
+            "tasks_per_second": tasks / wave_elapsed if wave_elapsed > 0 else 0.0,
+        },
+        "stream": {
+            "results_delivered": int(delivered),
+            "batches_delivered": int(batches),
+            "mean_batch_size": batch_stats.get("mean", 0.0),
+            "max_batch_size": batch_stats.get("max", 0.0),
+        },
+        "p50_speedup": (
+            _percentile(poll_durations, 0.50) /
+            max(_percentile(push_durations, 0.50), 1e-9)),
+    }
 
 
 def compare_modes(

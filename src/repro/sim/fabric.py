@@ -17,6 +17,7 @@ the event count stays linear in tasks, not tasks × managers.
 
 from __future__ import annotations
 
+import math
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -42,6 +43,7 @@ class SimTask:
         "dispatched",
         "started",
         "completed",
+        "delivered",
         "attempts",
         "memo_hit",
     )
@@ -57,12 +59,18 @@ class SimTask:
         self.dispatched = -1.0
         self.started = -1.0
         self.completed = -1.0
+        self.delivered = -1.0
         self.attempts = 0
         self.memo_hit = False
 
     @property
     def latency(self) -> float:
         return self.completed - self.created
+
+    @property
+    def delivery_latency(self) -> float:
+        """Client-observed latency (result-delivery runs only)."""
+        return self.delivered - self.created
 
 
 @dataclass(frozen=True)
@@ -89,6 +97,10 @@ class SimReport:
     events_processed: int
     memo_hits: int = 0
     reexecutions: int = 0
+    #: Client-observed latencies (``delivered - created``); ``None``
+    #: unless the fabric models result delivery (push or poll).
+    delivery_latencies: np.ndarray | None = None
+    results_delivered: int = 0
 
     def latency_timeline(self, bin_width: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
         """Mean task latency per completion-time bin (figures 7 and 8)."""
@@ -165,6 +177,19 @@ class SimFabric:
         a deterministic 1 s function always hit.
     heartbeat_period, heartbeat_grace:
         Failure-detection parameters (§5.4).
+    result_delivery:
+        ``None`` (default) stops the clock when the result lands at the
+        agent, matching the published figure experiments.  ``"push"``
+        mirrors the live result stream: the client sees the result one
+        ``result_latency`` after it reaches the service.  ``"poll"``
+        quantizes visibility to the client's next poll tick — the result
+        becomes observable at the first multiple of ``poll_interval``
+        at or after its arrival, adding ``poll_interval/2`` expected
+        delay on top of the link latency.
+    result_latency:
+        One-way service → client link latency (seconds).
+    poll_interval:
+        The polling client's period (seconds; ``"poll"`` mode only).
     """
 
     #: Max tasks dispatched per agent event (bounds event count; the
@@ -186,9 +211,16 @@ class SimFabric:
         heartbeat_period: float = 1.0,
         heartbeat_grace: int = 3,
         seed: int | None = None,
+        result_delivery: str | None = None,
+        result_latency: float = 0.001,
+        poll_interval: float = 0.01,
     ):
         if managers < 1:
             raise ValueError("need at least one manager")
+        if result_delivery not in (None, "push", "poll"):
+            raise ValueError("result_delivery must be None, 'push' or 'poll'")
+        if result_delivery == "poll" and poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
         self.platform = platform
         self.loop = EventLoop()
         self.prefetch = prefetch
@@ -221,6 +253,10 @@ class SimFabric:
         self.memo_hits = 0
         self.reexecutions = 0
         self._first_submit: float | None = None
+        self.result_delivery = result_delivery
+        self.result_latency = result_latency
+        self.poll_interval = poll_interval
+        self.results_delivered = 0
 
     # ------------------------------------------------------------------
     # configuration helpers
@@ -320,6 +356,7 @@ class SimFabric:
         task.service_done = self.loop.now
         task.completed = self.loop.now
         self.completed.append(task)
+        self._schedule_delivery(task)
 
     def _enter_pending(self, task: SimTask) -> None:
         task.service_done = self.loop.now
@@ -467,6 +504,27 @@ class SimFabric:
             self._memo_cache.add(task.memo_key)
         task.completed = self.loop.now
         self.completed.append(task)
+        self._schedule_delivery(task)
+
+    # ------------------------------------------------------------------
+    # result delivery to the client (push stream vs poll loop)
+    # ------------------------------------------------------------------
+    def _schedule_delivery(self, task: SimTask) -> None:
+        if self.result_delivery is None:
+            return
+        visible = self.loop.now + self.result_latency
+        if self.result_delivery == "poll":
+            # The client only looks at poll ticks: visibility rounds up
+            # to the next multiple of the poll interval.
+            ticks = math.ceil(visible / self.poll_interval - 1e-12)
+            visible = max(visible, ticks * self.poll_interval)
+        self.loop.at(visible, self._deliver_result, task)
+
+    def _deliver_result(self, task: SimTask) -> None:
+        if task.delivered >= 0:
+            return  # duplicate delivery from a superseded attempt
+        task.delivered = self.loop.now
+        self.results_delivered += 1
 
     # ------------------------------------------------------------------
     # failure injection (§5.4)
@@ -573,6 +631,12 @@ class SimFabric:
         start = self._first_submit or 0.0
         end = float(completions.max()) if completions.size else start
         span = max(end - start, 1e-12)
+        delivery = None
+        if self.result_delivery is not None:
+            delivery = np.array(
+                [t.delivery_latency for t in self.completed if t.delivered >= 0],
+                dtype=float,
+            )
         return SimReport(
             completion_time=end - start,
             tasks_completed=len(self.completed),
@@ -582,4 +646,6 @@ class SimFabric:
             events_processed=self.loop.events_processed,
             memo_hits=self.memo_hits,
             reexecutions=self.reexecutions,
+            delivery_latencies=delivery,
+            results_delivered=self.results_delivered,
         )

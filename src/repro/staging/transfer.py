@@ -145,6 +145,17 @@ def fetch_ref(record: dict) -> bytes:
     return resolve_store(ref.store).get(ref)
 
 
+def unregister_store(name: str) -> bool:
+    """Remove a store from the resolution table (stream-spill teardown).
+
+    Returns ``True`` when the name was registered.  Lets short-lived
+    stores (a service's result-spill area) leave the process-level
+    registry when their owner shuts down instead of accreting forever.
+    """
+    with _REGISTRY_LOCK:
+        return _STORE_REGISTRY.pop(name, None) is not None
+
+
 def clear_registry() -> None:
     """Testing hook: forget every registered store."""
     with _REGISTRY_LOCK:

@@ -75,6 +75,17 @@ class PubSub:
                 self.delivery_errors.append((topic, exc))
         return delivered
 
+    def live_subscriptions(self) -> int:
+        """Total live subscription tokens across all topics.
+
+        Leak regression checks compare this before/after an operation
+        that should be subscription-neutral (e.g. memo-hit submits).
+        """
+        with self._lock:
+            return sum(len(subs) for subs in self._exact.values()) + sum(
+                len(subs) for subs in self._prefix.values()
+            )
+
     def subscriber_count(self, topic: str) -> int:
         with self._lock:
             count = len(self._exact.get(topic, ()))

@@ -70,6 +70,17 @@ class ResultMessage(Message):
     worker_id: str = ""
     completed_at: float = 0.0
     trace: "TraceContext | None" = field(default=None, compare=False)
+    #: Set on the client-facing result stream when the payload was
+    #: spilled to a staging store: a ``DataRef.as_argument()`` record the
+    #: receiver resolves via ``repro.staging.fetch_ref``; the
+    #: ``result_buffer`` ships empty in that case.
+    result_ref: dict | None = None
+    #: The task reached CANCELLED instead of SUCCESS/FAILED; receivers
+    #: resolve the handle with ``TaskCancelled``.
+    cancelled: bool = False
+    #: Failure text for FAILED tasks whose worker produced no serialized
+    #: exception wrapper (e.g. retries exhausted inside the service).
+    exception_text: str = ""
 
 
 @dataclass(frozen=True)
@@ -103,9 +114,18 @@ class TaskBatchMessage(Message):
 @dataclass(frozen=True)
 class ResultBatchMessage(Message):
     """N results coalesced into one channel transfer (symmetric to
-    :class:`TaskBatchMessage` on the return path)."""
+    :class:`TaskBatchMessage` on the return path).
+
+    The same envelope carries the service→client result *stream*
+    (push-based delivery): there ``delivery_id`` identifies the batch for
+    the subscriber's acknowledgement (redelivery happens under the same
+    id space until acked) and ``subscriber_id`` names the subscription
+    the batch belongs to.  Both ship empty on the worker→service path.
+    """
 
     results: tuple[ResultMessage, ...] = ()
+    delivery_id: str = ""
+    subscriber_id: str = ""
 
 
 @dataclass(frozen=True)

@@ -74,3 +74,10 @@ class TestCommands:
         assert "credit window" in out
         assert "bounded in flight: yes" in out
         assert "credit stalls" in out
+
+    def test_bench_result_stream_quick(self, capsys):
+        assert main(["bench", "--quick", "--result-stream"]) == 0
+        out = capsys.readouterr().out
+        assert "push" in out and "poll" in out
+        assert "poll floor: yes" in out
+        assert "faster than polling" in out

@@ -51,7 +51,7 @@ class TestResolution:
 
     def test_cancel(self):
         f = FuncXFuture("t")
-        f.cancel()
+        assert f.cancel() is True
         assert f.cancelled
         with pytest.raises(TaskCancelled):
             f.result()
@@ -59,9 +59,57 @@ class TestResolution:
     def test_cancel_after_done_is_noop(self):
         f = FuncXFuture("t")
         f.set_result(1)
-        f.cancel()
+        assert f.cancel() is False
         assert not f.cancelled
         assert f.result() == 1
+
+
+class TestCancelPropagation:
+    def test_canceller_invoked_with_task_id(self):
+        seen = []
+        f = FuncXFuture("t-42")
+        f.bind_canceller(seen.append)
+        assert f.cancel() is True
+        assert seen == ["t-42"]
+
+    def test_canceller_not_invoked_when_already_done(self):
+        seen = []
+        f = FuncXFuture("t")
+        f.bind_canceller(seen.append)
+        f.set_result(1)
+        assert f.cancel() is False
+        assert seen == []
+
+    def test_canceller_error_still_cancels_locally(self):
+        def unreachable(_task_id):
+            raise ConnectionError("service down")
+
+        f = FuncXFuture("t")
+        f.bind_canceller(unreachable)
+        assert f.cancel() is True  # best-effort: local handle resolves
+        assert f.cancelled
+
+    def test_result_racing_cancel_wins(self):
+        # The canceller's side effect resolves the future with a value
+        # (the result beat the cancel upstream): cancel() must report
+        # defeat and preserve the result.
+        f = FuncXFuture("t")
+        f.bind_canceller(lambda _tid: f.set_result("winner"))
+        assert f.cancel() is False
+        assert not f.cancelled
+        assert f.result() == "winner"
+
+    def test_own_cancellation_echo_still_counts(self):
+        # The service publishes the CANCELLED transition and a pubsub
+        # callback resolves the future with TaskCancelled before
+        # cancel() re-acquires the lock — that is still our cancel.
+        f = FuncXFuture("t")
+        f.bind_canceller(
+            lambda _tid: f.set_exception(TaskCancelled("echoed back")))
+        assert f.cancel() is True
+        assert f.cancelled
+        with pytest.raises(TaskCancelled):
+            f.result()
 
 
 class TestCallbacks:
@@ -85,6 +133,50 @@ class TestCallbacks:
         f.add_done_callback(lambda fut: seen.append("done"))
         f.set_exception(ValueError())
         assert seen == ["done"]
+
+
+class TestCallbackIsolation:
+    @pytest.fixture(autouse=True)
+    def _reset_counters(self):
+        saved_count = FuncXFuture.callback_errors
+        saved_hook = FuncXFuture.callback_error_hook
+        FuncXFuture.callback_errors = 0
+        yield
+        FuncXFuture.callback_errors = saved_count
+        FuncXFuture.callback_error_hook = saved_hook
+
+    def test_raising_callback_does_not_unwind_resolver(self):
+        f = FuncXFuture("t")
+        seen = []
+        f.add_done_callback(lambda fut: (_ for _ in ()).throw(ValueError()))
+        f.add_done_callback(lambda fut: seen.append("ran"))
+        f.set_result(1)  # must not raise into the delivering thread
+        assert seen == ["ran"]  # later callbacks still run
+        assert f.result() == 1
+        assert FuncXFuture.callback_errors == 1
+
+    def test_raising_callback_on_immediate_fire(self):
+        f = FuncXFuture("t")
+        f.set_result(1)
+        f.add_done_callback(lambda fut: (_ for _ in ()).throw(KeyError()))
+        assert FuncXFuture.callback_errors == 1
+
+    def test_error_hook_invoked(self):
+        hooked = []
+        FuncXFuture.callback_error_hook = (
+            lambda fut, exc: hooked.append((fut.task_id, type(exc))))
+        f = FuncXFuture("t")
+        f.add_done_callback(lambda fut: (_ for _ in ()).throw(OSError()))
+        f.set_exception(ValueError())
+        assert hooked == [("t", OSError)]
+
+    def test_broken_hook_does_not_cascade(self):
+        FuncXFuture.callback_error_hook = (
+            lambda fut, exc: (_ for _ in ()).throw(RuntimeError()))
+        f = FuncXFuture("t")
+        f.add_done_callback(lambda fut: (_ for _ in ()).throw(OSError()))
+        f.set_result(1)  # neither the callback nor the hook may escape
+        assert FuncXFuture.callback_errors == 1
 
 
 class TestWaiting:

@@ -1,0 +1,301 @@
+"""Tests for the FuncXExecutor SDK facade and the client result-path
+fixes that shipped with it (wait_for deadline handling, cancel
+propagation, subscription-leak regression)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import LocalDeployment, ServiceConfig
+from repro.core.client import FuncXClient
+from repro.core.executor import AtomicController, FuncXExecutor
+from repro.errors import TaskCancelled, TaskPending
+
+from tests.conftest import FakeClock
+
+
+def double(x):
+    return 2 * x
+
+
+def boom():
+    raise KeyError("remote failure")
+
+
+@pytest.fixture
+def deployment():
+    with LocalDeployment() as dep:
+        yield dep
+
+
+@pytest.fixture
+def client(deployment):
+    return deployment.client()
+
+
+@pytest.fixture
+def endpoint_id(deployment):
+    return deployment.create_endpoint("exec-ep", nodes=1)
+
+
+class TestAtomicController:
+    def test_start_fires_on_zero_to_positive_edge(self):
+        starts, stops = [], []
+        controller = AtomicController(lambda: starts.append(1),
+                                      lambda: stops.append(1))
+        controller.increment()
+        controller.increment()
+        assert starts == [1]  # only the edge fires, not every increment
+        assert controller.value == 2
+
+    def test_reset_returns_drained_and_fires_stop(self):
+        starts, stops = [], []
+        controller = AtomicController(lambda: starts.append(1),
+                                      lambda: stops.append(1))
+        controller.increment(3)
+        assert controller.reset() == 3
+        assert stops == [1]
+        assert controller.reset() == 0  # empty drain: no stop callback
+        assert stops == [1]
+        controller.increment()
+        assert starts == [1, 1]  # edge re-arms after a drain
+
+
+class TestExecutor:
+    def test_submit_resolves_from_stream(self, client, endpoint_id):
+        with client.executor(endpoint_id) as executor:
+            futures = [executor.submit(double, i) for i in range(10)]
+            assert [f.result(timeout=30) for f in futures] == [
+                2 * i for i in range(10)]
+        # Every result arrived by push, none by polling.
+        metrics = client.service.metrics
+        assert metrics.counter("stream.results_delivered").value >= 10
+        assert metrics.counter("executor.tasks_submitted").value == 10
+
+    def test_burst_coalesces_into_waves(self, client, endpoint_id):
+        with client.executor(endpoint_id, batch_interval=0.05) as executor:
+            futures = [executor.submit(double, i) for i in range(32)]
+            for f in futures:
+                f.result(timeout=30)
+        summary = client.service.metrics.histogram(
+            "executor.submit_batch_size").summary()
+        assert summary["max"] > 1  # the burst rode shared waves
+
+    def test_registered_function_id_accepted(self, client, endpoint_id):
+        fid = client.register_function(double, public=True)
+        with client.executor(endpoint_id) as executor:
+            assert executor.submit(fid, 21).result(timeout=30) == 42
+
+    def test_callable_registered_once(self, client, endpoint_id):
+        with client.executor(endpoint_id) as executor:
+            executor.submit(double, 1).result(timeout=30)
+            executor.submit(double, 2).result(timeout=30)
+            assert len(executor._function_ids) == 1
+
+    def test_map_preserves_order(self, client, endpoint_id):
+        with client.executor(endpoint_id) as executor:
+            assert list(executor.map(double, range(8))) == [
+                2 * i for i in range(8)]
+
+    def test_remote_exception_reraised(self, client, endpoint_id):
+        with client.executor(endpoint_id) as executor:
+            future = executor.submit(boom)
+            with pytest.raises(KeyError):
+                future.result(timeout=30)
+
+    def test_submit_after_shutdown_raises(self, client, endpoint_id):
+        executor = client.executor(endpoint_id)
+        executor.shutdown(wait=True)
+        with pytest.raises(RuntimeError):
+            executor.submit(double, 1)
+
+    def test_pre_dispatch_cancel_never_submits(self, client, endpoint_id):
+        # A long Nagle hold keeps the call in the pending wave; cancelling
+        # there is a true stdlib cancel — the task never exists.
+        with client.executor(endpoint_id, batch_interval=2.0) as executor:
+            future = executor.submit(double, 1)
+            assert future.cancel() is True
+            assert future.cancelled
+            with pytest.raises(TaskCancelled):
+                future.result(timeout=5)
+            follow_up = executor.submit(double, 21)
+            assert follow_up.result(timeout=30) == 42
+        assert client.service.metrics.counter(
+            "executor.tasks_submitted").value == 1  # only the follow-up
+
+    def test_shutdown_cancel_futures_drops_pending(self, client, endpoint_id):
+        executor = client.executor(endpoint_id, batch_interval=2.0)
+        future = executor.submit(double, 1)
+        executor.shutdown(wait=True, cancel_futures=True)
+        assert future.cancelled
+
+    def test_post_dispatch_cancel_propagates(self, client, endpoint_id):
+        def slow(x):
+            import time as t
+            t.sleep(0.5)
+            return x
+
+        with client.executor(endpoint_id, batch_interval=0.0) as executor:
+            blocker = executor.submit(slow, 0)      # occupies the worker
+            victim = executor.submit(slow, 1)       # stays QUEUED
+            deadline_future = victim
+            # Wait for the wave to dispatch so the task id exists.
+            deadline = 50
+            while deadline_future.task_id == "" and deadline:
+                deadline -= 1
+                import time as t
+                t.sleep(0.01)
+            assert victim.cancel() is True
+            with pytest.raises(TaskCancelled):
+                victim.result(timeout=5)
+            assert blocker.result(timeout=30) == 0
+        assert client.service.tasks_cancelled >= 1
+
+    def test_memoized_fast_path(self, client, endpoint_id):
+        with client.executor(endpoint_id, memoize=True) as executor:
+            first = executor.submit(double, 5).result(timeout=30)
+            # The repeat completes at submit time (memo hit) — before the
+            # watch lands; the terminal fast-path must still deliver it.
+            second = executor.submit(double, 5).result(timeout=30)
+        assert first == second == 10
+        assert client.service.metrics.counter(
+            "service.memo_completions").value >= 1
+
+    def test_spilled_result_round_trips(self, deployment=None):
+        with LocalDeployment(
+                service_config=ServiceConfig(stream_spill_threshold=256)
+        ) as dep:
+            client = dep.client()
+            ep = dep.create_endpoint("spill-ep", nodes=1)
+
+            def big(n):
+                return b"z" * n
+
+            with client.executor(ep) as executor:
+                assert executor.submit(big, 10_000).result(
+                    timeout=30) == b"z" * 10_000
+            assert dep.metrics.counter("stream.results_spilled").value >= 1
+            assert len(dep.service.result_stream.spill) == 0
+
+    def test_batch_size_validated(self, client, endpoint_id):
+        with pytest.raises(ValueError):
+            FuncXExecutor(client, endpoint_id, batch_size=0)
+
+
+class ScriptedClient(FuncXClient):
+    """A client stub with a scripted result path for deterministic
+    wait_for tests: get_result never blocks; only the sleeper advances
+    the fake clock."""
+
+    def __init__(self, clock, ready_at=None, value=b"done"):
+        self._clock = clock
+        self._sleep = lambda seconds: clock.advance(seconds)
+        self.ready_at = ready_at
+        self.value = value
+        self.timeouts_seen: list[float] = []
+
+    def get_result(self, task_id, timeout=0.0):
+        self.timeouts_seen.append(timeout)
+        if self.ready_at is not None and self._clock() >= self.ready_at:
+            return self.value
+        raise TaskPending(task_id, "running")
+
+    def get_status(self, task_id):
+        from repro.core.tasks import TaskState
+
+        return TaskState.RUNNING
+
+
+class TestWaitForDeadline:
+    def test_returns_within_budget(self):
+        clock = FakeClock()
+        stub = ScriptedClient(clock, ready_at=None)
+        with pytest.raises(TaskPending):
+            stub.wait_for("t", timeout=2.0, poll=0.5)
+        # The old loop overshot by up to a full blocking interval; the
+        # clamped loop never sleeps past the deadline.
+        assert clock.now == pytest.approx(2.0)
+
+    def test_block_clamped_to_remaining(self):
+        clock = FakeClock()
+        stub = ScriptedClient(clock, ready_at=None)
+        with pytest.raises(TaskPending):
+            stub.wait_for("t", timeout=0.3, poll=0.5)
+        # Every blocking call fits the remaining budget (old code always
+        # passed the full 0.5 s block).
+        assert all(t <= 0.3 for t in stub.timeouts_seen)
+        assert clock.now == pytest.approx(0.3)
+
+    def test_result_at_deadline_returned(self):
+        clock = FakeClock()
+        # Ready exactly at the deadline: the post-loop check must return
+        # the result instead of raising TaskPending.
+        stub = ScriptedClient(clock, ready_at=2.0)
+        assert stub.wait_for("t", timeout=2.0, poll=0.5) == b"done"
+        assert stub.timeouts_seen[-1] == 0.0  # resolved by the final check
+
+    def test_result_mid_wait_returned(self):
+        clock = FakeClock()
+        stub = ScriptedClient(clock, ready_at=0.9)
+        assert stub.wait_for("t", timeout=5.0, poll=0.3) == b"done"
+        assert clock.now < 5.0
+
+
+class TestFutureForSubscriptionLeak:
+    def test_memo_hit_fast_path_does_not_leak(self, deployment, client,
+                                              endpoint_id):
+        fid = client.register_function(double, public=True)
+        # Prime the memo cache through the live path.
+        client.submit(fid, endpoint_id, 7, memoize=True).result(timeout=30)
+        pubsub = deployment.service.pubsub
+        before = pubsub.live_subscriptions()
+        for _ in range(10):
+            # Memo hits complete before _future_for subscribes; the
+            # terminal fast-path resolves the future, and its
+            # done-callback must still tear the subscription down.
+            assert client.submit(
+                fid, endpoint_id, 7, memoize=True).result(timeout=30) == 14
+        assert pubsub.live_subscriptions() == before
+
+    def test_error_path_does_not_leak(self, deployment, client, endpoint_id,
+                                      monkeypatch):
+        fid = client.register_function(double, public=True)
+        task_id = client.run(fid, endpoint_id, 7)
+
+        def explode(_task_id):
+            raise RuntimeError("task lookup failed")
+
+        pubsub = deployment.service.pubsub
+        before = pubsub.live_subscriptions()
+        monkeypatch.setattr(deployment.service, "task_by_id", explode)
+        with pytest.raises(RuntimeError):
+            client._future_for(task_id)
+        assert pubsub.live_subscriptions() == before
+
+
+class TestClientCancel:
+    def test_future_cancel_propagates_to_service(self, deployment, client,
+                                                 endpoint_id):
+        def slow(x):
+            import time as t
+            t.sleep(0.5)
+            return x
+
+        fid = client.register_function(slow, public=True)
+        blocker = client.submit(fid, endpoint_id, 0)
+        victim = client.submit(fid, endpoint_id, 1)
+        assert victim.cancel() is True
+        assert victim.cancelled
+        with pytest.raises(TaskCancelled):
+            victim.result(timeout=5)
+        assert deployment.service.tasks_cancelled == 1
+        assert blocker.result(timeout=30) == 0
+
+    def test_cancel_loses_to_result(self, client, endpoint_id):
+        fid = client.register_function(double, public=True)
+        future = client.submit(fid, endpoint_id, 3)
+        assert future.result(timeout=30) == 6
+        assert future.cancel() is False
+        assert not future.cancelled

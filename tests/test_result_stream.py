@@ -1,0 +1,466 @@
+"""Tests for push-based result delivery (ResultStreamServer) and task
+cancellation on the service.
+
+Unit tests drive the stream deterministically: ``subscribe(auto_deliver=
+False)`` skips the delivery thread and every delivery pass is an explicit
+``server.step()``.  The chaos-marked classes run a live deployment and
+exercise the disconnect/redelivery machinery under the no-double-resolve
+invariant (counted through ``FuncXFuture.observer``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.auth import AuthService
+from repro.core.futures import FuncXFuture
+from repro.core.service import FuncXService, ServiceConfig
+from repro.core.stream import MAX_BATCH
+from repro.core.tasks import TaskState
+from repro.errors import TaskCancelled
+from repro.serialize import FuncXSerializer
+from repro.staging.transfer import fetch_ref
+
+
+@pytest.fixture
+def service(clock):
+    return FuncXService(auth=AuthService(clock=clock), clock=clock)
+
+
+@pytest.fixture
+def user_token(service):
+    identity = service.auth.register_identity("alice")
+    return service.auth.native_client_flow(identity).token
+
+
+@pytest.fixture
+def endpoint_id(service):
+    _identity, token = service.auth.endpoint_client_flow("test-ep")
+    return service.register_endpoint(token.token, name="test-ep")
+
+
+@pytest.fixture
+def function_id(service, user_token):
+    def double(x):
+        return 2 * x
+
+    return service.register_function(
+        user_token, "double", FuncXSerializer().serialize_function(double),
+        public=True)
+
+
+def submit_one(service, user_token, function_id, endpoint_id, **kwargs):
+    payload = FuncXSerializer().serialize(([1], {}))
+    return service.submit(user_token, function_id, endpoint_id, payload, **kwargs)
+
+
+class Collector:
+    """A consumer recording every delivered batch."""
+
+    def __init__(self, sub=None, auto_ack=False):
+        self.batches = []
+        self.sub = sub
+        self.auto_ack = auto_ack
+
+    def __call__(self, batch):
+        self.batches.append(batch)
+        if self.auto_ack:
+            self.sub.ack(batch.delivery_id)
+
+    @property
+    def task_ids(self):
+        return [m.task_id for b in self.batches for m in b.results]
+
+
+class TestSubscription:
+    def test_watch_then_complete_delivers(self, service, user_token,
+                                          function_id, endpoint_id):
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        sub.watch(task_id)
+        assert service.result_stream.step() == 0  # not terminal yet
+        service.complete_task(task_id, success=True, result_buffer=b"payload")
+        assert service.result_stream.step() == 1
+        (batch,) = collector.batches
+        (message,) = batch.results
+        assert message.task_id == task_id
+        assert message.success and not message.cancelled
+        assert message.result_buffer == b"payload"
+        assert batch.delivery_id and batch.subscriber_id == sub.subscriber_id
+
+    def test_watch_already_terminal_delivers(self, service, user_token,
+                                             function_id, endpoint_id):
+        # Memo hits complete before the watch lands; watching a terminal
+        # task must still enqueue it.
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        service.complete_task(task_id, success=True, result_buffer=b"r")
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        sub.watch(task_id)
+        assert service.result_stream.step() == 1
+        assert collector.task_ids == [task_id]
+
+    def test_completions_coalesce_into_one_batch(self, service, user_token,
+                                                 function_id, endpoint_id):
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        task_ids = [submit_one(service, user_token, function_id, endpoint_id)
+                    for _ in range(5)]
+        for task_id in task_ids:
+            sub.watch(task_id)
+            service.complete_task(task_id, success=True, result_buffer=b"r")
+        assert service.result_stream.step() == 5
+        assert len(collector.batches) == 1
+        assert sorted(collector.task_ids) == sorted(task_ids)
+
+    def test_no_consumer_no_delivery(self, service, user_token,
+                                     function_id, endpoint_id):
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        sub.watch(task_id)
+        service.complete_task(task_id, success=True, result_buffer=b"r")
+        assert service.result_stream.step() == 0
+        assert sub.backlog == 1
+
+    def test_credit_window_bounds_unacked(self, service, user_token,
+                                          function_id, endpoint_id):
+        sub = service.result_stream.subscribe(window=4, auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        for _ in range(10):
+            task_id = submit_one(service, user_token, function_id, endpoint_id)
+            sub.watch(task_id)
+            service.complete_task(task_id, success=True, result_buffer=b"r")
+        assert service.result_stream.step() == 4
+        # Window exhausted: further passes stall instead of delivering.
+        stalls_before = service.metrics.counter("stream.credit_stalls").value
+        assert service.result_stream.step() == 0
+        assert service.metrics.counter("stream.credit_stalls").value > stalls_before
+        assert sub.unacked_results == 4 <= sub.window
+        assert sub.backlog == 6
+
+    def test_ack_reopens_window(self, service, user_token,
+                                function_id, endpoint_id):
+        sub = service.result_stream.subscribe(window=4, auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        for _ in range(10):
+            task_id = submit_one(service, user_token, function_id, endpoint_id)
+            sub.watch(task_id)
+            service.complete_task(task_id, success=True, result_buffer=b"r")
+        while service.result_stream.step() or sub.unacked_results:
+            for batch in list(collector.batches):
+                sub.ack(batch.delivery_id)
+            collector.batches.clear()
+        assert sub.backlog == 0
+        assert sub.unacked_results == 0
+        assert service.metrics.counter(
+            "stream.results_delivered").value == 10
+
+    def test_duplicate_completion_enqueues_once(self, service, user_token,
+                                                function_id, endpoint_id):
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        sub.watch(task_id)
+        service.complete_task(task_id, success=True, result_buffer=b"r")
+        # A second terminal notification (requeue race) must not enqueue
+        # the result twice.
+        service.result_stream.on_task_terminal(service.task_by_id(task_id))
+        sub.task_ready(task_id)
+        assert service.result_stream.step() == 1
+        assert service.result_stream.step() == 0
+
+    def test_consumer_error_detaches_then_redelivers(self, service, user_token,
+                                                     function_id, endpoint_id):
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        sub.attach(lambda batch: (_ for _ in ()).throw(OSError("dropped")))
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        sub.watch(task_id)
+        service.complete_task(task_id, success=True, result_buffer=b"r")
+        assert service.result_stream.step() == 0  # delivery failed
+        assert sub.consumer is None               # treated as disconnected
+        assert service.metrics.counter("stream.consumer_errors").value == 1
+        assert sub.unacked_results == 0           # batch went back to the queue
+        # Reconnect: the result redelivers under a fresh delivery id.
+        collector = Collector()
+        sub.attach(collector)
+        assert service.result_stream.step() == 1
+        assert collector.task_ids == [task_id]
+        assert service.metrics.counter("stream.redeliveries").value == 1
+
+    def test_recover_requeues_unacked_batches(self, service, user_token,
+                                              function_id, endpoint_id):
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        task_ids = [submit_one(service, user_token, function_id, endpoint_id)
+                    for _ in range(3)]
+        for task_id in task_ids:
+            sub.watch(task_id)
+            service.complete_task(task_id, success=True, result_buffer=b"r")
+        assert service.result_stream.step() == 3
+        first_delivery = collector.batches[0].delivery_id
+        # The client lost the batch in flight: recover() nacks everything
+        # delivered-unacked and it redelivers under a new delivery id.
+        assert sub.recover() == 3
+        assert sub.unacked_results == 0
+        assert service.result_stream.step() == 3
+        assert collector.batches[-1].delivery_id != first_delivery
+        assert sorted(collector.task_ids) == sorted(task_ids * 2)
+
+    def test_large_result_spills_to_staging(self, clock, user_token=None):
+        service = FuncXService(
+            auth=AuthService(clock=clock), clock=clock,
+            config=ServiceConfig(stream_spill_threshold=64))
+        identity = service.auth.register_identity("alice")
+        token = service.auth.native_client_flow(identity).token
+        _eid, ep_token = service.auth.endpoint_client_flow("ep")
+        endpoint_id = service.register_endpoint(ep_token.token, name="ep")
+        function_id = service.register_function(
+            token, "f", FuncXSerializer().serialize_function(lambda: None),
+            public=True)
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        payload = FuncXSerializer().serialize(([1], {}))
+        task_id = service.submit(token, function_id, endpoint_id, payload)
+        sub.watch(task_id)
+        big = b"x" * 1000
+        service.complete_task(task_id, success=True, result_buffer=big)
+        assert service.result_stream.step() == 1
+        (message,) = collector.batches[0].results
+        assert message.result_buffer == b""          # shipped out of band
+        assert message.result_ref is not None
+        assert fetch_ref(message.result_ref) == big  # round-trips
+        assert service.metrics.counter("stream.results_spilled").value == 1
+        sub.ack(collector.batches[0].delivery_id)
+        assert len(service.result_stream.spill) == 0  # cleaned on ack
+
+    def test_failed_task_streams_failure(self, service, user_token,
+                                         function_id, endpoint_id):
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        sub.watch(task_id)
+        service.complete_task(task_id, success=False, exception_text="boom")
+        assert service.result_stream.step() == 1
+        (message,) = collector.batches[0].results
+        assert not message.success and not message.cancelled
+        assert message.exception_text == "boom"
+
+    def test_cancelled_task_streams_cancelled_flag(self, service, user_token,
+                                                   function_id, endpoint_id):
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        collector = Collector()
+        sub.attach(collector)
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        sub.watch(task_id)
+        assert service.cancel_task(user_token, task_id)
+        assert service.result_stream.step() == 1
+        (message,) = collector.batches[0].results
+        assert message.cancelled and not message.success
+
+    def test_close_forgets_subscription(self, service):
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        assert service.result_stream.subscription_count() == 1
+        sub.close()
+        assert service.result_stream.subscription_count() == 0
+        with pytest.raises(RuntimeError):
+            sub.watch("t")
+        with pytest.raises(RuntimeError):
+            sub.attach(lambda batch: None)
+
+    def test_subscribe_validates_window(self, service):
+        with pytest.raises(ValueError):
+            service.result_stream.subscribe(window=0)
+
+    def test_batch_cap(self, service):
+        sub = service.result_stream.subscribe(
+            window=10 * MAX_BATCH, auto_deliver=False)
+        assert sub.credits.available == 10 * MAX_BATCH  # window as granted
+
+
+class TestCancelTask:
+    def test_cancel_queued_task(self, service, user_token,
+                                function_id, endpoint_id):
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        assert service.cancel_task(user_token, task_id) is True
+        assert service.status(user_token, task_id) is TaskState.CANCELLED
+        with pytest.raises(TaskCancelled):
+            service.get_result(user_token, task_id)
+        assert service.tasks_cancelled == 1
+
+    def test_cancel_twice_second_loses(self, service, user_token,
+                                       function_id, endpoint_id):
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        assert service.cancel_task(user_token, task_id) is True
+        assert service.cancel_task(user_token, task_id) is False
+        assert service.tasks_cancelled == 1
+
+    def test_cancel_after_completion_loses(self, service, user_token,
+                                           function_id, endpoint_id):
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        service.complete_task(task_id, success=True, result_buffer=b"r")
+        assert service.cancel_task(user_token, task_id) is False
+        assert service.get_result(user_token, task_id) == b"r"
+
+    def test_late_result_suppressed_and_counted(self, service, user_token,
+                                                function_id, endpoint_id):
+        task_id = submit_one(service, user_token, function_id, endpoint_id)
+        assert service.cancel_task(user_token, task_id)
+        # The worker's result arrives after the cancel: first outcome
+        # wins — the recorded state stays CANCELLED.
+        assert service.complete_task(
+            task_id, success=True, result_buffer=b"late") is False
+        assert service.post_cancel_results == 1
+        assert service.status(user_token, task_id) is TaskState.CANCELLED
+        with pytest.raises(TaskCancelled):
+            service.get_result(user_token, task_id)
+
+
+@pytest.fixture
+def delivery_counts():
+    """Install a FuncXFuture observer counting resolutions per task."""
+    counts: dict[str, int] = {}
+    lock = threading.Lock()
+
+    def observer(event, fields):
+        if event == "future.delivered":
+            with lock:
+                counts[fields["task_id"]] = counts.get(fields["task_id"], 0) + 1
+
+    saved = FuncXFuture.observer
+    FuncXFuture.observer = observer
+    yield counts
+    FuncXFuture.observer = saved
+
+
+@pytest.mark.chaos
+class TestStreamChaos:
+    def test_disconnect_reconnect_resolves_every_future_once(
+            self, delivery_counts):
+        from repro import LocalDeployment
+
+        def work(x):
+            import time as t
+            t.sleep(0.005)
+            return x * 3
+
+        with LocalDeployment() as dep:
+            client = dep.client()
+            ep = dep.create_endpoint("chaos", nodes=1)
+            with client.executor(ep) as executor:
+                futures = [executor.submit(work, i) for i in range(30)]
+                # Sever the stream mid-run (client "disconnect"), let
+                # results pile into the backlog, then reconnect and
+                # requeue whatever was in flight.
+                time.sleep(0.05)
+                executor.subscription.detach()
+                time.sleep(0.1)
+                executor.subscription.recover()
+                executor.subscription.attach(executor._on_result_batch)
+                results = [f.result(timeout=30) for f in futures]
+            assert results == [i * 3 for i in range(30)]
+        resolved = {f.task_id for f in futures}
+        assert all(delivery_counts[t] == 1 for t in resolved)
+
+    def test_dropped_batch_redelivers_without_double_resolve(
+            self, delivery_counts):
+        from repro import LocalDeployment
+
+        with LocalDeployment() as dep:
+            client = dep.client()
+            ep = dep.create_endpoint("chaos", nodes=1)
+            with client.executor(ep) as executor:
+                real = executor._on_result_batch
+                dropped = threading.Event()
+
+                def flaky(batch):
+                    # First batch is "lost on the wire": the server
+                    # detaches us and nacks it for redelivery.
+                    if not dropped.is_set():
+                        dropped.set()
+                        raise OSError("connection reset")
+                    real(batch)
+
+                executor.subscription.detach()
+                executor.subscription.attach(flaky)
+                futures = [executor.submit(lambda x: x + 1, i)
+                           for i in range(20)]
+                assert dropped.wait(timeout=10)
+                # Reconnect after the drop; the nacked batch redelivers.
+                deadline = time.monotonic() + 10
+                while executor.subscription.consumer is None:
+                    executor.subscription.attach(flaky)
+                    if time.monotonic() > deadline:
+                        break
+                results = [f.result(timeout=30) for f in futures]
+            assert results == [i + 1 for i in range(20)]
+            assert dep.metrics.counter("stream.redeliveries").value >= 1
+            assert dep.metrics.counter("stream.consumer_errors").value == 1
+        resolved = {f.task_id for f in futures}
+        assert all(delivery_counts[t] == 1 for t in resolved)
+
+    def test_slow_consumer_bounded_by_window(self):
+        from repro import LocalDeployment
+
+        window = 4
+        tasks = 16
+        with LocalDeployment() as dep:
+            client = dep.client()
+            ep = dep.create_endpoint("chaos", nodes=1)
+            fid = client.register_function(lambda x: x, public=True)
+            sub = dep.service.result_stream.subscribe(window=window)
+            peak = 0
+            received: list[str] = []
+            lock = threading.Lock()
+
+            def never_acks(batch):
+                # A stalled client: record the batch, never ack it.
+                with lock:
+                    received.append(batch.delivery_id)
+
+            sub.attach(never_acks)
+            task_ids = [client.run(fid, ep, i) for i in range(tasks)]
+            for task_id in task_ids:
+                sub.watch(task_id)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                unacked = sub.unacked_results
+                peak = max(peak, unacked)
+                if unacked == window and sub.backlog >= tasks - window:
+                    break
+                time.sleep(0.01)
+            # Delivered-unacked never exceeds the advertised window; the
+            # rest sheds into the bounded, observable backlog queue.
+            assert peak <= window
+            assert sub.unacked_results == window
+            assert sub.backlog == tasks - window
+            # The stalled client wakes up and acks: everything drains.
+            with lock:
+                backlog_ids = list(received)
+            for delivery_id in backlog_ids:
+                sub.ack(delivery_id)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                with lock:
+                    for delivery_id in received:
+                        sub.ack(delivery_id)
+                if (dep.metrics.counter("stream.results_delivered").value
+                        >= tasks):
+                    break
+                time.sleep(0.01)
+            assert dep.metrics.counter(
+                "stream.results_delivered").value >= tasks
+            assert sub.unacked_results <= window
+            sub.close()
