@@ -2,8 +2,11 @@
 run on every commit.
 
 PR 4 added a CFG + dataflow engine (lease-ack, span-lifecycle) and a
-cross-file lock-order graph to ``repro lint``; flow-sensitive analyses
-are where linters usually get slow.  This gate times ``run_analysis``
+cross-file lock-order graph to ``repro lint``; the protocol registry
+then multiplied the flow-sensitive fleet (subscription-lifecycle,
+spill-lifecycle, future-resolution per file, plus the cross-file
+credit-balance and handler-exhaustiveness passes).  Flow-sensitive
+analyses are where linters usually get slow.  This gate times ``run_analysis``
 over all of ``src/`` — best of several runs, so a cold filesystem cache
 only hits the first — and asserts the wall time stays under the budget
 that keeps lint viable as a tier-1 pre-commit step.
@@ -61,8 +64,11 @@ def test_lint_runtime_gate():
         ["files", "best of", "wall time (s)", "gate (s)"],
         [[report_obj.files_analyzed, runs, best, MAX_SECONDS]],
     )
-    report.note("includes the CFG/dataflow checks (lease-ack, "
-                "span-lifecycle) and the cross-file lock-order graph")
+    report.note("includes the typestate protocol fleet (lease-ack, "
+                "subscription-lifecycle, spill-lifecycle, "
+                "future-resolution, span-lifecycle) and the cross-file "
+                "lock-order, credit-balance, and handler-exhaustiveness "
+                "passes")
     report.finish()
 
     assert best < MAX_SECONDS, (

@@ -22,6 +22,7 @@ from repro.analysis.lockscope import (
     iter_classes,
     visit_with_lock_state,
 )
+from repro.analysis.protocols import LEASE_PROTOCOL, run_value_protocol
 from repro.analysis.source import SourceFile, dotted_name, enclosing_symbol
 
 GUARDED_BY = "guarded-by"
@@ -494,17 +495,12 @@ def _subtree_domains(node: ast.expr, declared: dict[tuple[str, str], str]) -> se
 # ======================================================================
 # 6. lease-ack discipline (flow-sensitive)
 # ======================================================================
+# The analysis itself lives in repro.analysis.protocols: lease-ack was
+# the original hand-written typestate check (PR 4) and is now one
+# declarative ProtocolSpec on the shared engine — same facts, same
+# waivers, same findings.
 _OPEN = "open"
 _DONE = "done"
-_LEASE_METHODS = {"lease", "lease_many", "lease_batch"}
-_LEASE_WRAPPERS = {"deque", "list", "sorted", "tuple", "reversed"}
-
-_LEASE_HINT = (
-    "every path to exit must ack/nack the lease (or hand it off: storing "
-    "it in a field, returning it, or passing it to another call are "
-    "explicit waivers); for deliberate drops add `# lint: ignore[lease-ack]` "
-    "on the acquisition line"
-)
 
 
 def check_lease_ack(source: SourceFile) -> Iterator[Finding]:
@@ -520,198 +516,12 @@ def check_lease_ack(source: SourceFile) -> Iterator[Finding]:
     None:`` / ``if not leases:`` branches and drained loop collections
     are understood flow-sensitively.
     """
-    for func in _all_functions(source.tree):
-        yield from _scan_lease_flow(source, func)
+    yield from run_value_protocol(source, LEASE_PROTOCOL)
 
 
 def _all_functions(tree: ast.Module) -> List[ast.FunctionDef]:
     return [n for n in ast.walk(tree)
             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
-
-
-def _is_lease_call(expr: ast.expr) -> Optional[ast.Call]:
-    """Return the acquiring Call if ``expr`` produces lease value(s)."""
-    if not isinstance(expr, ast.Call):
-        return None
-    func = expr.func
-    if isinstance(func, ast.Attribute) and func.attr in _LEASE_METHODS:
-        return expr
-    if (isinstance(func, ast.Name) and func.id in _LEASE_WRAPPERS
-            and len(expr.args) == 1):
-        return _is_lease_call(expr.args[0])
-    return None
-
-
-def _names_in(expr: ast.AST) -> Set[str]:
-    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
-
-
-class _LeaseAnalysis(ForwardAnalysis):
-    """Facts: var -> {(origin_line, "open"|"done")}."""
-
-    def transfer(self, stmt: ast.AST, facts: Facts) -> Facts:
-        facts = dict(facts)
-        self._dispose_events(stmt, facts)
-        if isinstance(stmt, ast.Assign):
-            self._bind(stmt.targets, stmt.value, facts)
-        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
-            self._bind([stmt.target], stmt.value, facts)
-        elif isinstance(stmt, ast.AugAssign):
-            pass  # dispose_events already handled the RHS call, if any
-        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
-            for item in stmt.items:
-                if item.optional_vars is not None:
-                    self._bind([item.optional_vars], item.context_expr, facts)
-        return facts
-
-    def _bind(self, targets: List[ast.expr], value: ast.expr,
-              facts: Facts) -> None:
-        acquiring = _is_lease_call(value)
-        inherited: FrozenSet[Tuple] = frozenset()
-        if acquiring is None:
-            for name in _names_in(value):
-                inherited |= facts.get(name, frozenset())
-        for target in targets:
-            if isinstance(target, ast.Name):
-                if acquiring is not None:
-                    facts[target.id] = frozenset({(acquiring.lineno, _OPEN)})
-                elif inherited:
-                    facts[target.id] = inherited
-            elif isinstance(target, ast.Tuple):
-                # Tuple unpack of lease values: track each element name.
-                pairs = (frozenset({(acquiring.lineno, _OPEN)})
-                         if acquiring is not None else inherited)
-                if pairs:
-                    for elt in target.elts:
-                        if isinstance(elt, ast.Name):
-                            facts[elt.id] = pairs
-            else:
-                # Escape: storing into a field / subscript disposes the
-                # stored lease(s).
-                if acquiring is not None:
-                    continue
-                self._dispose_names(_names_in(value), facts)
-
-    def _dispose_events(self, stmt: ast.AST, facts: Facts) -> None:
-        disposed: Set[str] = set()
-        for part in header_parts(stmt):
-            for node in ast.walk(part):
-                disposed |= self._disposals_in(node, facts)
-        if isinstance(stmt, ast.Assign):
-            for target in stmt.targets:
-                if not isinstance(target, (ast.Name, ast.Tuple)):
-                    disposed |= _names_in(stmt.value) & facts.keys()
-        self._dispose_names(disposed, facts)
-
-    @staticmethod
-    def _disposals_in(node: ast.AST, facts: Facts) -> Set[str]:
-        disposed: Set[str] = set()
-        if isinstance(node, ast.Call):
-            for arg in list(node.args) + [kw.value for kw in node.keywords]:
-                disposed |= _names_in(arg) & facts.keys()
-        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
-            if node.value is not None:
-                disposed |= _names_in(node.value) & facts.keys()
-        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
-                               ast.GeneratorExp)):
-            for gen in node.generators:
-                disposed |= _names_in(gen.iter) & facts.keys()
-        return disposed
-
-    def _dispose_names(self, names: Set[str], facts: Facts) -> None:
-        if not names:
-            return
-        origins: Set[int] = set()
-        for name in names:
-            origins |= {origin for origin, _ in facts.get(name, frozenset())}
-        if not origins:
-            return
-        # Disposal acts on the lease itself, so it reaches every alias
-        # sharing the origin — not just the variable named at the site.
-        for var, pairs in list(facts.items()):
-            facts[var] = frozenset(
-                (origin, _DONE if origin in origins else state)
-                for origin, state in pairs)
-
-    def refine(self, cond: Optional[ast.expr], branch: Optional[bool],
-               facts: Facts) -> Facts:
-        if cond is None or branch is None:
-            return facts
-        if isinstance(cond, (ast.For, ast.AsyncFor)):
-            return self._refine_for(cond, branch, facts)
-        var, empty_when = self._emptiness_test(cond)
-        if var is None or var not in facts:
-            return facts
-        if branch == empty_when:
-            facts = dict(facts)
-            facts[var] = frozenset((o, _DONE) for o, _ in facts[var])
-        return facts
-
-    def _refine_for(self, stmt: ast.AST, branch: bool, facts: Facts) -> Facts:
-        pairs: FrozenSet[Tuple] = frozenset()
-        acquiring = _is_lease_call(stmt.iter)
-        iter_names = _names_in(stmt.iter) & facts.keys()
-        if acquiring is not None:
-            # `for lease in queue.lease_many(n):` — each element is a
-            # fresh lease bound to the loop variable.
-            pairs = frozenset({(acquiring.lineno, _OPEN)})
-        elif iter_names:
-            facts = dict(facts)
-            for name in iter_names:
-                pairs |= facts[name]
-                # Iterating the collection transfers ownership of its
-                # elements to the loop variable.
-                facts[name] = frozenset((o, _DONE) for o, _ in facts[name])
-        else:
-            return facts
-        if branch and isinstance(stmt.target, ast.Name):
-            facts = dict(facts)
-            facts[stmt.target.id] = pairs
-        return facts
-
-    @staticmethod
-    def _emptiness_test(cond: ast.expr) -> Tuple[Optional[str], Optional[bool]]:
-        """Recognize None/emptiness tests: returns (var, branch-on-which-
-        the-value-is-absent)."""
-        if isinstance(cond, ast.Name):
-            return cond.id, False          # `if lease:` — false branch: absent
-        if (isinstance(cond, ast.UnaryOp) and isinstance(cond.op, ast.Not)
-                and isinstance(cond.operand, ast.Name)):
-            return cond.operand.id, True   # `if not leases:` — true: absent
-        if (isinstance(cond, ast.Compare) and len(cond.ops) == 1
-                and isinstance(cond.left, ast.Name)
-                and isinstance(cond.comparators[0], ast.Constant)
-                and cond.comparators[0].value is None):
-            if isinstance(cond.ops[0], ast.Is):
-                return cond.left.id, True   # `if lease is None:`
-            if isinstance(cond.ops[0], ast.IsNot):
-                return cond.left.id, False  # `if lease is not None:`
-        return None, None
-
-
-def _scan_lease_flow(source: SourceFile, func: ast.FunctionDef) -> Iterator[Finding]:
-    if not any(_is_lease_call(n) for n in ast.walk(func)
-               if isinstance(n, ast.Call)):
-        return
-    cfg = build_cfg(func)
-    in_facts = run_forward(cfg, _LeaseAnalysis())
-    exit_facts = in_facts.get(cfg.exit, {})
-    leaked: Dict[int, Set[str]] = {}
-    for var, pairs in exit_facts.items():
-        for origin, state in pairs:
-            if state == _OPEN:
-                leaked.setdefault(origin, set()).add(var)
-    for origin in sorted(leaked):
-        synthetic = ast.Pass()
-        synthetic.lineno = origin
-        synthetic.col_offset = 0
-        names = ", ".join(sorted(leaked[origin]))
-        yield _finding(
-            source, LEASE_ACK, synthetic,
-            f"lease(s) acquired here (held in {names}) may reach the exit "
-            f"of {func.name}() without ack/nack on some path",
-            _LEASE_HINT,
-        )
 
 
 # ======================================================================

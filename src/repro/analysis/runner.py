@@ -18,6 +18,13 @@ from repro.analysis.checks import (
 )
 from repro.analysis.findings import Finding, sort_findings
 from repro.analysis.lockorder import check_lock_order
+from repro.analysis.protocols import (
+    check_credit_balance,
+    check_future_resolution,
+    check_handler_exhaustiveness,
+    check_spill_lifecycle,
+    check_subscription_lifecycle,
+)
 from repro.analysis.source import SourceFile, load_source, module_name_for
 
 Check = Callable[[SourceFile], Iterator[Finding]]
@@ -32,12 +39,18 @@ ALL_CHECKS: dict[str, Check] = {
     "clock-domain": check_clock_domain,
     "lease-ack": check_lease_ack,
     "span-lifecycle": check_span_lifecycle,
+    "subscription-lifecycle": check_subscription_lifecycle,
+    "spill-lifecycle": check_spill_lifecycle,
+    "future-resolution": check_future_resolution,
 }
 
-#: Checks that need the whole tree at once (cross-file graphs).  They
-#: run after the per-file pass; waivers still apply per finding line.
+#: Checks that need the whole tree at once (cross-file graphs and
+#: cross-component resource protocols).  They run after the per-file
+#: pass; waivers still apply per finding line.
 GLOBAL_CHECKS: dict[str, GlobalCheck] = {
     "lock-order": check_lock_order,
+    "credit-balance": check_credit_balance,
+    "handler-exhaustiveness": check_handler_exhaustiveness,
 }
 
 
@@ -114,8 +127,16 @@ def iter_python_files(root: Path) -> Iterator[Path]:
 
 
 def analyze_paths(paths: list[Path], repo_root: Path | None = None,
-                  checks: dict[str, Check] | None = None) -> AnalysisReport:
-    """Analyze every Python file under ``paths`` (no baseline applied)."""
+                  checks: dict[str, Check] | None = None,
+                  global_checks: dict[str, GlobalCheck] | None = None
+                  ) -> AnalysisReport:
+    """Analyze every Python file under ``paths`` (no baseline applied).
+
+    ``checks``/``global_checks`` select subsets (``repro lint
+    --protocols``); with both ``None`` every registered check runs.
+    Passing only ``checks`` keeps the historical behavior of skipping
+    the global pass entirely.
+    """
     repo_root = repo_root or Path.cwd()
     report = AnalysisReport()
     sources: list[SourceFile] = []
@@ -134,20 +155,26 @@ def analyze_paths(paths: list[Path], repo_root: Path | None = None,
                 continue
             report.files_analyzed += 1
             sources.append(source)
-            report.findings.extend(analyze_source(source, checks or ALL_CHECKS))
-    if checks is None:
+            report.findings.extend(analyze_source(
+                source, checks if checks is not None else ALL_CHECKS))
+    if checks is None and global_checks is None:
         # Global (cross-file) checks run once over the whole tree so the
         # lock-order graph sees every edge, not one file at a time.
         report.findings.extend(_run_global_checks(sources))
+    elif global_checks is not None:
+        report.findings.extend(_run_global_checks(sources, global_checks))
     report.findings = sort_findings(report.findings)
     return report
 
 
 def run_analysis(paths: list[Path], repo_root: Path | None = None,
                  baseline: Baseline | None = None,
-                 checks: dict[str, Check] | None = None) -> AnalysisReport:
+                 checks: dict[str, Check] | None = None,
+                 global_checks: dict[str, GlobalCheck] | None = None
+                 ) -> AnalysisReport:
     """Analyze ``paths`` and split findings against ``baseline``."""
-    report = analyze_paths(paths, repo_root=repo_root, checks=checks)
+    report = analyze_paths(paths, repo_root=repo_root, checks=checks,
+                           global_checks=global_checks)
     if baseline is not None and len(baseline):
         new, suppressed, stale = baseline.apply(report.findings)
         report.findings = new

@@ -290,3 +290,208 @@ def sanitize_lock(obj, recorder: LockOrderRecorder, attr: str = "_lock",
     wrapped = SanitizedLock(inner, class_name=name, recorder=recorder)
     setattr(obj, attr, wrapped)
     return wrapped
+
+
+# ==========================================================================
+# ProtocolRecorder: runtime twin of the resource-protocol (typestate) checks
+# ==========================================================================
+class ProtocolRecorder:
+    """Counts runtime acquire/release events per resource protocol.
+
+    The static engine (:mod:`repro.analysis.protocols`) proves every
+    *lexical* acquire reaches a release; this records the *actual*
+    events a live fabric performs — credit ledger transitions, pubsub
+    subscribe/unsubscribe, stream subscription open/close — keyed as
+    ``(protocol, verb)`` in the same vocabulary
+    :func:`repro.analysis.protocols.protocol_sites` exports from the
+    sources.  The chaos acceptance gate asserts ``observed() ⊆ static
+    sites`` (every runtime event has a lexical site the checker
+    analyzed), mirroring the lock-graph subset gate, plus the balance
+    laws the checks promise: per-ledger ``released <= consumed`` and
+    ``unsubscribes <= subscribes``.
+
+    Opt in with ``LocalDeployment(sanitize_locks=True)`` or
+    ``ChaosWorld(..., sanitize_locks=True)``; the recorder rides along
+    the lock sanitizer as ``deployment.protocol_recorder``.
+    """
+
+    def __init__(self, metrics=None):
+        self._mutex = threading.Lock()
+        self._events: Dict[Tuple[str, str], int] = {}  # guarded-by: self._mutex
+        self._ledgers: List["RecordedLedger"] = []     # guarded-by: self._mutex
+        self._c_events = (metrics.counter("sanitizer.protocol_events")
+                          if metrics is not None else None)
+
+    def record(self, protocol: str, verb: str, amount: int = 1) -> None:
+        if amount <= 0:
+            return
+        with self._mutex:
+            key = (protocol, verb)
+            self._events[key] = self._events.get(key, 0) + amount
+        if self._c_events is not None:
+            self._c_events.inc(amount)
+
+    def register_ledger(self, ledger: "RecordedLedger") -> None:
+        """Track a fully-wrapped ledger for the strict balance check."""
+        with self._mutex:
+            self._ledgers.append(ledger)
+
+    # -- views ----------------------------------------------------------------
+    def events(self) -> Dict[Tuple[str, str], int]:
+        with self._mutex:
+            return dict(self._events)
+
+    def observed(self) -> set:
+        """The distinct ``(protocol, verb)`` pairs seen at runtime."""
+        with self._mutex:
+            return set(self._events)
+
+    def count(self, protocol: str, verb: str) -> int:
+        with self._mutex:
+            return self._events.get((protocol, verb), 0)
+
+    def ledgers(self) -> List["RecordedLedger"]:
+        with self._mutex:
+            return list(self._ledgers)
+
+
+class RecordedLedger:
+    """Duck-typed ``CreditLedger`` proxy recording credit events.
+
+    Counts the *effective* amounts (the ledger clamps, so a duplicate
+    release records nothing) and keeps per-ledger consumed/released
+    totals for the strict balance assertion.  Everything else proxies
+    through, so heartbeat/advertisement reads see the real books.
+    """
+
+    def __init__(self, inner, recorder: ProtocolRecorder):
+        self._inner = inner
+        self._recorder = recorder
+        self._mutex = threading.Lock()
+        self.consumed_seen = 0   # guarded-by: self._mutex
+        self.released_seen = 0   # guarded-by: self._mutex
+
+    def grant(self, n: int = 1) -> int:
+        granted = self._inner.grant(n)
+        self._recorder.record("credit", "grant", n)
+        return granted
+
+    def revoke(self, n: int = 1) -> int:
+        revoked = self._inner.revoke(n)
+        self._recorder.record("credit", "revoke", revoked)
+        return revoked
+
+    def consume(self, n: int = 1) -> int:
+        taken = self._inner.consume(n)
+        if taken:
+            with self._mutex:
+                self.consumed_seen += taken
+        self._recorder.record("credit", "consume", taken)
+        return taken
+
+    def release(self, n: int = 1) -> int:
+        returned = self._inner.release(n)
+        if returned:
+            with self._mutex:
+                self.released_seen += returned
+        self._recorder.record("credit", "release", returned)
+        return returned
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def sanitize_ledger(obj, recorder: ProtocolRecorder, attr: str = "credits",
+                    strict: bool = False) -> "RecordedLedger":
+    """Replace ``obj.<attr>`` with a RecordedLedger (idempotent).
+
+    ``strict=True`` registers the ledger for the released<=consumed
+    balance assertion — only safe when *every* holder of the ledger
+    reference is wrapped (a manager's workers capture the raw ledger in
+    ``Manager.__init__``, so manager ledgers stay non-strict: their
+    worker-side releases are invisible to the recorder).
+    """
+    inner = getattr(obj, attr)
+    if isinstance(inner, RecordedLedger):
+        return inner
+    wrapped = RecordedLedger(inner, recorder)
+    if strict:
+        recorder.register_ledger(wrapped)
+    setattr(obj, attr, wrapped)
+    return wrapped
+
+
+def sanitize_pubsub(pubsub, recorder: ProtocolRecorder):
+    """Record subscription-protocol events on a ``PubSub`` (idempotent).
+
+    Instance-level rebinds of ``subscribe``/``subscribe_prefix``/
+    ``unsubscribe``; an unsubscribe only counts when it actually removed
+    a token (the call is idempotent by contract), so the balance law
+    ``unsubscribes <= subscribes`` holds exactly.
+    """
+    if getattr(pubsub, "_protocol_recorder", None) is not None:
+        return pubsub
+    inner_subscribe = pubsub.subscribe
+    inner_prefix = pubsub.subscribe_prefix
+    inner_unsubscribe = pubsub.unsubscribe
+
+    def subscribe(topic, callback):
+        token = inner_subscribe(topic, callback)
+        recorder.record("subscription", "subscribe")
+        return token
+
+    def subscribe_prefix(prefix, callback):
+        token = inner_prefix(prefix, callback)
+        recorder.record("subscription", "subscribe")
+        return token
+
+    def unsubscribe(token):
+        removed = inner_unsubscribe(token)
+        if removed:
+            recorder.record("subscription", "unsubscribe")
+        return removed
+
+    pubsub.subscribe = subscribe
+    pubsub.subscribe_prefix = subscribe_prefix
+    pubsub.unsubscribe = unsubscribe
+    pubsub._protocol_recorder = recorder
+    return pubsub
+
+
+def sanitize_result_stream(server, recorder: ProtocolRecorder):
+    """Record stream-subscription lifecycle + credit events (idempotent).
+
+    Wraps ``server.subscribe`` so every subscription handed out records
+    its open, swaps its credit window for a strict
+    :class:`RecordedLedger` *before* any delivery can consume from it,
+    and wraps ``close``/``detach`` on the subscription instance.
+    """
+    if getattr(server, "_protocol_recorder", None) is not None:
+        return server
+    inner_subscribe = server.subscribe
+
+    def subscribe(*args, **kwargs):
+        sub = inner_subscribe(*args, **kwargs)
+        recorder.record("stream", "subscribe")
+        sanitize_ledger(sub, recorder, attr="credits", strict=True)
+        inner_close = sub.close
+        inner_detach = sub.detach
+        closed = threading.Event()
+
+        def close():
+            if not closed.is_set():
+                closed.set()
+                recorder.record("stream", "close")
+            inner_close()
+
+        def detach():
+            recorder.record("stream", "detach")
+            inner_detach()
+
+        sub.close = close
+        sub.detach = detach
+        return sub
+
+    server.subscribe = subscribe
+    server._protocol_recorder = recorder
+    return server

@@ -192,6 +192,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(inspect.getdoc(check))
         return 0
 
+    checks = global_checks = None
+    if args.protocols:
+        names = [name.strip()
+                 for spec in args.protocols for name in spec.split(",")
+                 if name.strip()]
+        unknown = sorted(set(names) - set(ALL_CHECKS) - set(GLOBAL_CHECKS))
+        if unknown:
+            print(f"unknown check(s): {', '.join(unknown)}; available: "
+                  f"{', '.join(sorted({**ALL_CHECKS, **GLOBAL_CHECKS}))}",
+                  file=sys.stderr)
+            return 2
+        checks = {n: ALL_CHECKS[n] for n in ALL_CHECKS if n in names}
+        global_checks = {n: GLOBAL_CHECKS[n] for n in GLOBAL_CHECKS
+                         if n in names}
+
     repo_root = Path(args.root).resolve()
     paths = [Path(p) for p in args.paths]
     for pattern in args.path_globs or []:
@@ -201,6 +216,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                   f"{repo_root}", file=sys.stderr)
             return 2
         paths.extend(matched)
+    if args.changed:
+        import subprocess
+        try:
+            diff = subprocess.run(
+                ["git", "diff", "--name-only", "HEAD"],
+                cwd=repo_root, capture_output=True, text=True, check=True)
+            untracked = subprocess.run(
+                ["git", "ls-files", "--others", "--exclude-standard"],
+                cwd=repo_root, capture_output=True, text=True, check=True)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"--changed requires a git checkout at {repo_root}: {exc}",
+                  file=sys.stderr)
+            return 2
+        changed = sorted({
+            line.strip()
+            for out in (diff.stdout, untracked.stdout)
+            for line in out.splitlines() if line.strip().endswith(".py")
+        })
+        changed_paths = [repo_root / rel for rel in changed
+                         if (repo_root / rel).exists()]
+        if not changed_paths:
+            print("no changed Python files; nothing to lint")
+            return 0
+        paths.extend(changed_paths)
     if not paths:
         paths = [repo_root / "src"]
     baseline_path = Path(args.baseline) if args.baseline else (
@@ -215,7 +254,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
             return 2
 
-    report = run_analysis(paths, repo_root=repo_root, baseline=baseline)
+    report = run_analysis(paths, repo_root=repo_root, baseline=baseline,
+                          checks=checks, global_checks=global_checks)
 
     if args.update_baseline:
         refreshed = Baseline.from_findings(report.all_findings())
@@ -427,7 +467,9 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="run the fabric static analyzer (guarded-by, determinism, "
              "wire-compat, blocking-under-lock, clock-domain, lease-ack, "
-             "span-lifecycle, lock-order)",
+             "span-lifecycle, subscription-lifecycle, spill-lifecycle, "
+             "future-resolution, lock-order, credit-balance, "
+             "handler-exhaustiveness)",
         description="Exit codes: 0 = clean, 1 = findings reported, "
                     "2 = usage or internal error (bad baseline, unknown "
                     "check, glob matched nothing).")
@@ -438,6 +480,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="glob (relative to --root) selecting files to "
                            "analyze; repeatable; a pattern matching nothing "
                            "is an error (exit 2)")
+    lint.add_argument("--changed", action="store_true",
+                      help="analyze only Python files changed in the git "
+                           "checkout (vs HEAD, plus untracked); exits 0 "
+                           "when nothing changed, 2 outside a git repo")
+    lint.add_argument("--protocols", dest="protocols", action="append",
+                      metavar="NAME[,NAME]", default=[],
+                      help="run only the named checks (comma-separated, "
+                           "repeatable); unknown names are an error (exit 2)")
     lint.add_argument("--explain", metavar="CHECK", default="",
                       help="print what CHECK enforces and exit (exit 2 if "
                            "unknown)")

@@ -248,10 +248,12 @@ class FuncXClient:
                     except RuntimeError:
                         pass
         except BaseException:
-            # Nothing above may leak the subscription: if the future never
-            # resolved, no done-callback will ever unsubscribe it.
-            if not future.done():
-                self.service.pubsub.unsubscribe(token)
+            # Nothing above may leak the subscription: if the done-callback
+            # never registered, nothing else will ever unsubscribe it.
+            # Unconditional on purpose — unsubscribe is idempotent, and a
+            # future that resolved *before* add_done_callback raised has no
+            # callback registered either.
+            self.service.pubsub.unsubscribe(token)
             raise
         return future
 

@@ -158,6 +158,9 @@ class ResultSubscription:
         for leases in unacked:
             for lease in leases:
                 self.queue.nack(lease.lease_id)
+                # The redelivery re-spills from the task record; keeping
+                # the old object would leak it if the client never asks.
+                self._server.drop_spill(self.subscriber_id, lease.item)
                 count += 1
             self.credits.release(len(leases))
         if count:
@@ -181,13 +184,20 @@ class ResultSubscription:
             self._unacked[delivery_id] = leases
 
     def recover_delivery(self, delivery_id: str) -> int:
-        """Requeue one delivered batch (consumer raised mid-delivery)."""
+        """Requeue one delivered batch (consumer raised mid-delivery).
+
+        The erroring-consumer detach path: credits come back to the
+        window and any payload spilled for the batch is deleted — the
+        redelivery re-spills from the task record, so an undelivered
+        DataRef must not outlive its batch.
+        """
         with self._lock:
             leases = self._unacked.pop(delivery_id, None)
         if leases is None:
             return 0
         for lease in leases:
             self.queue.nack(lease.lease_id)
+            self._server.drop_spill(self.subscriber_id, lease.item)
         self.credits.release(len(leases))
         return len(leases)
 
@@ -215,7 +225,15 @@ class ResultSubscription:
                 return
             self._closed = True
             self._consumer = None
+            unacked = list(self._unacked.values())
             self._unacked.clear()
+        # Delivered-unacked batches die with the subscription: give their
+        # credits back (balanced books for the protocol sanitizer) and
+        # delete their spilled payloads — nobody can ack them now.
+        for leases in unacked:
+            for lease in leases:
+                self._server.drop_spill(self.subscriber_id, lease.item)
+            self.credits.release(len(leases))
         self.queue.close()
         self._server.forget(self)
 

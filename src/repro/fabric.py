@@ -26,7 +26,14 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.analysis.sanitizer import LockOrderRecorder, sanitize_lock
+from repro.analysis.sanitizer import (
+    LockOrderRecorder,
+    ProtocolRecorder,
+    sanitize_ledger,
+    sanitize_lock,
+    sanitize_pubsub,
+    sanitize_result_stream,
+)
 from repro.auth.service import AuthService, Identity
 from repro.core.client import FuncXClient
 from repro.core.forwarder import Forwarder
@@ -118,10 +125,18 @@ class LocalDeployment:
         # leaf locks acquired from inside every component, and wrapping
         # them would add runtime edges the static graph cannot model.
         self.lock_recorder: LockOrderRecorder | None = None
+        self.protocol_recorder: ProtocolRecorder | None = None
         if sanitize_locks:
             self.lock_recorder = LockOrderRecorder(metrics=self.metrics)
             sanitize_lock(self.service, self.lock_recorder,
                           class_name="FuncXService._lock")
+            # Resource-protocol twin: record every credit / subscription /
+            # stream event so chaos runs can assert the runtime trace is a
+            # subset of the statically-declared protocol sites.
+            self.protocol_recorder = ProtocolRecorder(metrics=self.metrics)
+            sanitize_pubsub(self.service.pubsub, self.protocol_recorder)
+            sanitize_result_stream(self.service.result_stream,
+                                   self.protocol_recorder)
 
     # ------------------------------------------------------------------
     # identities & clients
@@ -194,10 +209,18 @@ class LocalDeployment:
             sanitize_lock(endpoint, recorder, class_name="Endpoint._lock")
             sanitize_lock(endpoint.agent, recorder,
                           class_name="FuncXAgent._lock")
+            protocol_recorder = self.protocol_recorder
             for manager in endpoint.managers.values():
                 sanitize_lock(manager, recorder, class_name="Manager._lock")
-            endpoint.on_manager_created = lambda m: sanitize_lock(
-                m, recorder, class_name="Manager._lock")
+                if protocol_recorder is not None:
+                    sanitize_ledger(manager, protocol_recorder)
+
+            def _on_manager(m, _rec=recorder, _prec=protocol_recorder):
+                sanitize_lock(m, _rec, class_name="Manager._lock")
+                if _prec is not None:
+                    sanitize_ledger(m, _prec)
+
+            endpoint.on_manager_created = _on_manager
             sanitize_lock(self.service.task_queue(endpoint_id), recorder,
                           class_name="ReliableQueue._lock")
             sanitize_lock(self.service.result_queue(endpoint_id), recorder,

@@ -1,0 +1,43 @@
+# module: fixtures.credit_bad
+# Known-bad corpus for the credit-balance check, one case per mode:
+# flow-sensitive (the function releases the same ledger but an error
+# path skips it) and containment (a ledger that is consumed somewhere
+# but released nowhere in the analyzed set).
+
+
+class CreditLedger:
+    def __init__(self, initial=0):
+        self.initial = initial
+
+    def consume(self, n):
+        return n
+
+    def release(self, n):
+        return n
+
+
+class Window:
+    def __init__(self):
+        self.credits = CreditLedger(initial=8)
+
+    def dispatch(self, task, ok):
+        self.credits.consume(1)  # EXPECT: credit-balance
+        if not ok:
+            return False  # the consumed credit leaks on the refusal path
+        self._send(task)
+        self.credits.release(1)
+        return True
+
+    def _send(self, task):
+        return task
+
+
+class PoolWindow:
+    """Containment mode: nothing in the analyzed set ever releases or
+    revokes a ledger spelled ``pool`` — a permanent credit leak."""
+
+    def __init__(self):
+        self.pool = CreditLedger(initial=4)
+
+    def take(self):
+        return self.pool.consume(1)  # EXPECT: credit-balance

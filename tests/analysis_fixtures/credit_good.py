@@ -1,0 +1,66 @@
+# module: fixtures.credit_good
+# Known-good corpus for the credit-balance check: release on every
+# path, a release via a must-release helper (one-level interprocedural
+# summary), the cross-component containment shape (manager consumes,
+# worker releases), and the explicit waiver comment.
+
+
+class CreditLedger:
+    def __init__(self, initial=0):
+        self.initial = initial
+
+    def consume(self, n):
+        return n
+
+    def release(self, n):
+        return n
+
+
+class Window:
+    def __init__(self):
+        self.credits = CreditLedger(initial=8)
+
+    def dispatch(self, task, ok):
+        self.credits.consume(1)
+        if not ok:
+            self.credits.release(1)  # refusal path returns the credit
+            return False
+        self._send(task)
+        self.credits.release(1)
+        return True
+
+    def dispatch_with_abort(self, task, ok):
+        self.credits.consume(1)
+        if not ok:
+            self._abort()  # helper's must-release summary closes the credit
+            return False
+        self._send(task)
+        self.credits.release(1)
+        return True
+
+    def drop_with_waiver(self, ok):
+        self.credits.consume(1)  # lint: ignore[credit-balance]
+        if ok:
+            self.credits.release(1)
+
+    def _abort(self):
+        self.credits.release(1)
+
+    def _send(self, task):
+        return task
+
+
+class Manager:
+    """Containment mode: the release legitimately lives in another
+    component (the worker side of the window)."""
+
+    def __init__(self):
+        self.credits = CreditLedger(initial=8)
+
+    def dispatch(self, task):
+        return self.credits.consume(1)
+
+
+class Worker:
+    def finish(self, manager):
+        manager.credits.release(1)

@@ -1,0 +1,24 @@
+# module: fixtures.future_bad
+# Known-bad corpus for the future-resolution check: created futures
+# that can reach the function exit unresolved and unowned — the waiter
+# blocks forever.
+
+
+class FuncXFuture:
+    def __init__(self, task_id):
+        self.task_id = task_id
+
+
+class Client:
+    def resolve_some_paths(self, task_id, value, ok):
+        future = FuncXFuture(task_id)  # EXPECT: future-resolution
+        if ok:
+            future.set_result(value)
+        # the else branch forgets the future: its waiter blocks forever
+
+    def forgets_on_refusal(self, task_id, value, refused):
+        future = FuncXFuture(task_id)  # EXPECT: future-resolution
+        if refused:
+            return None  # dropped unresolved (no raise, so no waiver)
+        future.set_result(value)
+        return future

@@ -1,0 +1,48 @@
+# module: fixtures.future_good
+# Known-good corpus for the future-resolution check: resolution on
+# every branch, the escape waivers (return, store, hand off), and the
+# raise waiver (an unresolved local future is garbage-collectable).
+
+
+class FuncXFuture:
+    def __init__(self, task_id):
+        self.task_id = task_id
+
+
+class Client:
+    def __init__(self):
+        self._futures = {}
+        self.closed = False
+
+    def resolve_every_branch(self, task_id, value, error):
+        future = FuncXFuture(task_id)
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
+        return None
+
+    def escape_by_return(self, task_id):
+        future = FuncXFuture(task_id)
+        return future
+
+    def escape_to_field(self, task_id):
+        self._futures[task_id] = FuncXFuture(task_id)  # resolver owns it
+
+    def escape_by_handoff(self, task_id, resolver):
+        future = FuncXFuture(task_id)
+        resolver.adopt(future)  # callee resolves it
+
+    def raise_waiver(self, task_id, value):
+        future = FuncXFuture(task_id)
+        if self.closed:
+            raise RuntimeError("client closed")  # waived: collectable
+        future.set_result(value)
+        return future
+
+    def cancelled_path(self, task_id, abandoned):
+        future = FuncXFuture(task_id)
+        if abandoned:
+            future.cancel()
+            return None
+        return future

@@ -1,0 +1,27 @@
+# module: repro.transport.messages
+# Known-bad corpus for the handler-exhaustiveness check: the analyzed
+# set has a dispatch layer (PingMessage is consumed), but PongMessage
+# is never matched by any isinstance/match arm — it would be silently
+# dropped by every step() loop at runtime.
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    sender: str  # seed field: exempt from the default requirement
+
+
+@dataclass(frozen=True)
+class PingMessage(Message):
+    payload: str = ""
+
+
+@dataclass(frozen=True)
+class PongMessage(Message):  # EXPECT: handler-exhaustiveness
+    payload: str = ""
+
+
+def dispatch(message):
+    if isinstance(message, PingMessage):
+        return message.payload
+    return None

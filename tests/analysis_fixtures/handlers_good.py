@@ -1,0 +1,34 @@
+# module: repro.transport.messages
+# Known-good corpus for the handler-exhaustiveness check: every
+# concrete wire type is consumed by a dispatch arm — one via
+# isinstance (tuple form), one via match-case.
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    sender: str  # seed field: exempt from the default requirement
+
+
+@dataclass(frozen=True)
+class PingMessage(Message):
+    payload: str = ""
+
+
+@dataclass(frozen=True)
+class PongMessage(Message):
+    payload: str = ""
+
+
+@dataclass(frozen=True)
+class AckMessage(Message):
+    task_id: str = ""
+
+
+def dispatch(message):
+    if isinstance(message, (PingMessage, PongMessage)):
+        return message.payload
+    match message:
+        case AckMessage():
+            return message.task_id
+    return None

@@ -1,0 +1,18 @@
+# module: fixtures.spill_bad
+# Known-bad corpus for the spill-lifecycle check: spilled DataRefs
+# that reach the function exit neither deleted nor handed off — the
+# staging store grows one payload per undelivered result.
+
+
+class Server:
+    def spill_then_forget(self, key, payload, deliverable):
+        ref = self.spill.put(key, payload)  # EXPECT: spill-lifecycle
+        if not deliverable:
+            return None  # undelivered payload stays in the staging store
+        return ref
+
+    def spill_then_raise(self, key, payload):
+        ref = self.spill.put(key, payload)  # EXPECT: spill-lifecycle
+        if len(payload) > 64:
+            raise ValueError("oversized payload")  # spilled payload leaks
+        return ref

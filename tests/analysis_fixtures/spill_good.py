@@ -1,0 +1,27 @@
+# module: fixtures.spill_good
+# Known-good corpus for the spill-lifecycle check: deletion on the
+# undeliverable path, conversion for delivery (as_argument handoff),
+# and the escape waivers (store the ref, return it, pass it onward).
+
+
+class Server:
+    def __init__(self):
+        self.pending = {}
+
+    def spill_and_deliver(self, key, payload, deliverable):
+        ref = self.spill.put(key, payload)
+        if not deliverable:
+            self.spill.delete(ref.key)  # undeliverable payload is dropped
+            return None
+        return ref
+
+    def spill_for_wire(self, key, payload):
+        ref = self.spill.put(key, payload)
+        return ref.as_argument()  # converted for delivery
+
+    def escape_to_field(self, key, payload):
+        self.pending[key] = self.spill.put(key, payload)  # ack path owns it
+
+    def escape_by_handoff(self, key, payload, batch):
+        ref = self.spill.put(key, payload)
+        batch.append(ref)  # the batch's ack/detach path owns disposal

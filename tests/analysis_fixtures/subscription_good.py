@@ -1,0 +1,51 @@
+# module: fixtures.subscription_good
+# Known-good corpus for the subscription-lifecycle check: unsubscribe
+# on every path (the error-handler shape the PR 7 _future_for fix
+# uses), the escape waivers (store into a field, return the token,
+# hand it to another call), and a stream subscription closed via its
+# own method.
+
+
+class Client:
+    def __init__(self):
+        self._tokens = {}
+
+    def unsubscribe_every_path(self, pubsub, topic, callback, armed):
+        token = pubsub.subscribe(topic, callback)
+        if not armed:
+            pubsub.unsubscribe(token)  # refusal path releases the token
+            return False
+        pubsub.unsubscribe(token)
+        return True
+
+    def unsubscribe_in_error_handler(self, pubsub, topic, callback):
+        token = pubsub.subscribe(topic, callback)
+        try:
+            self._arm(topic)
+        except BaseException:
+            pubsub.unsubscribe(token)  # nothing above may leak the token
+            raise
+        return token
+
+    def escape_to_field(self, pubsub, topic, callback):
+        token = pubsub.subscribe(topic, callback)
+        self._tokens[topic] = token  # caller's teardown owns it now
+
+    def escape_by_return(self, pubsub, topic, callback):
+        token = pubsub.subscribe(topic, callback)
+        return token
+
+    def escape_by_handoff(self, pubsub, topic, callback, registry):
+        token = pubsub.subscribe(topic, callback)
+        registry.adopt(token)  # callee owns disposal
+
+    def close_stream_subscription(self, stream, consumer, ok):
+        subscription = stream.subscribe(consumer)
+        if not ok:
+            subscription.close()  # receiver-based release
+            return None
+        subscription.detach()
+        return None
+
+    def _arm(self, topic):
+        return topic

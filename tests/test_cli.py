@@ -81,3 +81,81 @@ class TestCommands:
         assert "push" in out and "poll" in out
         assert "poll floor: yes" in out
         assert "faster than polling" in out
+
+
+class TestLintFlags:
+    """The git-scoped and protocol-scoped lint entry points."""
+
+    @staticmethod
+    def _seed_repo(tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "clean.py").write_text("def add(x, y):\n    return x + y\n")
+        return pkg
+
+    @staticmethod
+    def _git(root, *argv):
+        import subprocess
+
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+            cwd=root, check=True, capture_output=True)
+
+    def test_protocols_selects_checks(self, tmp_path, capsys):
+        pkg = self._seed_repo(tmp_path)
+        # One determinism violation and one subscription leak: scoping to
+        # the protocol checks must hide the former and keep the latter.
+        (pkg / "mod.py").write_text(
+            "import time\n\n\n"
+            "def leak(pubsub, cb):\n"
+            "    token = pubsub.subscribe('t', cb)\n"
+            "    if time.time() > 0:\n"
+            "        raise RuntimeError('leak')\n"
+            "    pubsub.unsubscribe(token)\n")
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline",
+                     "--protocols", "subscription-lifecycle"]) == 1
+        out = capsys.readouterr().out
+        assert "[subscription-lifecycle]" in out
+        assert "[determinism]" not in out
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline",
+                     "--protocols", "credit-balance,handler-exhaustiveness"]
+                    ) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_protocols_unknown_name_is_usage_error(self, tmp_path, capsys):
+        self._seed_repo(tmp_path)
+        assert main(["lint", "--root", str(tmp_path),
+                     "--protocols", "no-such-protocol"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown check(s): no-such-protocol" in err
+        assert "subscription-lifecycle" in err
+
+    def test_changed_scopes_to_git_diff(self, tmp_path, capsys):
+        pkg = self._seed_repo(tmp_path)
+        (pkg / "mod.py").write_text("def ok():\n    return 1\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline",
+                     "--changed"]) == 0
+        assert "nothing to lint" in capsys.readouterr().out
+
+        # A tracked edit and an untracked file are both in scope; the
+        # committed-but-unchanged violation is not.
+        (pkg / "mod.py").write_text(
+            "import time\n\n\ndef now():\n    return time.time()\n")
+        (pkg / "fresh.py").write_text(
+            "import random\n\n\ndef roll():\n    return random.random()\n")
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline",
+                     "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "2 files analyzed" in out
+        assert "time.time" in out and "random.random" in out
+
+    def test_changed_outside_git_is_usage_error(self, tmp_path, capsys):
+        self._seed_repo(tmp_path)
+        assert main(["lint", "--root", str(tmp_path), "--changed"]) == 2
+        assert "requires a git checkout" in capsys.readouterr().err

@@ -464,3 +464,68 @@ class TestStreamChaos:
                 "stream.results_delivered").value >= tasks
             assert sub.unacked_results <= window
             sub.close()
+
+
+class TestDetachCleanup:
+    """The erroring-consumer detach and close paths must give credits
+    back to the window AND delete any payload spilled for the batch —
+    the protocol audit's stream findings (credit + spill lifecycle)."""
+
+    @staticmethod
+    def _spilling_service(clock):
+        service = FuncXService(
+            auth=AuthService(clock=clock), clock=clock,
+            config=ServiceConfig(stream_spill_threshold=64))
+        identity = service.auth.register_identity("alice")
+        token = service.auth.native_client_flow(identity).token
+        _eid, ep_token = service.auth.endpoint_client_flow("ep")
+        endpoint_id = service.register_endpoint(ep_token.token, name="ep")
+        function_id = service.register_function(
+            token, "f", FuncXSerializer().serialize_function(lambda: None),
+            public=True)
+        return service, token, endpoint_id, function_id
+
+    def test_erroring_consumer_restores_credits_and_drops_spill(self, clock):
+        service, token, endpoint_id, function_id = self._spilling_service(clock)
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        window = sub.credits.available
+        sub.attach(lambda batch: (_ for _ in ()).throw(OSError("dropped")))
+        payload = FuncXSerializer().serialize(([1], {}))
+        task_id = service.submit(token, function_id, endpoint_id, payload)
+        sub.watch(task_id)
+        big = b"x" * 1000
+        service.complete_task(task_id, success=True, result_buffer=big)
+        assert service.result_stream.step() == 0  # delivery failed, detached
+        assert sub.consumer is None
+        # The failed delivery must not pin the credit window or leave the
+        # undelivered payload in the staging store.
+        assert sub.credits.available == window
+        assert len(service.result_stream.spill) == 0
+        # Reconnect: redelivery re-spills from the task record.
+        collector = Collector()
+        sub.attach(collector)
+        assert service.result_stream.step() == 1
+        (message,) = collector.batches[0].results
+        assert fetch_ref(message.result_ref) == big
+        sub.ack(collector.batches[0].delivery_id)
+        assert len(service.result_stream.spill) == 0
+        assert sub.credits.available == window
+
+    def test_close_with_unacked_spilled_batch_cleans_up(self, clock):
+        service, token, endpoint_id, function_id = self._spilling_service(clock)
+        sub = service.result_stream.subscribe(auto_deliver=False)
+        window = sub.credits.available
+        collector = Collector()
+        sub.attach(collector)
+        payload = FuncXSerializer().serialize(([1], {}))
+        task_id = service.submit(token, function_id, endpoint_id, payload)
+        sub.watch(task_id)
+        service.complete_task(task_id, success=True, result_buffer=b"y" * 1000)
+        assert service.result_stream.step() == 1
+        assert sub.unacked_results == 1
+        # Close without acking: the subscription's last act returns its
+        # credits and deletes the spilled payload it never delivered.
+        sub.close()
+        assert sub.credits.available == window
+        assert len(service.result_stream.spill) == 0
+        assert service.result_stream.subscription_count() == 0

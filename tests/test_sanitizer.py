@@ -7,10 +7,15 @@ from pathlib import Path
 
 from repro.analysis.lockorder import LockOrderGraph, Witness, extract_lock_graph
 from repro.analysis.runner import iter_python_files
+from repro.analysis.protocols import protocol_sites
 from repro.analysis.sanitizer import (
     LockOrderRecorder,
+    ProtocolRecorder,
+    RecordedLedger,
     SanitizedLock,
+    sanitize_ledger,
     sanitize_lock,
+    sanitize_pubsub,
 )
 from repro.analysis.source import load_source, module_name_for
 from repro.fabric import LocalDeployment
@@ -225,3 +230,86 @@ class TestDeploymentIntegration:
     def test_unsanitized_deployment_has_no_recorder(self):
         with LocalDeployment() as deployment:
             assert deployment.lock_recorder is None
+
+
+class TestProtocolRecorderUnits:
+    def test_recorded_ledger_counts_effective_amounts(self):
+        from repro.core.flowcontrol import CreditLedger
+
+        class Holder:
+            def __init__(self):
+                self.credits = CreditLedger()
+
+        recorder = ProtocolRecorder()
+        holder = Holder()
+        ledger = sanitize_ledger(holder, recorder, strict=True)
+        assert isinstance(holder.credits, RecordedLedger)
+        assert sanitize_ledger(holder, recorder, strict=True) is ledger
+
+        holder.credits.grant(3)
+        assert holder.credits.consume(2) == 2
+        assert holder.credits.release(1) == 1
+        # Clamped duplicate release: the ledger only takes back what is
+        # outstanding, and the recorder counts the effective amount.
+        holder.credits.release(5)
+        assert recorder.count("credit", "grant") == 3
+        assert recorder.count("credit", "consume") == 2
+        assert recorder.count("credit", "release") == 2
+        assert ledger.released_seen <= ledger.consumed_seen
+        assert recorder.ledgers() == [ledger]
+
+    def test_sanitized_pubsub_balances_unsubscribes(self):
+        from repro.store.pubsub import PubSub
+
+        recorder = ProtocolRecorder()
+        pubsub = sanitize_pubsub(PubSub(), recorder)
+        assert sanitize_pubsub(pubsub, recorder) is pubsub
+        token = pubsub.subscribe("task.1", lambda t, m: None)
+        assert pubsub.unsubscribe(token) is True
+        # Idempotent second unsubscribe must not count as an event.
+        assert pubsub.unsubscribe(token) is False
+        assert recorder.count("subscription", "subscribe") == 1
+        assert recorder.count("subscription", "unsubscribe") == 1
+
+
+class TestProtocolRecorderIntegration:
+    def test_runtime_events_stay_within_static_sites(self):
+        """The acceptance gate: every (protocol, verb) pair a sanitized
+        deployment observes has a lexical site the static engine
+        analyzed, and the balance laws the checks promise hold."""
+
+        def add(x, y):
+            return x + y
+
+        with LocalDeployment(sanitize_locks=True) as deployment:
+            client = deployment.client()
+            ep = deployment.create_endpoint("protocols", nodes=1)
+            fid = client.register_function(add)
+            assert client.submit(fid, ep, 2, 3).result(timeout=30) == 5
+            with client.executor(ep) as pool:
+                assert pool.submit(fid, 4, 5).result(timeout=30) == 9
+            recorder = deployment.protocol_recorder
+            assert recorder is not None
+            observed = recorder.observed()
+            assert ("subscription", "subscribe") in observed
+            assert ("subscription", "unsubscribe") in observed
+            assert ("credit", "consume") in observed
+            assert ("credit", "release") in observed
+            assert ("stream", "subscribe") in observed
+            assert ("stream", "close") in observed
+            for ledger in recorder.ledgers():
+                assert ledger.released_seen <= ledger.consumed_seen
+            assert (recorder.count("subscription", "unsubscribe")
+                    <= recorder.count("subscription", "subscribe"))
+
+        sources = [load_source(p, str(p.relative_to(REPO_ROOT)),
+                               module_name_for(p))
+                   for p in iter_python_files(REPO_ROOT / "src")]
+        sites = protocol_sites(sources)
+        for protocol, verb in sorted(observed):
+            assert sites[protocol].get(verb), (
+                f"runtime event ({protocol}, {verb}) has no static site")
+
+    def test_unsanitized_deployment_has_no_protocol_recorder(self):
+        with LocalDeployment() as deployment:
+            assert deployment.protocol_recorder is None
