@@ -39,6 +39,14 @@ added a statement-level CFG + forward-dataflow engine (:mod:`cfg`,
     plus call-through edges) must stay acyclic.  Its runtime twin is
     :mod:`repro.analysis.sanitizer` (``SanitizedLock``), opt-in via
     ``LocalDeployment(sanitize_locks=True)``.
+``threadroles``
+    Cross-file: infer which thread *roles* (forwarder-loop, agent-loop,
+    worker, ...) can execute each method from the ``threading.Thread``
+    spawn sites, then flag attributes written from ≥ 2 roles with no
+    common lock and no ``guarded-by`` annotation (and, as info-level
+    findings, annotations whose attribute only one role ever touches).
+    Waivers: ``# thread-confined: <role>`` and ``# handoff``.  Runtime
+    twin: :class:`repro.analysis.sanitizer.AccessRecorder`.
 
 See ``docs/ANALYSIS.md`` for the annotation syntax, baseline workflow
 (``repro lint --update-baseline``) and how to add a check.
@@ -55,21 +63,41 @@ from repro.analysis.runner import (
     analyze_source,
     run_analysis,
 )
-from repro.analysis.sanitizer import LockOrderRecorder, SanitizedLock, sanitize_lock
+from repro.analysis.sanitizer import (
+    AccessRecorder,
+    LockOrderRecorder,
+    SanitizedLock,
+    sanitize_access,
+    sanitize_lock,
+)
+from repro.analysis.threadroles import (
+    ROLES,
+    RoleReport,
+    build_role_report,
+    canonical_role,
+    role_for_thread,
+)
 
 __all__ = [
     "ALL_CHECKS",
     "GLOBAL_CHECKS",
+    "AccessRecorder",
     "AnalysisReport",
     "Baseline",
     "BaselineEntry",
     "Finding",
     "LockOrderGraph",
     "LockOrderRecorder",
+    "ROLES",
+    "RoleReport",
     "SanitizedLock",
     "analyze_paths",
     "analyze_source",
+    "build_role_report",
+    "canonical_role",
     "extract_lock_graph",
+    "role_for_thread",
     "run_analysis",
+    "sanitize_access",
     "sanitize_lock",
 ]

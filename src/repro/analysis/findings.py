@@ -25,6 +25,7 @@ class Finding:
     message: str     # what is wrong
     hint: str        # how to fix it
     line_text: str   # stripped source of the offending line (fingerprint input)
+    severity: str = "error"  # "error" fails the build; "info" is advisory
 
     # -- identity --------------------------------------------------------
     def fingerprint(self) -> str:
@@ -34,7 +35,9 @@ class Finding:
 
     # -- rendering -------------------------------------------------------
     def format(self) -> str:
-        text = f"{self.path}:{self.line}:{self.col}: [{self.check}] {self.message}"
+        label = f"[{self.check}]" if self.severity == "error" else (
+            f"[{self.check}] info:")
+        text = f"{self.path}:{self.line}:{self.col}: {label} {self.message}"
         if self.hint:
             text += f"\n    hint: {self.hint}"
         return text

@@ -50,9 +50,20 @@ class ClassLockInfo:
         return frozenset(self.guards.values())
 
 
-def iter_classes(source: SourceFile) -> Iterator[ClassLockInfo]:
-    """Every class in the module with its guard declarations resolved."""
+def iter_classes(source: SourceFile) -> list[ClassLockInfo]:
+    """Every class in the module with its guard declarations resolved.
 
+    Cached on the :class:`SourceFile` (``derived``) — guarded-by,
+    blocking-under-lock, lock-order, and threadroles all consume the
+    same list, so the class/guard harvest walks each tree once per
+    parse instead of once per pass.  Callers must treat the entries as
+    read-only.
+    """
+    return source.derived("lockscope_classes",
+                          lambda: list(_iter_classes_uncached(source)))
+
+
+def _iter_classes_uncached(source: SourceFile) -> Iterator[ClassLockInfo]:
     def walk(node: ast.AST, prefix: str) -> Iterator[ClassLockInfo]:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, ast.ClassDef):

@@ -26,6 +26,7 @@ from repro.analysis.protocols import (
     check_subscription_lifecycle,
 )
 from repro.analysis.source import SourceFile, load_source, module_name_for
+from repro.analysis.threadroles import check_thread_roles, make_thread_roles_check
 
 Check = Callable[[SourceFile], Iterator[Finding]]
 GlobalCheck = Callable[[list[SourceFile]], Iterator[Finding]]
@@ -51,6 +52,7 @@ GLOBAL_CHECKS: dict[str, GlobalCheck] = {
     "lock-order": check_lock_order,
     "credit-balance": check_credit_balance,
     "handler-exhaustiveness": check_handler_exhaustiveness,
+    "threadroles": check_thread_roles,
 }
 
 
@@ -59,6 +61,7 @@ class AnalysisReport:
     """Everything one analyzer run produced."""
 
     findings: list[Finding] = field(default_factory=list)   # new (not baselined)
+    infos: list[Finding] = field(default_factory=list)       # advisory severity
     suppressed: list[Finding] = field(default_factory=list)  # matched by baseline
     stale: list[BaselineEntry] = field(default_factory=list)
     files_analyzed: int = 0
@@ -66,17 +69,25 @@ class AnalysisReport:
 
     @property
     def ok(self) -> bool:
+        """Build health: info-severity findings never fail a run."""
         return not self.findings and not self.errors
 
     def all_findings(self) -> list[Finding]:
         return sort_findings(self.findings + self.suppressed)
 
     def to_record(self) -> dict:
+        def emit(findings: list[Finding]) -> list[dict]:
+            # Byte-stable JSON: deterministic (check, path, line) order,
+            # independent of check registration / dict iteration order.
+            ordered = sorted(findings, key=lambda f: (f.check, f.path, f.line))
+            return [f.to_record() for f in ordered]
+
         return {
             "ok": self.ok,
             "files_analyzed": self.files_analyzed,
-            "findings": [f.to_record() for f in self.findings],
-            "suppressed": [f.to_record() for f in self.suppressed],
+            "findings": emit(self.findings),
+            "infos": emit(self.infos),
+            "suppressed": emit(self.suppressed),
             "stale": [e.to_record() for e in self.stale],
             "errors": list(self.errors),
         }
@@ -128,16 +139,22 @@ def iter_python_files(root: Path) -> Iterator[Path]:
 
 def analyze_paths(paths: list[Path], repo_root: Path | None = None,
                   checks: dict[str, Check] | None = None,
-                  global_checks: dict[str, GlobalCheck] | None = None
-                  ) -> AnalysisReport:
+                  global_checks: dict[str, GlobalCheck] | None = None,
+                  roles: list[str] | None = None) -> AnalysisReport:
     """Analyze every Python file under ``paths`` (no baseline applied).
 
     ``checks``/``global_checks`` select subsets (``repro lint
     --protocols``); with both ``None`` every registered check runs.
     Passing only ``checks`` keeps the historical behavior of skipping
-    the global pass entirely.
+    the global pass entirely.  ``roles`` restricts the thread-role pass
+    to findings involving those roles (``repro lint --roles``).
     """
     repo_root = repo_root or Path.cwd()
+    if roles is not None:
+        global_checks = dict(global_checks if global_checks is not None
+                             else GLOBAL_CHECKS)
+        if "threadroles" in global_checks:
+            global_checks["threadroles"] = make_thread_roles_check(roles)
     report = AnalysisReport()
     sources: list[SourceFile] = []
     for root in paths:
@@ -163,18 +180,25 @@ def analyze_paths(paths: list[Path], repo_root: Path | None = None,
         report.findings.extend(_run_global_checks(sources))
     elif global_checks is not None:
         report.findings.extend(_run_global_checks(sources, global_checks))
-    report.findings = sort_findings(report.findings)
+    report.infos = sort_findings(
+        [f for f in report.findings if f.severity != "error"])
+    report.findings = sort_findings(
+        [f for f in report.findings if f.severity == "error"])
     return report
 
 
 def run_analysis(paths: list[Path], repo_root: Path | None = None,
                  baseline: Baseline | None = None,
                  checks: dict[str, Check] | None = None,
-                 global_checks: dict[str, GlobalCheck] | None = None
-                 ) -> AnalysisReport:
-    """Analyze ``paths`` and split findings against ``baseline``."""
+                 global_checks: dict[str, GlobalCheck] | None = None,
+                 roles: list[str] | None = None) -> AnalysisReport:
+    """Analyze ``paths`` and split findings against ``baseline``.
+
+    Only error-severity findings are baselined (and only they gate
+    :attr:`AnalysisReport.ok`); info findings ride along unfiltered.
+    """
     report = analyze_paths(paths, repo_root=repo_root, checks=checks,
-                           global_checks=global_checks)
+                           global_checks=global_checks, roles=roles)
     if baseline is not None and len(baseline):
         new, suppressed, stale = baseline.apply(report.findings)
         report.findings = new

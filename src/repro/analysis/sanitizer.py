@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.lockorder import LockOrderGraph, Witness
+from repro.analysis.threadroles import role_for_thread
 
 DEFAULT_HOLD_OUTLIER_SECONDS = 0.25
 #: Wait longer than this counts as contention (a free lock acquires in
@@ -368,8 +369,11 @@ class RecordedLedger:
         self._inner = inner
         self._recorder = recorder
         self._mutex = threading.Lock()
-        self.consumed_seen = 0   # guarded-by: self._mutex
-        self.released_seen = 0   # guarded-by: self._mutex
+        # The sanitizer substitutes this wrapper for the real ledger at
+        # runtime, so static role inference never sees the cross-thread
+        # callers that reach these counters through the swapped object.
+        self.consumed_seen = 0   # guarded-by: self._mutex  # lint: ignore[threadroles]
+        self.released_seen = 0   # guarded-by: self._mutex  # lint: ignore[threadroles]
 
     def grant(self, n: int = 1) -> int:
         granted = self._inner.grant(n)
@@ -419,6 +423,124 @@ def sanitize_ledger(obj, recorder: ProtocolRecorder, attr: str = "credits",
         recorder.register_ledger(wrapped)
     setattr(obj, attr, wrapped)
     return wrapped
+
+
+# ==========================================================================
+# AccessRecorder: runtime twin of the thread-role inference pass
+# ==========================================================================
+class AccessRecorder:
+    """Tags attribute accesses on guarded classes with thread identity.
+
+    The static pass (:mod:`repro.analysis.threadroles`) infers which
+    ``ClassName.attr`` slots are reachable from several thread *roles*;
+    this recorder observes the accesses a live fabric actually performs,
+    mapping each accessing thread onto the same role taxonomy via
+    :func:`repro.analysis.threadroles.role_for_thread`.  The chaos
+    acceptance gate asserts every attribute observed from ≥ 2 roles at
+    runtime is already in the static shared-set
+    (:meth:`repro.analysis.threadroles.RoleReport.shared_attrs`) — the
+    same runtime ⊆ static sandwich the lock-order and protocol twins
+    use.
+
+    ``sample_every`` thins the per-access *counters* (the hot-path cost
+    knob); the role evidence itself — which roles touched which attr —
+    is exact, never sampled, because a dropped first-sighting would
+    make the gate unsound.
+    """
+
+    def __init__(self, metrics=None, sample_every: int = 1):
+        self._mutex = threading.Lock()
+        self._sample_every = max(1, int(sample_every))
+        self._roles: Dict[str, set] = {}        # "Class.attr" -> roles seen
+        self._writer_roles: Dict[str, set] = {}  # "Class.attr" -> writing roles
+        self._ticks: Dict[str, int] = {}
+        self._counts: Dict[Tuple[str, str, str], int] = {}  # (key, role, kind)
+        #: per-recorder cache of tracked subclasses, keyed (class, attrs)
+        self._class_cache: Dict[Tuple[type, frozenset], type] = {}
+        self._c_accesses = (metrics.counter("sanitizer.attr_accesses")
+                            if metrics is not None else None)
+
+    def observe(self, class_name: str, attr: str, kind: str) -> None:
+        role = role_for_thread(threading.current_thread().name)
+        key = f"{class_name}.{attr}"
+        sampled = False
+        with self._mutex:
+            tick = self._ticks.get(key, 0)
+            self._ticks[key] = tick + 1
+            self._roles.setdefault(key, set()).add(role)
+            if kind == "write":
+                self._writer_roles.setdefault(key, set()).add(role)
+            if tick % self._sample_every == 0:
+                sampled = True
+                ckey = (key, role, kind)
+                self._counts[ckey] = self._counts.get(ckey, 0) + 1
+        if sampled and self._c_accesses is not None:
+            self._c_accesses.inc()
+
+    # -- views ----------------------------------------------------------------
+    def observed_roles(self) -> Dict[str, frozenset]:
+        """``ClassName.attr`` → the roles that touched it."""
+        with self._mutex:
+            return {key: frozenset(roles)
+                    for key, roles in sorted(self._roles.items())}
+
+    def cross_role_attrs(self) -> set:
+        """Attributes observed from ≥ 2 distinct roles (any access kind)."""
+        with self._mutex:
+            return {key for key, roles in self._roles.items()
+                    if len(roles) >= 2}
+
+    def cross_role_writers(self) -> set:
+        """Attributes *written* from ≥ 2 distinct roles."""
+        with self._mutex:
+            return {key for key, roles in self._writer_roles.items()
+                    if len(roles) >= 2}
+
+    def counts(self) -> Dict[Tuple[str, str, str], int]:
+        """Sampled access counts keyed ``(Class.attr, role, kind)``."""
+        with self._mutex:
+            return dict(sorted(self._counts.items()))
+
+
+def _tracked_subclass(cls: type, tracked: frozenset, class_name: str,
+                      recorder: AccessRecorder) -> type:
+    sub = recorder._class_cache.get((cls, tracked))
+    if sub is not None:
+        return sub
+
+    def __getattribute__(self, attr):
+        if attr in tracked:
+            recorder.observe(class_name, attr, "read")
+        return object.__getattribute__(self, attr)
+
+    def __setattr__(self, attr, value):
+        if attr in tracked:
+            recorder.observe(class_name, attr, "write")
+        object.__setattr__(self, attr, value)
+
+    sub = type(f"_Tracked{cls.__name__}", (cls,), {
+        "__getattribute__": __getattribute__,
+        "__setattr__": __setattr__,
+        "_repro_tracked_attrs": tracked,
+    })
+    recorder._class_cache[(cls, tracked)] = sub
+    return sub
+
+
+def sanitize_access(obj, recorder: AccessRecorder, attrs,
+                    class_name: Optional[str] = None):
+    """Rebind ``obj``'s class so reads/writes of ``attrs`` report to
+    ``recorder`` (idempotent).
+
+    Like :func:`sanitize_lock`, call before the object's threads start;
+    the class swap is not atomic with respect to concurrent accessors.
+    """
+    cls = type(obj)
+    if getattr(cls, "_repro_tracked_attrs", None) is not None:
+        return obj
+    name = class_name or cls.__name__
+    obj.__class__ = _tracked_subclass(cls, frozenset(attrs), name, recorder)
+    return obj
 
 
 def sanitize_pubsub(pubsub, recorder: ProtocolRecorder):

@@ -1,0 +1,111 @@
+"""SARIF 2.1.0 export of analyzer findings.
+
+``repro lint --format sarif`` emits one SARIF run per invocation so CI
+can upload findings as code-scanning annotations
+(``github/codeql-action/upload-sarif``).  The mapping keeps the
+analyzer's identity model intact:
+
+* rule ids are the check names (``guarded-by``, ``threadroles``, ...),
+  with descriptions pulled from each check's docstring;
+* every result carries the same fingerprint baseline.py matches on, as
+  ``partialFingerprints["reproFingerprint/v1"]``, so an annotation
+  tracks a finding across unrelated edits exactly like the baseline
+  does;
+* error-severity findings map to SARIF level ``error``, advisory
+  (info-severity) findings to ``note``, and baselined findings are
+  included with a ``suppressions`` entry instead of being dropped —
+  code scanning shows them as suppressed rather than new.
+
+Results are ordered ``(check, path, line)`` — the same deterministic
+sort ``--format json`` uses — so the document is byte-stable for
+identical inputs.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.analysis.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-lint"
+
+#: Finding severity → SARIF result level.
+_LEVELS = {"error": "error", "info": "note"}
+
+
+def _rules() -> list[dict]:
+    """One SARIF rule per registered check, sorted by id."""
+    from repro.analysis.runner import ALL_CHECKS, GLOBAL_CHECKS
+
+    checks = {**ALL_CHECKS, **GLOBAL_CHECKS}
+    rules = []
+    for check_id in sorted(checks):
+        doc = inspect.getdoc(checks[check_id]) or check_id
+        rules.append({
+            "id": check_id,
+            "shortDescription": {"text": doc.strip().splitlines()[0]},
+            "fullDescription": {"text": doc},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return rules
+
+
+def _result(finding: Finding, rule_index: dict[str, int],
+            suppressed: bool = False) -> dict:
+    message = finding.message
+    if finding.hint:
+        message += f" (hint: {finding.hint})"
+    result = {
+        "ruleId": finding.check,
+        "ruleIndex": rule_index.get(finding.check, -1),
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col + 1},
+            },
+        }],
+        "partialFingerprints": {"reproFingerprint/v1": finding.fingerprint()},
+    }
+    if suppressed:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "grandfathered in analysis-baseline.json",
+        }]
+    return result
+
+
+def to_sarif(report) -> dict:
+    """``AnalysisReport`` → a SARIF 2.1.0 document (a plain dict)."""
+    from repro import __version__
+
+    rules = _rules()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+
+    def ordered(findings: list[Finding]) -> list[Finding]:
+        return sorted(findings, key=lambda f: (f.check, f.path, f.line))
+
+    results = [_result(f, rule_index)
+               for f in ordered(report.findings + report.infos)]
+    results += [_result(f, rule_index, suppressed=True)
+                for f in ordered(report.suppressed)]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "version": __version__,
+                "informationUri": "https://github.com/funcx-faas/funcX",
+                "rules": rules,
+            }},
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }

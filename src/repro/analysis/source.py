@@ -13,6 +13,16 @@ Recognized markers (all trailing comments):
     callers invoke the function with the lock already held.
 ``# clock-domain: monotonic`` / ``# clock-domain: wall``
     Declares which time domain the assigned clock belongs to.
+``# thread-confined: <role>``
+    On an attribute assignment: declares that the attribute, despite
+    being written from what looks like several thread roles, is only
+    ever touched by the named role at runtime (publish-before-start:
+    the other writes happen before the owning thread exists).
+``# handoff``
+    On an attribute write: declares a deliberate cross-thread transfer
+    (queue-handoff idiom) whose happens-before edge is provided by the
+    transfer mechanism itself; the write site is excluded from the
+    thread-role race computation.
 ``# lint: ignore`` / ``# lint: ignore[check-id, ...]``
     Waives findings on that line (all checks, or the listed ones).
 """
@@ -29,6 +39,8 @@ from pathlib import Path
 _GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?:self\.)?([A-Za-z_]\w*)")
 _CLOCK_DOMAIN_RE = re.compile(r"#\s*clock-domain:\s*(monotonic|wall)\b")
 _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([^\]]*)\])?")
+_CONFINED_RE = re.compile(r"#\s*thread-confined:\s*([A-Za-z][\w-]*)")
+_HANDOFF_RE = re.compile(r"#\s*handoff\b")
 
 
 @dataclass
@@ -43,6 +55,41 @@ class SourceFile:
     ignores: dict[int, frozenset[str]] = field(default_factory=dict)
     guard_comments: dict[int, str] = field(default_factory=dict)  # line -> lock name
     clock_domains: dict[int, str] = field(default_factory=dict)   # line -> domain
+    confined_roles: dict[int, str] = field(default_factory=dict)  # line -> role
+    handoff_lines: set[int] = field(default_factory=set)
+
+    #: Lazily-built derived structures shared by every pass that looks at
+    #: this file (class defs, symbol intervals, lockscope info, ...) so the
+    #: fourth global pass costs walks, not re-walks.  Keyed by the deriving
+    #: helper; see :meth:`derived`.
+    _derived: dict = field(default_factory=dict, repr=False)
+
+    def derived(self, key: str, build):
+        """Cache ``build()`` under ``key`` for the life of this parse."""
+        cached = self._derived.get(key)
+        if cached is None:
+            cached = self._derived[key] = build()
+        return cached
+
+    def class_defs(self) -> list[ast.ClassDef]:
+        """Every class definition in the module (cached full-tree walk)."""
+        return self.derived("class_defs", lambda: [
+            node for node in ast.walk(self.tree)
+            if isinstance(node, ast.ClassDef)])
+
+    def symbol_at(self, lineno: int) -> str:
+        """Qualified name of the innermost def/class containing ``lineno``
+        (cached interval table; the uncached helper walks the whole tree
+        once per finding)."""
+        table = self.derived("symbol_intervals", lambda: _symbol_intervals(self.tree))
+        best = "<module>"
+        best_span = None
+        for start, end, qname in table:
+            if start <= lineno <= end:
+                span = end - start
+                if best_span is None or span <= best_span:
+                    best, best_span = qname, span
+        return best
 
     @property
     def lines(self) -> list[str]:
@@ -69,9 +116,31 @@ def parse_source(text: str, path: str, module: str) -> SourceFile:
     return source
 
 
+#: Process-wide parsed-source cache.  ``checks``/``protocols``/``lockorder``
+#: and the thread-role pass all analyze the same tree; repeated
+#: ``run_analysis`` calls (the lint-runtime bench, the CLI after a test
+#: run) should pay the read+parse once per file *content*, not per pass
+#: per run.  Keyed by absolute path; invalidated by (mtime_ns, size).
+_SOURCE_CACHE: dict[str, tuple[tuple[int, int], SourceFile]] = {}
+
+
 def load_source(file_path: Path, rel_path: str, module: str) -> SourceFile:
+    try:
+        stat = file_path.stat()
+        signature = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        signature = None
+    key = str(file_path.resolve())
+    if signature is not None:
+        cached = _SOURCE_CACHE.get(key)
+        if (cached is not None and cached[0] == signature
+                and cached[1].path == rel_path):
+            return cached[1]
     text = file_path.read_text(encoding="utf-8")
-    return parse_source(text, path=rel_path, module=module)
+    source = parse_source(text, path=rel_path, module=module)
+    if signature is not None:
+        _SOURCE_CACHE[key] = (signature, source)
+    return source
 
 
 def module_name_for(rel_path: str) -> str | None:
@@ -103,6 +172,11 @@ def _collect_comments(source: SourceFile) -> None:
             domain = _CLOCK_DOMAIN_RE.search(comment)
             if domain:
                 source.clock_domains[lineno] = domain.group(1)
+            confined = _CONFINED_RE.search(comment)
+            if confined:
+                source.confined_roles[lineno] = confined.group(1)
+            if _HANDOFF_RE.search(comment):
+                source.handoff_lines.add(lineno)
             ignore = _IGNORE_RE.search(comment)
             if ignore:
                 listed = ignore.group(1)
@@ -152,21 +226,31 @@ def qualified_symbols(tree: ast.Module) -> dict[int, str]:
     return table
 
 
-def enclosing_symbol(tree: ast.Module, lineno: int) -> str:
-    """Qualified name of the innermost def/class containing ``lineno``."""
-    best = "<module>"
+def _symbol_intervals(tree: ast.Module) -> list[tuple[int, int, str]]:
+    """(start, end, qualified name) for every def/class in the module."""
+    table: list[tuple[int, int, str]] = []
 
     def walk(node: ast.AST, prefix: str) -> None:
-        nonlocal best
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
                 qname = f"{prefix}.{child.name}" if prefix else child.name
                 end = getattr(child, "end_lineno", child.lineno)
-                if child.lineno <= lineno <= end:
-                    best = qname
+                table.append((child.lineno, end, qname))
                 walk(child, qname)
             else:
                 walk(child, prefix)
 
     walk(tree, "")
+    return table
+
+
+def enclosing_symbol(tree: ast.Module, lineno: int) -> str:
+    """Qualified name of the innermost def/class containing ``lineno``."""
+    best = "<module>"
+    best_span = None
+    for start, end, qname in _symbol_intervals(tree):
+        if start <= lineno <= end:
+            span = end - start
+            if best_span is None or span <= best_span:
+                best, best_span = qname, span
     return best

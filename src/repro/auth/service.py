@@ -17,6 +17,7 @@ server treats them.
 from __future__ import annotations
 
 import secrets
+import threading
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -197,7 +198,10 @@ class AuthClient:
     def __init__(self, service: AuthService, identity: Identity, scopes: Iterable[Scope] | None = None):
         self._service = service
         self._identity = identity
-        self._token = service.native_client_flow(identity, scopes=scopes)
+        self._refresh_lock = threading.Lock()
+        # Refresh swaps the token object; callers on executor/stream
+        # threads race bearer_token() against each other and logout().
+        self._token = service.native_client_flow(identity, scopes=scopes)  # guarded-by: self._refresh_lock
 
     @property
     def identity(self) -> Identity:
@@ -205,14 +209,17 @@ class AuthClient:
 
     def bearer_token(self) -> str:
         """The current access token, refreshing it if close to expiry."""
-        now = self._service._clock()
-        remaining = self._token.expires_at - now
-        lifetime = self._token.expires_at - self._token.issued_at
-        if self._token.revoked or remaining <= 0:
-            raise AuthenticationFailed("token no longer refreshable; re-authenticate")
-        if remaining < lifetime * self.REFRESH_THRESHOLD and self._token.refresh_token:
-            self._token = self._service.refresh(self._token.refresh_token)
-        return self._token.token
+        with self._refresh_lock:
+            now = self._service._clock()
+            remaining = self._token.expires_at - now
+            lifetime = self._token.expires_at - self._token.issued_at
+            if self._token.revoked or remaining <= 0:
+                raise AuthenticationFailed("token no longer refreshable; re-authenticate")
+            if remaining < lifetime * self.REFRESH_THRESHOLD and self._token.refresh_token:
+                self._token = self._service.refresh(self._token.refresh_token)
+            return self._token.token
 
     def logout(self) -> None:
-        self._service.revoke(self._token.token)
+        with self._refresh_lock:
+            token = self._token.token
+        self._service.revoke(token)

@@ -56,7 +56,10 @@ class ChaosScheduler:
         self._thread: threading.Thread | None = None
         self._abort = threading.Event()
         self._clock = clock or time.monotonic  # clock-domain: monotonic
-        self.last_result: ScheduleResult | None = None
+        # The drive thread publishes results that join()/report callers
+        # on the main thread read back.
+        self._result_lock = threading.Lock()
+        self.last_result: ScheduleResult | None = None  # guarded-by: self._result_lock
 
     # ------------------------------------------------------------------
     def run(self, plan: FaultPlan) -> ScheduleResult:
@@ -78,7 +81,8 @@ class ChaosScheduler:
                 applied.error = f"{type(exc).__name__}: {exc}"
             result.applied.append(applied)
         registry.set_step(None)
-        self.last_result = result
+        with self._result_lock:
+            self.last_result = result
         return result
 
     # ------------------------------------------------------------------
@@ -87,10 +91,11 @@ class ChaosScheduler:
         if self._thread is not None and self._thread.is_alive():
             raise RuntimeError("a plan is already running")
         self._abort.clear()
-        self.last_result = None
+        with self._result_lock:
+            self.last_result = None
 
         def _drive() -> None:
-            self.last_result = self.run(plan)
+            self.run(plan)  # run() publishes last_result under the lock
 
         self._thread = threading.Thread(target=_drive, name="chaos-scheduler",
                                         daemon=True)
@@ -100,7 +105,8 @@ class ChaosScheduler:
     def join(self, timeout: float | None = None) -> ScheduleResult | None:
         if self._thread is not None:
             self._thread.join(timeout)
-        return getattr(self, "last_result", None)
+        with self._result_lock:
+            return self.last_result
 
     def abort(self) -> None:
         """Stop firing further steps (already-applied faults stay applied)."""

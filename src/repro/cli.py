@@ -192,6 +192,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(inspect.getdoc(check))
         return 0
 
+    roles = None
+    if args.roles:
+        from repro.analysis.threadroles import ROLES, canonical_role
+
+        roles = [canonical_role(name) for spec in args.roles
+                 for name in spec.split(",") if name.strip()]
+        unknown_roles = sorted(set(roles) - set(ROLES))
+        if unknown_roles:
+            print(f"unknown role(s): {', '.join(unknown_roles)}; available: "
+                  f"{', '.join(ROLES)}", file=sys.stderr)
+            return 2
+
     checks = global_checks = None
     if args.protocols:
         names = [name.strip()
@@ -255,7 +267,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
 
     report = run_analysis(paths, repo_root=repo_root, baseline=baseline,
-                          checks=checks, global_checks=global_checks)
+                          checks=checks, global_checks=global_checks,
+                          roles=roles)
 
     if args.update_baseline:
         refreshed = Baseline.from_findings(report.all_findings())
@@ -267,13 +280,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.format == "json":
         print(json.dumps(report.to_record(), indent=2, sort_keys=True))
         return 0 if report.ok else 1
+    if args.format == "sarif":
+        from repro.analysis.sarif import to_sarif
+        print(json.dumps(to_sarif(report), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
 
     for error in report.errors:
         print(f"error: {error}")
     for finding in report.findings:
         print(finding.format())
+    for finding in report.infos:
+        print(finding.format())
     parts = [f"{report.files_analyzed} files analyzed",
              f"{len(report.findings)} violation(s)"]
+    if report.infos:
+        parts.append(f"{len(report.infos)} advisory")
     if report.suppressed:
         parts.append(f"{len(report.suppressed)} baselined")
     if report.stale:
@@ -469,7 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
              "wire-compat, blocking-under-lock, clock-domain, lease-ack, "
              "span-lifecycle, subscription-lifecycle, spill-lifecycle, "
              "future-resolution, lock-order, credit-balance, "
-             "handler-exhaustiveness)",
+             "handler-exhaustiveness, threadroles)",
         description="Exit codes: 0 = clean, 1 = findings reported, "
                     "2 = usage or internal error (bad baseline, unknown "
                     "check, glob matched nothing).")
@@ -491,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--explain", metavar="CHECK", default="",
                       help="print what CHECK enforces and exit (exit 2 if "
                            "unknown)")
+    lint.add_argument("--roles", action="append", metavar="ROLE[,ROLE]",
+                      default=[],
+                      help="restrict the threadroles pass to findings "
+                           "involving these thread roles (comma-separated, "
+                           "repeatable); unknown roles are an error (exit 2)")
     lint.add_argument("--root", default=".",
                       help="repository root for relative paths and the "
                            "default baseline location (default: .)")
@@ -500,8 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report every finding, ignoring the baseline")
     lint.add_argument("--update-baseline", action="store_true",
                       help="rewrite the baseline to grandfather current findings")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
-                      help="output format (default: text)")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text",
+                      help="output format (default: text); sarif emits a "
+                           "SARIF 2.1.0 document for code-scanning upload")
     lint.set_defaults(func=_cmd_lint)
 
     return parser

@@ -37,9 +37,11 @@ class WarmPool:
         self.ttl = ttl
         self.capacity = capacity
         self._warm: dict[str, list[ContainerInstance]] = defaultdict(list)
-        self.hits = 0
-        self.misses = 0
-        self.expired = 0
+        # A pool belongs to one manager; only its loop thread acquires
+        # and releases instances once the manager has started.
+        self.hits = 0  # thread-confined: manager-loop
+        self.misses = 0  # thread-confined: manager-loop
+        self.expired = 0  # thread-confined: manager-loop
 
     # ------------------------------------------------------------------
     def acquire(self, key: str, now: float) -> ContainerInstance | None:

@@ -143,7 +143,9 @@ class FuncXExecutor:
         self._lock = threading.Lock()
         self._pending: list[_PendingCall] = []          # guarded-by: self._lock
         self._futures: dict[str, FuncXFuture] = {}      # guarded-by: self._lock
-        self._function_ids: dict[Any, str] = {}         # guarded-by: self._lock
+        # Statically only submit() (main) touches the id cache, but the
+        # lock also serializes concurrent user-thread submitters.
+        self._function_ids: dict[Any, str] = {}         # guarded-by: self._lock  # lint: ignore[threadroles]
         self._shutdown = False                          # guarded-by: self._lock
         self.controller = AtomicController(self._wakeup.set, lambda: None)
         metrics = client.service.metrics

@@ -180,11 +180,13 @@ class Forwarder:
             lambda: task_queue.high_watermark)
         # Agent-liveness incarnation: bumped on every (re-)registration so
         # liveness transitions can be attributed to one agent lifetime.
-        self.incarnation = 0
+        # Registration handling runs on the forwarder loop once start()
+        # is called; direct register calls only happen before that.
+        self.incarnation = 0  # thread-confined: forwarder-loop
         # The agent-supplied incarnation from the latest accepted
         # registration; heartbeats tagged with an older one are from a
         # prior agent lifetime and must not revive the connection.
-        self._registered_incarnation = 0
+        self._registered_incarnation = 0  # thread-confined: forwarder-loop
         # Observation hook: ``probe(event, fields)`` for liveness and
         # requeue events (chaos invariant probes attach here).
         self.probe: Callable[[str, dict[str, Any]], None] | None = None

@@ -109,7 +109,9 @@ class FuncXService:
         self._lock = threading.RLock()
         self._tasks: dict[str, Task] = {}                      # guarded-by: self._lock
         self._task_queues: dict[str, ReliableQueue] = {}       # guarded-by: self._lock
-        self._result_queues: dict[str, ReliableQueue] = {}     # guarded-by: self._lock
+        # Result-queue creation currently happens on one role, but the
+        # map shares _lock with _tasks/_task_queues deliberately.
+        self._result_queues: dict[str, ReliableQueue] = {}     # guarded-by: self._lock  # lint: ignore[threadroles]
         # observability fabric: per-task traces + registry-backed counters
         self.metrics = metrics or MetricsRegistry(clock=self._clock)
         self.traces = TraceStore(clock=self._clock, enabled=self.config.tracing,

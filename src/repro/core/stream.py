@@ -262,8 +262,11 @@ class ResultStreamServer:
         self._lock = threading.Lock()
         self._subs: dict[str, ResultSubscription] = {}  # guarded-by: self._lock
         self._interest: dict[str, set[str]] = {}        # guarded-by: self._lock
-        self._thread: threading.Thread | None = None    # guarded-by: self._lock
-        self._closed = False                            # guarded-by: self._lock
+        # subscribe()/close() race from *multiple* client threads that
+        # all classify as role "main"; the lock is load-bearing even
+        # though role inference sees a single role.
+        self._thread: threading.Thread | None = None    # guarded-by: self._lock  # lint: ignore[threadroles]
+        self._closed = False                            # guarded-by: self._lock  # lint: ignore[threadroles]
         self._stop = threading.Event()
         # Spill store for oversized payloads; uniquely named so parallel
         # deployments in one process never collide in the global registry.

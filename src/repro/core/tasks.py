@@ -97,7 +97,10 @@ class Task:
                 f"illegal task transition {self.state.value} -> {new_state.value} "
                 f"for task {self.task_id}"
             )
-        self.state = new_state
+        # Queue-transfer handoff: a task record is owned by exactly one
+        # pipeline stage at a time; the ReliableQueue lease that moves it
+        # between stages provides the happens-before edge for this write.
+        self.state = new_state  # handoff
         # Record *first* entry per state except QUEUED (redelivery re-queues;
         # keep every queue entry time in the audit list).
         key = new_state.value

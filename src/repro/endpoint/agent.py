@@ -119,7 +119,9 @@ class FuncXAgent:
             forwarder_channel.wakeup = self._wakeup.set_at
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
-        self._last_heartbeat = -float("inf")
+        # register_with_forwarder() touches these before the loop thread
+        # exists (publish-before-start); afterwards only the loop does.
+        self._last_heartbeat = -float("inf")  # thread-confined: agent-loop
         self._serializer = FuncXSerializer()
         # counters live in the shared registry, labelled by endpoint
         self.metrics = metrics or MetricsRegistry(clock=self._clock)
@@ -150,7 +152,7 @@ class FuncXAgent:
         # change (manager membership / suspension) triggers an immediate
         # beat so the forwarder's window tracks capacity without waiting
         # out a full heartbeat period.
-        self._last_credit_sent: int | None = None
+        self._last_credit_sent: int | None = None  # thread-confined: agent-loop
         # Lifetime counter: each (re-)registration starts a new incarnation
         # whose heartbeats carry the tag, letting the forwarder discard
         # beats from lifetimes it has already superseded.

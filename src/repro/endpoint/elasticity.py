@@ -65,8 +65,10 @@ class ElasticityController:
         self._block_to_manager: dict[str, str] = {}
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
-        self.scale_out_events = 0
-        self.scale_in_events = 0
+        # Only the evaluate loop bumps these once start() has run; tests
+        # that call evaluate() directly do so with no loop thread alive.
+        self.scale_out_events = 0  # thread-confined: elasticity
+        self.scale_in_events = 0  # thread-confined: elasticity
 
     # ------------------------------------------------------------------
     def observed_load(self) -> int:

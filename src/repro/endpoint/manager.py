@@ -126,8 +126,10 @@ class Manager:
         self._buffers: dict[str, bytes] = {}         # guarded-by: self._lock
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
-        self._last_heartbeat = -float("inf")
-        self._last_advertised: tuple[int, tuple[str, ...]] | None = None
+        # Heartbeat/advertise pacing state, touched only from the manager
+        # loop once start() has spawned it.
+        self._last_heartbeat = -float("inf")  # thread-confined: manager-loop
+        self._last_advertised: tuple[int, tuple[str, ...]] | None = None  # thread-confined: manager-loop
         self.metrics = metrics or MetricsRegistry(clock=self._clock)
         self._c_completed = self.metrics.counter(
             "manager.tasks_completed", manager=manager_id)
@@ -538,7 +540,9 @@ class Manager:
                     else:
                         self._sleep(fallback)
 
-        self._thread = threading.Thread(
+        # Thread-lifecycle handoffs: start()/join() supply the
+        # happens-before edges for these ownership transfers.
+        self._thread = threading.Thread(  # handoff
             target=loop, name=f"manager-{self.manager_id}", daemon=True
         )
         self._thread.start()
@@ -548,7 +552,7 @@ class Manager:
         self._wakeup.set()
         if self._thread is not None:
             self._thread.join(timeout)
-            self._thread = None
+            self._thread = None  # handoff
         for worker in self._workers.values():
             worker.stop(timeout)
 
@@ -560,4 +564,4 @@ class Manager:
         self.channel.disconnect()
         if self._thread is not None:
             self._thread.join(1.0)
-            self._thread = None
+            self._thread = None  # handoff

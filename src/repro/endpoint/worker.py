@@ -134,7 +134,9 @@ class Worker:
     def start(self) -> None:
         if self._thread is not None:
             raise RuntimeError(f"worker {self.worker_id} already started")
-        self._thread = threading.Thread(
+        # Thread-lifecycle handoff: start()/join() order these writes
+        # against the worker thread's lifetime.
+        self._thread = threading.Thread(  # handoff
             target=self._run, name=f"worker-{self.worker_id}", daemon=True
         )
         self._thread.start()
@@ -144,7 +146,7 @@ class Worker:
             return
         self.inbox.put(self.STOP)
         self._thread.join(timeout)
-        self._thread = None
+        self._thread = None  # handoff
 
     def join(self, timeout: float | None = None) -> None:
         if self._thread is not None:

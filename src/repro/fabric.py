@@ -27,8 +27,10 @@ import time
 from dataclasses import dataclass
 
 from repro.analysis.sanitizer import (
+    AccessRecorder,
     LockOrderRecorder,
     ProtocolRecorder,
+    sanitize_access,
     sanitize_ledger,
     sanitize_lock,
     sanitize_pubsub,
@@ -126,6 +128,7 @@ class LocalDeployment:
         # them would add runtime edges the static graph cannot model.
         self.lock_recorder: LockOrderRecorder | None = None
         self.protocol_recorder: ProtocolRecorder | None = None
+        self.access_recorder: AccessRecorder | None = None
         if sanitize_locks:
             self.lock_recorder = LockOrderRecorder(metrics=self.metrics)
             sanitize_lock(self.service, self.lock_recorder,
@@ -137,6 +140,10 @@ class LocalDeployment:
             sanitize_pubsub(self.service.pubsub, self.protocol_recorder)
             sanitize_result_stream(self.service.result_stream,
                                    self.protocol_recorder)
+            # Thread-role twin: tag shared-attribute accesses with the
+            # accessing thread's role so chaos runs can assert observed
+            # cross-role attrs ⊆ the statically inferred shared-set.
+            self.access_recorder = AccessRecorder(metrics=self.metrics)
 
     # ------------------------------------------------------------------
     # identities & clients
@@ -225,6 +232,25 @@ class LocalDeployment:
                           class_name="ReliableQueue._lock")
             sanitize_lock(self.service.result_queue(endpoint_id), recorder,
                           class_name="ReliableQueue._lock")
+            access = self.access_recorder
+            if access is not None:
+                # Thread-role twin: track the attrs the static pass puts
+                # in the cross-role shared-set (and the ones it waived —
+                # a waiver a chaos run disproves should fail the gate).
+                for end in (channel.left, channel.right):
+                    sanitize_access(end, access,
+                                    ("sent_count", "received_count"),
+                                    class_name="ChannelEnd")
+                sanitize_access(forwarder, access,
+                                ("incarnation", "_registered_incarnation"),
+                                class_name="Forwarder")
+                sanitize_access(endpoint.agent, access,
+                                ("_last_heartbeat", "_last_credit_sent"),
+                                class_name="FuncXAgent")
+                for manager in endpoint.managers.values():
+                    sanitize_access(manager, access,
+                                    ("_last_heartbeat", "_last_advertised"),
+                                    class_name="Manager")
         with self._lock:
             self._handles[endpoint_id] = handle
         if start:

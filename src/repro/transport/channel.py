@@ -48,8 +48,8 @@ class ChannelEnd:
         # one coalesced batch pays the cost once (the per-message framing/
         # syscall overhead real message fabrics amortize with batching).
         self._busy_until = 0.0  # guarded-by: self._lock
-        self.sent_count = 0
-        self.received_count = 0
+        self.sent_count = 0  # guarded-by: self._lock
+        self.received_count = 0  # guarded-by: self._lock
         # Wakeup hook: called with the delivery time of each arriving
         # transfer, *after* the inbox lock is released.  Event-driven
         # receivers point this at Wakeup.set_at so they block on arrival
@@ -99,7 +99,8 @@ class ChannelEnd:
         latency = channel.sample_latency()
         self._peer._deliver_batch(self._clock(), latency,
                                   channel.transfer_cost, (message,))
-        self.sent_count += 1
+        with self._lock:
+            self.sent_count += 1
         return True
 
     def send_many(self, messages: Any) -> int:
@@ -136,7 +137,8 @@ class ChannelEnd:
         latency = channel.sample_latency()
         self._peer._deliver_batch(self._clock(), latency,
                                   channel.transfer_cost, messages)
-        self.sent_count += len(messages)
+        with self._lock:
+            self.sent_count += len(messages)
         if len(messages) > 1:
             channel.coalesced_count += len(messages)
         return len(messages)

@@ -6,12 +6,12 @@ from collections import deque
 
 
 class Dispatcher:
-    _GUARDED = {"_assigned": "_lock"}
+    _GUARDED = {"_assigned": "_lock"}  # lint: ignore[threadroles]
 
     def __init__(self):
         self._lock = threading.RLock()
         self._assigned = {}
-        self._pending = deque()  # guarded-by: self._lock
+        self._pending = deque()  # guarded-by: self._lock  # lint: ignore[threadroles]
 
     def backlog(self):
         return len(self._pending)  # EXPECT: guarded-by

@@ -7,7 +7,7 @@ import threading
 
 
 class Table:
-    _GUARDED = {"_rows": "_lock"}
+    _GUARDED = {"_rows": "_lock"}  # lint: ignore[threadroles]
 
     def __init__(self):
         self._lock = threading.Lock()

@@ -1,0 +1,52 @@
+# module: fixtures.threadrole
+# Known-bad corpus for the thread-role inference pass: every line marked
+# EXPECT must be reported, nothing else.  This file is parsed, never
+# imported.
+#
+# ``Pipeline.processed`` is written by the spawned worker loop *and* the
+# main-role ``nudge`` with no lock in common and no guarded-by
+# annotation — the sufficiency direction (error), anchored at the
+# first write site.  ``Stale._tally`` is annotated guarded-by but only
+# role main ever touches it — the necessity direction (info), anchored
+# at the declaration.  ``Escaping.fired`` is written from the callback
+# role (the bound-method reference escapes into a registry) and from
+# main — a cross-role race no spawn site would reveal.
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._thread = None
+        self.processed = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run, name="worker-0")
+        self._thread.start()
+
+    def _run(self):
+        self.processed += 1  # EXPECT: threadroles
+
+    def nudge(self):
+        self.processed += 1
+
+
+class Stale:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tally = 0  # guarded-by: self._lock  # EXPECT: threadroles
+
+    def bump(self):
+        with self._lock:
+            self._tally += 1
+
+
+class Escaping:
+    def __init__(self, registry):
+        self.fired = 0
+        registry.add_listener(self._on_event)
+
+    def _on_event(self, message):
+        self.fired += 1  # EXPECT: threadroles
+
+    def reset(self):
+        self.fired = 0

@@ -1,0 +1,83 @@
+# module: fixtures.threadrole
+# Known-good corpus for the thread-role inference pass: the same
+# cross-role shapes as threadrole_bad.py, each made safe the way the
+# pass understands — a common lock with a guarded-by annotation, a
+# ``# thread-confined:`` publish-before-start waiver, and ``# handoff``
+# queue-transfer waivers.  Must produce no findings.
+import threading
+
+
+class LockedPipeline:
+    """Cross-role writes, but every writer holds the declared lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._thread = None
+        self.processed = 0  # guarded-by: self._lock
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run, name="worker-0")
+        self._thread.start()
+
+    def _run(self):
+        with self._lock:
+            self.processed += 1
+
+    def nudge(self):
+        with self._lock:
+            self.processed += 1
+
+
+class Confined:
+    """Publish-before-start: main seeds the counter before the loop
+    thread exists; afterwards only the worker touches it."""
+
+    def __init__(self):
+        self._thread = None
+        self.ticks = 0  # thread-confined: worker
+
+    def start(self):
+        self.ticks = 0
+        self._thread = threading.Thread(target=self._loop, name="worker-1")
+        self._thread.start()
+
+    def _loop(self):
+        self.ticks += 1
+
+
+class Handoff:
+    """Queue-transfer: the record is owned by exactly one stage at a
+    time; the transfer mechanism provides the happens-before edge."""
+
+    def __init__(self):
+        self._thread = None
+        self.stage = "new"
+
+    def start(self):
+        self._thread = threading.Thread(target=self._consume,
+                                        name="manager-a")
+        self._thread.start()
+
+    def advance(self):
+        self.stage = "queued"  # handoff
+
+    def _consume(self):
+        self.stage = "done"  # handoff
+
+
+class LockedCallback:
+    """An escaping bound method (callback role) that shares state with
+    main under the declared lock."""
+
+    def __init__(self, registry):
+        self._lock = threading.Lock()
+        self.fired = 0  # guarded-by: self._lock
+        registry.add_listener(self._on_event)
+
+    def _on_event(self, message):
+        with self._lock:
+            self.fired += 1
+
+    def reset(self):
+        with self._lock:
+            self.fired = 0

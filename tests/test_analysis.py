@@ -80,6 +80,7 @@ def test_corpus_covers_every_check_both_ways():
         "lock-order": "lockorder_good.py",
         "credit-balance": "credit_good.py",
         "handler-exhaustiveness": "handlers_good.py",
+        "threadroles": "threadrole_good.py",
     }
     assert set(good_files_by_check) == set(ALL_CHECKS) | set(GLOBAL_CHECKS), (
         "every registered check needs fixture coverage; update this map")

@@ -200,6 +200,47 @@ class TestSanitizedChaosRun:
             f"runtime lock-order edges unknown to the static graph: "
             f"{runtime.missing_from(static)}")
 
+    def test_runtime_cross_role_attrs_within_static_shared_set(self, chaos_world):
+        """Thread-role acceptance gate: every attribute the AccessRecorder
+        observed from ≥ 2 thread roles during a fault-plan run must already
+        be in the static pass's inferred shared-set — a cross-role access
+        the inference missed means the race detector has a blind spot."""
+        from pathlib import Path
+
+        from repro.analysis.runner import iter_python_files
+        from repro.analysis.source import load_source, module_name_for
+        from repro.analysis.threadroles import build_role_report
+
+        world = chaos_world(seed=31, sanitize_locks=True)
+        ep = world.add_endpoint("ep", nodes=2, workers_per_node=2)
+        plan = generate_plan("role-twin", seed=31, duration=0.6,
+                             endpoints=["ep"], drop_windows=1, max_drop=0.2)
+        client = world.client()
+        fid = client.register_function(double)
+        world.start_plan(plan)
+        futures = [client.submit(fid, ep, i) for i in range(30)]
+        world.finish_plan()
+        assert world.drain(timeout=30)
+        assert [f.result(timeout=30) for f in futures] == [i * 2 for i in range(30)]
+
+        recorder = world.deployment.access_recorder
+        assert recorder is not None
+        observed = recorder.observed_roles()
+        assert observed, "sanitized chaos run recorded no attribute accesses"
+        # Every observing thread mapped onto the static role taxonomy.
+        for key, roles in observed.items():
+            assert roles, key
+
+        repo_root = Path(__file__).resolve().parent.parent
+        sources = [load_source(p, str(p.relative_to(repo_root)),
+                               module_name_for(str(p.relative_to(repo_root))))
+                   for p in iter_python_files(repo_root / "src")]
+        shared = build_role_report(sources).shared_attrs()
+        extra = recorder.cross_role_attrs() - shared
+        assert not extra, (
+            f"runtime cross-role attribute accesses unknown to the static "
+            f"shared-set: {sorted(extra)}")
+
 
 class TestArtifactReplay:
     def test_failure_artifact_rebuilds_world_and_plan(self, chaos_world, tmp_path):

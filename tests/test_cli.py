@@ -159,3 +159,90 @@ class TestLintFlags:
         self._seed_repo(tmp_path)
         assert main(["lint", "--root", str(tmp_path), "--changed"]) == 2
         assert "requires a git checkout" in capsys.readouterr().err
+
+
+class TestLintThreadRoles:
+    """The threadroles CLI surface: --roles filter, --explain, --format
+    sarif, and the uniform 0/1/2 exit codes."""
+
+    _RACY = (
+        "import threading\n\n\n"
+        "class Pipeline:\n"
+        "    def __init__(self):\n"
+        "        self._thread = None\n"
+        "        self.processed = 0\n\n"
+        "    def start(self):\n"
+        "        self._thread = threading.Thread(target=self._run,\n"
+        "                                        name='worker-0')\n"
+        "        self._thread.start()\n\n"
+        "    def _run(self):\n"
+        "        self.processed += 1\n\n"
+        "    def nudge(self):\n"
+        "        self.processed += 1\n")
+
+    def _seed(self, tmp_path):
+        pkg = TestLintFlags._seed_repo(tmp_path)
+        (pkg / "racy.py").write_text(self._RACY)
+        return pkg
+
+    def test_race_reported_and_roles_filter(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "[threadroles]" in out
+        assert "worker" in out
+        # scoped to an uninvolved role the finding disappears
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline",
+                     "--roles", "elasticity"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+        # scoped to an involved role it stays
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline",
+                     "--roles", "worker,main"]) == 1
+
+    def test_unknown_role_is_usage_error(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline",
+                     "--roles", "no-such-role"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown role(s): no-such-role" in err
+        assert "forwarder-loop" in err
+
+    def test_explain_threadroles(self, capsys):
+        assert main(["lint", "--explain", "threadroles"]) == 0
+        out = capsys.readouterr().out
+        assert "[threadroles]" in out
+        assert "thread roles" in out
+
+    def test_sarif_output_is_valid_and_fingerprinted(self, tmp_path, capsys):
+        import json
+
+        self._seed(tmp_path)
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline",
+                     "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = doc["runs"][0]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert "threadroles" in rule_ids
+        assert rule_ids == sorted(rule_ids)
+        results = run["results"]
+        assert results, "expected at least the threadroles result"
+        hit = next(r for r in results if r["ruleId"] == "threadroles")
+        assert hit["level"] == "error"
+        assert hit["partialFingerprints"]["reproFingerprint/v1"]
+        location = hit["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("racy.py")
+        assert location["region"]["startLine"] > 0
+        # rule index round-trips
+        assert run["tool"]["driver"]["rules"][hit["ruleIndex"]]["id"] == (
+            "threadroles")
+
+    def test_sarif_clean_tree_exits_zero(self, tmp_path, capsys):
+        import json
+
+        TestLintFlags._seed_repo(tmp_path)
+        assert main(["lint", "--root", str(tmp_path), "--no-baseline",
+                     "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []

@@ -313,3 +313,92 @@ class TestProtocolRecorderIntegration:
     def test_unsanitized_deployment_has_no_protocol_recorder(self):
         with LocalDeployment() as deployment:
             assert deployment.protocol_recorder is None
+
+
+class TestAccessRecorderUnits:
+    """The thread-role runtime twin: class-swap tracking, role tagging,
+    sampling, and idempotency."""
+
+    def _tracked_counter(self, recorder):
+        from repro.analysis.sanitizer import sanitize_access
+
+        class Counter:
+            def __init__(self):
+                self.value = 0
+                self.untracked = 0
+
+            def bump(self):
+                self.value += 1
+
+        counter = Counter()
+        sanitize_access(counter, recorder, ("value",), class_name="Counter")
+        return counter
+
+    def test_reads_and_writes_tagged_with_thread_role(self):
+        from repro.analysis.sanitizer import AccessRecorder
+
+        recorder = AccessRecorder()
+        counter = self._tracked_counter(recorder)
+        counter.bump()          # read + write from MainThread
+        _ = counter.value       # read
+        counter.untracked += 1  # not tracked
+
+        observed = recorder.observed_roles()
+        assert set(observed) == {"Counter.value"}
+        assert observed["Counter.value"] == frozenset({"main"})
+        kinds = {kind for (_, _, kind) in recorder.counts()}
+        assert kinds == {"read", "write"}
+
+    def test_cross_role_attrs_needs_two_roles(self):
+        from repro.analysis.sanitizer import AccessRecorder
+
+        recorder = AccessRecorder()
+        counter = self._tracked_counter(recorder)
+        counter.bump()
+        assert recorder.cross_role_attrs() == set()
+
+        worker = threading.Thread(target=counter.bump, name="worker-9")
+        worker.start()
+        worker.join()
+        assert recorder.cross_role_attrs() == {"Counter.value"}
+        assert recorder.cross_role_writers() == {"Counter.value"}
+        assert recorder.observed_roles()["Counter.value"] == frozenset(
+            {"main", "worker"})
+
+    def test_unknown_thread_names_collapse_onto_callback(self):
+        from repro.analysis.sanitizer import AccessRecorder
+
+        recorder = AccessRecorder()
+        counter = self._tracked_counter(recorder)
+        anon = threading.Thread(target=counter.bump)  # "Thread-N"
+        anon.start()
+        anon.join()
+        assert recorder.observed_roles()["Counter.value"] == frozenset(
+            {"callback"})
+
+    def test_sampling_thins_counts_but_never_roles(self):
+        from repro.analysis.sanitizer import AccessRecorder
+
+        recorder = AccessRecorder(sample_every=10)
+        counter = self._tracked_counter(recorder)
+        for _ in range(30):
+            counter.bump()
+        # 30 bumps = 30 reads + 30 writes on one key: ticks 0..59, every
+        # 10th sampled -> 6 sampled accesses total
+        assert sum(recorder.counts().values()) == 6
+        # but the role evidence is exact
+        assert recorder.observed_roles()["Counter.value"] == frozenset(
+            {"main"})
+
+    def test_sanitize_access_is_idempotent(self):
+        from repro.analysis.sanitizer import AccessRecorder, sanitize_access
+
+        recorder = AccessRecorder()
+        counter = self._tracked_counter(recorder)
+        cls = type(counter)
+        sanitize_access(counter, recorder, ("value",), class_name="Counter")
+        assert type(counter) is cls
+
+    def test_unsanitized_deployment_has_no_access_recorder(self):
+        with LocalDeployment() as deployment:
+            assert deployment.access_recorder is None
