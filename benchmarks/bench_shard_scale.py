@@ -1,0 +1,106 @@
+"""Shard-scale gate: near-linear tasks/s from 1 → 4 service shards.
+
+Drives the sharded service plane with one full-lifecycle driver per
+shard (submit → lease → complete → ack, every store write charged to
+the owning shard's serial pacer) and a *fixed total* task count, so
+aggregate tasks/s can only rise with the shard count if the partitions
+genuinely proceed in parallel — disjoint locks, disjoint queues,
+GIL-releasing pacer sleeps.  Two gates:
+
+* **scaling** — aggregate throughput at 4 shards must be ≥2.5x the
+  1-shard run (the consistent-hash plane must not serialize anywhere:
+  a single shared lock, table, or pacer would flatten the curve);
+* **fairness** — with two tenants in a 10:1 aggressive/polite offered
+  load mix on one endpoint, the DRR dequeue's p99 windowed
+  inter-tenant throughput gap must stay ≤0.35 (perfect alternation is
+  0.0; FIFO would track the 10:1 arrival mix at ~0.82).
+
+Artifacts: ``BENCH_shard_scale.json`` at the repo root and the usual
+``benchmarks/results`` text report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.harness import ExperimentReport, quick_mode
+from repro.perf import measure_shard_scale
+
+RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_shard_scale.json"
+
+SHARD_COUNTS = (1, 2, 4)
+TASKS = 384
+TASKS_QUICK = 128
+FAIRNESS_ROUNDS = 60
+FAIRNESS_ROUNDS_QUICK = 30
+
+#: Gate thresholds.
+MIN_SPEEDUP = 2.5       # aggregate tasks/s, 1 shard -> 4 shards
+MAX_P99_GAP = 0.35      # windowed |aggressive - polite| / window
+
+
+def test_shard_scale_gate():
+    quick = quick_mode()
+    result = measure_shard_scale(
+        shard_counts=SHARD_COUNTS,
+        tasks=TASKS_QUICK if quick else TASKS,
+        fairness_rounds=FAIRNESS_ROUNDS_QUICK if quick else FAIRNESS_ROUNDS,
+    )
+
+    scaling = result["scaling"]
+    fairness = result["fairness"]
+    RESULT_JSON.write_text(json.dumps({
+        **result,
+        "gates": {
+            "min_speedup": MIN_SPEEDUP,
+            "max_p99_gap": MAX_P99_GAP,
+        },
+        "quick": quick,
+    }, indent=2, sort_keys=True) + "\n")
+
+    report = ExperimentReport(
+        "shard_scale",
+        f"service-plane scaling {SHARD_COUNTS[0]} -> {SHARD_COUNTS[-1]} "
+        f"shards + 10:1 tenant fairness",
+    )
+    report.rows(
+        ["shards", "tasks", "seconds", "tasks/s"],
+        [[run["shards"], run["tasks"], f"{run['seconds']:.3f}",
+          f"{run['tasks_per_second']:.0f}"]
+         for run in scaling["runs"]],
+    )
+    report.rows(
+        ["metric", "value"],
+        [["speedup 1->4", f"{scaling['speedup']:.2f}x"],
+         ["fairness p99 gap", f"{fairness['p99_gap']:.3f}"],
+         ["fairness mean gap", f"{fairness['mean_gap']:.3f}"],
+         ["polite service share", f"{fairness['polite_share']:.2f}"],
+         ["arrival mix gap", f"{fairness['arrival_gap']:.2f}"]],
+    )
+    report.note("fixed total work split across per-shard lifecycle "
+                "drivers; each shard's store writes pay a serial pacer, "
+                "so throughput scales only if partitions run in parallel")
+    report.finish()
+
+    assert scaling["speedup"] >= MIN_SPEEDUP, (
+        f"aggregate throughput scaled only {scaling['speedup']:.2f}x from "
+        f"{SHARD_COUNTS[0]} to {SHARD_COUNTS[-1]} shards (gate: "
+        f"{MIN_SPEEDUP}x) — something in the plane is serializing"
+    )
+    # Monotone non-degrading: each added shard must not cost throughput.
+    rates = [run["tasks_per_second"] for run in scaling["runs"]]
+    for prev, cur in zip(rates, rates[1:]):
+        assert cur >= 0.9 * prev, (
+            f"throughput regressed when adding shards: {rates} — "
+            "cross-shard coordination is eating the win"
+        )
+    assert fairness["p99_gap"] <= MAX_P99_GAP, (
+        f"p99 inter-tenant gap {fairness['p99_gap']:.3f} exceeds "
+        f"{MAX_P99_GAP} — DRR is not isolating the polite tenant from "
+        "the aggressive one"
+    )
+    assert fairness["p99_gap"] < fairness["arrival_gap"], (
+        "the service share gap tracks the 10:1 arrival mix — fair "
+        "dequeue is not happening at all"
+    )

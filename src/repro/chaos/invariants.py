@@ -25,6 +25,13 @@ Built-in invariants (tentpole spec):
   wave exceeds the endpoint's remaining credit (``flow.wave`` events),
   and at quiescence the endpoint-side holdings (agent pending +
   assigned) fit the advertised window plus lease-redelivery slack.
+* **shard-conservation** — every service shard's accounting identity
+  (``open == received - terminated - forgotten_open``) closes on every
+  ``shard.accounting`` event.
+* **cross-shard-conservation** — at quiescence the shard partition
+  covers the task population exactly: summed shard counters match the
+  facade counters and a direct table scan, and every task record lives
+  on the shard its id routes to.
 """
 
 from __future__ import annotations
@@ -279,6 +286,95 @@ class BoundedInFlight(Invariant):
                 )
 
 
+class ShardConservation(Invariant):
+    """Each service shard's accounting identity closes on every mutation.
+
+    The sharded service plane emits ``shard.accounting`` snapshots from
+    every task-table mutation (insert / terminal / forget).  Per shard::
+
+        open == received - terminated - forgotten_open
+
+    A drift means a task crossed shards (routing bug) or a counter was
+    torn from the table it summarizes (locking bug).
+    """
+
+    name = "shard-conservation"
+
+    def on_event(self, source, event, fields, record):
+        if event != "shard.accounting":
+            return
+        if not all(k in fields for k in
+                   ("received", "terminated", "forgotten_open", "open")):
+            return
+        expected = (fields["received"] - fields["terminated"]
+                    - fields["forgotten_open"])
+        if fields["open"] != expected:
+            record(
+                f"shard {fields.get('shard')} accounting drifted: open="
+                f"{fields['open']} != received={fields['received']} - "
+                f"terminated={fields['terminated']} - forgotten_open="
+                f"{fields['forgotten_open']}",
+                dict(fields),
+            )
+
+
+class CrossShardConservation(Invariant):
+    """The shard partition covers the task population exactly.
+
+    At quiescence, three independent views of the service plane must
+    agree:
+
+    * the **sum of shard counters** (received / open across partitions),
+    * the **facade counters** (``tasks_received``, forgotten),
+    * a **direct task-table scan** (every record lives on the shard its
+      id routes to, and the non-terminal population matches the summed
+      ``open``).
+
+    Divergence means a task was double-counted across shards, landed on
+    the wrong partition, or escaped the shard map entirely.
+    """
+
+    name = "cross-shard-conservation"
+
+    def check_final(self, world, record):
+        if world is None:
+            return
+        service = world.deployment.service
+        counters = service.shard_counters()
+        total_received = sum(c["received"] for c in counters)
+        total_open = sum(c["open"] for c in counters)
+        facade_received = service.tasks_received
+        if total_received != facade_received:
+            record(
+                f"shards account for {total_received} received task(s) but "
+                f"the facade counted {facade_received} — a submission "
+                "bypassed (or double-entered) the shard partition",
+                {"shards": counters, "facade_received": facade_received},
+            )
+        open_scan = 0
+        misrouted = 0
+        for shard in service.shards:
+            for task in shard.iter_tasks():
+                if not task.state.terminal:
+                    open_scan += 1
+                owner = service.shard_map.shard_for_task(task.task_id)
+                if owner != shard.index:
+                    misrouted += 1
+                    record(
+                        f"task {task.task_id} lives on shard {shard.index} "
+                        f"but its id routes to shard {owner}",
+                        {"task_id": task.task_id, "shard": shard.index,
+                         "routed": owner},
+                    )
+        if misrouted == 0 and open_scan != total_open:
+            record(
+                f"shard counters say {total_open} open task(s) but the "
+                f"table scan finds {open_scan} — the O(1) accounting "
+                "diverged from the tables it summarizes",
+                {"shards": counters, "open_scan": open_scan},
+            )
+
+
 def default_invariants() -> list[Invariant]:
     return [
         QueueConservation(),
@@ -288,6 +384,8 @@ def default_invariants() -> list[Invariant]:
         MonotoneLiveness(),
         NoTaskLost(),
         BoundedInFlight(),
+        ShardConservation(),
+        CrossShardConservation(),
     ]
 
 

@@ -29,6 +29,8 @@ ACTIONS = frozenset({
     "kill_manager",         # params: index (optional)   target: endpoint name
     "restart_manager",      #                            target: endpoint name
     "skew_heartbeats",      # params: skew               target: endpoint name
+    "kill_shard",           # params: shard (index)      target: "" (service-side)
+    "restart_shard",        # params: shard (index)      target: "" (service-side)
     "pause",                # no-op marker step
 })
 

@@ -92,7 +92,8 @@ class ChaosWorld:
                  invariants: list[Invariant] | None = None,
                  clock: Callable[[], float] | None = None,
                  sleeper: Callable[[float], None] | None = None,
-                 sanitize_locks: bool = False):
+                 sanitize_locks: bool = False,
+                 shards: int = 1):
         self.seed = seed
         self.max_retries = max_retries
         self._clock = clock or time.monotonic  # clock-domain: monotonic
@@ -100,7 +101,8 @@ class ChaosWorld:
         self.registry = InvariantRegistry(invariants)
         self.deployment = LocalDeployment(
             seed=seed,
-            service_config=ServiceConfig(default_max_retries=max_retries),
+            service_config=ServiceConfig(default_max_retries=max_retries,
+                                         shards=shards),
             sanitize_locks=sanitize_locks,
         )
         service = self.deployment.service
@@ -199,6 +201,21 @@ class ChaosWorld:
     # ------------------------------------------------------------------
     def apply_step(self, step: FaultStep) -> None:
         if step.action == "pause":
+            return
+        if step.action in ("kill_shard", "restart_shard"):
+            # Service-side faults: the target is a shard index, not an
+            # endpoint.  Killing a shard drains it and yanks every
+            # outstanding queue lease (the shard process dying under its
+            # forwarders); the at-least-once machinery must redeliver.
+            service = self.deployment.service
+            index = int(step.param("shard", 0))
+            if not 0 <= index < len(service.shards):
+                raise ValueError(
+                    f"shard {index} out of range (0..{len(service.shards) - 1})")
+            if step.action == "kill_shard":
+                service.shards[index].kill()
+            else:
+                service.restart_shard(index)
             return
         hooks = self._hooks_for(step.target)
         if step.action == "set_drop":
@@ -329,6 +346,7 @@ class ChaosWorld:
             "seed": self.seed,
             "world": {
                 "max_retries": self.max_retries,
+                "shards": len(self.deployment.service.shards),
                 "endpoints": {name: dict(h.spec) for name, h in
                               sorted(self.hooks.items())},
             },
@@ -359,7 +377,8 @@ class ChaosWorld:
         world_spec = record["world"]
         world = cls(seed=record["seed"],
                     max_retries=world_spec.get("max_retries", 8),
-                    invariants=invariants)
+                    invariants=invariants,
+                    shards=world_spec.get("shards", 1))
         try:
             for name, spec in sorted(world_spec.get("endpoints", {}).items()):
                 world.add_endpoint(name, **spec)

@@ -13,6 +13,7 @@ Offline-friendly subcommands::
     python -m repro.cli bench --quick        # batched vs per-message A/B
     python -m repro.cli bench --backpressure # credit-flow overload plateau
     python -m repro.cli bench --result-stream  # push vs poll result delivery
+    python -m repro.cli bench --shard-scale  # service-plane shard scaling
 
 ``demo --trace-out traces.jsonl --metrics-out metrics.jsonl`` exports the
 observability artifacts the ``trace``/``metrics`` subcommands consume.
@@ -315,6 +316,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_backpressure(quick=args.quick)
     if args.result_stream:
         return _bench_result_stream(quick=args.quick)
+    if args.shard_scale:
+        return _bench_shard_scale(quick=args.quick)
     if args.quick:
         tasks, samples, pairs = 16, 6, 1
     else:
@@ -387,6 +390,31 @@ def _bench_result_stream(quick: bool) -> int:
     print("full gate: PYTHONPATH=src:. python -m pytest "
           "benchmarks/bench_result_stream.py")
     return 0 if below_floor else 1
+
+
+def _bench_shard_scale(quick: bool) -> int:
+    """Aggregate tasks/s 1 → 4 shards + 10:1 tenant fairness."""
+    from repro.perf import measure_shard_scale
+
+    if quick:
+        result = measure_shard_scale(tasks=128, fairness_rounds=30)
+    else:
+        result = measure_shard_scale()
+    print(f"{'shards':<8s} {'tasks':>7s} {'seconds':>9s} {'tasks/s':>9s}")
+    for run in result["scaling"]["runs"]:
+        print(f"{run['shards']:<8d} {run['tasks']:>7d} "
+              f"{run['seconds']:>9.3f} {run['tasks_per_second']:>9,.0f}")
+    fairness = result["fairness"]
+    speedup = result["scaling"]["speedup"]
+    print(f"speedup 1->{result['params']['shard_counts'][-1]}: {speedup:.2f}x")
+    print(f"fairness p99 gap: {fairness['p99_gap']:.3f} "
+          f"(polite share {fairness['polite_share']:.2f} of service vs "
+          f"{1 / (result['params']['fairness_mix'] + 1):.2f} of arrivals)")
+    scaled = speedup >= 2.5 and fairness["p99_gap"] <= 0.35
+    print(f"near-linear and fair: {'yes' if scaled else 'NO'}")
+    print("full gate: PYTHONPATH=src:. python -m pytest "
+          "benchmarks/bench_shard_scale.py")
+    return 0 if scaled else 1
 
 
 def _cmd_platforms(args: argparse.Namespace) -> int:
@@ -478,6 +506,10 @@ def build_parser() -> argparse.ArgumentParser:
                        action="store_true",
                        help="run the push-vs-poll result delivery benchmark "
                             "instead of the batching A/B")
+    bench.add_argument("--shard-scale", dest="shard_scale",
+                       action="store_true",
+                       help="run the service-plane shard-scaling benchmark "
+                            "instead of the A/B comparison")
     bench.add_argument("--transfer-cost", dest="transfer_cost", type=float,
                        default=0.001,
                        help="serial per-transfer link occupancy in seconds "

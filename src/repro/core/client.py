@@ -199,6 +199,17 @@ class FuncXClient:
     def get_status(self, task_id: str) -> TaskState:
         return self.service.status(self._token(), task_id)
 
+    def get_status_batch(self, task_ids: list[str]) -> dict[str, TaskState]:
+        """States for many tasks in one request.
+
+        The service fans the lookup out across its shards (tasks in one
+        batch routinely live on different shards — the shard map keys on
+        the target endpoint), so a polling client pays one round trip
+        regardless of how the batch scattered.
+        """
+        states = self.service.status_batch(self._token(), task_ids)
+        return {task_id: TaskState(value) for task_id, value in states.items()}
+
     def get_result(self, task_id: str, timeout: float = 0.0) -> Any:
         """Fetch and deserialize a result; re-raise remote exceptions."""
         buffer = self.service.get_result(self._token(), task_id, timeout=timeout)
@@ -294,3 +305,27 @@ class FuncXClient:
         except TaskPending:
             pass
         raise TaskPending(task_id, self.get_status(task_id).value)
+
+    def wait_all(self, task_ids: list[str], timeout: float = 30.0,
+                 poll: float = 0.01) -> list[Any]:
+        """Wait for many tasks (any mix of shards); results in order.
+
+        Polls with :meth:`get_status_batch` — one fan-out request per
+        iteration instead of one request per task — then fetches each
+        result.  Raises :class:`TaskPending` for the first unfinished
+        task at the deadline.
+        """
+        deadline = self._clock() + timeout
+        pending = set(task_ids)
+        while pending:
+            states = self.get_status_batch(sorted(pending))
+            pending = {tid for tid, state in states.items()
+                       if not state.terminal}
+            if not pending:
+                break
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                tid = sorted(pending)[0]
+                raise TaskPending(tid, self.get_status(tid).value)
+            self._sleep(min(poll, remaining))
+        return [self.get_result(tid, timeout=0.0) for tid in task_ids]

@@ -111,6 +111,11 @@ class Forwarder:
     ):
         self.service = service
         self.endpoint_id = endpoint_id
+        # The service shard this endpoint's queues live on (consistent-hash
+        # placement, fixed for the endpoint's lifetime).  One forwarder loop
+        # drains one shard's queue, so dispatch parallelism scales with the
+        # shard count; the index tags trace spans for per-shard attribution.
+        self.shard_index = service.shard_map.shard_for_endpoint(endpoint_id)
         self.channel = channel_end
         self._clock = clock or service.now  # clock-domain: monotonic
         self._sleep = sleeper or time.sleep
@@ -671,7 +676,7 @@ class Forwarder:
                 trace.record("forwarder.dispatch",
                              f"forwarder:{self.endpoint_id[:8]}",
                              start=lease.enqueued_at, end=now,
-                             attempt=task.attempts)
+                             attempt=task.attempts, shard=self.shard_index)
             self._c_forwarded.inc()
             dispatched += 1
         with self._lock:
@@ -729,7 +734,7 @@ class Forwarder:
         if trace is not None:
             trace.record("forwarder.dispatch", f"forwarder:{self.endpoint_id[:8]}",
                          start=lease.enqueued_at, end=self._clock(),
-                         attempt=task.attempts)
+                         attempt=task.attempts, shard=self.shard_index)
         self._c_forwarded.inc()
         self._h_batch_size.observe(1.0)
         return 1

@@ -26,7 +26,10 @@ from repro.errors import (
     FuncXError,
     NotFoundError,
     PayloadTooLarge,
+    ShardDraining,
     TaskPending,
+    ThrottleExceeded,
+    UnknownTenant,
 )
 
 
@@ -67,6 +70,7 @@ class RestApi:
     GET       /api/v1/endpoints              list endpoints
     POST      /api/v1/tasks                  submit one task
     POST      /api/v1/batch                  submit a task batch
+    POST      /api/v1/tasks/status           batch task status (any shard)
     GET       /api/v1/tasks/<id>/status      task status
     GET       /api/v1/tasks/<id>/result      task result (202 while pending)
     ========  =============================  =====================================
@@ -81,6 +85,7 @@ class RestApi:
             ("GET", re.compile(r"^/api/v1/endpoints$"), self._list_endpoints),
             ("POST", re.compile(r"^/api/v1/tasks$"), self._submit),
             ("POST", re.compile(r"^/api/v1/batch$"), self._submit_batch),
+            ("POST", re.compile(r"^/api/v1/tasks/status$"), self._status_batch),
             ("GET", re.compile(r"^/api/v1/tasks/(?P<tid>[\w-]+)/status$"), self._status),
             ("GET", re.compile(r"^/api/v1/tasks/(?P<tid>[\w-]+)/result$"), self._result),
         ]
@@ -107,6 +112,10 @@ class RestApi:
                 return handler(token, body, **match.groupdict())
             except AuthenticationFailed as exc:
                 return Response(401, {"error": str(exc)})
+            except UnknownTenant as exc:
+                # Strict admission: an authenticated identity with no
+                # tenant policy is forbidden, not unauthenticated.
+                return Response(403, {"error": str(exc), "tenant": exc.tenant})
             except AuthorizationFailed as exc:
                 return Response(403, {"error": str(exc)})
             except NotFoundError as exc:
@@ -115,6 +124,18 @@ class RestApi:
                 return Response(413, {"error": str(exc)})
             except TaskPending as exc:
                 return Response(202, {"status": exc.status, "task_id": exc.task_id})
+            except ThrottleExceeded as exc:
+                return Response(429, {
+                    "error": str(exc),
+                    "tenant": exc.tenant,
+                    "retry_after": exc.retry_after,
+                })
+            except ShardDraining as exc:
+                return Response(503, {
+                    "error": str(exc),
+                    "shard": exc.shard_index,
+                    "retry": True,
+                })
             except (KeyError, ValueError, TypeError) as exc:
                 return Response(400, {"error": f"bad request: {exc}"})
             except FuncXError as exc:
@@ -188,6 +209,12 @@ class RestApi:
     def _status(self, token: str, body: dict[str, Any], tid: str) -> Response:
         state = self.service.status(token, tid)
         return Response(200, {"task_id": tid, "status": state.value})
+
+    def _status_batch(self, token: str, body: dict[str, Any]) -> Response:
+        """Batch status fan-out: one request, tasks on any shard."""
+        task_ids = list(body["task_ids"])
+        states = self.service.status_batch(token, task_ids)
+        return Response(200, {"statuses": states})
 
     def _result(self, token: str, body: dict[str, Any], tid: str) -> Response:
         from repro.errors import TaskExecutionFailed

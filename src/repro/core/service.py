@@ -8,6 +8,19 @@ endpoint) drain the task queues.
 
 Every public method authenticates and authorizes the caller exactly as
 the Globus-Auth-protected REST API would.
+
+The service plane is *sharded* (journal paper §5): ``FuncXService`` is
+a thin stateless facade routing over ``config.shards`` independent
+:class:`~repro.core.shard.ServiceShard` partitions.  A consistent-hash
+:class:`~repro.core.shard.ShardMap` places each endpoint (and therefore
+its queues and every task addressed to it) on one shard; task ids carry
+their owning shard as a ``-s<idx>`` suffix so the status/result/ack
+paths route in O(1).  Each shard has its own lock, task table, queue
+pair per endpoint, result-stream delivery thread, and store pacer —
+dispatch, credit accounting, and result delivery on different shards
+never contend.  In front of the facade sits per-tenant admission
+control (:mod:`repro.core.admission`): token-bucket rate limits,
+max-outstanding quotas, and DRR-fair dequeue across tenant lanes.
 """
 
 from __future__ import annotations
@@ -19,11 +32,23 @@ from typing import Any, Callable
 
 from repro.auth.scopes import Scope
 from repro.auth.service import AuthService, Identity
+from repro.core.admission import AdmissionController
 from repro.core.memoization import Memoizer
 from repro.core.registry import EndpointRecord, EndpointRegistry, FunctionRegistry
-from repro.core.stream import DEFAULT_SPILL_THRESHOLD, ResultStreamServer
+from repro.core.shard import ServiceShard, ShardMap
+from repro.core.stream import (
+    DEFAULT_SPILL_THRESHOLD,
+    ResultStreamRouter,
+    ResultStreamServer,
+)
 from repro.core.tasks import Task, TaskState
-from repro.errors import PayloadTooLarge, TaskCancelled, TaskNotFound, TaskPending
+from repro.errors import (
+    PayloadTooLarge,
+    ShardDraining,
+    TaskCancelled,
+    TaskNotFound,
+    TaskPending,
+)
 from repro.metrics.registry import MetricsRegistry
 from repro.observability.trace import TraceStore
 from repro.store.kvstore import KVStore
@@ -59,6 +84,15 @@ class ServiceConfig:
         Result payloads at or above this size (bytes) are delivered on
         the push stream as staged ``DataRef`` records instead of in-band
         buffers (see :mod:`repro.core.stream`).
+    shards:
+        Number of independent service-plane partitions.  ``1`` (the
+        default) behaves exactly like the unsharded service.
+    shard_op_cost:
+        Modeled backing-store occupancy (seconds) charged per shard
+        store operation (task insert, completion write).  Each shard
+        pays it on its *own* pacer, so N shards absorb N times the
+        store traffic — the effect the shard-scale benchmark measures.
+        ``0`` disables pacing.
     """
 
     payload_limit: int = 512 * 1024
@@ -68,6 +102,8 @@ class ServiceConfig:
     tracing: bool = True
     trace_capacity: int = 100_000
     stream_spill_threshold: int = DEFAULT_SPILL_THRESHOLD
+    shards: int = 1
+    shard_op_cost: float = 0.0
 
 
 class FuncXService:
@@ -87,6 +123,9 @@ class FuncXService:
     metrics:
         The deployment's shared metrics registry (a private one is
         created when not provided, so standalone services stay isolated).
+    admission:
+        Per-tenant admission controller; a permissive default (no
+        limits, reject nothing) is created when not provided.
     """
 
     def __init__(
@@ -96,6 +135,7 @@ class FuncXService:
         clock: Callable[[], float] | None = None,
         sleeper: Callable[[float], None] | None = None,
         metrics: MetricsRegistry | None = None,
+        admission: AdmissionController | None = None,
     ):
         self.auth = auth or AuthService()
         self.config = config or ServiceConfig()
@@ -106,12 +146,6 @@ class FuncXService:
         self.store = KVStore(clock=self._clock)
         self.pubsub = PubSub()
         self.memoizer = Memoizer()
-        self._lock = threading.RLock()
-        self._tasks: dict[str, Task] = {}                      # guarded-by: self._lock
-        self._task_queues: dict[str, ReliableQueue] = {}       # guarded-by: self._lock
-        # Result-queue creation currently happens on one role, but the
-        # map shares _lock with _tasks/_task_queues deliberately.
-        self._result_queues: dict[str, ReliableQueue] = {}     # guarded-by: self._lock  # lint: ignore[threadroles]
         # observability fabric: per-task traces + registry-backed counters
         self.metrics = metrics or MetricsRegistry(clock=self._clock)
         self.traces = TraceStore(clock=self._clock, enabled=self.config.tracing,
@@ -123,15 +157,34 @@ class FuncXService:
         self._c_forgotten = self.metrics.counter("service.tasks_forgotten")
         self._c_cancelled = self.metrics.counter("service.tasks_cancelled")
         self._c_post_cancel = self.metrics.counter("service.post_cancel_results")
-        # Push-based result delivery (client subscriptions).
-        self.result_stream = ResultStreamServer(
-            self, clock=self._clock,
-            spill_threshold=self.config.stream_spill_threshold)
-        self.metrics.gauge("service.tasks_live").set_function(
-            lambda: sum(1 for t in self.iter_tasks() if not t.state.terminal))
+        self._c_shard_rejects = self.metrics.counter("shard.draining_rejects")
         # Observation hook: ``probe(event, fields)`` for task lifecycle
-        # events (chaos invariant probes attach here).
+        # events (chaos invariant probes attach here).  Declared before
+        # the shards — their accounting probes read it through us.
         self.probe: Callable[[str, dict[str, Any]], None] | None = None
+        # Per-tenant admission control in front of the facade.
+        self.admission = admission or AdmissionController(clock=self._clock)
+        self.admission.metrics = self.metrics
+        # The sharded service plane: consistent-hash placement plus one
+        # independent partition (lock, task table, queues, stream
+        # delivery thread, store pacer) per shard.
+        self.shard_map = ShardMap(self.config.shards)
+        self.shards: list[ServiceShard] = [
+            ServiceShard(
+                index=index,
+                service=self,
+                clock=self._clock,
+                sleeper=self._sleep,
+                op_cost=self.config.shard_op_cost,
+                spill_threshold=self.config.stream_spill_threshold,
+            )
+            for index in range(self.config.shards)
+        ]
+        self._stream_router = ResultStreamRouter(self)
+        # The open-task gauge reads each shard's O(1) counter — the old
+        # implementation scanned every task record per metrics read.
+        self.metrics.gauge("service.tasks_live").set_function(
+            lambda: sum(shard.open_tasks() for shard in self.shards))
 
     # -- registry-backed counters (compat with the former int attributes) ----
     @property
@@ -158,6 +211,19 @@ class FuncXService:
     def post_cancel_results(self) -> int:
         return int(self._c_post_cancel.value)
 
+    @property
+    def result_stream(self) -> ResultStreamServer | ResultStreamRouter:
+        """The push-delivery entry point clients subscribe through.
+
+        A single-shard plane exposes the shard's real server (full
+        back-compat, including the ``step()``/``spill`` test surface);
+        a multi-shard plane exposes the router, whose subscriptions
+        span every shard's delivery thread.
+        """
+        if len(self.shards) == 1:
+            return self.shards[0].result_stream
+        return self._stream_router
+
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
@@ -172,6 +238,12 @@ class FuncXService:
 
     def now(self) -> float:
         return self._clock()
+
+    def shard_for_endpoint(self, endpoint_id: str) -> ServiceShard:
+        return self.shards[self.shard_map.shard_for_endpoint(endpoint_id)]
+
+    def shard_for_task(self, task_id: str) -> ServiceShard:
+        return self.shards[self.shard_map.shard_for_task(task_id)]
 
     # ------------------------------------------------------------------
     # registration API
@@ -224,7 +296,7 @@ class FuncXService:
         public: bool = True,
         metadata: dict[str, Any] | None = None,
     ) -> str:
-        """Register an endpoint; allocates its task and result queues."""
+        """Register an endpoint; allocates its queues on its home shard."""
         identity = self.auth.authorize(token, Scope.REGISTER_ENDPOINT)
         self._spend_overhead()
         record = self.endpoints.register(
@@ -235,13 +307,11 @@ class FuncXService:
             metadata=metadata,
             now=self._clock(),
         )
-        with self._lock:
-            self._task_queues[record.endpoint_id] = ReliableQueue(
-                name=f"tasks:{record.endpoint_id}", clock=self._clock
-            )
-            self._result_queues[record.endpoint_id] = ReliableQueue(
-                name=f"results:{record.endpoint_id}", clock=self._clock
-            )
+        # Endpoint affinity: the consistent-hash map pins both queues
+        # (and every task addressed here) to one shard, so the
+        # endpoint's forwarder drains exactly one partition.
+        self.shard_for_endpoint(record.endpoint_id).add_endpoint(
+            record.endpoint_id, weight_for=self.admission.weight_for)
         return record.endpoint_id
 
     # ------------------------------------------------------------------
@@ -260,10 +330,16 @@ class FuncXService:
         received_at = self._clock()
         identity = self.auth.authorize(token, Scope.EXECUTE)
         self._spend_overhead()
-        return self._submit_authorized(
-            identity, function_id, endpoint_id, payload_buffer, memoize, max_retries,
-            received_at=received_at,
-        )
+        self._check_accepting(endpoint_id)
+        self.admission.admit(identity.identity_id)
+        try:
+            return self._submit_authorized(
+                identity, function_id, endpoint_id, payload_buffer, memoize,
+                max_retries, received_at=received_at,
+            )
+        except BaseException:
+            self.admission.release(identity.identity_id)
+            raise
 
     def submit_batch(
         self,
@@ -277,9 +353,10 @@ class FuncXService:
         answer to web-service throughput limits (section 5.2.4).
 
         The batch is atomic on validation: every request is checked
-        (payload size, function invocability, endpoint usability) before
-        *any* task is enqueued, so a rejected member cannot leave a
-        partial batch behind with the caller holding no task ids.
+        (payload size, function invocability, endpoint usability, shard
+        accepting, tenant quota for the whole batch) before *any* task
+        is enqueued, so a rejected member cannot leave a partial batch
+        behind with the caller holding no task ids.
         """
         received_at = self._clock()
         identity = self.auth.authorize(token, Scope.EXECUTE)
@@ -289,11 +366,29 @@ class FuncXService:
                 raise PayloadTooLarge(len(payload), self.config.payload_limit)
             self.functions.check_invocable(fid, identity.identity_id)
             self.endpoints.check_usable(eid, identity.identity_id)
-        return [
-            self._submit_authorized(identity, fid, eid, payload, memoize, None,
-                                    received_at=received_at)
-            for fid, eid, payload in requests
-        ]
+            self._check_accepting(eid)
+        self.admission.admit(identity.identity_id, count=len(requests))
+        submitted: list[str] = []
+        try:
+            for fid, eid, payload in requests:
+                submitted.append(
+                    self._submit_authorized(identity, fid, eid, payload,
+                                            memoize, None,
+                                            received_at=received_at))
+        except BaseException:
+            # Validation passed, so this is unexpected; return the quota
+            # of the members that never made it in.
+            self.admission.release(identity.identity_id,
+                                   count=len(requests) - len(submitted))
+            raise
+        return submitted
+
+    def _check_accepting(self, endpoint_id: str) -> None:
+        """Reject submissions aimed at a draining shard (503 shape)."""
+        shard = self.shard_for_endpoint(endpoint_id)
+        if shard.draining:
+            self._c_shard_rejects.inc()
+            raise ShardDraining(shard.index)
 
     def _submit_authorized(
         self,
@@ -309,6 +404,7 @@ class FuncXService:
             raise PayloadTooLarge(len(payload_buffer), self.config.payload_limit)
         function = self.functions.check_invocable(function_id, identity.identity_id)
         self.endpoints.check_usable(endpoint_id, identity.identity_id)
+        shard = self.shard_for_endpoint(endpoint_id)
 
         now = received_at if received_at is not None else self._clock()
         task = Task(
@@ -321,15 +417,19 @@ class FuncXService:
                 max_retries if max_retries is not None else self.config.default_max_retries
             ),
         )
+        # Embed the owning shard in the id: every later lookup (status,
+        # result, ack, stream watch) routes in O(1) without a directory.
+        task.task_id = self.shard_map.tag(task.task_id, shard.index)
         task.state_times[TaskState.RECEIVED.value] = now  # born RECEIVED
-        with self._lock:
-            self._tasks[task.task_id] = task
+        shard.insert_task(task)
         self._c_received.inc()
         trace = self.traces.open(task.task_id, at=now)
         if trace is not None:
             task.metadata["trace_id"] = trace.trace_id
         self.store.hset("tasks", task.task_id, task.to_record())
-        self._emit("task.submitted", task_id=task.task_id, endpoint_id=endpoint_id)
+        shard.pacer.charge()  # the task-record store write
+        self._emit("task.submitted", task_id=task.task_id,
+                   endpoint_id=endpoint_id, shard=shard.index)
 
         if memoize:
             cached = self.memoizer.lookup(function.function_buffer, payload_buffer)
@@ -338,19 +438,22 @@ class FuncXService:
                 done = self._clock()
                 if trace is not None:
                     trace.record("service", "service", start=now, end=done,
-                                 memo_hit=True)
+                                 memo_hit=True, shard=shard.index)
                 self._complete(task, success=True, result_buffer=cached,
                                execution_time=0.0, now=done)
                 self._c_memo.inc()
                 return task.task_id
             task.metadata["memoize"] = True
 
-        queue = self._queue_for(endpoint_id)
+        queue = shard.task_queue(endpoint_id)
         queued_at = self._clock()
         task.advance(TaskState.QUEUED, queued_at)
         if trace is not None:
-            trace.record("service", "service", start=now, end=queued_at)
-        queue.put(task.task_id)
+            trace.record("service", "service", start=now, end=queued_at,
+                         shard=shard.index)
+        # The tenant lane makes dequeue DRR-fair across identities
+        # sharing this endpoint.
+        queue.put(task.task_id, lane=identity.identity_id)
         self.pubsub.publish(f"endpoint.{endpoint_id}.queued", task.task_id)
         return task.task_id
 
@@ -360,6 +463,28 @@ class FuncXService:
     def status(self, token: str, task_id: str) -> TaskState:
         self.auth.authorize(token, Scope.MONITOR)
         return self._get_task(task_id).state
+
+    def status_batch(self, token: str, task_ids: list[str]) -> dict[str, str]:
+        """States for many tasks in one authenticated request.
+
+        The facade fans the lookup out shard-by-shard (one routing pass,
+        then per-shard table reads) — the batch analogue of ``status``
+        that a sharded ``wait_for`` polls with.
+        """
+        self.auth.authorize(token, Scope.MONITOR)
+        by_shard: dict[int, list[str]] = {}
+        for task_id in task_ids:
+            by_shard.setdefault(
+                self.shard_map.shard_for_task(task_id), []).append(task_id)
+        states: dict[str, str] = {}
+        for index, ids in by_shard.items():
+            shard = self.shards[index]
+            for task_id in ids:
+                task = shard.get_task(task_id)
+                if task is None:
+                    raise TaskNotFound(task_id)
+                states[task_id] = task.state.value
+        return states
 
     def get_result(self, token: str, task_id: str, timeout: float = 0.0) -> bytes:
         """Retrieve a completed task's serialized result (figure 3, step 6).
@@ -414,8 +539,7 @@ class FuncXService:
 
     def result_queue(self, endpoint_id: str) -> ReliableQueue:
         self.endpoints.get(endpoint_id)
-        with self._lock:
-            return self._result_queues[endpoint_id]
+        return self.shard_for_endpoint(endpoint_id).result_queue(endpoint_id)
 
     def task_by_id(self, task_id: str) -> Task:
         return self._get_task(task_id)
@@ -496,7 +620,10 @@ class FuncXService:
         self._emit("task.cancelled", task_id=task_id, state=task.state.value)
         self.store.hset("tasks", task_id, task.to_record())
         self.pubsub.publish(f"task.{task_id}", task.state.value)
-        self.result_stream.on_task_terminal(task)
+        shard = self.shard_for_task(task_id)
+        shard.note_terminal(task)
+        self.admission.release(task.owner_id)
+        shard.result_stream.on_task_terminal(task)
         return True
 
     def requeue_task(self, task_id: str, reason: str = "", enqueue: bool = True) -> bool:
@@ -526,7 +653,8 @@ class FuncXService:
         task.metadata.setdefault("requeue_reasons", []).append(reason)
         self._emit("task.requeued", task_id=task_id, reason=reason)
         if enqueue:
-            self._queue_for(task.endpoint_id).put(task.task_id)
+            self._queue_for(task.endpoint_id).put(task.task_id,
+                                                  lane=task.owner_id)
         return True
 
     def mark_dispatched(self, task_id: str) -> None:
@@ -543,11 +671,27 @@ class FuncXService:
         self.endpoints.heartbeat(endpoint_id, self._clock())
 
     # ------------------------------------------------------------------
+    # shard administration
+    # ------------------------------------------------------------------
+    def drain_shard(self, index: int) -> None:
+        """Stop accepting submissions on one shard (rolling restart)."""
+        self.shards[index].drain()
+
+    def restart_shard(self, index: int) -> None:
+        """Bring a drained/killed shard back into rotation."""
+        self.shards[index].restart()
+
+    def shard_counters(self) -> list[dict[str, int]]:
+        """Per-shard accounting snapshots (conservation checks, CLI)."""
+        return [shard.counters() for shard in self.shards]
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop service-owned background machinery (the result stream)."""
-        self.result_stream.close()
+        """Stop service-owned background machinery (stream delivery)."""
+        for shard in self.shards:
+            shard.close()
 
     def purge(self) -> int:
         """Run the periodic store purge; returns evicted entries."""
@@ -560,10 +704,11 @@ class FuncXService:
         must treat a leased-but-unknown id as an orphan, ack it, and keep
         draining (see ``Forwarder._dispatch_tasks``).
         """
-        with self._lock:
-            task = self._tasks.pop(task_id, None)
+        task = self.shard_for_task(task_id).pop_task(task_id)
         if task is None:
             return False
+        if not task.state.terminal:
+            self.admission.release(task.owner_id)
         self.store.hdel("tasks", task_id)
         self._c_forgotten.inc()
         self._emit("task.forgotten", task_id=task_id, state=task.state.value)
@@ -571,31 +716,28 @@ class FuncXService:
 
     def iter_tasks(self) -> list[Task]:
         """A snapshot of every task record (chaos accounting probes)."""
-        with self._lock:
-            return list(self._tasks.values())
+        tasks: list[Task] = []
+        for shard in self.shards:
+            tasks.extend(shard.iter_tasks())
+        return tasks
 
     def outstanding_tasks(self, endpoint_id: str) -> int:
-        """Queued + dispatched + running tasks for an endpoint."""
-        with self._lock:
-            return sum(
-                1
-                for t in self._tasks.values()
-                if t.endpoint_id == endpoint_id and not t.state.terminal
-            )
+        """Queued + dispatched + running tasks for an endpoint.
+
+        O(1): reads the owning shard's incrementally-maintained
+        per-endpoint index (the forwarder calls this per dispatch wave;
+        it used to scan the whole task table).
+        """
+        return self.shard_for_endpoint(endpoint_id).outstanding(endpoint_id)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _queue_for(self, endpoint_id: str) -> ReliableQueue:
-        with self._lock:
-            queue = self._task_queues.get(endpoint_id)
-            if queue is None:
-                raise TaskNotFound(f"task queue for endpoint {endpoint_id}")
-            return queue
+        return self.shard_for_endpoint(endpoint_id).task_queue(endpoint_id)
 
     def _get_task(self, task_id: str) -> Task:
-        with self._lock:
-            task = self._tasks.get(task_id)
+        task = self.shard_for_task(task_id).get_task(task_id)
         if task is None:
             raise TaskNotFound(task_id)
         return task
@@ -638,5 +780,9 @@ class FuncXService:
                    state=task.state.value)
         self.store.hset("tasks", task.task_id, task.to_record())
         self.store.set(f"result:{task.task_id}", result_buffer, ttl=None)
+        shard = self.shard_for_task(task.task_id)
+        shard.note_terminal(task)
+        self.admission.release(task.owner_id)
+        shard.pacer.charge()  # the completion store write
         self.pubsub.publish(f"task.{task.task_id}", task.state.value)
-        self.result_stream.on_task_terminal(task)
+        shard.result_stream.on_task_terminal(task)

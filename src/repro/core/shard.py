@@ -1,0 +1,406 @@
+"""The sharded service plane: shard map, per-shard state, pacing.
+
+The hosted funcX service scaled by partitioning its Redis-backed task
+state and running one forwarder per partition (journal paper §5).  This
+module is that partitioning for the reproduction:
+
+* :class:`ShardMap` — a consistent-hash ring placing *endpoints* on
+  shards (so one endpoint's task and result queues live wholly on one
+  shard and its forwarder drains exactly one partition), plus O(1)
+  task-id routing: every task id minted by the facade carries a
+  ``-s<shard>`` suffix, so status/result/ack paths jump straight to the
+  owning shard without a directory lookup.
+* :class:`ServiceShard` — one partition: its own lock, task table,
+  per-endpoint :class:`~repro.store.queues.ReliableQueue` pair, its own
+  :class:`~repro.core.stream.ResultStreamServer` delivery thread, and
+  incrementally-maintained counters (open tasks, per-endpoint
+  outstanding) so the hot paths that used to scan the global task table
+  are O(1).
+* :class:`_ShardPacer` — a virtual-time serial resource modeling the
+  shard's backing store (Redis round trips).  Each shard has its own
+  pacer, so N shards really do N store operations concurrently — the
+  mechanism the shard-scale benchmark measures.
+
+The facade (:class:`~repro.core.service.FuncXService`) owns every
+policy decision (auth, validation, memoization, tracing, completion
+semantics); a shard is pure partitioned state + accounting.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+import zlib
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.stream import DEFAULT_SPILL_THRESHOLD, ResultStreamServer
+from repro.core.tasks import Task, TaskState
+from repro.errors import TaskNotFound
+from repro.store.queues import FairReliableQueue, ReliableQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.service import FuncXService
+
+#: Virtual nodes per shard on the consistent-hash ring: enough to keep
+#: endpoint placement within a few percent of even at small shard counts.
+VNODES = 64
+
+#: Separator between a task's uuid and its shard tag.  uuid4 hex never
+#: contains ``s``, so scanning from the right is unambiguous.
+_SHARD_TAG = "-s"
+
+
+def _ring_hash(key: str) -> int:
+    """Stable 32-bit hash (crc32): identical placement across runs and
+    processes, unlike the salted builtin ``hash``."""
+    return zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF
+
+
+class ShardMap:
+    """Consistent-hash placement of endpoints (and untagged keys) on shards.
+
+    Immutable after construction — the shard count is a deployment
+    parameter, not a runtime elasticity axis, so no rebalancing or
+    ring mutation is needed (or supported).
+    """
+
+    def __init__(self, shards: int, vnodes: int = VNODES):
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        self.shards = shards
+        points: list[tuple[int, int]] = []
+        for index in range(shards):
+            for vnode in range(vnodes):
+                points.append((_ring_hash(f"shard-{index}:vn{vnode}"), index))
+        points.sort()
+        self._ring_keys = [p[0] for p in points]
+        self._ring_vals = [p[1] for p in points]
+
+    def _lookup(self, key: str) -> int:
+        if self.shards == 1:
+            return 0
+        position = bisect.bisect(self._ring_keys, _ring_hash(key))
+        if position == len(self._ring_keys):
+            position = 0  # wrap around the ring
+        return self._ring_vals[position]
+
+    def shard_for_endpoint(self, endpoint_id: str) -> int:
+        """The shard owning an endpoint's queues (and all of its tasks)."""
+        return self._lookup(endpoint_id)
+
+    def shard_for_task(self, task_id: str) -> int:
+        """O(1) route from a task id to its owning shard.
+
+        Ids minted by the facade carry a ``-s<shard>`` suffix; foreign
+        ids (hand-built tests, pre-shard artifacts) fall back to the
+        ring, which is deterministic — an unknown id misses consistently
+        on the same shard and surfaces as ``TaskNotFound``.
+        """
+        if self.shards == 1:
+            return 0
+        base, sep, suffix = task_id.rpartition(_SHARD_TAG)
+        if sep and base and suffix.isdigit():
+            index = int(suffix)
+            if index < self.shards:
+                return index
+        return self._lookup(task_id)
+
+    def tag(self, task_id: str, shard_index: int) -> str:
+        """Embed the owning shard into a freshly-minted task id."""
+        return f"{task_id}{_SHARD_TAG}{shard_index}"
+
+
+class _ShardPacer:
+    """A virtual-time serial resource: the shard's backing store.
+
+    Each charged operation occupies the resource for ``op_cost``
+    seconds; concurrent callers queue behind ``busy_until`` and sleep
+    out their wait *outside* the pacer lock (the sleep models a store
+    round trip, which releases the GIL).  One pacer per shard is what
+    makes the sharded plane scale: four shards serve four store
+    operations in the time one shard serves one.
+
+    ``op_cost=0`` (the default) disables pacing entirely — production
+    configs measure real store latency instead of modeling it.
+    """
+
+    # charge() races from the *multiple* shard-driver threads of the
+    # scaling bench, which all classify as role "main"; the lock is
+    # load-bearing even though role inference sees a single role.
+    _GUARDED = {
+        "_busy_until": "_lock",  # lint: ignore[threadroles]
+    }
+
+    def __init__(
+        self,
+        op_cost: float,
+        clock: Callable[[], float] | None = None,
+        sleeper: Callable[[float], None] | None = None,
+    ):
+        self.op_cost = op_cost
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
+        self._sleep = sleeper or time.sleep
+        self._lock = threading.Lock()
+        self._busy_until = 0.0
+
+    def charge(self, ops: int = 1) -> None:
+        """Occupy the resource for ``ops`` operations; blocks the caller
+        (never the shard lock) until its operations would have finished."""
+        if self.op_cost <= 0.0 or ops <= 0:
+            return
+        with self._lock:
+            now = self._clock()
+            start = max(now, self._busy_until)
+            self._busy_until = start + ops * self.op_cost
+            wait = self._busy_until - now
+        if wait > 0:
+            self._sleep(wait)
+
+
+class ServiceShard:
+    """One partition of the service plane's task state.
+
+    Owns the task table, the per-endpoint queue pairs, an O(1)
+    accounting block, and its own result-stream delivery thread.  All
+    mutation goes through the facade, which routes by
+    :class:`ShardMap`; the shard enforces nothing but its own
+    bookkeeping invariant::
+
+        open == received - terminated - forgotten_open
+
+    emitted on every mutation as a ``shard.accounting`` probe event so
+    the chaos layer can check it per-shard and across shards.
+    """
+
+    # Queue-map creation and drain/kill administration race from
+    # multiple client/admin threads that all classify as role "main";
+    # those locks are load-bearing even though role inference sees a
+    # single role (the waived entries below).
+    _GUARDED = {
+        "_tasks": "_lock",
+        "_task_queues": "_lock",  # lint: ignore[threadroles]
+        "_result_queues": "_lock",  # lint: ignore[threadroles]
+        "_outstanding": "_lock",
+        "_received": "_lock",
+        "_terminated": "_lock",
+        "_forgotten_open": "_lock",
+        "_open": "_lock",
+    }
+
+    def __init__(
+        self,
+        index: int,
+        service: "FuncXService",
+        clock: Callable[[], float] | None = None,
+        sleeper: Callable[[float], None] | None = None,
+        op_cost: float = 0.0,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+    ):
+        self.index = index
+        self.service = service
+        self._clock = clock or time.monotonic  # clock-domain: monotonic
+        self._lock = threading.RLock()
+        self._tasks: dict[str, Task] = {}
+        self._task_queues: dict[str, ReliableQueue] = {}
+        # Result-queue creation currently happens on one role, but the
+        # map shares _lock with _tasks/_task_queues deliberately.
+        self._result_queues: dict[str, ReliableQueue] = {}  # lint: ignore[threadroles]
+        # O(1) accounting (satellite: the old tasks.open gauge and
+        # outstanding_tasks() both scanned the full task table).
+        self._received = 0
+        self._terminated = 0
+        self._forgotten_open = 0
+        self._open = 0
+        self._outstanding: dict[str, int] = {}  # endpoint_id -> open tasks
+        # Submitting threads read this while chaos/admin threads flip
+        # it; both classify as role "main", so the lock is load-bearing
+        # even though role inference sees a single role.
+        self.draining = False  # guarded-by: self._lock  # lint: ignore[threadroles]
+        self.pacer = _ShardPacer(op_cost, clock=self._clock, sleeper=sleeper)
+        # Per-shard push delivery: its own thread, named by shard so
+        # thread-role inference and the runtime recorder agree.
+        self.result_stream = ResultStreamServer(
+            service, clock=self._clock, spill_threshold=spill_threshold,
+            tag=str(index))
+        metrics = service.metrics
+        self._c_received = metrics.counter("shard.tasks_received",
+                                           shard=str(index))
+        self._c_terminated = metrics.counter("shard.tasks_terminated",
+                                             shard=str(index))
+        metrics.gauge("shard.open_tasks", shard=str(index)).set_function(
+            self.open_tasks)
+
+    # -- probe ---------------------------------------------------------------
+    def _emit_accounting(self, event: str, **fields: Any) -> None:  # guarded-by: self._lock
+        """Emit a ``shard.accounting`` snapshot (caller holds the lock)."""
+        probe = self.service.probe
+        if probe is None:
+            return
+        probe(
+            "shard.accounting",
+            {
+                "shard": self.index,
+                "cause": event,
+                "received": self._received,
+                "terminated": self._terminated,
+                "forgotten_open": self._forgotten_open,
+                "open": self._open,
+                **fields,
+            },
+        )
+
+    # -- task table ----------------------------------------------------------
+    def insert_task(self, task: Task) -> None:
+        with self._lock:
+            self._tasks[task.task_id] = task
+            self._received += 1
+            self._open += 1
+            self._outstanding[task.endpoint_id] = (
+                self._outstanding.get(task.endpoint_id, 0) + 1)
+            self._emit_accounting("insert", task_id=task.task_id)
+        self._c_received.inc()
+
+    def get_task(self, task_id: str) -> Task | None:
+        with self._lock:
+            return self._tasks.get(task_id)
+
+    def pop_task(self, task_id: str) -> Task | None:
+        """Remove a task record (forget path); fixes up open counters."""
+        with self._lock:
+            task = self._tasks.pop(task_id, None)
+            if task is None:
+                return None
+            if not task.state.terminal:
+                # Forgetting an open task removes it from the conserved
+                # population — tracked separately so the accounting
+                # identity still closes.
+                self._forgotten_open += 1
+                self._open -= 1
+                self._dec_outstanding(task.endpoint_id)
+            self._emit_accounting("forget", task_id=task_id)
+            return task
+
+    def note_terminal(self, task: Task) -> None:
+        """Called exactly once per task, when it first reaches a
+        terminal state (complete / fail / cancel)."""
+        with self._lock:
+            if task.task_id not in self._tasks:
+                return  # forgotten while completing; already accounted
+            self._terminated += 1
+            self._open -= 1
+            self._dec_outstanding(task.endpoint_id)
+            self._emit_accounting("terminal", task_id=task.task_id)
+        self._c_terminated.inc()
+
+    def _dec_outstanding(self, endpoint_id: str) -> None:  # guarded-by: self._lock
+        count = self._outstanding.get(endpoint_id, 0) - 1
+        if count > 0:
+            self._outstanding[endpoint_id] = count
+        else:
+            self._outstanding.pop(endpoint_id, None)
+
+    def iter_tasks(self) -> list[Task]:
+        with self._lock:
+            return list(self._tasks.values())
+
+    # -- O(1) accounting reads ----------------------------------------------
+    def open_tasks(self) -> int:
+        with self._lock:
+            return self._open
+
+    def outstanding(self, endpoint_id: str) -> int:
+        with self._lock:
+            return self._outstanding.get(endpoint_id, 0)
+
+    def counters(self) -> dict[str, int]:
+        """Accounting snapshot (cross-shard conservation checks)."""
+        with self._lock:
+            return {
+                "received": self._received,
+                "terminated": self._terminated,
+                "forgotten_open": self._forgotten_open,
+                "open": self._open,
+            }
+
+    # -- endpoint queues ------------------------------------------------------
+    def add_endpoint(
+        self,
+        endpoint_id: str,
+        weight_for: Callable[[str], float] | None = None,
+    ) -> None:
+        """Allocate the endpoint's queue pair on this shard.
+
+        The task queue is lane-fair: submissions are tagged with the
+        tenant id and dequeued deficit-round-robin so one tenant cannot
+        monopolize a shared endpoint.
+        """
+        with self._lock:
+            self._task_queues[endpoint_id] = FairReliableQueue(
+                name=f"tasks:{endpoint_id}", clock=self._clock,
+                weight_for=weight_for)
+            self._result_queues[endpoint_id] = ReliableQueue(
+                name=f"results:{endpoint_id}", clock=self._clock)
+
+    def task_queue(self, endpoint_id: str) -> ReliableQueue:
+        with self._lock:
+            queue = self._task_queues.get(endpoint_id)
+        if queue is None:
+            raise TaskNotFound(f"task queue for endpoint {endpoint_id}")
+        return queue
+
+    def result_queue(self, endpoint_id: str) -> ReliableQueue:
+        with self._lock:
+            return self._result_queues[endpoint_id]
+
+    def endpoint_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._task_queues)
+
+    # -- lifecycle ------------------------------------------------------------
+    def drain(self) -> None:
+        """Refuse new submissions; in-flight work keeps dispatching."""
+        with self._lock:
+            self.draining = True
+
+    def kill(self) -> int:
+        """Chaos entry: drain, then yank every outstanding queue lease.
+
+        Models the shard process dying: forwarder leases vanish (their
+        later acks are rejected harmlessly) and the ready backlog
+        survives in the partition's durable queues.  Returns the number
+        of leases yanked.
+        """
+        with self._lock:
+            self.draining = True
+            queues = list(self._task_queues.values()) + list(
+                self._result_queues.values())
+        yanked = 0
+        for queue in queues:
+            yanked += queue.nack_all()
+        # The yanked task-queue entries go back to the ready backlog, so
+        # any task caught mid-dispatch must roll back to QUEUED — a
+        # redelivering forwarder re-marks dispatch, and DISPATCHED ->
+        # DISPATCHED is an illegal transition.
+        now = self._clock()
+        with self._lock:
+            in_flight = [task for task in self._tasks.values()
+                         if task.state in (TaskState.DISPATCHED,
+                                           TaskState.RUNNING)]
+        for task in in_flight:
+            task.advance(TaskState.QUEUED, now)
+            task.metadata.setdefault("requeue_reasons", []).append(
+                f"shard-{self.index}-killed")
+        return yanked
+
+    def restart(self) -> None:
+        """Chaos exit: accept submissions again and wake consumers."""
+        with self._lock:
+            self.draining = False
+            queues = list(self._task_queues.values())
+        for queue in queues:
+            # Consumers may have gone idle while the shard was down.
+            queue._fire_wakeup()
+
+    def close(self) -> None:
+        self.result_stream.close()

@@ -88,7 +88,10 @@ class ResultSubscription:
             name=f"stream:{subscriber_id}", clock=clock)
         self._lock = threading.Lock()
         self._watched: set[str] = set()              # guarded-by: self._lock
-        self._enqueued: set[str] = set()             # guarded-by: self._lock
+        # watch()/offer() race from multiple client/shard threads that
+        # all classify as role "main"; the lock is load-bearing even
+        # though role inference sees a single role.
+        self._enqueued: set[str] = set()             # guarded-by: self._lock  # lint: ignore[threadroles]
         self._consumer: Consumer | None = None       # guarded-by: self._lock
         self._unacked: dict[str, list[Lease]] = {}   # guarded-by: self._lock
         self._closed = False                         # guarded-by: self._lock
@@ -253,15 +256,21 @@ class ResultStreamServer:
         clock: Callable[[], float] | None = None,
         spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
         poll_fallback: float = 0.05,
+        tag: str = "0",
     ):
         self.service = service
+        # Shard tag: distinguishes the per-shard delivery threads and
+        # metrics when the service plane runs more than one shard.
+        self.tag = tag
         self._clock = clock or time.monotonic  # clock-domain: monotonic
         self.spill_threshold = spill_threshold
         self._poll_fallback = poll_fallback
         self._wakeup = Wakeup(clock=self._clock)
         self._lock = threading.Lock()
         self._subs: dict[str, ResultSubscription] = {}  # guarded-by: self._lock
-        self._interest: dict[str, set[str]] = {}        # guarded-by: self._lock
+        # subscribe()/unsubscribe() race from multiple client threads
+        # that all classify as role "main" (same story as _thread below).
+        self._interest: dict[str, set[str]] = {}        # guarded-by: self._lock  # lint: ignore[threadroles]
         # subscribe()/close() race from *multiple* client threads that
         # all classify as role "main"; the lock is load-bearing even
         # though role inference sees a single role.
@@ -282,7 +291,7 @@ class ResultStreamServer:
         self._c_redelivered = metrics.counter("stream.redeliveries")
         self._c_consumer_errors = metrics.counter("stream.consumer_errors")
         self._c_credit_stalls = metrics.counter("stream.credit_stalls")
-        metrics.gauge("stream.subscriptions").set_function(
+        metrics.gauge("stream.subscriptions", shard=self.tag).set_function(
             self.subscription_count)
 
     # -- subscriptions -------------------------------------------------------
@@ -461,7 +470,8 @@ class ResultStreamServer:
             if self._thread is not None or self._closed:
                 return
             thread = threading.Thread(
-                target=self._loop, name="result-stream", daemon=True)
+                target=self._loop, name=f"result-stream-{self.tag}",
+                daemon=True)
             self._thread = thread
         thread.start()
 
@@ -487,3 +497,166 @@ class ResultStreamServer:
         for sub in subs:
             sub.queue.close()
         unregister_store(self.spill.name)
+
+
+# ======================================================================
+# sharded delivery: one stream server per shard, one logical subscription
+# ======================================================================
+class RoutedSubscription:
+    """A logical subscription spanning every shard's stream server.
+
+    The executor and SDK talk to one subscription object; under a
+    sharded service plane each shard runs its own delivery thread, so
+    this wrapper opens one real :class:`ResultSubscription` per shard
+    and routes:
+
+    * ``watch`` — to the shard owning the task (the shard map keys on
+      the task id).
+    * ``ack`` — back to the shard that delivered the batch, recorded
+      when the batch passed through the wrapped consumer.
+    * ``attach``/``detach``/``recover``/``close`` — fanned out.
+
+    Each per-shard leg carries the full credit ``window`` — the window
+    bounds delivered-unacked results *per shard*, which keeps credit
+    accounting local to a shard (no cross-shard credit transfers on the
+    delivery hot path).
+    """
+
+    # subscribe()/route() race from multiple client/shard threads that
+    # all classify as role "main"; the lock is load-bearing even though
+    # role inference sees a single role.
+    _GUARDED = {
+        "_origins": "_lock",  # lint: ignore[threadroles]
+    }
+
+    def __init__(
+        self,
+        service: "FuncXService",
+        window: int = DEFAULT_WINDOW,
+        subscriber_id: str | None = None,
+        auto_deliver: bool = True,
+    ):
+        self._service = service
+        self.subscriber_id = subscriber_id or uuid.uuid4().hex[:12]
+        self.window = window
+        self._lock = threading.Lock()
+        # delivery_id -> the per-shard leg that produced the batch
+        self._origins: dict[str, ResultSubscription] = {}
+        self._legs: list[ResultSubscription] = [
+            shard.result_stream.subscribe(
+                window=window,
+                subscriber_id=f"{self.subscriber_id}:s{shard.index}",
+                auto_deliver=auto_deliver,
+            )
+            for shard in service.shards
+        ]
+
+    def _leg_for_task(self, task_id: str) -> ResultSubscription:
+        return self._legs[self._service.shard_map.shard_for_task(task_id)]
+
+    # -- client surface (mirrors ResultSubscription) ---------------------
+    def watch(self, task_id: str) -> None:
+        self._leg_for_task(task_id).watch(task_id)
+
+    def attach(self, consumer: Consumer) -> None:
+        for leg in self._legs:
+            leg.attach(self._wrap(leg, consumer))
+
+    def _wrap(self, leg: ResultSubscription, consumer: Consumer) -> Consumer:
+        def routed(batch: ResultBatchMessage) -> None:
+            # Record the origin *before* handing the batch over: the
+            # consumer (executor callback) may ack from its own thread
+            # immediately.
+            with self._lock:
+                self._origins[batch.delivery_id] = leg
+            try:
+                consumer(batch)
+            except BaseException:
+                with self._lock:
+                    self._origins.pop(batch.delivery_id, None)
+                raise
+        return routed
+
+    def detach(self) -> None:
+        for leg in self._legs:
+            leg.detach()
+
+    def ack(self, delivery_id: str) -> None:
+        with self._lock:
+            leg = self._origins.pop(delivery_id, None)
+        if leg is None:
+            # Unknown delivery (already acked, or recovered after a
+            # detach): every leg rejects unknown ids harmlessly.
+            for candidate in self._legs:
+                candidate.ack(delivery_id)
+            return
+        leg.ack(delivery_id)
+
+    def recover(self) -> None:
+        with self._lock:
+            self._origins.clear()
+        for leg in self._legs:
+            leg.recover()
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def watched(self) -> int:
+        return sum(leg.watched for leg in self._legs)
+
+    @property
+    def backlog(self) -> int:
+        return sum(leg.backlog for leg in self._legs)
+
+    @property
+    def unacked_results(self) -> int:
+        return sum(leg.unacked_results for leg in self._legs)
+
+    def close(self) -> None:
+        with self._lock:
+            self._origins.clear()
+        for leg in self._legs:
+            leg.close()
+
+
+class ResultStreamRouter:
+    """Facade-level stream entry point for a sharded service plane.
+
+    ``FuncXService.result_stream`` returns the single shard's real
+    :class:`ResultStreamServer` when ``shards == 1`` (full back-compat,
+    including the test-facing ``step()``/``spill`` surface) and this
+    router otherwise.  The router only *opens* subscriptions — terminal
+    fan-out happens shard-locally via each shard's own server.
+    """
+
+    def __init__(self, service: "FuncXService"):
+        self._service = service
+
+    def subscribe(
+        self,
+        window: int = DEFAULT_WINDOW,
+        subscriber_id: str | None = None,
+        auto_deliver: bool = True,
+    ) -> RoutedSubscription:
+        if window < 1:
+            raise ValueError("window must be positive")
+        return RoutedSubscription(
+            self._service, window=window, subscriber_id=subscriber_id,
+            auto_deliver=auto_deliver)
+
+    def subscription_count(self) -> int:
+        return sum(
+            shard.result_stream.subscription_count()
+            for shard in self._service.shards)
+
+    def step(self) -> int:
+        """Drive one delivery pass on every shard (deterministic tests)."""
+        return sum(
+            shard.result_stream.step() for shard in self._service.shards)
+
+    def kick(self) -> None:
+        for shard in self._service.shards:
+            shard.result_stream.kick()
+
+    def close(self) -> None:
+        for shard in self._service.shards:
+            shard.result_stream.close()

@@ -66,6 +66,52 @@ class AuthorizationFailed(AuthError):
         self.required = required
 
 
+class UnknownTenant(AuthError):
+    """The authenticated identity has no admission policy and the
+    controller runs in strict mode (unknown tenants are rejected)."""
+
+    def __init__(self, tenant: str):
+        super().__init__(
+            f"tenant {tenant!r} has no admission policy (strict admission)"
+        )
+        self.tenant = tenant
+
+
+# --------------------------------------------------------------------------
+# Admission-control errors
+# --------------------------------------------------------------------------
+class ThrottleExceeded(FuncXError):
+    """Per-tenant admission control rejected the request (HTTP 429 shape).
+
+    Raised when the tenant's token bucket is empty (submit rate above the
+    sustained allowance) or its max-outstanding quota is full.  The
+    server-side analogue of the SDK's ``ThrottledBaseClient``.
+    """
+
+    def __init__(self, tenant: str, reason: str, retry_after: float = 0.0):
+        super().__init__(
+            f"tenant {tenant!r} throttled: {reason}"
+            + (f" (retry after {retry_after:.3f}s)" if retry_after > 0 else "")
+        )
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class ShardDraining(FuncXError):
+    """The service shard owning the target endpoint refuses new work.
+
+    Submissions are rejected (HTTP 503 shape) while operators drain a
+    shard for restart; already-queued tasks keep dispatching.
+    """
+
+    def __init__(self, shard_index: int):
+        super().__init__(
+            f"service shard {shard_index} is draining; resubmit shortly"
+        )
+        self.shard_index = shard_index
+
+
 # --------------------------------------------------------------------------
 # Serialization errors
 # --------------------------------------------------------------------------

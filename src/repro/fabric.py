@@ -131,15 +131,19 @@ class LocalDeployment:
         self.access_recorder: AccessRecorder | None = None
         if sanitize_locks:
             self.lock_recorder = LockOrderRecorder(metrics=self.metrics)
-            sanitize_lock(self.service, self.lock_recorder,
-                          class_name="FuncXService._lock")
+            # The service plane's state locks live on the shards now; the
+            # facade itself is stateless.
+            for shard in self.service.shards:
+                sanitize_lock(shard, self.lock_recorder,
+                              class_name="ServiceShard._lock")
             # Resource-protocol twin: record every credit / subscription /
             # stream event so chaos runs can assert the runtime trace is a
             # subset of the statically-declared protocol sites.
             self.protocol_recorder = ProtocolRecorder(metrics=self.metrics)
             sanitize_pubsub(self.service.pubsub, self.protocol_recorder)
-            sanitize_result_stream(self.service.result_stream,
-                                   self.protocol_recorder)
+            for shard in self.service.shards:
+                sanitize_result_stream(shard.result_stream,
+                                       self.protocol_recorder)
             # Thread-role twin: tag shared-attribute accesses with the
             # accessing thread's role so chaos runs can assert observed
             # cross-role attrs ⊆ the statically inferred shared-set.

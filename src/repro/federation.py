@@ -61,6 +61,8 @@ class LeastLoadedEndpoints(EndpointSelectionPolicy):
 
     Uses the service's monitoring view (queued + dispatched + running per
     endpoint) — the information a multi-level scheduler would consume.
+    The lookup is an O(1) per-shard counter read (no task-table scan), so
+    the policy stays cheap even with millions of open tasks.
     """
 
     name = "least_loaded"

@@ -144,9 +144,7 @@ class Dashboard:
     def state_counts(self) -> dict[str, int]:
         """How many tasks are currently in each lifecycle state."""
         counts: dict[str, int] = {state.value: 0 for state in TaskState}
-        with self.service._lock:
-            tasks = list(self.service._tasks.values())
-        for task in tasks:
+        for task in self.service.iter_tasks():
             counts[task.state.value] += 1
         return counts
 

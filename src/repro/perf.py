@@ -340,6 +340,200 @@ def measure_result_stream(
     }
 
 
+def _register_bench_endpoint(service, name: str) -> str:
+    _identity, token = service.auth.endpoint_client_flow(name)
+    return service.register_endpoint(token.token, name=name)
+
+
+def _cover_shards(service, token) -> list[str]:
+    """Register endpoints until every shard owns one; returns one per shard.
+
+    Endpoint ids are random UUIDs, so consistent-hash placement cannot be
+    chosen — we roll until the ring has covered every shard (64 vnodes
+    per shard make the expected roll count small).
+    """
+    n = len(service.shards)
+    chosen: dict[int, str] = {}
+    attempt = 0
+    while len(chosen) < n:
+        attempt += 1
+        if attempt > 128 * n:
+            raise RuntimeError(f"could not cover {n} shards with endpoints")
+        ep = _register_bench_endpoint(service, f"shard-ep-{attempt}")
+        chosen.setdefault(service.shard_map.shard_for_endpoint(ep), ep)
+    return [chosen[i] for i in range(n)]
+
+
+def _drive_shard(service, token, function_id, endpoint_id, count, wave) -> None:
+    """One shard's synthetic lifecycle driver: submit → lease → complete.
+
+    Plays both the tenant and the shard's forwarder: each wave is
+    submitted through the authenticated facade, leased back off the
+    endpoint's queue, marked dispatched, completed, and acked.  Every
+    store write charges the owning shard's pacer *in this thread*, so N
+    drivers against N shards overlap their modeled store occupancy —
+    the parallelism the benchmark measures.
+    """
+    queue = service.task_queue(endpoint_id)
+    done = 0
+    while done < count:
+        n = min(wave, count - done)
+        service.submit_batch(
+            token, [(function_id, endpoint_id, b"p")] * n)
+        drained = 0
+        while drained < n:
+            for lease in queue.lease_many(n - drained):
+                service.mark_dispatched(lease.item)
+                service.complete_task(lease.item, success=True,
+                                      result_buffer=b"r")
+                queue.ack(lease.lease_id)
+                drained += 1
+        done += n
+
+
+def measure_shard_scale(
+    *,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    tasks: int = 384,
+    op_cost: float = 0.001,
+    wave: int = 32,
+    fairness_rounds: int = 60,
+    fairness_mix: int = 10,
+    fairness_window: int = 12,
+) -> dict:
+    """Aggregate tasks/s of the sharded service plane, 1 → N shards.
+
+    **Scaling half.**  For each shard count a fresh service is built with
+    ``shard_op_cost=op_cost`` — every task pays two modeled store writes
+    (insert + completion) on its shard's serial pacer, the per-partition
+    backing-store occupancy that bounds a real service plane.  One driver
+    thread per shard runs the full task lifecycle against an endpoint on
+    that shard; the *same fixed total* of ``tasks`` is split across the
+    drivers, so aggregate tasks/s rises with the shard count only if the
+    partitions genuinely proceed in parallel (pacer sleeps release the
+    GIL; shard locks are disjoint).
+
+    **Fairness half.**  A single-shard service with two tenants on one
+    endpoint: *aggressive* submits ``fairness_mix`` tasks for every one
+    *polite* submits.  The queue's DRR dequeue is then drained serially
+    and the lane of each dequeue recorded; over windows of
+    ``fairness_window`` dequeues (taken while both lanes stay
+    backlogged) the normalized inter-tenant throughput gap
+    ``|agg − polite| / window`` must stay bounded — equal-weight DRR
+    alternates lanes, so a 10:1 offered-load mismatch must not become a
+    10:1 service share.
+    """
+    import threading
+
+    from repro.auth import AuthService
+    from repro.core.service import FuncXService, ServiceConfig
+
+    def _build(shards: int, cost: float) -> tuple:
+        service = FuncXService(
+            auth=AuthService(),
+            config=ServiceConfig(shards=shards, shard_op_cost=cost,
+                                 tracing=False),
+        )
+        identity = service.auth.register_identity("bench-tenant")
+        token = service.auth.native_client_flow(identity).token
+        fid = service.register_function(token, "noop", b"\x00bench-noop",
+                                        public=True)
+        return service, token, fid
+
+    # --- scaling half ---------------------------------------------------
+    runs: list[dict] = []
+    for shards in shard_counts:
+        service, token, fid = _build(shards, op_cost)
+        endpoints = _cover_shards(service, token)
+        share, extra = divmod(tasks, shards)
+        counts = [share + (1 if i < extra else 0) for i in range(shards)]
+        start_gate = threading.Event()
+
+        def _run(ep: str, count: int) -> None:
+            start_gate.wait()
+            _drive_shard(service, token, fid, ep, count, wave)
+
+        threads = [
+            threading.Thread(target=_run, args=(ep, count),
+                             name=f"shard-driver-{i}", daemon=True)
+            for i, (ep, count) in enumerate(zip(endpoints, counts))
+        ]
+        for thread in threads:
+            thread.start()
+        begin = time.perf_counter()
+        start_gate.set()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - begin
+        service.close()
+        runs.append({
+            "shards": shards,
+            "tasks": tasks,
+            "seconds": elapsed,
+            "tasks_per_second": tasks / elapsed if elapsed > 0 else 0.0,
+        })
+
+    base = runs[0]["tasks_per_second"]
+    top = runs[-1]["tasks_per_second"]
+
+    # --- fairness half --------------------------------------------------
+    service, _token, fid = _build(1, 0.0)
+    agg = service.auth.register_identity("aggressive")
+    pol = service.auth.register_identity("polite")
+    agg_token = service.auth.native_client_flow(agg).token
+    pol_token = service.auth.native_client_flow(pol).token
+    ep = _register_bench_endpoint(service, "shared-ep")
+    for round_ in range(fairness_rounds):
+        service.submit_batch(agg_token, [(fid, ep, b"p")] * fairness_mix)
+        service.submit_batch(pol_token, [(fid, ep, b"p")])
+    queue = service.task_queue(ep)
+    # Equal-weight DRR serves the polite lane one slot in two, so both
+    # lanes stay backlogged for ~2x the polite backlog; sample inside
+    # that region only (beyond it the gap measures queue *emptiness*,
+    # not unfairness).
+    drain = (2 * fairness_rounds // fairness_window) * fairness_window
+    lanes: list[str] = []
+    while len(lanes) < drain:
+        for lease in queue.lease_many(drain - len(lanes)):
+            lanes.append(lease.lane)
+            service.mark_dispatched(lease.item)
+            service.complete_task(lease.item, success=True, result_buffer=b"r")
+            queue.ack(lease.lease_id)
+    service.close()
+    gaps: list[float] = []
+    for i in range(0, drain, fairness_window):
+        window = lanes[i:i + fairness_window]
+        polite_n = sum(1 for lane in window if lane == pol.identity_id)
+        gaps.append(abs(len(window) - 2 * polite_n) / len(window))
+    gaps.sort()
+    polite_total = sum(1 for lane in lanes if lane == pol.identity_id)
+    arrival_gap = abs(fairness_mix - 1) / (fairness_mix + 1)
+
+    return {
+        "params": {
+            "shard_counts": list(shard_counts),
+            "tasks": tasks,
+            "op_cost_s": op_cost,
+            "wave": wave,
+            "fairness_rounds": fairness_rounds,
+            "fairness_mix": fairness_mix,
+            "fairness_window": fairness_window,
+        },
+        "scaling": {
+            "runs": runs,
+            "speedup": top / base if base > 0 else 0.0,
+        },
+        "fairness": {
+            "dequeues_sampled": drain,
+            "windows": len(gaps),
+            "p99_gap": _percentile(gaps, 0.99),
+            "mean_gap": sum(gaps) / len(gaps) if gaps else 0.0,
+            "polite_share": polite_total / drain if drain else 0.0,
+            "arrival_gap": arrival_gap,
+        },
+    }
+
+
 def compare_modes(
     *,
     tasks: int = 128,

@@ -214,9 +214,12 @@ class SimFabric:
         result_delivery: str | None = None,
         result_latency: float = 0.001,
         poll_interval: float = 0.01,
+        service_shards: int = 1,
     ):
         if managers < 1:
             raise ValueError("need at least one manager")
+        if service_shards < 1:
+            raise ValueError("need at least one service shard")
         if result_delivery not in (None, "push", "poll"):
             raise ValueError("result_delivery must be None, 'push' or 'poll'")
         if result_delivery == "poll" and poll_interval <= 0:
@@ -244,7 +247,14 @@ class SimFabric:
         self.endpoint_alive = True
         self._service_held: deque[SimTask] = deque()
         self._agent_busy = False
-        self._service_available_at = 0.0
+        # Sharded service plane mirror: each shard is an independent
+        # serialized pipeline, so N shards give N-way admission
+        # parallelism (the live fabric's ``ServiceConfig.shards``).
+        # Arrivals round-robin across shards — the analytic analogue of
+        # hashing task ids over the consistent-hash ring.
+        self.service_shards = service_shards
+        self._service_available_at = [0.0] * service_shards
+        self._next_shard = 0
         self._memo_cache: set[int] = set()
         self._memo_seen: set[int] = set()
         # results
@@ -328,18 +338,20 @@ class SimFabric:
                 self.pending.append(task)
             self._try_dispatch()
             return
-        # Serialized service pipeline: each request costs service_overhead.
+        # Serialized service pipeline(s): each request costs
+        # service_overhead on its shard; shards proceed independently.
         overhead = self.platform.service_overhead
-        t = max(now, self._service_available_at)
         for task in tasks:
-            t += overhead
+            shard = self._next_shard
+            self._next_shard = (shard + 1) % self.service_shards
+            t = max(now, self._service_available_at[shard]) + overhead
+            self._service_available_at[shard] = t
             if self.memoize and task.memo_key is not None and self._memo_lookup(task):
                 task.memo_hit = True
                 self.memo_hits += 1
                 self.loop.at(t, self._complete_at_service, task)
             else:
                 self.loop.at(t, self._enter_pending, task)
-        self._service_available_at = t
 
     def _memo_lookup(self, task: SimTask) -> bool:
         assert task.memo_key is not None

@@ -12,6 +12,11 @@ when the endpoint disconnects, giving *at-least-once* delivery.
 * ``ack`` completes the lease; the item is gone for good.
 * ``nack`` (or lease expiry via ``requeue_expired``) returns the item to
   the *front* of the queue so redelivery preserves age order.
+
+:class:`FairReliableQueue` keeps the same contract but partitions the
+ready backlog into per-tenant *lanes* and dequeues with deficit round
+robin, so one aggressive tenant cannot starve the others sharing an
+endpoint queue.
 """
 
 from __future__ import annotations
@@ -22,6 +27,9 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
+
+# Ready-backlog entry: (item, enqueued_at, prior deliveries, lane).
+_Entry = tuple[Any, float, int, str]
 
 
 @dataclass
@@ -34,6 +42,7 @@ class Lease:
     deadline: float | None
     enqueued_at: float = 0.0
     deliveries: int = 1
+    lane: str = ""
 
 
 class ReliableQueue:
@@ -73,7 +82,7 @@ class ReliableQueue:
         self.name = name
         self._clock = clock or time.monotonic  # clock-domain: monotonic
         self._lock = threading.Condition()
-        self._items: deque[tuple[Any, float, int]] = deque()  # (item, enq_at, deliveries)
+        self._items: deque[_Entry] = deque()
         self._leases: dict[int, Lease] = {}
         self._lease_ids = itertools.count(1)
         self._default_timeout = default_lease_timeout
@@ -95,6 +104,26 @@ class ReliableQueue:
         # point this at Wakeup.set so they block instead of sleep-polling.
         self.wakeup: Callable[[], None] | None = None
 
+    # -- ready-backlog storage ------------------------------------------------
+    # All access to the ready backlog goes through these four hooks so a
+    # subclass can change the *dequeue discipline* (e.g. DRR fairness)
+    # without touching the lease/ack conservation machinery.
+
+    def _ready_push(self, entry: _Entry, front: bool = False) -> None:  # guarded-by: self._lock
+        if front:
+            self._items.appendleft(entry)
+        else:
+            self._items.append(entry)
+
+    def _ready_pop(self) -> _Entry:  # guarded-by: self._lock
+        return self._items.popleft()
+
+    def _ready_len(self) -> int:  # guarded-by: self._lock
+        return len(self._items)
+
+    def _ready_entries(self) -> list[_Entry]:  # guarded-by: self._lock
+        return list(self._items)
+
     def _fire_wakeup(self) -> None:
         """Notify the event-driven consumer; never called under the lock."""
         wakeup = self.wakeup
@@ -103,7 +132,7 @@ class ReliableQueue:
 
     def _note_depth(self) -> None:  # guarded-by: self._lock
         """Track the ready-backlog high watermark (caller holds lock)."""
-        depth = len(self._items)
+        depth = self._ready_len()
         if depth > self._high_watermark:
             self._high_watermark = depth
 
@@ -120,7 +149,7 @@ class ReliableQueue:
                 "enqueued": self.total_enqueued,
                 "acked": self.total_acked,
                 "in_flight": len(self._leases),
-                "ready": len(self._items),
+                "ready": self._ready_len(),
                 **fields,
             },
         )
@@ -137,30 +166,30 @@ class ReliableQueue:
                 self.total_enqueued
                 - self.total_acked
                 - len(self._leases)
-                - len(self._items)
+                - self._ready_len()
             )
 
     def snapshot_items(self) -> tuple[list[Any], list[Any]]:
         """(waiting items, leased items) — chaos accounting introspection."""
         with self._lock:
             return (
-                [item for (item, _enq, _d) in self._items],
+                [item for (item, _enq, _d, _lane) in self._ready_entries()],
                 [lease.item for lease in self._leases.values()],
             )
 
     # -- producer side -------------------------------------------------------
-    def put(self, item: Any) -> None:
+    def put(self, item: Any, lane: str = "") -> None:
         with self._lock:
             if self._closed:
                 raise RuntimeError(f"queue {self.name} is closed")
-            self._items.append((item, self._clock(), 0))
+            self._ready_push((item, self._clock(), 0, lane))
             self.total_enqueued += 1
             self._note_depth()
             self._emit("queue.put")
             self._lock.notify()
         self._fire_wakeup()
 
-    def put_many(self, items: Iterable[Any]) -> int:
+    def put_many(self, items: Iterable[Any], lane: str = "") -> int:
         """Enqueue a batch; returns the number enqueued."""
         count = 0
         with self._lock:
@@ -168,7 +197,7 @@ class ReliableQueue:
                 raise RuntimeError(f"queue {self.name} is closed")
             now = self._clock()
             for item in items:
-                self._items.append((item, now, 0))
+                self._ready_push((item, now, 0, lane))
                 count += 1
             self.total_enqueued += count
             self._note_depth()
@@ -180,6 +209,25 @@ class ReliableQueue:
         return count
 
     # -- consumer side ---------------------------------------------------------
+    def _lease_entry(self, lease_timeout: float | None) -> Lease:  # guarded-by: self._lock
+        """Pop one ready entry into the lease table (caller holds lock)."""
+        item, enq_at, deliveries, lane = self._ready_pop()
+        now = self._clock()
+        effective = lease_timeout if lease_timeout is not None else self._default_timeout
+        lease = Lease(
+            lease_id=next(self._lease_ids),
+            item=item,
+            leased_at=now,
+            deadline=(now + effective) if effective is not None else None,
+            enqueued_at=enq_at,
+            deliveries=deliveries + 1,
+            lane=lane,
+        )
+        self._leases[lease.lease_id] = lease
+        if deliveries:
+            self.total_redelivered += 1
+        return lease
+
     def lease(
         self,
         timeout: float | None = 0.0,
@@ -202,20 +250,7 @@ class ReliableQueue:
         with self._lock:
             if not self._wait_for_item(timeout):
                 return None
-            item, enq_at, deliveries = self._items.popleft()
-            now = self._clock()
-            effective = lease_timeout if lease_timeout is not None else self._default_timeout
-            lease = Lease(
-                lease_id=next(self._lease_ids),
-                item=item,
-                leased_at=now,
-                deadline=(now + effective) if effective is not None else None,
-                enqueued_at=enq_at,
-                deliveries=deliveries + 1,
-            )
-            self._leases[lease.lease_id] = lease
-            if deliveries:
-                self.total_redelivered += 1
+            lease = self._lease_entry(lease_timeout)
             self._emit("queue.lease", deliveries=lease.deliveries)
             return lease
 
@@ -224,25 +259,9 @@ class ReliableQueue:
         leases: list[Lease] = []
         with self._lock:
             for _ in range(max_items):
-                if not self._items:
+                if not self._ready_len():
                     break
-                item, enq_at, deliveries = self._items.popleft()
-                now = self._clock()
-                effective = (
-                    lease_timeout if lease_timeout is not None else self._default_timeout
-                )
-                lease = Lease(
-                    lease_id=next(self._lease_ids),
-                    item=item,
-                    leased_at=now,
-                    deadline=(now + effective) if effective is not None else None,
-                    enqueued_at=enq_at,
-                    deliveries=deliveries + 1,
-                )
-                self._leases[lease.lease_id] = lease
-                if deliveries:
-                    self.total_redelivered += 1
-                leases.append(lease)
+                leases.append(self._lease_entry(lease_timeout))
             if leases:
                 self._emit("queue.lease_many", count=len(leases))
         return leases
@@ -264,7 +283,9 @@ class ReliableQueue:
             if lease is None:
                 self._emit("queue.nack_rejected", lease_id=lease_id)
                 return False
-            self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
+            self._ready_push(
+                (lease.item, lease.enqueued_at, lease.deliveries, lease.lane), front=True
+            )
             self._note_depth()
             self._emit("queue.nack")
             self._lock.notify()
@@ -279,7 +300,10 @@ class ReliableQueue:
         with self._lock:
             leases = sorted(self._leases.values(), key=lambda l: l.enqueued_at, reverse=True)
             for lease in leases:
-                self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
+                self._ready_push(
+                    (lease.item, lease.enqueued_at, lease.deliveries, lease.lane),
+                    front=True,
+                )
             count = len(leases)
             self._leases.clear()
             self._note_depth()
@@ -299,7 +323,10 @@ class ReliableQueue:
             ]
             for lease in sorted(expired, key=lambda l: l.enqueued_at, reverse=True):
                 del self._leases[lease.lease_id]
-                self._items.appendleft((lease.item, lease.enqueued_at, lease.deliveries))
+                self._ready_push(
+                    (lease.item, lease.enqueued_at, lease.deliveries, lease.lane),
+                    front=True,
+                )
             self._note_depth()
             if expired:
                 self._emit("queue.requeue_expired", count=len(expired))
@@ -317,13 +344,13 @@ class ReliableQueue:
     # -- introspection -------------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:
-            return len(self._items)
+            return self._ready_len()
 
     @property
     def depth(self) -> int:
         """Ready (not-yet-leased) backlog depth."""
         with self._lock:
-            return len(self._items)
+            return self._ready_len()
 
     @property
     def high_watermark(self) -> int:
@@ -340,17 +367,17 @@ class ReliableQueue:
         """Queue-delay of every waiting item (diagnostics)."""
         with self._lock:
             now = self._clock()
-            return [now - enq for (_, enq, _) in self._items]
+            return [now - enq for (_, enq, _, _) in self._ready_entries()]
 
     # -- internals ---------------------------------------------------------------
     def _wait_for_item(self, timeout: float | None) -> bool:  # guarded-by: self._lock
         """Wait until an item is available; caller holds the lock."""
-        if self._items:
+        if self._ready_len():
             return True
         if timeout == 0.0:
             return False
         deadline = None if timeout is None else self._clock() + timeout
-        while not self._items:
+        while not self._ready_len():
             if self._closed:
                 return False
             remaining = None if deadline is None else deadline - self._clock()
@@ -358,3 +385,111 @@ class ReliableQueue:
                 return False
             self._lock.wait(remaining)
         return True
+
+
+class FairReliableQueue(ReliableQueue):
+    """Reliable queue with deficit-round-robin fair dequeue across lanes.
+
+    Producers tag each item with a *lane* (the tenant id); the consumer
+    side is unchanged — ``lease``/``lease_many`` transparently pick the
+    next item under DRR, so a tenant pushing 10× the traffic still only
+    gets its weighted share of dispatch slots while other lanes are
+    backlogged.  Within a lane, FIFO age order (and front-of-lane
+    redelivery on nack) is preserved, so the at-least-once conservation
+    machinery of the base class applies untouched.
+
+    Weights come from ``weight_for(lane)``; each round a backlogged lane
+    earns ``quantum * weight`` deficit and spends 1 per item served.
+    Empty lanes are retired immediately so idle tenants accumulate no
+    credit (standard DRR, Shreedhar & Varghese).
+    """
+
+    # The DRR lane state is only touched from the base class's locked
+    # push/lease/ack hooks, whose callers (producer and consumer
+    # threads) the role graph attributes to the base class — it sees a
+    # single role here, but the inherited lock is load-bearing.
+    _GUARDED = {
+        **ReliableQueue._GUARDED,
+        "_lanes": "_lock",  # lint: ignore[threadroles]
+        "_active": "_lock",  # lint: ignore[threadroles]
+        "_deficit": "_lock",  # lint: ignore[threadroles]
+        "_ready_count": "_lock",  # lint: ignore[threadroles]
+    }
+
+    #: Deficit cost of serving one item.
+    _COST = 1.0
+
+    def __init__(
+        self,
+        name: str = "queue",
+        clock: Callable[[], float] | None = None,
+        default_lease_timeout: float | None = None,
+        quantum: float = 1.0,
+        weight_for: Callable[[str], float] | None = None,
+    ):
+        super().__init__(name=name, clock=clock, default_lease_timeout=default_lease_timeout)
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self._quantum = quantum
+        self._weight_for = weight_for or (lambda lane: 1.0)
+        self._lanes: dict[str, deque[_Entry]] = {}
+        self._active: deque[str] = deque()  # round-robin order of backlogged lanes
+        self._deficit: dict[str, float] = {}
+        self._ready_count = 0
+
+    def _ready_push(self, entry: _Entry, front: bool = False) -> None:  # guarded-by: self._lock
+        lane = entry[3]
+        bucket = self._lanes.get(lane)
+        if bucket is None:
+            bucket = self._lanes[lane] = deque()
+            self._deficit[lane] = 0.0
+            # A redelivered item reactivates its lane at the head of the
+            # round so age order degrades as little as possible.
+            if front:
+                self._active.appendleft(lane)
+            else:
+                self._active.append(lane)
+        if front:
+            bucket.appendleft(entry)
+        else:
+            bucket.append(entry)
+        self._ready_count += 1
+
+    def _ready_pop(self) -> _Entry:  # guarded-by: self._lock
+        if not self._ready_count:
+            raise IndexError("pop from an empty queue")
+        while True:
+            lane = self._active[0]
+            bucket = self._lanes[lane]
+            weight = max(self._weight_for(lane), 1e-9)
+            if self._deficit[lane] < self._COST:
+                # Lane hasn't earned a slot yet: top up and move on.  With
+                # at least one backlogged lane, every full rotation adds
+                # quantum*weight to each, so the loop terminates.
+                self._deficit[lane] += self._quantum * weight
+                self._active.rotate(-1)
+                continue
+            self._deficit[lane] -= self._COST
+            entry = bucket.popleft()
+            self._ready_count -= 1
+            if not bucket:
+                # Retire the drained lane: DRR forfeits leftover deficit
+                # so idle tenants cannot bank credit for a later burst.
+                self._active.popleft()
+                del self._lanes[lane]
+                del self._deficit[lane]
+            return entry
+
+    def _ready_len(self) -> int:  # guarded-by: self._lock
+        return self._ready_count
+
+    def _ready_entries(self) -> list[_Entry]:  # guarded-by: self._lock
+        entries: list[_Entry] = []
+        for lane in self._active:
+            entries.extend(self._lanes[lane])
+        return entries
+
+    def lane_depths(self) -> dict[str, int]:
+        """Ready backlog per lane (fairness diagnostics)."""
+        with self._lock:
+            return {lane: len(bucket) for lane, bucket in self._lanes.items()}

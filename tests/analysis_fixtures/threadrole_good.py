@@ -81,3 +81,44 @@ class LockedCallback:
     def reset(self):
         with self._lock:
             self.fired = 0
+
+
+class ShardLike:
+    """One partition: its state is only touched under the declared lock,
+    from the spawning role and from the per-shard worker thread."""
+
+    def __init__(self, index):
+        self.index = index
+        self._lock = threading.Lock()
+        self.handled = 0  # guarded-by: self._lock
+
+    def run(self):
+        with self._lock:
+            self.handled += 1
+
+    def poke(self):
+        with self._lock:
+            self.handled += 1
+
+
+class ShardedPlane:
+    """Parameterized spawn site: one thread per shard, spawned in a loop
+    over a typed container.  The pass must type the loop variable from
+    the ``list[ShardLike]`` annotation, resolve ``shard.run`` as the
+    spawn target, and take the role from the f-string name's literal
+    stem (``worker-``)."""
+
+    def __init__(self, count):
+        self.shards: list[ShardLike] = [ShardLike(i) for i in range(count)]
+        self._threads = []
+
+    def start(self):
+        for shard in self.shards:
+            thread = threading.Thread(target=shard.run,
+                                      name=f"worker-{shard.index}")
+            self._threads.append(thread)
+            thread.start()
+
+    def poke_all(self):
+        for shard in self.shards:
+            shard.poke()

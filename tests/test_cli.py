@@ -29,6 +29,7 @@ class TestParser:
         args = build_parser().parse_args(["bench"])
         assert not args.quick
         assert not args.backpressure
+        assert not args.shard_scale
         assert args.tasks == 96
         assert args.latency == pytest.approx(0.001)
         assert args.transfer_cost == pytest.approx(0.001)
@@ -74,6 +75,14 @@ class TestCommands:
         assert "credit window" in out
         assert "bounded in flight: yes" in out
         assert "credit stalls" in out
+
+    def test_bench_shard_scale_quick(self, capsys):
+        assert main(["bench", "--quick", "--shard-scale"]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out and "tasks/s" in out
+        assert "speedup 1->4:" in out
+        assert "fairness p99 gap:" in out
+        assert "near-linear and fair: yes" in out
 
     def test_bench_result_stream_quick(self, capsys):
         assert main(["bench", "--quick", "--result-stream"]) == 0

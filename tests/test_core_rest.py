@@ -195,3 +195,158 @@ class TestEndpointRoutes:
         response = api.request("GET", "/api/v1/endpoints", token=token)
         assert isinstance(response.json(), str)
         assert response.ok
+
+
+class TestShardedErrorPaths:
+    """Admission and shard failures mapped to HTTP statuses."""
+
+    @staticmethod
+    def _service(shards=1, admission=None):
+        from repro.auth import AuthService
+        from repro.core.service import FuncXService, ServiceConfig
+
+        return FuncXService(
+            auth=AuthService(),
+            config=ServiceConfig(shards=shards),
+            admission=admission,
+        )
+
+    @staticmethod
+    def _setup(service):
+        serializer = FuncXSerializer()
+        identity = service.auth.register_identity("tenant")
+        token = service.auth.native_client_flow(identity).token
+        fid = service.register_function(
+            token, "noop", serializer.serialize_function(lambda x: x),
+            public=True)
+        _eident, etok = service.auth.endpoint_client_flow("ep")
+        ep = service.register_endpoint(etok.token, name="ep")
+        payload = b64(serializer.serialize(([1], {})))
+        return identity, token, fid, ep, payload
+
+    def _submit_body(self, fid, ep, payload):
+        return {"function_id": fid, "endpoint_id": ep, "payload": payload}
+
+    def test_unknown_tenant_403_names_the_tenant(self):
+        from repro.core.admission import AdmissionController
+
+        service = self._service(admission=AdmissionController(strict=True))
+        identity, token, fid, ep, payload = self._setup(service)
+        api = RestApi(service)
+        response = api.request("POST", "/api/v1/tasks", token=token,
+                               body=self._submit_body(fid, ep, payload))
+        assert response.status == 403
+        assert response.body["tenant"] == identity.identity_id
+        assert "no admission policy" in response.body["error"]
+
+    def test_throttled_tenant_429_with_retry_after(self):
+        from repro.core.admission import AdmissionController, TenantPolicy
+
+        admission = AdmissionController()
+        service = self._service(admission=admission)
+        identity, token, fid, ep, payload = self._setup(service)
+        admission.set_policy(identity.identity_id,
+                             TenantPolicy(rate=0.5, burst=1.0))
+        api = RestApi(service)
+        body = self._submit_body(fid, ep, payload)
+        assert api.request("POST", "/api/v1/tasks", token=token,
+                           body=body).status == 201
+        throttled = api.request("POST", "/api/v1/tasks", token=token, body=body)
+        assert throttled.status == 429
+        assert throttled.body["tenant"] == identity.identity_id
+        assert throttled.body["retry_after"] == pytest.approx(2.0, rel=0.2)
+
+    def test_quota_exceeded_429_on_batch(self):
+        from repro.core.admission import AdmissionController, TenantPolicy
+
+        admission = AdmissionController()
+        service = self._service(admission=admission)
+        identity, token, fid, ep, payload = self._setup(service)
+        admission.set_policy(identity.identity_id,
+                             TenantPolicy(max_outstanding=2))
+        api = RestApi(service)
+        response = api.request(
+            "POST", "/api/v1/batch", token=token,
+            body={"tasks": [self._submit_body(fid, ep, payload)] * 3})
+        assert response.status == 429
+        assert "quota" in response.body["error"]
+
+    def test_draining_shard_503_with_retry_hint(self):
+        service = self._service(shards=2)
+        _identity, token, fid, ep, payload = self._setup(service)
+        shard = service.shard_map.shard_for_endpoint(ep)
+        service.drain_shard(shard)
+        api = RestApi(service)
+        response = api.request("POST", "/api/v1/tasks", token=token,
+                               body=self._submit_body(fid, ep, payload))
+        assert response.status == 503
+        assert response.body["shard"] == shard
+        assert response.body["retry"] is True
+        service.restart_shard(shard)
+        assert api.request("POST", "/api/v1/tasks", token=token,
+                           body=self._submit_body(fid, ep, payload)).status == 201
+
+    def test_batch_status_fans_out_across_shards(self):
+        from repro.serialize import FuncXSerializer as _S
+
+        service = self._service(shards=4)
+        serializer = _S()
+        identity = service.auth.register_identity("tenant")
+        token = service.auth.native_client_flow(identity).token
+        fid = service.register_function(
+            token, "noop", serializer.serialize_function(lambda x: x),
+            public=True)
+        payload = serializer.serialize(([1], {}))
+        task_ids, shards_seen = [], set()
+        for i in range(12):
+            _eident, etok = service.auth.endpoint_client_flow(f"ep-{i}")
+            ep = service.register_endpoint(etok.token, name=f"ep-{i}")
+            shards_seen.add(service.shard_map.shard_for_endpoint(ep))
+            task_ids.append(service.submit(token, fid, ep, payload))
+        assert len(shards_seen) > 1  # the fan-out is real
+        service.complete_task(task_ids[0], success=True, result_buffer=b"r")
+
+        api = RestApi(service)
+        response = api.request("POST", "/api/v1/tasks/status", token=token,
+                               body={"task_ids": task_ids})
+        assert response.status == 200
+        statuses = response.body["statuses"]
+        assert set(statuses) == set(task_ids)
+        assert statuses[task_ids[0]] == "success"
+        assert statuses[task_ids[1]] == "queued"
+        missing = api.request("POST", "/api/v1/tasks/status", token=token,
+                              body={"task_ids": task_ids + ["ghost"]})
+        assert missing.status == 404
+
+    def test_client_wait_all_spans_shards(self):
+        from repro.core.client import FuncXClient
+        from repro.errors import TaskPending
+        from repro.serialize import FuncXSerializer as _S
+
+        service = self._service(shards=4)
+        serializer = _S()
+        identity = service.auth.register_identity("tenant")
+        client = FuncXClient(service, identity)
+
+        def echo(x):
+            return x
+
+        fid = client.register_function(echo)
+        task_ids, shards_seen = [], set()
+        for i in range(8):
+            _eident, etok = service.auth.endpoint_client_flow(f"ep-{i}")
+            ep = service.register_endpoint(etok.token, name=f"ep-{i}")
+            shards_seen.add(service.shard_map.shard_for_endpoint(ep))
+            task_ids.append(client.run(fid, ep, i))
+        assert len(shards_seen) > 1
+        for i, task_id in enumerate(task_ids):
+            service.complete_task(task_id, success=True,
+                                  result_buffer=serializer.serialize(i))
+        assert client.wait_all(task_ids, timeout=5.0) == list(range(8))
+
+        # one pending task on some shard -> TaskPending at the deadline
+        _eident, etok = service.auth.endpoint_client_flow("ep-slow")
+        slow_ep = service.register_endpoint(etok.token, name="ep-slow")
+        pending = client.run(fid, slow_ep, 99)
+        with pytest.raises(TaskPending):
+            client.wait_all(task_ids + [pending], timeout=0.05, poll=0.01)

@@ -1,0 +1,307 @@
+"""The sharded service plane: shard map, per-shard accounting, routing.
+
+Covers the consistent-hash :class:`~repro.core.shard.ShardMap`, the
+per-shard O(1) accounting block (the satellite fix for the old
+full-table scans), drain/kill/restart lifecycle, and the facade's
+cross-shard routing — including a live multi-shard deployment pushing
+results through the stream router.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+
+import pytest
+
+from repro.auth import AuthService
+from repro.core.service import FuncXService, ServiceConfig
+from repro.core.shard import ShardMap, _ShardPacer
+from repro.core.tasks import TaskState
+from repro.errors import ShardDraining, TaskNotFound
+from repro.serialize import FuncXSerializer
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def make_service(shards: int, clock=None, **config) -> FuncXService:
+    return FuncXService(
+        auth=AuthService(clock=clock) if clock else AuthService(),
+        config=ServiceConfig(shards=shards, **config),
+        clock=clock,
+    )
+
+
+def user_token(service, name="alice"):
+    identity = service.auth.register_identity(name)
+    return service.auth.native_client_flow(identity).token
+
+
+def endpoint_on(service, shard_index: int, attempts: int = 512) -> str:
+    """Register endpoints until one lands on ``shard_index``."""
+    for i in range(attempts):
+        _ident, tok = service.auth.endpoint_client_flow(f"ep-{shard_index}-{i}")
+        ep = service.register_endpoint(tok.token, name=f"ep-{shard_index}-{i}")
+        if service.shard_map.shard_for_endpoint(ep) == shard_index:
+            return ep
+    raise AssertionError(f"no endpoint landed on shard {shard_index}")
+
+
+def any_endpoint(service) -> str:
+    _ident, tok = service.auth.endpoint_client_flow("ep")
+    return service.register_endpoint(tok.token, name="ep")
+
+
+def register_noop(service, token) -> str:
+    serializer = FuncXSerializer()
+    return service.register_function(
+        token, "noop", serializer.serialize_function(lambda x: x), public=True)
+
+
+def submit_one(service, token, fid, ep) -> str:
+    payload = FuncXSerializer().serialize(([1], {}))
+    return service.submit(token, fid, ep, payload)
+
+
+# ----------------------------------------------------------------------
+# ShardMap
+# ----------------------------------------------------------------------
+class TestShardMap:
+    def test_shard_count_validated(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+
+    def test_single_shard_fast_path(self):
+        smap = ShardMap(1)
+        assert smap.shard_for_endpoint("anything") == 0
+        assert smap.shard_for_task("whatever") == 0
+
+    def test_placement_is_stable_across_instances(self):
+        a, b = ShardMap(4), ShardMap(4)
+        for _ in range(64):
+            key = str(uuid.uuid4())
+            assert a.shard_for_endpoint(key) == b.shard_for_endpoint(key)
+
+    def test_placement_covers_all_shards(self):
+        smap = ShardMap(4)
+        seen = {smap.shard_for_endpoint(f"endpoint-{i}") for i in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_tagged_task_id_routes_to_its_shard(self):
+        smap = ShardMap(4)
+        for index in range(4):
+            tagged = smap.tag(str(uuid.uuid4()), index)
+            assert smap.shard_for_task(tagged) == index
+
+    def test_untagged_id_falls_back_to_ring_deterministically(self):
+        a, b = ShardMap(4), ShardMap(4)
+        raw = str(uuid.uuid4())
+        assert a.shard_for_task(raw) == b.shard_for_task(raw)
+        assert 0 <= a.shard_for_task(raw) < 4
+
+    def test_out_of_range_tag_falls_back_to_ring(self):
+        smap = ShardMap(2)
+        # "-s9" looks like a tag but names a shard that does not exist.
+        assert 0 <= smap.shard_for_task("abc-s9") < 2
+
+
+# ----------------------------------------------------------------------
+# _ShardPacer
+# ----------------------------------------------------------------------
+class TestShardPacer:
+    def test_zero_cost_never_sleeps(self):
+        sleeps: list[float] = []
+        pacer = _ShardPacer(0.0, clock=lambda: 0.0, sleeper=sleeps.append)
+        pacer.charge()
+        pacer.charge(10)
+        assert sleeps == []
+
+    def test_serial_occupancy_accumulates(self):
+        sleeps: list[float] = []
+        pacer = _ShardPacer(0.5, clock=lambda: 0.0, sleeper=sleeps.append)
+        pacer.charge()      # busy until 0.5
+        pacer.charge()      # queues behind: busy until 1.0
+        pacer.charge(2)     # two ops: busy until 2.0
+        assert sleeps == [0.5, 1.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# facade routing + per-shard accounting
+# ----------------------------------------------------------------------
+class TestShardedFacade:
+    def test_task_id_carries_owning_shard(self):
+        service = make_service(4)
+        token = user_token(service)
+        fid = register_noop(service, token)
+        for index in (0, 3):
+            ep = endpoint_on(service, index)
+            task_id = submit_one(service, token, fid, ep)
+            assert task_id.endswith(f"-s{index}")
+            assert service.shard_map.shard_for_task(task_id) == index
+
+    def test_counters_close_on_complete_and_forget(self):
+        service = make_service(2)
+        token = user_token(service)
+        fid = register_noop(service, token)
+        ep = endpoint_on(service, 1)
+        shard = service.shards[1]
+
+        done = submit_one(service, token, fid, ep)
+        open_ = submit_one(service, token, fid, ep)
+        assert shard.open_tasks() == 2
+        assert shard.outstanding(ep) == 2
+
+        service.complete_task(done, success=True, result_buffer=b"r")
+        assert shard.open_tasks() == 1
+        assert shard.outstanding(ep) == 1
+
+        assert service.forget_task(open_)
+        counters = shard.counters()
+        assert counters["received"] == 2
+        assert counters["terminated"] == 1
+        assert counters["forgotten_open"] == 1
+        # the conservation identity the chaos invariant checks
+        assert counters["open"] == (counters["received"]
+                                    - counters["terminated"]
+                                    - counters["forgotten_open"]) == 0
+        # the untouched shard saw none of it
+        assert service.shards[0].counters()["received"] == 0
+
+    def test_status_batch_fans_out_across_shards(self):
+        service = make_service(4)
+        token = user_token(service)
+        fid = register_noop(service, token)
+        ids = []
+        for index in range(4):
+            ep = endpoint_on(service, index)
+            ids.append(submit_one(service, token, fid, ep))
+        service.complete_task(ids[2], success=True, result_buffer=b"r")
+        states = service.status_batch(token, ids)
+        assert set(states) == set(ids)
+        assert states[ids[2]] == TaskState.SUCCESS.value
+        assert states[ids[0]] == TaskState.QUEUED.value
+        with pytest.raises(TaskNotFound):
+            service.status_batch(token, ids + ["missing-task"])
+
+    def test_draining_shard_rejects_submissions(self):
+        service = make_service(2)
+        token = user_token(service)
+        fid = register_noop(service, token)
+        ep = endpoint_on(service, 0)
+        other = endpoint_on(service, 1)
+        service.drain_shard(0)
+        with pytest.raises(ShardDraining) as exc_info:
+            submit_one(service, token, fid, ep)
+        assert exc_info.value.shard_index == 0
+        # the sibling shard still accepts
+        submit_one(service, token, fid, other)
+        service.restart_shard(0)
+        submit_one(service, token, fid, ep)
+        assert int(service.metrics.counter("shard.draining_rejects").value) == 1
+
+    def test_batch_rejected_atomically_when_one_member_hits_drain(self):
+        service = make_service(2)
+        token = user_token(service)
+        fid = register_noop(service, token)
+        ep0, ep1 = endpoint_on(service, 0), endpoint_on(service, 1)
+        payload = FuncXSerializer().serialize(([1], {}))
+        service.drain_shard(1)
+        before = service.tasks_received
+        with pytest.raises(ShardDraining):
+            service.submit_batch(token, [(fid, ep0, payload), (fid, ep1, payload)])
+        assert service.tasks_received == before  # nothing partially admitted
+
+    def test_kill_yanks_leases_and_restart_redelivers(self):
+        service = make_service(2)
+        token = user_token(service)
+        fid = register_noop(service, token)
+        ep = endpoint_on(service, 0)
+        task_id = submit_one(service, token, fid, ep)
+        queue = service.task_queue(ep)
+        lease = queue.lease()
+        assert lease is not None and lease.item == task_id
+
+        yanked = service.shards[0].kill()
+        assert yanked == 1
+        assert not queue.ack(lease.lease_id)  # the old lease is dead
+        service.restart_shard(0)
+        redelivered = queue.lease()
+        assert redelivered is not None and redelivered.item == task_id
+        assert redelivered.deliveries == 2  # at-least-once redelivery
+        assert queue.ack(redelivered.lease_id)
+
+    def test_shard_counters_sum_to_facade_counters(self):
+        service = make_service(4)
+        token = user_token(service)
+        fid = register_noop(service, token)
+        eps = [endpoint_on(service, index) for index in range(4)]
+        ids = [submit_one(service, token, fid, ep) for ep in eps for _ in range(3)]
+        for task_id in ids[:5]:
+            service.complete_task(task_id, success=True, result_buffer=b"r")
+        totals = {key: sum(c[key] for c in service.shard_counters())
+                  for key in ("received", "terminated", "open")}
+        assert totals["received"] == service.tasks_received == 12
+        assert totals["terminated"] == 5
+        assert totals["open"] == len(service.iter_tasks()) - 5
+
+
+# ----------------------------------------------------------------------
+# satellite: the hot paths must be O(1), not table scans
+# ----------------------------------------------------------------------
+class TestConstantTimeAccounting:
+    @staticmethod
+    def _populate(service, token, fid, ep, count):
+        payload = FuncXSerializer().serialize(([1], {}))
+        for chunk_start in range(0, count, 256):
+            chunk = min(256, count - chunk_start)
+            service.submit_batch(token, [(fid, ep, payload)] * chunk)
+
+    @staticmethod
+    def _time_reads(fn, reps=4000) -> float:
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        return time.perf_counter() - start
+
+    def test_outstanding_and_open_gauge_do_not_scale_with_open_tasks(self):
+        gauge_reads = []
+        outstanding_reads = []
+        for count in (16, 4096):
+            service = make_service(1, tracing=False)
+            token = user_token(service)
+            fid = register_noop(service, token)
+            ep = any_endpoint(service)
+            self._populate(service, token, fid, ep, count)
+            gauge = service.metrics.gauge("service.tasks_live")
+            gauge_reads.append(self._time_reads(lambda: gauge.value))
+            outstanding_reads.append(
+                self._time_reads(lambda: service.outstanding_tasks(ep)))
+            service.close()
+        # 256x the open tasks must not make the reads meaningfully
+        # slower; a table scan would blow this bound by two orders of
+        # magnitude, constant-time counters sit near 1x.
+        assert gauge_reads[1] < 10 * gauge_reads[0], gauge_reads
+        assert outstanding_reads[1] < 10 * outstanding_reads[0], outstanding_reads
+
+
+# ----------------------------------------------------------------------
+# live multi-shard deployment (stream router end to end)
+# ----------------------------------------------------------------------
+class TestLiveMultiShard:
+    def test_executor_results_stream_across_shards(self):
+        from repro.core.stream import ResultStreamRouter
+        from repro.fabric import LocalDeployment
+
+        with LocalDeployment(
+            service_config=ServiceConfig(shards=4)
+        ) as deployment:
+            assert isinstance(deployment.service.result_stream,
+                              ResultStreamRouter)
+            client = deployment.client()
+            ep = deployment.create_endpoint("sharded", nodes=1)
+            fid = client.register_function(lambda x: x * 2)
+            with client.executor(ep, batch_interval=0.0) as executor:
+                futures = [executor.submit(fid, i) for i in range(12)]
+                assert [f.result(timeout=30) for f in futures] == [
+                    i * 2 for i in range(12)]

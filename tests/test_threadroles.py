@@ -171,6 +171,61 @@ def kickoff(fn):
 
 
 # ----------------------------------------------------------------------
+# parameterized spawn sites (one thread per shard)
+# ----------------------------------------------------------------------
+SHARDED = '''
+import threading
+
+
+class Shard:
+    def __init__(self, index):
+        self._lock = threading.Lock()
+        self.index = index
+        self.handled = 0  # guarded-by: self._lock
+
+    def run(self):
+        with self._lock:
+            self.handled += 1
+
+    def poke(self):
+        with self._lock:
+            self.handled += 1
+
+
+class Plane:
+    def __init__(self, count):
+        self.shards: list[Shard] = [Shard(i) for i in range(count)]
+
+    def start(self):
+        for shard in self.shards:
+            threading.Thread(target=shard.run,
+                             name=f"worker-{shard.index}").start()
+
+    def poke_all(self):
+        for shard in self.shards:
+            shard.poke()
+'''
+
+
+class TestParameterizedSpawns:
+    """The sharded-plane shape: a loop over a typed container spawning
+    one thread per element, named by an f-string."""
+
+    def test_loop_spawn_over_typed_container_resolves(self):
+        report = build_role_report([_parse(SHARDED)])
+        spawn = next(s for s in report.spawns if s.symbol == "Plane.start")
+        # loop variable typed from the list[Shard] annotation, target
+        # resolved through it, role from the f-string's literal stem
+        assert spawn.target == ("Shard", "run")
+        assert spawn.role == "worker"
+        assert "worker" in report.roles_of("Shard", "run")
+
+    def test_guarded_shard_state_stays_clean(self):
+        findings = list(check_thread_roles([_parse(SHARDED)]))
+        assert [f for f in findings if f.severity == "error"] == []
+
+
+# ----------------------------------------------------------------------
 # --roles subset filter
 # ----------------------------------------------------------------------
 class TestRoleFilter:
